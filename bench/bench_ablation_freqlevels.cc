@@ -1,0 +1,59 @@
+// Ablation A4 — frequency-grid granularity.
+//
+// The paper assumes 1 MHz steps between 8 and 100 MHz (L18 quantizes the
+// computed ratio up to the next level).  Coarser grids waste slack; this
+// bench quantifies how much.
+#include <cstdio>
+
+#include "metrics/experiment.h"
+#include "metrics/table.h"
+#include "workloads/registry.h"
+
+int main() {
+  using namespace lpfps;
+
+  struct Grid {
+    const char* label;
+    power::FrequencyTable table;
+  };
+  const Grid grids[] = {
+      {"continuous", power::FrequencyTable::continuous(8.0, 100.0)},
+      {"1 MHz steps (paper)", power::FrequencyTable::arm8_like()},
+      {"10 MHz steps", power::FrequencyTable::stepped(10.0, 100.0, 10.0)},
+      {"quarters {25,50,75,100}",
+       power::FrequencyTable::from_levels({25.0, 50.0, 75.0, 100.0})},
+      {"halves {50,100}",
+       power::FrequencyTable::from_levels({50.0, 100.0})},
+  };
+
+  std::puts("== Ablation A4: frequency-grid granularity ==");
+  std::puts("cells: LPFPS power reduction vs FPS (%) at BCET/WCET = 0.5");
+  std::vector<std::string> header = {"grid"};
+  for (const workloads::Workload& w : workloads::paper_workloads()) {
+    header.push_back(w.name);
+  }
+  metrics::Table table(header);
+
+  for (const Grid& grid : grids) {
+    std::vector<std::string> row = {grid.label};
+    for (const workloads::Workload& w : workloads::paper_workloads()) {
+      power::ProcessorConfig cpu = power::ProcessorConfig::arm8_default();
+      cpu.frequencies = grid.table;
+      metrics::SweepConfig config;
+      config.bcet_ratios = {0.5};
+      config.seeds = 3;
+      config.horizon = std::min(w.horizon, 5e6);
+      const auto points = metrics::run_bcet_sweep(
+          w.tasks, cpu, core::SchedulerPolicy::lpfps(), config);
+      row.push_back(metrics::Table::num(points.front().reduction_pct, 1));
+    }
+    table.add_row(row);
+  }
+  std::fputs(table.to_aligned().c_str(), stdout);
+  std::puts(
+      "\n1 MHz steps are effectively continuous for these workloads;\n"
+      "even a 2-level grid keeps most of the saving because quantizing\n"
+      "*up* converts leftover slack into earlier completions that the\n"
+      "power-down mode then absorbs.");
+  return 0;
+}

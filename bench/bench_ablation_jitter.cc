@@ -1,0 +1,78 @@
+// Ablation A9 — release jitter vs LPFPS's exact-knowledge premise.
+//
+// LPFPS's two mechanisms both hinge on the delay queue's *exact* next
+// release time.  Release jitter (interrupt latency, tick granularity,
+// bus contention) erodes that knowledge; the engine then conservatively
+// refuses to slow down or sleep while a released-but-not-yet-visible
+// job is in flight.  This bench measures how quickly the savings decay
+// as jitter grows, with the jitter-aware RTA confirming schedulability
+// at every point.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "exec/exec_model.h"
+#include "metrics/table.h"
+#include "sched/analysis.h"
+#include "workloads/registry.h"
+
+int main() {
+  using namespace lpfps;
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+
+  std::puts("== Ablation A9: release jitter (BCET/WCET = 0.5) ==");
+  std::puts("cells: LPFPS power reduction vs FPS (%); '-' = jitter-RTA fails");
+  metrics::Table table(
+      {"jitter (fraction of period)", "INS", "CNC", "Flight control"});
+
+  for (const double fraction : {0.0, 0.01, 0.05, 0.1, 0.2}) {
+    std::vector<std::string> row = {metrics::Table::num(fraction, 2)};
+    for (const char* name : {"INS", "CNC", "Flight control"}) {
+      const workloads::Workload w = workloads::workload_by_name(name);
+      const sched::TaskSet tasks = w.tasks.with_bcet_ratio(0.5);
+
+      std::vector<Time> jitter;
+      sched::AnalysisExtras extras = sched::AnalysisExtras::zero(tasks);
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const double j =
+            fraction *
+            static_cast<double>(tasks[static_cast<TaskIndex>(i)].period);
+        jitter.push_back(j);
+        extras.jitter[i] = j;
+      }
+      if (!sched::is_schedulable_extended(tasks, extras)) {
+        row.push_back("-");
+        continue;
+      }
+
+      double fps_total = 0.0;
+      double lpfps_total = 0.0;
+      const int seeds = 3;
+      for (int seed = 1; seed <= seeds; ++seed) {
+        core::EngineOptions options;
+        options.horizon = std::min(w.horizon, 2e6);
+        options.seed = static_cast<std::uint64_t>(seed);
+        options.release_jitter = jitter;
+        fps_total += core::simulate(tasks, cpu,
+                                    core::SchedulerPolicy::fps(), exec,
+                                    options)
+                         .average_power;
+        lpfps_total += core::simulate(tasks, cpu,
+                                      core::SchedulerPolicy::lpfps(),
+                                      exec, options)
+                           .average_power;
+      }
+      row.push_back(metrics::Table::num(
+          100.0 * (1.0 - lpfps_total / fps_total), 1));
+    }
+    table.add_row(row);
+  }
+  std::fputs(table.to_aligned().c_str(), stdout);
+  std::puts(
+      "\nModerate jitter costs little: most of LPFPS's saving comes from\n"
+      "windows far longer than the jitter bound.  The decay accelerates\n"
+      "once jitter spans a meaningful share of the shortest period,\n"
+      "because the scheduler then spends long stretches unable to trust\n"
+      "its queues (and hard schedulability itself erodes: '-').");
+  return 0;
+}

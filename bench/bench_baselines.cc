@@ -1,0 +1,95 @@
+// Baseline landscape — LPFPS against every alternative discussed in the
+// paper's §2 related work, on all four applications:
+//
+//   FPS          busy-wait baseline (§4's reference)
+//   FPS-timeout  conventional portable-computer shutdown (§2.1)
+//   AVR          Yao/Demers/Shenker average-rate heuristic (§2.2),
+//                which for periodic implicit-deadline sets is EDF at a
+//                constant quantize(U) clock
+//   Static       offline minimal constant clock keeping the set
+//                RM-schedulable (§2.2's static methods), + power-down
+//   LPFPS        the paper's contribution
+//
+// Run at BCET/WCET in {1.0, 0.5, 0.1} to expose who can and cannot
+// reclaim *dynamic* slack.  A noteworthy honest finding: at low
+// utilization (CNC) the constant-clock baselines are strong, because
+// they slow *every* task while LPFPS only stretches tasks that run
+// alone; LPFPS's edge grows with execution-time variation and with
+// load skew (INS).
+#include <cstdio>
+
+#include "core/avr.h"
+#include "core/engine.h"
+#include "core/static_slowdown.h"
+#include "exec/exec_model.h"
+#include "metrics/table.h"
+#include "workloads/registry.h"
+
+int main() {
+  using namespace lpfps;
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+
+  std::puts("== Baselines: average power (fraction of full power) ==");
+  metrics::Table table({"workload", "BCET/WCET", "FPS", "FPS-timeout",
+                        "AVR", "Static", "LPFPS", "Hybrid"});
+  for (const workloads::Workload& w : workloads::paper_workloads()) {
+    const auto static_ratio = core::min_feasible_static_ratio(
+        w.tasks, cpu.frequencies);
+    for (const double bcet : {1.0, 0.5, 0.1}) {
+      const sched::TaskSet tasks = w.tasks.with_bcet_ratio(bcet);
+      const Time horizon = std::min(w.horizon, 5e6);
+
+      auto engine_power = [&](const core::SchedulerPolicy& policy) {
+        core::EngineOptions options;
+        options.horizon = horizon;
+        return core::simulate(tasks, cpu, policy, exec, options)
+            .average_power;
+      };
+      core::AvrOptions avr_options;
+      avr_options.horizon = horizon;
+      const double avr =
+          core::simulate_avr(tasks, cpu, exec, avr_options).average_power;
+
+      table.add_row(
+          {w.name, metrics::Table::num(bcet, 1),
+           metrics::Table::num(engine_power(core::SchedulerPolicy::fps()),
+                               4),
+           metrics::Table::num(
+               engine_power(
+                   core::SchedulerPolicy::fps_timeout_shutdown(500.0)),
+               4),
+           metrics::Table::num(avr, 4),
+           static_ratio
+               ? metrics::Table::num(
+                     engine_power(core::SchedulerPolicy::static_slowdown(
+                         *static_ratio)),
+                     4)
+               : "infeasible",
+           metrics::Table::num(engine_power(core::SchedulerPolicy::lpfps()),
+                               4),
+           static_ratio
+               ? metrics::Table::num(
+                     engine_power(
+                         core::SchedulerPolicy::lpfps_hybrid(*static_ratio)),
+                     4)
+               : "infeasible"});
+    }
+  }
+  std::fputs(table.to_aligned().c_str(), stdout);
+  std::puts(
+      "\nHonest finding: under the f*V^2 power law a feasibility-minimal\n"
+      "CONSTANT clock (Static, and AVR's quantize(U) speed) is a very\n"
+      "strong baseline — it slows *every* task, while LPFPS only\n"
+      "stretches tasks that run alone and pays full speed during\n"
+      "interference.  LPFPS's remaining edges: it needs no offline\n"
+      "analysis, keeps the RM schedule intact (AVR switches dispatching\n"
+      "to EDF), reclaims *dynamic* slack (its running ratio falls with\n"
+      "BCET while the others' stay pinned), and composes with exact\n"
+      "power-down.  The paper compared against plain FPS only; this\n"
+      "table shows why follow-on work (lppsRM, ccRM, Pillai & Shin '01)\n"
+      "folded static scaling into LPFPS-style dynamic reclamation —\n"
+      "exactly what the Hybrid column implements: it never loses to\n"
+      "Static and reclaims dynamic slack on top.");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 1 — the BCET/WCET ratio of embedded programs.
+//
+// The original figure plots Ernst & Ye's measurements of real programs;
+// those are not redistributable, so this bench regenerates the same
+// *kind* of data with our structural timing analyzer over the synthetic
+// benchmark suite (see DESIGN.md §3).  The spread of ratios (roughly
+// 0.01 .. 1.0) is what feeds Figure 8's x-axis.
+#include <cstdio>
+
+#include "metrics/table.h"
+#include "wcet/benchmarks.h"
+
+int main() {
+  using namespace lpfps;
+
+  std::puts("== Figure 1: BCET/WCET ratios (synthetic program suite) ==");
+  metrics::Table table({"program", "archetype", "BCET (cyc)", "WCET (cyc)",
+                        "BCET/WCET", "bar"});
+  for (const wcet::BenchmarkProgram& program : wcet::benchmark_suite()) {
+    const wcet::Bounds bounds = wcet::analyze(program.program);
+    const double ratio = bounds.ratio();
+    std::string bar(static_cast<std::size_t>(ratio * 40.0 + 0.5), '#');
+    table.add_row({program.name, program.archetype,
+                   std::to_string(bounds.best),
+                   std::to_string(bounds.worst),
+                   metrics::Table::num(ratio, 3), bar});
+  }
+  std::fputs(table.to_aligned().c_str(), stdout);
+  std::puts(
+      "\nData-dependent programs (sorting/searching/compression) sit at\n"
+      "low ratios; fixed-iteration kernels (DCT/FIR/FFT) pin 1.0 — the\n"
+      "motivation for exploiting execution-time variation (paper Fig. 1).");
+  return 0;
+}

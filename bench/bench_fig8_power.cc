@@ -1,0 +1,54 @@
+// Figure 8 — the headline experiment: average power of LPFPS normalized
+// to FPS for (a) Avionics, (b) INS, (c) Flight control, (d) CNC, with
+// the BCET varied from 10% to 100% of the WCET.
+//
+// Setup exactly as the paper's §4: clamped-Gaussian execution times
+// (eqs. 4-5), ARM8-like processor (100 MHz / 3.3 V max, 8..100 MHz in
+// 1 MHz steps), rho = 0.07/us, NOP = 20% of a typical instruction,
+// power-down = 5% of full power with a 10-cycle wake-up.
+#include <cstdio>
+#include <string>
+
+#include "metrics/experiment.h"
+#include "metrics/table.h"
+#include "workloads/registry.h"
+
+int main() {
+  using namespace lpfps;
+  const auto cpu = power::ProcessorConfig::arm8_default();
+
+  std::puts("== Figure 8: normalized power, LPFPS vs FPS ==");
+  double best_reduction = 0.0;
+  std::string best_app;
+  for (const workloads::Workload& w : workloads::paper_workloads()) {
+    metrics::SweepConfig config;
+    config.horizon = w.horizon;
+    config.seeds = 5;
+    const auto points = metrics::run_bcet_sweep(
+        w.tasks, cpu, core::SchedulerPolicy::lpfps(), config);
+
+    std::printf("\n-- %s (U = %.3f, horizon %.0f us) --\n", w.name.c_str(),
+                w.tasks.utilization(), w.horizon);
+    metrics::Table table({"BCET/WCET", "FPS power", "LPFPS power",
+                          "vs FPS(same BCET) %", "vs FPS(WCET) %"});
+    for (const metrics::SweepPoint& p : points) {
+      table.add_row({metrics::Table::num(p.bcet_ratio, 1),
+                     metrics::Table::num(p.fps_power, 4),
+                     metrics::Table::num(p.policy_power, 4),
+                     metrics::Table::num(p.reduction_pct, 1),
+                     metrics::Table::num(p.reduction_vs_wcet_pct, 1)});
+      if (p.reduction_vs_wcet_pct > best_reduction) {
+        best_reduction = p.reduction_vs_wcet_pct;
+        best_app = w.name;
+      }
+    }
+    std::fputs(table.to_aligned().c_str(), stdout);
+  }
+  std::printf(
+      "\nbest reduction vs the paper's FPS reference (WCET utilization):"
+      " %.1f%% on %s\n(paper: up to 62%% on INS).  The stricter same-BCET"
+      " FPS baseline, whose\npower also falls with early completions, is"
+      " reported alongside.\n",
+      best_reduction, best_app.c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Extension B4 — partitioned multicore: core count and packing
+// heuristic vs total energy under per-core LPFPS.
+//
+// Two classic effects, measured: (1) spreading load over more cores
+// lowers per-core utilization, which the superlinear power law turns
+// into energy savings — until parked-core floors win; (2) balanced
+// packings (worst-fit) beat saturating ones (first-fit) because every
+// core keeps DVS slack.
+#include <cstdio>
+
+#include "exec/exec_model.h"
+#include "metrics/table.h"
+#include "multicore/simulate.h"
+#include "sched/priority.h"
+
+namespace {
+
+using namespace lpfps;
+
+/// A 12-task mixed workload, U ~= 2.4: needs at least 3 cores.
+sched::TaskSet workload() {
+  sched::TaskSet tasks;
+  const struct {
+    const char* name;
+    std::int64_t period;
+    double wcet;
+  } specs[] = {
+      {"ctl_a", 5'000, 2'000.0},   {"ctl_b", 5'000, 1'500.0},
+      {"ctl_c", 10'000, 3'000.0},  {"dsp_a", 20'000, 6'000.0},
+      {"dsp_b", 20'000, 4'000.0},  {"io_a", 40'000, 8'000.0},
+      {"io_b", 40'000, 6'000.0},   {"net_a", 80'000, 12'000.0},
+      {"net_b", 80'000, 10'000.0}, {"log_a", 160'000, 16'000.0},
+      {"log_b", 160'000, 12'000.0}, {"ui", 160'000, 8'000.0},
+  };
+  for (const auto& spec : specs) {
+    tasks.add(sched::make_task(spec.name, spec.period, spec.wcet));
+  }
+  sched::assign_rate_monotonic(tasks);
+  return tasks;
+}
+
+}  // namespace
+
+int main() {
+  const sched::TaskSet tasks = workload();
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+  std::printf(
+      "== B4: partitioned multicore (12 tasks, U = %.2f, BCET/WCET=0.5)"
+      " ==\n",
+      tasks.utilization());
+
+  metrics::Table table({"cores", "heuristic", "imbalance (U)",
+                        "total energy", "mean core power",
+                        "vs 3-core first-fit"});
+  const sched::TaskSet scaled = tasks.with_bcet_ratio(0.5);
+  double reference = 0.0;
+  for (const int cores : {3, 4, 6, 8}) {
+    for (const auto heuristic :
+         {multicore::PackingHeuristic::kFirstFitDecreasing,
+          multicore::PackingHeuristic::kWorstFitDecreasing}) {
+      const auto partition =
+          multicore::partition_tasks(tasks, cores, heuristic);
+      if (!partition.has_value()) {
+        table.add_row({std::to_string(cores), to_string(heuristic), "-",
+                       "infeasible", "-", "-"});
+        continue;
+      }
+      core::EngineOptions options;
+      options.horizon = 160'000.0 * 5;
+      const auto result = multicore::simulate_partitioned(
+          scaled, *partition, cpu, core::SchedulerPolicy::lpfps(), exec,
+          options);
+      if (reference == 0.0) reference = result.total_energy;
+      table.add_row(
+          {std::to_string(cores), to_string(heuristic),
+           metrics::Table::num(
+               multicore::utilization_imbalance(tasks, *partition), 3),
+           metrics::Table::num(result.total_energy, 0),
+           metrics::Table::num(result.mean_core_power, 4),
+           metrics::Table::num(
+               100.0 * (1.0 - result.total_energy / reference), 1) + "%"});
+    }
+  }
+  std::fputs(table.to_aligned().c_str(), stdout);
+  std::puts(
+      "\nBalanced (worst-fit) packings keep every core below the DVS\n"
+      "knee; adding cores helps until parked/idle floors and the 8 MHz\n"
+      "frequency floor flatten the curve.");
+  return 0;
+}

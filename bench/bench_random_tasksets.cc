@@ -1,0 +1,67 @@
+// Extension A6 — LPFPS across random task sets (UUniFast) as a function
+// of total utilization.  Generalizes Figure 8 beyond the four case
+// studies: how much does the saving depend on how loaded the system is?
+#include <cstdio>
+
+#include "core/engine.h"
+#include "exec/exec_model.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+#include "sched/analysis.h"
+#include "workloads/generator.h"
+
+int main() {
+  using namespace lpfps;
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+  const int sets_per_point = 20;
+
+  std::puts("== A6: random task sets (5 tasks, BCET/WCET = 0.5) ==");
+  metrics::Table table({"utilization", "sets", "mean reduction %",
+                        "min %", "max %", "mean LPFPS power"});
+
+  Rng rng(2024);
+  for (const double u : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    workloads::GeneratorConfig config;
+    config.task_count = 5;
+    config.total_utilization = u;
+    config.bcet_ratio = 0.5;
+    config.period_min = 10'000;
+    config.period_max = 320'000;
+    config.period_granularity = 10'000;
+
+    metrics::Summary reduction;
+    metrics::Summary lpfps_power;
+    int generated = 0;
+    while (generated < sets_per_point) {
+      const sched::TaskSet tasks = workloads::generate_task_set(config, rng);
+      if (!sched::is_schedulable_rta(tasks)) continue;  // RM-feasible only.
+      ++generated;
+      core::EngineOptions options;
+      options.horizon = 2e6;
+      options.seed = static_cast<std::uint64_t>(generated);
+      const double fps =
+          core::simulate(tasks, cpu, core::SchedulerPolicy::fps(), exec,
+                         options)
+              .average_power;
+      const double lpfps =
+          core::simulate(tasks, cpu, core::SchedulerPolicy::lpfps(), exec,
+                         options)
+              .average_power;
+      reduction.add(100.0 * (1.0 - lpfps / fps));
+      lpfps_power.add(lpfps);
+    }
+    table.add_row({metrics::Table::num(u, 1),
+                   std::to_string(sets_per_point),
+                   metrics::Table::num(reduction.mean(), 1),
+                   metrics::Table::num(reduction.min(), 1),
+                   metrics::Table::num(reduction.max(), 1),
+                   metrics::Table::num(lpfps_power.mean(), 4)});
+  }
+  std::fputs(table.to_aligned().c_str(), stdout);
+  std::puts(
+      "\nLight systems save mostly via power-down; mid-utilization\n"
+      "systems get the biggest relative DVS wins; near U=1 the slack\n"
+      "vanishes and LPFPS converges to FPS, as theory demands.");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Clairvoyant lower bound — how close does each policy come to the
+// YDS optimal energy (Yao/Demers/Shenker [14], computed offline with
+// perfect knowledge of actual execution times)?
+//
+// The bound ignores idle, power-down, and transition costs, so it is
+// strictly optimistic; the interesting number is the ratio
+// policy_energy / yds_energy per workload at BCET/WCET = 0.5.
+#include <cstdio>
+
+#include "core/avr.h"
+#include "core/engine.h"
+#include "core/static_slowdown.h"
+#include "core/yds.h"
+#include "exec/exec_model.h"
+#include "metrics/table.h"
+#include "workloads/registry.h"
+
+int main() {
+  using namespace lpfps;
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  const auto model = cpu.make_power_model();
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+  const Ratio floor = cpu.frequencies.f_min() / cpu.frequencies.f_max();
+
+  std::puts("== YDS clairvoyant bound (BCET/WCET = 0.5, seed 1) ==");
+  std::puts("cells: policy energy / optimal energy (1.00 = optimal)");
+  metrics::Table table({"workload", "horizon (us)", "YDS avg power",
+                        "FPS x", "AVR x", "Static x", "LPFPS x"});
+
+  for (const workloads::Workload& w : workloads::paper_workloads()) {
+    // YDS's critical-interval peeling is O(J^2) per round: keep the job
+    // count modest by bounding the window (whole hyperperiods where
+    // cheap, a truncated window for INS/Avionics).
+    const auto hyper = static_cast<Time>(w.tasks.hyperperiod());
+    const Time horizon = hyper <= 2e6 ? hyper : 5e5;
+
+    const sched::TaskSet tasks = w.tasks.with_bcet_ratio(0.5);
+    const auto jobs = core::jobs_from_task_set(tasks, horizon, exec, 1);
+    const Energy optimal =
+        core::yds_energy(core::yds_schedule(jobs), model, floor);
+
+    core::EngineOptions options;
+    options.horizon = horizon;
+    options.seed = 1;
+    options.throw_on_miss = false;  // Horizon-crossing jobs are fine.
+    auto factor = [&](const core::SchedulerPolicy& policy) {
+      return core::simulate(tasks, cpu, policy, exec, options)
+                 .total_energy /
+             optimal;
+    };
+    core::AvrOptions avr_options;
+    avr_options.horizon = horizon;
+    avr_options.seed = 1;
+    avr_options.throw_on_miss = false;
+    const double avr =
+        core::simulate_avr(tasks, cpu, exec, avr_options).total_energy /
+        optimal;
+    const auto static_ratio =
+        core::min_feasible_static_ratio(w.tasks, cpu.frequencies);
+
+    table.add_row(
+        {w.name, metrics::Table::num(horizon, 0),
+         metrics::Table::num(optimal / horizon, 4),
+         metrics::Table::num(factor(core::SchedulerPolicy::fps()), 2),
+         metrics::Table::num(avr, 2),
+         static_ratio ? metrics::Table::num(
+                            factor(core::SchedulerPolicy::static_slowdown(
+                                *static_ratio)),
+                            2)
+                      : "n/a",
+         metrics::Table::num(factor(core::SchedulerPolicy::lpfps()), 2)});
+  }
+  std::fputs(table.to_aligned().c_str(), stdout);
+  std::puts(
+      "\nThe bound assumes clairvoyance (actual execution times known at\n"
+      "release) and free idling, so a factor of ~1.5-3x for an online\n"
+      "WCET-budgeted policy is strong; FPS's factor shows the total\n"
+      "head-room DVS research had in 1999.");
+  return 0;
+}

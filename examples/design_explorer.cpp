@@ -1,0 +1,130 @@
+// Design-space explorer: feed in a task set as "name period wcet [bcet]"
+// triples/quadruples on the command line (times in microseconds), and
+// the tool checks schedulability, picks priorities, and reports what
+// each power-management policy would save on the default processor.
+//
+//   $ ./example_design_explorer ctrl 5000 1200 400  fusion 20000 4500 1500
+//     (each task is "name period wcet" with an optional trailing bcet)
+//
+// With no arguments it explores the paper's CNC controller.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "exec/exec_model.h"
+#include "metrics/table.h"
+#include "sched/analysis.h"
+#include "sched/priority.h"
+#include "workloads/cnc.h"
+
+namespace {
+
+using namespace lpfps;
+
+sched::TaskSet parse_tasks(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  sched::TaskSet tasks;
+  std::size_t i = 0;
+  while (i < args.size()) {
+    if (args.size() - i < 3) {
+      throw std::runtime_error(
+          "expected: name period wcet [bcet] (times in us)");
+    }
+    const std::string name = args[i];
+    const auto period = static_cast<std::int64_t>(std::stoll(args[i + 1]));
+    const double wcet = std::stod(args[i + 2]);
+    double bcet = wcet;
+    std::size_t consumed = 3;
+    if (args.size() - i >= 4) {
+      // A fourth numeric field is the optional BCET; a non-numeric field
+      // starts the next task.
+      char* end = nullptr;
+      const double maybe = std::strtod(args[i + 3].c_str(), &end);
+      if (end != nullptr && *end == '\0') {
+        bcet = maybe;
+        consumed = 4;
+      }
+    }
+    tasks.add(sched::make_task(name, period, period, wcet, bcet));
+    i += consumed;
+  }
+  return tasks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sched::TaskSet tasks;
+  try {
+    tasks = argc > 1 ? parse_tasks(argc, argv) : workloads::cnc();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  if (argc <= 1) {
+    std::puts("(no arguments: exploring the paper's CNC controller)\n");
+  }
+  sched::assign_rate_monotonic(tasks);
+
+  std::printf("tasks: %zu, utilization: %.3f\n", tasks.size(),
+              tasks.utilization());
+  if (!sched::is_schedulable_rta(tasks)) {
+    std::puts("NOT schedulable under rate-monotonic fixed priorities.");
+    if (sched::is_schedulable_edf(tasks)) {
+      std::puts("(EDF could schedule it: utilization <= 1.)");
+    }
+    return 1;
+  }
+
+  metrics::Table rta({"task", "T", "C", "B", "prio", "response", "slack"});
+  for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks.size()); ++i) {
+    const sched::Task& t = tasks[i];
+    const auto r = sched::response_time(tasks, i);
+    rta.add_row({t.name, std::to_string(t.period),
+                 metrics::Table::num(t.wcet, 0),
+                 metrics::Table::num(t.bcet, 0),
+                 std::to_string(t.priority + 1),
+                 metrics::Table::num(r.value(), 1),
+                 metrics::Table::num(static_cast<double>(t.deadline) -
+                                         r.value(),
+                                     1)});
+  }
+  std::fputs(rta.to_aligned().c_str(), stdout);
+
+  // Horizon: enough hyperperiods to cover >= 1 s of simulated time.
+  const auto hyper = static_cast<Time>(tasks.hyperperiod());
+  Time horizon = hyper;
+  while (horizon < 1e6 && horizon < 2e7) horizon += hyper;
+
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+  core::EngineOptions options;
+  options.horizon = std::min(horizon, 2e7);
+
+  std::puts("\npolicy comparison (clamped-Gaussian execution times):");
+  metrics::Table comparison(
+      {"policy", "avg power", "vs FPS", "speed changes", "power-downs"});
+  double fps_power = 0.0;
+  for (const auto& policy :
+       {core::SchedulerPolicy::fps(),
+        core::SchedulerPolicy::fps_timeout_shutdown(2.0 * hyper / 10.0),
+        core::SchedulerPolicy::lpfps_powerdown_only(),
+        core::SchedulerPolicy::lpfps_dvs_only(),
+        core::SchedulerPolicy::lpfps(),
+        core::SchedulerPolicy::lpfps_optimal()}) {
+    const core::SimulationResult result =
+        core::simulate(tasks, cpu, policy, exec, options);
+    if (policy.name == "FPS") fps_power = result.average_power;
+    comparison.add_row(
+        {policy.name, metrics::Table::num(result.average_power, 4),
+         metrics::Table::num(
+             100.0 * (1.0 - result.average_power / fps_power), 1) + "%",
+         std::to_string(result.speed_changes),
+         std::to_string(result.power_downs)});
+  }
+  std::fputs(comparison.to_aligned().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Partitioned multicore walkthrough: take a workload too heavy for one
+// processor, find the minimal core count, compare packing heuristics,
+// and simulate per-core LPFPS.
+//
+//   $ ./example_multicore_partition
+#include <cstdio>
+#include <memory>
+
+#include "exec/exec_model.h"
+#include "metrics/table.h"
+#include "multicore/simulate.h"
+#include "sched/priority.h"
+
+int main() {
+  using namespace lpfps;
+
+  // An engine-control unit consolidating two ECUs: U ~= 1.6.
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("crank_angle", 1'000, 400.0));
+  tasks.add(sched::make_task("injection", 2'000, 700.0));
+  tasks.add(sched::make_task("ignition", 2'000, 500.0));
+  tasks.add(sched::make_task("knock_dsp", 4'000, 900.0));
+  tasks.add(sched::make_task("lambda", 8'000, 1'200.0));
+  tasks.add(sched::make_task("diagnostics", 32'000, 3'000.0));
+  sched::assign_rate_monotonic(tasks);
+  std::printf("workload: %zu tasks, U = %.2f -> needs multiple cores\n",
+              tasks.size(), tasks.utilization());
+
+  const auto min =
+      multicore::min_cores(tasks, 8,
+                           multicore::PackingHeuristic::kWorstFitDecreasing);
+  if (!min.has_value()) {
+    std::puts("cannot partition onto 8 cores");
+    return 1;
+  }
+  std::printf("minimal feasible core count (worst-fit, exact RTA): %d\n\n",
+              *min);
+
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+  metrics::Table table({"cores", "heuristic", "imbalance",
+                        "mean core power", "misses"});
+  for (int cores = *min; cores <= *min + 2; ++cores) {
+    for (const auto heuristic :
+         {multicore::PackingHeuristic::kFirstFitDecreasing,
+          multicore::PackingHeuristic::kBestFitDecreasing,
+          multicore::PackingHeuristic::kWorstFitDecreasing}) {
+      const auto partition =
+          multicore::partition_tasks(tasks, cores, heuristic);
+      if (!partition.has_value()) {
+        table.add_row({std::to_string(cores), to_string(heuristic), "-",
+                       "infeasible", "-"});
+        continue;
+      }
+      core::EngineOptions options;
+      options.horizon = 320'000.0;
+      const auto result = multicore::simulate_partitioned(
+          tasks.with_bcet_ratio(0.4), *partition, cpu,
+          core::SchedulerPolicy::lpfps(), exec, options);
+      table.add_row(
+          {std::to_string(cores), to_string(heuristic),
+           metrics::Table::num(
+               multicore::utilization_imbalance(tasks, *partition), 3),
+           metrics::Table::num(result.mean_core_power, 4),
+           std::to_string(result.deadline_misses)});
+    }
+  }
+  std::fputs(table.to_aligned().c_str(), stdout);
+  std::puts(
+      "\nBalanced packings give every core DVS slack; the f*V^2 law\n"
+      "turns that slack into superlinear savings.");
+  return 0;
+}

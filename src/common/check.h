@@ -1,0 +1,40 @@
+// Precondition / invariant checking.
+//
+// The library throws std::logic_error on contract violations instead of
+// aborting: simulations are often driven from long-running sweeps (bench
+// harnesses, random task-set studies) where a diagnosable exception that
+// names the failed condition beats a core dump.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lpfps::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw std::logic_error(std::string("check failed: ") + expr + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace lpfps::detail
+
+/// Checks a precondition or invariant; throws std::logic_error on failure.
+/// Active in all build types: the conditions guarded here (deadline misses,
+/// negative work, malformed task sets) must never be silently ignored.
+#define LPFPS_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::lpfps::detail::check_failed(#expr, __FILE__, __LINE__, "");        \
+    }                                                                      \
+  } while (false)
+
+/// LPFPS_CHECK with a contextual message (anything streamable to string
+/// via std::to_string-free concatenation; pass a std::string).
+#define LPFPS_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::lpfps::detail::check_failed(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                      \
+  } while (false)

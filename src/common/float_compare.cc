@@ -1,0 +1,24 @@
+#include "common/float_compare.h"
+
+#include <cmath>
+
+namespace lpfps {
+
+bool approx_equal(double a, double b, double eps) {
+  return std::fabs(a - b) <= eps;
+}
+
+bool approx_le(double a, double b, double eps) { return a <= b + eps; }
+
+bool approx_ge(double a, double b, double eps) { return a >= b - eps; }
+
+bool definitely_less(double a, double b, double eps) { return a < b - eps; }
+
+bool definitely_greater(double a, double b, double eps) { return a > b + eps; }
+
+double snap_nonnegative(double v, double eps) {
+  if (v < 0.0 && v >= -eps) return 0.0;
+  return v;
+}
+
+}  // namespace lpfps

@@ -1,0 +1,39 @@
+// Tolerant floating-point comparisons for simulation time arithmetic.
+//
+// The discrete-event engine mixes exact integer instants (task releases)
+// with fractional instants produced by dividing work by speed ratios.
+// Comparing such values with == or < directly invites off-by-one-ULP
+// scheduling bugs (e.g. a completion computed as 99.99999999999999 being
+// treated as strictly before a release at 100).  Every time comparison in
+// the engine goes through these helpers.
+#pragma once
+
+namespace lpfps {
+
+/// Default absolute tolerance for time comparisons, in microseconds.
+/// One picosecond: far below any modelled effect (the shortest modelled
+/// interval is a 0.1 us wakeup delay) yet far above accumulated rounding
+/// error over simulation horizons of ~1e8 us.
+inline constexpr double kTimeEpsilon = 1e-6;
+
+/// True if |a - b| <= eps.
+bool approx_equal(double a, double b, double eps = kTimeEpsilon);
+
+/// True if a <= b + eps (a is before-or-at b, tolerantly).
+bool approx_le(double a, double b, double eps = kTimeEpsilon);
+
+/// True if a >= b - eps.
+bool approx_ge(double a, double b, double eps = kTimeEpsilon);
+
+/// True if a < b - eps (a is strictly before b even under tolerance).
+bool definitely_less(double a, double b, double eps = kTimeEpsilon);
+
+/// True if a > b + eps.
+bool definitely_greater(double a, double b, double eps = kTimeEpsilon);
+
+/// Clamps tiny negative values (rounding debris) to exactly zero.
+/// Values below -eps are passed through unchanged so that genuine logic
+/// errors remain visible to assertions downstream.
+double snap_nonnegative(double v, double eps = kTimeEpsilon);
+
+}  // namespace lpfps

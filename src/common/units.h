@@ -1,0 +1,52 @@
+// Unit conventions used throughout the library.
+//
+// All code in this repository shares one time base and one work base:
+//
+//   Time  — simulated wall-clock time in microseconds (double).  Task
+//           releases happen at integer microsecond instants (periods and
+//           phases are integers), which doubles represent exactly; only
+//           DVS-scaled completion instants are fractional.
+//
+//   Work  — computation demand in *full-speed-equivalent microseconds*,
+//           i.e. processor cycles divided by the maximum clock frequency.
+//           A task with WCET C microseconds carries C units of work; run
+//           at speed ratio r it consumes work at rate r per microsecond.
+//
+//   Speed ratio — clock frequency normalized to the maximum frequency,
+//           in (0, 1].  The processor executes `ratio` units of work per
+//           microsecond of wall time.
+//
+//   Power — normalized to full-power mode (running a typical instruction
+//           at f_max / V_max), matching the paper's normalized reporting.
+//           Energy is therefore in units of (full-power · microsecond).
+#pragma once
+
+#include <cstdint>
+
+namespace lpfps {
+
+/// Simulated time in microseconds.
+using Time = double;
+
+/// Computation demand in full-speed-equivalent microseconds.
+using Work = double;
+
+/// Clock frequency normalized to the maximum frequency, in (0, 1].
+using Ratio = double;
+
+/// Energy normalized to (full-power mode · 1 microsecond).
+using Energy = double;
+
+/// Clock frequency in MHz (the paper's processor spans 8..100 MHz).
+using MegaHertz = double;
+
+/// Supply voltage in volts.
+using Volts = double;
+
+/// Index of a task inside a TaskSet.
+using TaskIndex = std::int32_t;
+
+/// Sentinel for "no task" (e.g. an idle processor has no active task).
+inline constexpr TaskIndex kNoTask = -1;
+
+}  // namespace lpfps

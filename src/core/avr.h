@@ -1,0 +1,45 @@
+// Average Rate Heuristic (AVR) baseline — Yao, Demers, Shenker [14],
+// as discussed in the paper's §2.2.
+//
+// AVR assigns each job an average-rate requirement C_j / (d_j - a_j)
+// and, at any instant, runs the earliest-deadline available job at a
+// speed equal to the sum of the average rates of all jobs whose
+// [arrival, deadline] window contains the instant.  For strictly
+// periodic tasks with deadline == period the windows tile time exactly,
+// so the AVR speed is the constant sum_i C_i / T_i = U: AVR degenerates
+// to EDF at a fixed clock ratio of U (quantized up to an available
+// frequency).  The paper's criticism — the rates are computed from
+// WCETs, so AVR cannot reclaim slack when actual execution times vary —
+// is directly measurable against LPFPS in bench_baselines.
+#pragma once
+
+#include <cstdint>
+
+#include "core/result.h"
+#include "exec/exec_model.h"
+#include "power/processor.h"
+#include "sched/task_set.h"
+
+namespace lpfps::core {
+
+struct AvrOptions {
+  Time horizon = 0.0;  ///< Required.
+  std::uint64_t seed = 1;
+  bool throw_on_miss = true;
+};
+
+/// Simulates AVR (EDF at the constant quantized-U clock) and accounts
+/// energy on the same processor model as the engine: run power at the
+/// AVR ratio, NOP idle at the AVR ratio.  Requires implicit deadlines
+/// and U <= 1.
+SimulationResult simulate_avr(const sched::TaskSet& tasks,
+                              const power::ProcessorConfig& processor,
+                              const exec::ExecModelPtr& exec_model,
+                              const AvrOptions& options);
+
+/// The constant speed AVR selects for a periodic implicit-deadline set:
+/// its utilization, quantized up to an available frequency.
+Ratio avr_ratio(const sched::TaskSet& tasks,
+                const power::FrequencyTable& frequencies);
+
+}  // namespace lpfps::core

@@ -1,0 +1,699 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.h"
+#include "common/float_compare.h"
+#include "core/speed_ratio.h"
+#include "power/energy.h"
+#include "power/speed_profile.h"
+#include "sched/queues.h"
+
+namespace lpfps::core {
+
+namespace {
+
+constexpr Time kNever = std::numeric_limits<Time>::infinity();
+
+/// Processor macro-state.  The speed ratio / ramping sub-state is
+/// orthogonal and tracked separately.
+enum class CpuState : std::uint8_t {
+  kIdle,       ///< No active task; busy-waiting NOPs.
+  kRunning,    ///< Executing the active task.
+  kPowerDown,  ///< Power-down mode, timer armed.
+  kWakeUp,     ///< Returning from power-down (full power, no work).
+};
+
+/// Per-task in-flight job bookkeeping (E_i of the paper).
+struct JobState {
+  std::int64_t instance = 0;
+  Time release = 0.0;
+  Work total_work = 0.0;  ///< This instance's actual execution time.
+  Work executed = 0.0;    ///< E_i: work consumed so far.
+};
+
+/// The full mutable simulation state plus the main loop.  Engine::run
+/// builds one of these per call, so Engine itself stays const and
+/// reusable across sweeps.
+class Simulation {
+ public:
+  Simulation(const sched::TaskSet& tasks,
+             const power::ProcessorConfig& processor,
+             const SchedulerPolicy& policy,
+             const exec::ExecModelPtr& exec_model,
+             const EngineOptions& options)
+      : tasks_(tasks),
+        processor_(processor),
+        policy_(policy),
+        exec_model_(exec_model),
+        options_(options),
+        rng_(options.seed),
+        power_model_(processor.make_power_model()),
+        accumulator_(&power_model_),
+        jobs_(tasks.size()),
+        next_instance_(tasks.size(), 0),
+        per_task_(tasks.size()) {}
+
+  SimulationResult run();
+
+ private:
+  // --- scheduling machinery -------------------------------------------
+  void start_job(TaskIndex task);
+  void invoke_scheduler();
+  void try_slowdown();
+  void enter_power_down();
+  void finish_active_job();
+
+  // --- time advancement ------------------------------------------------
+  /// Current ramp slope in ratio-units per microsecond (0 when steady).
+  double slope() const;
+  /// Advances the clock to `next`, integrating energy, work and trace.
+  void advance_to(Time next);
+
+  const sched::Task& task(TaskIndex index) const { return tasks_[index]; }
+  JobState& job(TaskIndex index) {
+    return jobs_[static_cast<std::size_t>(index)];
+  }
+
+  /// Next release the active task must be ready for: head of the delay
+  /// queue, or (single-task systems) its own next period.
+  Time next_arrival_for_active() const;
+
+  // --- immutable inputs -------------------------------------------------
+  const sched::TaskSet& tasks_;
+  const power::ProcessorConfig& processor_;
+  const SchedulerPolicy& policy_;
+  const exec::ExecModelPtr& exec_model_;
+  const EngineOptions& options_;
+
+  // --- mutable state ----------------------------------------------------
+  Rng rng_;
+  power::PowerModel power_model_;
+  power::EnergyAccumulator accumulator_;
+  sim::Trace trace_;
+
+  Time now_ = 0.0;
+  CpuState state_ = CpuState::kIdle;
+
+  sched::RunQueue run_queue_;
+  sched::DelayQueue delay_queue_;
+  std::vector<JobState> jobs_;
+  std::vector<std::int64_t> next_instance_;
+  std::vector<power::ModeTotals> per_task_;
+  TaskIndex active_ = kNoTask;
+
+  /// Jobs released (instance started, execution time drawn) but not yet
+  /// visible to the scheduler because of release jitter.
+  struct StagedJob {
+    TaskIndex task = kNoTask;
+    Time ready = 0.0;
+  };
+  std::vector<StagedJob> staged_;
+
+  // Speed sub-state: ratio_ moves toward ramp_target_ at ramp_rate.
+  // "Full speed" for the scheduler is base_ratio_: 1.0 normally, or the
+  // policy's constant clock under static slowdown.
+  Ratio base_ratio_ = 1.0;
+  Ratio ratio_ = 1.0;
+  Ratio ramp_target_ = 1.0;
+  /// L1-L4 semantics: re-enter the scheduler when the ramp completes.
+  bool reinvoke_after_ramp_ = false;
+
+  // DVS plan (active only while the active task runs slowed).
+  bool plan_active_ = false;
+  bool plan_up_started_ = false;
+  Time plan_rampup_start_ = kNever;
+  Time plan_end_ = kNever;
+
+  // Power-down timers and the sleep state currently occupied.
+  Time wake_at_ = kNever;   ///< Timer expiry (start of wake-up).
+  Time wake_end_ = kNever;  ///< End of the wake-up transition.
+  double sleep_power_fraction_ = 0.0;
+  Time sleep_wake_latency_ = 0.0;
+
+  // Timeout-shutdown policy state.
+  Time shutdown_at_ = kNever;
+
+  // Statistics.
+  int jobs_completed_ = 0;
+  int deadline_misses_ = 0;
+  int context_switches_ = 0;
+  int scheduler_invocations_ = 0;
+  int speed_changes_ = 0;
+  int power_downs_ = 0;
+  double running_ratio_integral_ = 0.0;
+  Time running_time_ = 0.0;
+};
+
+void Simulation::start_job(TaskIndex index) {
+  JobState& state = job(index);
+  auto& instance = next_instance_[static_cast<std::size_t>(index)];
+  const sched::Task& t = task(index);
+  state.instance = instance++;
+  state.release = static_cast<Time>(t.phase) +
+                  static_cast<Time>(state.instance * t.period);
+  state.executed = 0.0;
+  if (exec_model_ != nullptr) {
+    state.total_work = exec_model_->sample(t, rng_);
+    // Running longer than the WCET would void every guarantee; running
+    // shorter than the nominal BCET is harmless (BCET only parameterizes
+    // execution-time models) and scenario models exploit it.
+    LPFPS_CHECK_MSG(state.total_work > 0.0 &&
+                        state.total_work <= t.wcet + kTimeEpsilon,
+                    t.name);
+  } else {
+    state.total_work = t.wcet;
+  }
+}
+
+Time Simulation::next_arrival_for_active() const {
+  if (const auto release = delay_queue_.next_release(); release.has_value()) {
+    return *release;
+  }
+  // Single-task system: the processor is free until the task's own next
+  // period begins.
+  const JobState& state = jobs_[static_cast<std::size_t>(active_)];
+  return state.release + static_cast<Time>(task(active_).period);
+}
+
+void Simulation::try_slowdown() {
+  LPFPS_CHECK(active_ != kNoTask);
+  LPFPS_CHECK(approx_equal(ratio_, base_ratio_, 1e-12));
+  // A released-but-jitter-delayed job can become visible at any moment;
+  // the exact-knowledge premise of the slowdown does not hold.
+  if (!staged_.empty()) return;
+  const sched::Task& t = task(active_);
+  const JobState& state = job(active_);
+
+  // Context-switch overhead can push a job's demand past its nominal
+  // WCET; the WCET-based slack computation below would then lie, so
+  // leave such jobs at base speed.
+  if (state.total_work > t.wcet + kTimeEpsilon) return;
+
+  const Time arrival = next_arrival_for_active();
+  // Safety cap (see engine.h): never stretch past the active task's own
+  // absolute deadline.
+  const Time window_end =
+      std::min(arrival, state.release + static_cast<Time>(t.deadline));
+  const Time window = window_end - now_;
+  const Work remaining = snap_nonnegative(t.wcet - state.executed);
+  // Slack exists only if the remaining worst-case work fits below the
+  // base clock inside the window (base_ratio_ == 1 gives the paper's
+  // Theorem 1 hypotheses; the hybrid policy measures slack against its
+  // static base speed instead).
+  if (!(window > 0.0 && remaining < base_ratio_ * window)) return;
+
+  const Ratio desired =
+      policy_.dvs == RatioMethod::kOptimal
+          ? optimal_ratio_to_target(remaining, window,
+                                    processor_.ramp_rate, base_ratio_)
+          : heuristic_ratio(remaining, window);
+  const Ratio quantized = processor_.frequencies.quantize_up(desired);
+  if (quantized >= base_ratio_ - 1e-12) return;
+
+  // Both the down-ramp (now) and the just-in-time up-ramp (before
+  // window_end) must fit into the window without overlapping; otherwise
+  // the slack is too short to exploit and we stay at base speed.  The
+  // paper's Figure 7 discussion covers exactly this short-window regime.
+  const Time ramp = (base_ratio_ - quantized) / processor_.ramp_rate;
+  const Time up_start = window_end - ramp;
+  if (definitely_greater(now_ + ramp, up_start)) return;
+
+  ramp_target_ = quantized;
+  reinvoke_after_ramp_ = false;
+  ++speed_changes_;
+  plan_active_ = true;
+  plan_up_started_ = false;
+  plan_rampup_start_ = up_start;
+  plan_end_ = window_end;
+}
+
+void Simulation::enter_power_down() {
+  LPFPS_CHECK(state_ == CpuState::kIdle && active_ == kNoTask);
+  LPFPS_CHECK(approx_equal(ratio_, base_ratio_, 1e-12));
+  // An imminent jitter-delayed arrival forbids sleeping: the timer's
+  // "exact knowledge" premise does not hold.
+  if (!staged_.empty()) return;
+  const auto release = delay_queue_.next_release();
+  if (!release.has_value()) return;  // Everything in flight is staged.
+  // Pick the deepest sleep state whose wake-up fits the known gap
+  // (the classic single 5%/10-cycle state unless a hierarchy is
+  // configured), then set the timer early by its latency (L14).
+  const auto state = processor_.deepest_state_for_gap(*release - now_);
+  if (!state.has_value()) return;  // Gap too short for any state.
+  const Time latency =
+      state->wakeup_cycles / processor_.frequencies.f_max();
+  Time timer = *release - latency;  // L14.
+  if (options_.timer_granularity > 0.0) {
+    // Tick-based kernels wake on the grid: round down (early is safe).
+    timer = std::floor(timer / options_.timer_granularity) *
+            options_.timer_granularity;
+  }
+  if (!definitely_greater(timer, now_)) return;  // Too close to sleep.
+  state_ = CpuState::kPowerDown;
+  wake_at_ = timer;
+  wake_end_ = kNever;
+  sleep_power_fraction_ = state->power_fraction;
+  sleep_wake_latency_ = latency;
+  shutdown_at_ = kNever;
+  ++power_downs_;
+}
+
+void Simulation::invoke_scheduler() {
+  ++scheduler_invocations_;
+
+  // L1-L4: restore full (base) speed before any decision.
+  if (ratio_ < base_ratio_ - 1e-12 || ramp_target_ < base_ratio_ - 1e-12) {
+    if (!(ramp_target_ == base_ratio_ && ratio_ < ramp_target_)) {
+      // Not already ramping up: redirect toward full speed.
+      ramp_target_ = base_ratio_;
+      ++speed_changes_;
+    }
+    reinvoke_after_ramp_ = true;
+    return;
+  }
+
+  // L5-L7: release due tasks (via the jitter stage when configured).
+  while (!delay_queue_.empty() &&
+         approx_le(delay_queue_.head().release_time, now_)) {
+    const sched::DelayEntry due = delay_queue_.pop_head();
+    start_job(due.task);
+    Time ready = job(due.task).release;
+    if (!options_.release_jitter.empty()) {
+      ready += rng_.uniform(
+          0.0,
+          options_.release_jitter[static_cast<std::size_t>(due.task)]);
+    }
+    if (approx_le(ready, now_)) {
+      run_queue_.insert({due.task, task(due.task).priority});
+    } else {
+      staged_.push_back({due.task, ready});
+    }
+  }
+  for (auto it = staged_.begin(); it != staged_.end();) {
+    if (approx_le(it->ready, now_)) {
+      run_queue_.insert({it->task, task(it->task).priority});
+      it = staged_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // L8-L11: dispatch / preempt.
+  if (active_ == kNoTask) {
+    if (!run_queue_.empty()) active_ = run_queue_.pop_head().task;
+  } else if (!run_queue_.empty() &&
+             run_queue_.head().priority < task(active_).priority) {
+    run_queue_.insert({active_, task(active_).priority});
+    active_ = run_queue_.pop_head().task;
+    ++context_switches_;
+    // Kernel save/restore overhead executes ahead of the incoming job's
+    // own work, at the prevailing clock.
+    job(active_).total_work += options_.context_switch_cost;
+  }
+
+  // L12-L21: power management when the run queue is empty.
+  if (active_ != kNoTask) {
+    state_ = CpuState::kRunning;
+    shutdown_at_ = kNever;
+    if (run_queue_.empty() && policy_.uses_dvs()) try_slowdown();
+    return;
+  }
+
+  state_ = CpuState::kIdle;
+  if (delay_queue_.empty()) return;  // No future work at all.
+  switch (policy_.idle) {
+    case IdleMethod::kBusyWait:
+      break;
+    case IdleMethod::kExactPowerDown:
+      enter_power_down();
+      break;
+    case IdleMethod::kTimeoutShutdown:
+      shutdown_at_ = now_ + policy_.shutdown_timeout;
+      break;
+  }
+}
+
+void Simulation::finish_active_job() {
+  LPFPS_CHECK(active_ != kNoTask);
+  const sched::Task& t = task(active_);
+  JobState& state = job(active_);
+  LPFPS_CHECK(approx_ge(state.executed, state.total_work));
+
+  sim::JobRecord record;
+  record.task = active_;
+  record.instance = state.instance;
+  record.release = state.release;
+  record.absolute_deadline = state.release + static_cast<Time>(t.deadline);
+  record.completion = now_;
+  record.executed = state.total_work;
+  record.finished = true;
+  record.missed_deadline =
+      definitely_greater(now_, record.absolute_deadline);
+  if (record.missed_deadline) {
+    ++deadline_misses_;
+    if (options_.throw_on_miss) {
+      throw std::runtime_error(
+          "deadline miss: task " + t.name + " instance " +
+          std::to_string(state.instance) + " finished at " +
+          std::to_string(now_) + " > deadline " +
+          std::to_string(record.absolute_deadline) + " under policy " +
+          policy_.name);
+    }
+  }
+  if (options_.record_trace) trace_.add_job(record);
+  ++jobs_completed_;
+
+  delay_queue_.insert(
+      {active_, state.release + static_cast<Time>(t.period)});
+  active_ = kNoTask;
+  state_ = CpuState::kIdle;
+  plan_active_ = false;
+  plan_up_started_ = false;
+  plan_rampup_start_ = kNever;
+  plan_end_ = kNever;
+}
+
+double Simulation::slope() const {
+  if (ratio_ < ramp_target_) return processor_.ramp_rate;
+  if (ratio_ > ramp_target_) return -processor_.ramp_rate;
+  return 0.0;
+}
+
+void Simulation::advance_to(Time next) {
+  const Time dt = next - now_;
+  LPFPS_CHECK(dt >= -kTimeEpsilon);
+  if (dt <= 0.0) {
+    now_ = next;
+    return;
+  }
+
+  const double s = slope();
+  Ratio end_ratio = ratio_ + s * dt;
+  // Clamp onto the target to kill rounding drift at ramp boundaries.
+  if ((s > 0.0 && end_ratio > ramp_target_) ||
+      (s < 0.0 && end_ratio < ramp_target_) ||
+      approx_equal(end_ratio, ramp_target_, 1e-9)) {
+    end_ratio = ramp_target_;
+  }
+
+  sim::Segment segment;
+  segment.begin = now_;
+  segment.end = next;
+  segment.ratio_begin = ratio_;
+  segment.ratio_end = end_ratio;
+
+  switch (state_) {
+    case CpuState::kRunning: {
+      LPFPS_CHECK(active_ != kNoTask);
+      const Work done = power::work_done(ratio_, s, dt);
+      job(active_).executed += done;
+      Energy spent = 0.0;
+      if (s == 0.0) {
+        accumulator_.add_run(dt, ratio_);
+        spent = dt * power_model_.run_power(ratio_);
+      } else {
+        accumulator_.add_run_ramp(dt, ratio_, end_ratio,
+                                  processor_.ramp_rate);
+        spent = power_model_.ramp_energy(ratio_, end_ratio,
+                                         processor_.ramp_rate, true);
+      }
+      auto& slot = per_task_[static_cast<std::size_t>(active_)];
+      slot.time += dt;
+      slot.energy += spent;
+      running_ratio_integral_ += (ratio_ + end_ratio) / 2.0 * dt;
+      running_time_ += dt;
+      segment.mode = sim::ProcessorMode::kRunning;
+      segment.task = active_;
+      break;
+    }
+    case CpuState::kIdle: {
+      if (s == 0.0) {
+        accumulator_.add_idle_nop(dt, ratio_);
+        segment.mode = sim::ProcessorMode::kIdleBusyWait;
+      } else {
+        accumulator_.add_idle_ramp(dt, ratio_, end_ratio,
+                                   processor_.ramp_rate);
+        segment.mode = sim::ProcessorMode::kRamping;
+      }
+      break;
+    }
+    case CpuState::kPowerDown: {
+      LPFPS_CHECK(s == 0.0);
+      accumulator_.add_power_down(dt, sleep_power_fraction_);
+      segment.mode = sim::ProcessorMode::kPowerDown;
+      break;
+    }
+    case CpuState::kWakeUp: {
+      LPFPS_CHECK(s == 0.0);
+      accumulator_.add_wakeup(dt);
+      segment.mode = sim::ProcessorMode::kWakeUp;
+      break;
+    }
+  }
+
+  if (options_.record_trace) trace_.add_segment(segment);
+  ratio_ = end_ratio;
+  now_ = next;
+}
+
+SimulationResult Simulation::run() {
+  LPFPS_CHECK(options_.horizon > 0.0);
+  LPFPS_CHECK(options_.context_switch_cost >= 0.0);
+  LPFPS_CHECK_MSG(options_.release_jitter.empty() ||
+                      options_.release_jitter.size() == tasks_.size(),
+                  "release_jitter must have one entry per task");
+  for (const Time j : options_.release_jitter) LPFPS_CHECK(j >= 0.0);
+  LPFPS_CHECK(options_.timer_granularity >= 0.0);
+  tasks_.validate();
+  processor_.validate();
+  policy_.validate();
+
+  base_ratio_ = policy_.static_ratio;
+  ratio_ = base_ratio_;
+  ramp_target_ = base_ratio_;
+
+  for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks_.size()); ++i) {
+    delay_queue_.insert({i, static_cast<Time>(task(i).phase)});
+  }
+  invoke_scheduler();
+
+  const Time horizon = options_.horizon;
+  // Livelock detector: the loop must advance time (or change state so a
+  // handler clears its condition) every iteration; a stuck boundary
+  // would otherwise spin forever.  The threshold is far above any
+  // legitimate same-instant handler cascade.
+  Time last_now = -1.0;
+  int stalled_iterations = 0;
+  while (definitely_less(now_, horizon)) {
+    if (now_ == last_now) {
+      if (++stalled_iterations > 1000) {
+        throw std::logic_error(
+            "engine livelock at t=" + std::to_string(now_) + " state=" +
+            std::to_string(static_cast<int>(state_)) + " ratio=" +
+            std::to_string(ratio_) + " target=" +
+            std::to_string(ramp_target_) + " active=" +
+            std::to_string(active_) + " plan=" +
+            std::to_string(plan_active_) + " policy=" + policy_.name);
+      }
+    } else {
+      stalled_iterations = 0;
+      last_now = now_;
+    }
+    // ---- settle sub-resolution transitions before anything else.
+    if (ratio_ != ramp_target_ &&
+        power::ramp_duration(ratio_, ramp_target_, processor_.ramp_rate) <
+            kTimeEpsilon) {
+      // The residual transition is below the time resolution (either
+      // float debris from a split ramp, or a near-instant ramp rate):
+      // completing it now costs nothing measurable and prevents a
+      // sub-ulp boundary that time arithmetic could never reach.
+      ratio_ = ramp_target_;
+    }
+    if (ratio_ == ramp_target_ && reinvoke_after_ramp_) {
+      // L1-L4's deferred re-entry must run *before* time advances past
+      // this instant, or the power-management decision it defers (e.g.
+      // entering power-down) would be skipped for the whole idle gap.
+      reinvoke_after_ramp_ = false;
+      invoke_scheduler();
+    }
+
+    // ---- gather candidate boundaries (all strictly in the future or
+    // due exactly now; handlers below clear every condition they fire
+    // on, so the loop always progresses).
+    Time next_other = horizon;
+    if (const auto release = delay_queue_.next_release();
+        release.has_value()) {
+      next_other = std::min(next_other, *release);
+    }
+    if (ratio_ != ramp_target_) {
+      next_other = std::min(
+          next_other, now_ + power::ramp_duration(ratio_, ramp_target_,
+                                                  processor_.ramp_rate));
+    }
+    if (plan_active_ && !plan_up_started_) {
+      next_other = std::min(next_other, plan_rampup_start_);
+    }
+    if (state_ == CpuState::kPowerDown) {
+      next_other = std::min(next_other, wake_at_);
+    }
+    if (state_ == CpuState::kWakeUp) {
+      next_other = std::min(next_other, wake_end_);
+    }
+    if (state_ == CpuState::kIdle && shutdown_at_ != kNever) {
+      next_other = std::min(next_other, shutdown_at_);
+    }
+    for (const StagedJob& staged : staged_) {
+      next_other = std::min(next_other, staged.ready);
+    }
+    LPFPS_CHECK(approx_ge(next_other, now_));
+    next_other = std::max(next_other, now_);
+
+    // ---- completion of the active task, if it lands first.
+    bool completes = false;
+    Time next = next_other;
+    if (state_ == CpuState::kRunning) {
+      const JobState& state = job(active_);
+      const Work remaining =
+          snap_nonnegative(state.total_work - state.executed);
+      const auto tau = power::time_to_complete(ratio_, slope(),
+                                               next_other - now_, remaining);
+      if (tau.has_value()) {
+        next = now_ + *tau;
+        completes = true;
+      }
+    }
+
+    advance_to(next);
+
+    // ---- fire handlers for every condition now due.
+    bool need_scheduler = false;
+
+    if (ratio_ == ramp_target_ && reinvoke_after_ramp_) {
+      reinvoke_after_ramp_ = false;
+      need_scheduler = true;  // L1-L4's deferred re-entry.
+    }
+    if (completes) {
+      finish_active_job();
+      need_scheduler = true;
+    }
+    if (plan_active_ && !plan_up_started_ &&
+        approx_le(plan_rampup_start_, now_)) {
+      plan_up_started_ = true;
+      if (ramp_target_ != base_ratio_) {
+        ramp_target_ = base_ratio_;
+        ++speed_changes_;
+      }
+    }
+    if (state_ == CpuState::kPowerDown && approx_le(wake_at_, now_)) {
+      wake_at_ = kNever;
+      const Time delay = sleep_wake_latency_;
+      if (delay > 0.0) {
+        state_ = CpuState::kWakeUp;
+        wake_end_ = now_ + delay;
+      } else {
+        state_ = CpuState::kIdle;
+        need_scheduler = true;
+      }
+    } else if (state_ == CpuState::kWakeUp && approx_le(wake_end_, now_)) {
+      wake_end_ = kNever;
+      state_ = CpuState::kIdle;
+      need_scheduler = true;
+    }
+    if (state_ == CpuState::kIdle && shutdown_at_ != kNever &&
+        approx_le(shutdown_at_, now_)) {
+      shutdown_at_ = kNever;
+      enter_power_down();
+    }
+    if ((state_ == CpuState::kIdle || state_ == CpuState::kRunning) &&
+        !delay_queue_.empty() &&
+        approx_le(delay_queue_.head().release_time, now_)) {
+      need_scheduler = true;
+    }
+    for (const StagedJob& staged : staged_) {
+      if ((state_ == CpuState::kIdle || state_ == CpuState::kRunning) &&
+          approx_le(staged.ready, now_)) {
+        need_scheduler = true;
+        break;
+      }
+    }
+
+    if (need_scheduler) invoke_scheduler();
+  }
+
+  // ---- assemble the result.
+  LPFPS_CHECK_MSG(
+      approx_equal(accumulator_.total_time(), horizon, 1e-3),
+      "unaccounted simulation time");
+
+  SimulationResult result;
+  result.policy_name = policy_.name;
+  result.simulated_time = horizon;
+  result.total_energy = accumulator_.total_energy();
+  result.average_power = result.total_energy / horizon;
+  for (std::size_t i = 0; i < result.by_mode.size(); ++i) {
+    result.by_mode[i] =
+        accumulator_.totals(static_cast<sim::ProcessorMode>(i));
+  }
+  result.jobs_completed = jobs_completed_;
+  result.deadline_misses = deadline_misses_;
+  result.context_switches = context_switches_;
+  result.scheduler_invocations = scheduler_invocations_;
+  result.speed_changes = speed_changes_;
+  result.power_downs = power_downs_;
+  result.mean_running_ratio =
+      running_time_ > 0.0 ? running_ratio_integral_ / running_time_ : 1.0;
+  result.per_task = per_task_;
+  if (options_.record_trace) {
+    trace_.check_invariants();
+    result.trace = std::move(trace_);
+  }
+  return result;
+}
+
+}  // namespace
+
+Engine::Engine(sched::TaskSet tasks, power::ProcessorConfig processor,
+               SchedulerPolicy policy, exec::ExecModelPtr exec_model)
+    : tasks_(std::move(tasks)),
+      processor_(std::move(processor)),
+      policy_(std::move(policy)),
+      exec_model_(std::move(exec_model)) {
+  LPFPS_CHECK_MSG(!tasks_.empty(), "engine needs at least one task");
+  tasks_.validate();
+  processor_.validate();
+  policy_.validate();
+}
+
+SimulationResult Engine::run(const EngineOptions& options) const {
+  Simulation simulation(tasks_, processor_, policy_, exec_model_, options);
+  return simulation.run();
+}
+
+SimulationResult simulate(const sched::TaskSet& tasks,
+                          const power::ProcessorConfig& processor,
+                          const SchedulerPolicy& policy,
+                          const exec::ExecModelPtr& exec_model,
+                          const EngineOptions& options) {
+  const Engine engine(tasks, processor, policy, exec_model);
+  return engine.run(options);
+}
+
+double normalized_power(const sched::TaskSet& tasks,
+                        const power::ProcessorConfig& processor,
+                        const SchedulerPolicy& policy,
+                        const exec::ExecModelPtr& exec_model,
+                        const EngineOptions& options) {
+  const SimulationResult fps = simulate(
+      tasks, processor, SchedulerPolicy::fps(), exec_model, options);
+  const SimulationResult other =
+      simulate(tasks, processor, policy, exec_model, options);
+  LPFPS_CHECK(fps.average_power > 0.0);
+  return other.average_power / fps.average_power;
+}
+
+}  // namespace lpfps::core

@@ -1,0 +1,113 @@
+// The LPFPS simulation engine.
+//
+// Executes a SchedulerPolicy over a periodic task set on the variable
+// voltage processor model, implementing the scheduler of the paper's
+// Figure 4:
+//
+//   L1-L4   on any scheduler invocation below full speed, first ramp the
+//           clock/voltage back to maximum and exit; the scheduler
+//           re-enters when the transition completes;
+//   L5-L7   move due tasks from the delay queue to the run queue;
+//   L8-L11  preempt the active task if a higher-priority task arrived;
+//   L12-L15 run queue empty and no active task: set the wake-up timer to
+//           (next release - wakeup delay) and enter power-down;
+//   L16-L20 run queue empty with an active task: compute the speed ratio
+//           (heuristic eq. 3 or optimal eq. 2), quantize *up* to the
+//           next available frequency, and slow down, scheduling a
+//           just-in-time ramp back to full speed.
+//
+// One deliberate strengthening over the paper's text: the slowdown
+// window is capped at min(t_a, active task's absolute deadline).  The
+// paper uses t_a (next release) alone, which is unsafe when the next
+// release of every sleeping task lies beyond the active task's own
+// deadline (possible even with deadline == period; see
+// tests/core/engine_safety_test.cc).  With the cap, LPFPS preserves
+// exactly the guarantees of the underlying fixed-priority schedule.
+//
+// Timing model details:
+//  * the processor executes through frequency transitions (ramps) at the
+//    instantaneous speed (paper §3.3 / [20]);
+//  * ramps change the speed ratio linearly at rate `ramp_rate` per us;
+//  * power-down wake-up takes wakeup_cycles at f_max and burns full
+//    power; the timer is set early by that amount (L14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/result.h"
+#include "exec/exec_model.h"
+#include "power/processor.h"
+#include "sched/task_set.h"
+
+namespace lpfps::core {
+
+struct EngineOptions {
+  Time horizon = 0.0;  ///< Required: simulate [0, horizon).
+  std::uint64_t seed = 1;
+  bool record_trace = false;
+  /// Throw std::runtime_error on a deadline miss (hard real-time default)
+  /// instead of recording it in the result.  Misses are detected when a
+  /// job *completes* after its deadline; a job still unfinished at the
+  /// horizon is not counted (size horizons in whole hyperperiods, or
+  /// long enough for backlog to drain, when probing overload).
+  bool throw_on_miss = true;
+  /// Kernel overhead charged per preemptive context switch (save +
+  /// restore combined), in full-speed-equivalent microseconds.  The cost
+  /// is added to the incoming job's demand, so it executes at the
+  /// prevailing clock ratio like real kernel code would.  Non-zero costs
+  /// are unmodelled by the schedulability analysis: inflate WCETs
+  /// accordingly or expect (deliberate) deadline throws under overload.
+  Work context_switch_cost = 0.0;
+  /// Per-task maximum release jitter (empty = none; otherwise one entry
+  /// per task).  Each job becomes visible to the scheduler at
+  /// release + Uniform(0, jitter_i); deadlines stay relative to the
+  /// nominal release (the standard jitter model of
+  /// sched::response_time_extended).  The scheduler's delay queue still
+  /// predicts the *nominal* release — a safe lower bound on the actual
+  /// arrival — and LPFPS conservatively abstains from DVS and
+  /// power-down while a released-but-not-yet-visible job is in flight.
+  /// Note: the independent schedule validator assumes zero jitter.
+  std::vector<Time> release_jitter;
+  /// Wake-up timer granularity in microseconds (0 = a free-running
+  /// comparator, the paper's implicit assumption).  Tick-based kernels
+  /// can only program wake-ups on a tick grid: the timer is rounded
+  /// *down* to a multiple of the granularity (waking early is safe,
+  /// late is not), shaving the tail off every power-down interval.
+  Time timer_granularity = 0.0;
+};
+
+class Engine {
+ public:
+  /// `tasks` must validate (unique priorities assigned).  `exec_model`
+  /// may be null, in which case every job takes its WCET.
+  Engine(sched::TaskSet tasks, power::ProcessorConfig processor,
+         SchedulerPolicy policy, exec::ExecModelPtr exec_model);
+
+  SimulationResult run(const EngineOptions& options) const;
+
+ private:
+  sched::TaskSet tasks_;
+  power::ProcessorConfig processor_;
+  SchedulerPolicy policy_;
+  exec::ExecModelPtr exec_model_;
+};
+
+/// One-call convenience wrapper.
+SimulationResult simulate(const sched::TaskSet& tasks,
+                          const power::ProcessorConfig& processor,
+                          const SchedulerPolicy& policy,
+                          const exec::ExecModelPtr& exec_model,
+                          const EngineOptions& options);
+
+/// Runs `policy` and the FPS baseline under identical seeds and returns
+/// policy_average_power / fps_average_power (the paper's normalized
+/// power metric of Figure 8).
+double normalized_power(const sched::TaskSet& tasks,
+                        const power::ProcessorConfig& processor,
+                        const SchedulerPolicy& policy,
+                        const exec::ExecModelPtr& exec_model,
+                        const EngineOptions& options);
+
+}  // namespace lpfps::core

@@ -1,0 +1,85 @@
+#include "core/policy.h"
+
+#include "common/check.h"
+
+namespace lpfps::core {
+
+const char* to_string(RatioMethod method) {
+  switch (method) {
+    case RatioMethod::kNone:
+      return "none";
+    case RatioMethod::kHeuristic:
+      return "heuristic";
+    case RatioMethod::kOptimal:
+      return "optimal";
+  }
+  return "?";
+}
+
+const char* to_string(IdleMethod method) {
+  switch (method) {
+    case IdleMethod::kBusyWait:
+      return "busy-wait";
+    case IdleMethod::kExactPowerDown:
+      return "exact-power-down";
+    case IdleMethod::kTimeoutShutdown:
+      return "timeout-shutdown";
+  }
+  return "?";
+}
+
+SchedulerPolicy SchedulerPolicy::fps() {
+  return SchedulerPolicy{"FPS", RatioMethod::kNone, IdleMethod::kBusyWait,
+                         0.0};
+}
+
+SchedulerPolicy SchedulerPolicy::lpfps() {
+  return SchedulerPolicy{"LPFPS", RatioMethod::kHeuristic,
+                         IdleMethod::kExactPowerDown, 0.0};
+}
+
+SchedulerPolicy SchedulerPolicy::lpfps_optimal() {
+  return SchedulerPolicy{"LPFPS-opt", RatioMethod::kOptimal,
+                         IdleMethod::kExactPowerDown, 0.0};
+}
+
+SchedulerPolicy SchedulerPolicy::lpfps_dvs_only() {
+  return SchedulerPolicy{"LPFPS-dvs", RatioMethod::kHeuristic,
+                         IdleMethod::kBusyWait, 0.0};
+}
+
+SchedulerPolicy SchedulerPolicy::lpfps_powerdown_only() {
+  return SchedulerPolicy{"LPFPS-pd", RatioMethod::kNone,
+                         IdleMethod::kExactPowerDown, 0.0};
+}
+
+SchedulerPolicy SchedulerPolicy::fps_timeout_shutdown(Time timeout) {
+  LPFPS_CHECK(timeout >= 0.0);
+  SchedulerPolicy policy{"FPS-timeout", RatioMethod::kNone,
+                         IdleMethod::kTimeoutShutdown, timeout};
+  return policy;
+}
+
+SchedulerPolicy SchedulerPolicy::static_slowdown(Ratio ratio) {
+  SchedulerPolicy policy{"Static-" + std::to_string(ratio),
+                         RatioMethod::kNone, IdleMethod::kExactPowerDown,
+                         0.0, ratio};
+  policy.validate();
+  return policy;
+}
+
+SchedulerPolicy SchedulerPolicy::lpfps_hybrid(Ratio ratio) {
+  SchedulerPolicy policy{"Hybrid-" + std::to_string(ratio),
+                         RatioMethod::kHeuristic,
+                         IdleMethod::kExactPowerDown, 0.0, ratio};
+  policy.validate();
+  return policy;
+}
+
+void SchedulerPolicy::validate() const {
+  LPFPS_CHECK(!name.empty());
+  LPFPS_CHECK(shutdown_timeout >= 0.0);
+  LPFPS_CHECK(static_ratio > 0.0 && static_ratio <= 1.0 + 1e-12);
+}
+
+}  // namespace lpfps::core

@@ -1,0 +1,80 @@
+// Scheduling policy configurations: the paper's FPS baseline and LPFPS,
+// plus the ablation variants DESIGN.md calls out.
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+
+namespace lpfps::core {
+
+/// How the scheduler computes the DVS slowdown ratio (paper §3.3),
+/// or kNone to disable dynamic voltage scaling.
+enum class RatioMethod : std::uint8_t {
+  kNone,       ///< Never slow the clock.
+  kHeuristic,  ///< r_heu = (C_i - E_i) / (t_a - t_c)  (eq. 3).
+  kOptimal,    ///< r_opt from eq. (2), ramp-aware.
+};
+
+/// What the processor does when no task is eligible.
+enum class IdleMethod : std::uint8_t {
+  kBusyWait,         ///< NOP loop at full speed (the FPS baseline, §4).
+  kExactPowerDown,   ///< LPFPS: timer = next release - wakeup, power down.
+  kTimeoutShutdown,  ///< Conventional portable-computer heuristic (§2.1):
+                     ///< busy-wait for a fixed timeout first, then power
+                     ///< down.  (Wake-up is still timer-exact so that
+                     ///< deadlines stay hard; only the energy penalty of
+                     ///< the timeout is modelled.)
+};
+
+const char* to_string(RatioMethod method);
+const char* to_string(IdleMethod method);
+
+struct SchedulerPolicy {
+  std::string name;
+  RatioMethod dvs = RatioMethod::kNone;
+  IdleMethod idle = IdleMethod::kBusyWait;
+  /// Busy-wait time before shutdown, for kTimeoutShutdown only.
+  Time shutdown_timeout = 0.0;
+  /// Constant base clock ratio (static slowdown, §2.2's offline DVS
+  /// baseline).  Must be 1.0 when dynamic DVS is enabled; choose a
+  /// feasible value via core::min_feasible_static_ratio.
+  Ratio static_ratio = 1.0;
+
+  /// The paper's baseline: fixed priority, full speed, NOP busy-wait.
+  static SchedulerPolicy fps();
+
+  /// The paper's contribution: heuristic DVS + exact power-down.
+  static SchedulerPolicy lpfps();
+
+  /// LPFPS with the optimal (ramp-aware) ratio of eq. (2)  (ablation A1).
+  static SchedulerPolicy lpfps_optimal();
+
+  /// DVS only; idle time is busy-waited  (ablation A2).
+  static SchedulerPolicy lpfps_dvs_only();
+
+  /// Power-down only; tasks always run at full speed  (ablation A2).
+  static SchedulerPolicy lpfps_powerdown_only();
+
+  /// FPS + conventional timeout shutdown  (related-work baseline, §2.1).
+  static SchedulerPolicy fps_timeout_shutdown(Time timeout);
+
+  /// Constant clock at `ratio` with exact power-down when idle — the
+  /// offline static-DVS baseline of §2.2.  Pass a ratio proven feasible
+  /// (core::min_feasible_static_ratio); the engine still verifies every
+  /// deadline at run time.
+  static SchedulerPolicy static_slowdown(Ratio ratio);
+
+  /// Static + dynamic (the direction the paper's §5 future work points
+  /// to, later published as Pillai & Shin's static/cycle-conserving
+  /// scaling): the clock idles down to a feasible static base `ratio`,
+  /// and LPFPS-style per-window reclamation stretches lone tasks below
+  /// it, ramping back to the base (not to full speed) by the window's
+  /// end.  Pass a ratio proven feasible at WCET.
+  static SchedulerPolicy lpfps_hybrid(Ratio ratio);
+
+  bool uses_dvs() const { return dvs != RatioMethod::kNone; }
+  void validate() const;
+};
+
+}  // namespace lpfps::core

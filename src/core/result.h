@@ -1,0 +1,52 @@
+// Outcome of one simulated run of a policy over a task set.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "power/energy.h"
+#include "sim/trace.h"
+
+namespace lpfps::core {
+
+struct SimulationResult {
+  std::string policy_name;
+  Time simulated_time = 0.0;
+  Energy total_energy = 0.0;
+  /// total_energy / simulated_time, normalized to full power == 1.
+  double average_power = 0.0;
+
+  /// Per-mode (energy, time) — indexed by sim::ProcessorMode.
+  std::array<power::ModeTotals, 5> by_mode{};
+
+  int jobs_completed = 0;
+  int deadline_misses = 0;  ///< Non-zero only with throw_on_miss=false.
+  int context_switches = 0;
+  int scheduler_invocations = 0;
+  int speed_changes = 0;  ///< Ramp initiations (down or up).
+  int power_downs = 0;    ///< Power-down mode entries.
+
+  /// Time-weighted mean speed ratio while executing task work.
+  double mean_running_ratio = 1.0;
+
+  /// Per-task execution energy and processor time, indexed like the
+  /// TaskSet (idle/power-down/wake energy is not attributed to tasks).
+  /// Lets analyses answer the paper's §4 question — *which* task's
+  /// stretching produces the saving — directly.
+  std::vector<power::ModeTotals> per_task;
+
+  /// Recorded only when EngineOptions::record_trace is set.
+  std::optional<sim::Trace> trace;
+
+  power::ModeTotals mode(sim::ProcessorMode m) const {
+    return by_mode[static_cast<std::size_t>(m)];
+  }
+
+  /// Multi-line human-readable summary (used by examples).
+  std::string summary() const;
+};
+
+}  // namespace lpfps::core

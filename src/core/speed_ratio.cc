@@ -1,0 +1,63 @@
+#include "core/speed_ratio.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/float_compare.h"
+#include "power/speed_profile.h"
+
+namespace lpfps::core {
+
+Ratio heuristic_ratio(Work remaining, Time window) {
+  LPFPS_CHECK(window > 0.0);
+  remaining = snap_nonnegative(remaining);
+  LPFPS_CHECK(remaining >= 0.0);
+  if (remaining >= window) return 1.0;
+  if (remaining == 0.0) return 0.0;
+  return remaining / window;
+}
+
+Ratio optimal_ratio(Work remaining, Time window, double rho) {
+  return optimal_ratio_to_target(remaining, window, rho, 1.0);
+}
+
+Ratio optimal_ratio_to_target(Work remaining, Time window, double rho,
+                              Ratio target) {
+  LPFPS_CHECK(window > 0.0 && rho > 0.0);
+  LPFPS_CHECK(target > 0.0 && target <= 1.0 + 1e-12);
+  remaining = snap_nonnegative(remaining);
+  LPFPS_CHECK(remaining >= 0.0);
+  // At speeds capped by `target`, the window can hold at most
+  // target * window (+ nothing: the plan never exceeds target).
+  if (remaining >= target * window) return target;
+
+  // Slowest ratio from which the processor can still ramp back to
+  // `target` within the window.
+  const double floor = std::max(0.0, target - rho * window);
+
+  // window*r + (target - r)^2/(2 rho) = remaining
+  //   <=> r^2 + r(2 rho window - 2 target) + target^2 - 2 rho remaining = 0.
+  const double rw = rho * window;
+  const double disc =
+      rw * rw - 2.0 * rw * target + 2.0 * rho * remaining;
+  double r = 0.0;
+  if (disc < 0.0) {
+    // Even the slowest feasible plan holds more than `remaining` work;
+    // the floor is the best (slowest) safe choice.
+    r = floor;
+  } else {
+    r = target - rw + std::sqrt(disc);
+  }
+  return std::clamp(r, floor, static_cast<double>(target));
+}
+
+Work plan_work_capacity(Ratio ratio, Time window, double rho) {
+  return power::plan_capacity(ratio, window, rho);
+}
+
+bool theorem1_applies(Work remaining, Time window) {
+  return window > 0.0 && window > remaining;
+}
+
+}  // namespace lpfps::core

@@ -1,0 +1,55 @@
+// Computation of the processor speed ratio (paper §3.3).
+//
+// When the active task tau_i is alone (run queue empty), LPFPS slows the
+// processor so that the task's remaining worst-case work R = C_i - E_i
+// finishes exactly when the next release t_a arrives.  Two solutions:
+//
+//  * Optimal r_opt (eq. (2)): accounts for the just-in-time linear ramp
+//    back to full speed at rate rho, during which the processor keeps
+//    executing.  Solves eq. (1):
+//        (t_a - t_c) * r + (1 - r)^2 / (2 rho) = R.
+//  * Heuristic r_heu (eq. (3)): ignores the ramp, r_heu = R / (t_a-t_c).
+//    Cheap enough for a kernel hot path and *safe*: Theorem 1 proves
+//    r_heu >= r_opt whenever t_a > t_c and t_a - t_c > R, so running at
+//    r_heu never finishes later than the optimal plan.
+#pragma once
+
+#include "common/units.h"
+
+namespace lpfps::core {
+
+/// r_heu = remaining / window (eq. 3), clamped into (0, 1].  If the
+/// window cannot even hold the remaining work at full speed the function
+/// returns 1 (no slowdown possible).
+Ratio heuristic_ratio(Work remaining, Time window);
+
+/// r_opt per eq. (2), derived from eq. (1):
+///   r = 1 - rho*w + sqrt((rho*w)^2 - 2*rho*(w - R)),   w = window.
+/// Feasibility floor: the ramp (1 - r)/rho must fit inside the window,
+/// i.e. r >= 1 - rho*w.  When the equation has no root above the floor
+/// (the discriminant is negative — even the slowest feasible plan has
+/// more capacity than R) the floor itself is returned: it is the slowest
+/// safe speed.  Result is clamped into (0, 1].
+Ratio optimal_ratio(Work remaining, Time window, double rho);
+
+/// Generalization of eq. (2) for a plan that ramps back to `target`
+/// (not necessarily full speed) by the window's end — needed by the
+/// hybrid static+dynamic policy, whose "full speed" is the static base
+/// ratio.  Solves
+///   window * r + (target - r)^2 / (2 rho) = remaining
+/// for the feasible root, clamped into
+/// [max(0, target - rho*window), target] — 0 means even the ramp alone
+/// over-delivers, and the caller's frequency floor takes over.
+/// target == 1 reduces exactly to optimal_ratio().
+Ratio optimal_ratio_to_target(Work remaining, Time window, double rho,
+                              Ratio target);
+
+/// Work capacity of the plan "run at `ratio`, then ramp to full speed
+/// reaching 1.0 exactly at the window's end" — the left side of eq. (1).
+/// Exposed for tests that verify optimal_ratio inverts it exactly.
+Work plan_work_capacity(Ratio ratio, Time window, double rho);
+
+/// Theorem 1's hypotheses: window > 0 and window > remaining.
+bool theorem1_applies(Work remaining, Time window);
+
+}  // namespace lpfps::core

@@ -1,0 +1,240 @@
+#include "core/yds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "common/float_compare.h"
+#include "common/random.h"
+
+namespace lpfps::core {
+
+namespace {
+
+/// One critical-interval selection, in the (compressed) coordinates of
+/// its round.
+struct Round {
+  Time begin = 0.0;
+  Time end = 0.0;
+  double speed = 0.0;
+};
+
+/// Finds the interval [a, b] (a from releases, b from deadlines)
+/// maximizing the contained-work intensity.  Returns false if no jobs
+/// remain.
+bool critical_interval(const std::vector<YdsJob>& jobs, Round& out) {
+  if (jobs.empty()) return false;
+  std::vector<Time> starts;
+  starts.reserve(jobs.size());
+  for (const YdsJob& job : jobs) starts.push_back(job.release);
+  std::sort(starts.begin(), starts.end());
+  starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+
+  std::vector<const YdsJob*> by_deadline;
+  by_deadline.reserve(jobs.size());
+  for (const YdsJob& job : jobs) by_deadline.push_back(&job);
+  std::sort(by_deadline.begin(), by_deadline.end(),
+            [](const YdsJob* a, const YdsJob* b) {
+              return a->deadline < b->deadline;
+            });
+
+  // For each candidate left edge a, sweep right edges in deadline order
+  // accumulating the contained work: O(|starts| * |jobs|) total.
+  bool found = false;
+  for (const Time a : starts) {
+    Work contained = 0.0;
+    for (std::size_t i = 0; i < by_deadline.size(); ++i) {
+      const YdsJob& job = *by_deadline[i];
+      if (job.release >= a) contained += job.work;
+      if (job.deadline <= a) continue;
+      // Evaluate only once per distinct deadline, after its whole tie
+      // group has been accumulated.
+      if (i + 1 < by_deadline.size() &&
+          by_deadline[i + 1]->deadline == job.deadline) {
+        continue;
+      }
+      if (contained <= 0.0) continue;
+      const double intensity = contained / (job.deadline - a);
+      if (!found || intensity > out.speed + 1e-15) {
+        out = Round{a, job.deadline, intensity};
+        found = true;
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+double yds_max_intensity(const std::vector<YdsJob>& jobs) {
+  for (const YdsJob& job : jobs) {
+    LPFPS_CHECK(job.deadline > job.release && job.work >= 0.0);
+  }
+  std::vector<YdsJob> live;
+  for (const YdsJob& job : jobs) {
+    if (job.work > 0.0) live.push_back(job);
+  }
+  Round round;
+  if (!critical_interval(live, round)) return 0.0;
+  return round.speed;
+}
+
+std::vector<SpeedInterval> yds_schedule(std::vector<YdsJob> jobs) {
+  for (const YdsJob& job : jobs) {
+    LPFPS_CHECK(job.deadline > job.release && job.work >= 0.0);
+  }
+  jobs.erase(std::remove_if(jobs.begin(), jobs.end(),
+                            [](const YdsJob& j) { return j.work <= 0.0; }),
+             jobs.end());
+
+  // Phase 1: peel critical intervals, collapsing time after each round.
+  std::vector<Round> rounds;
+  while (true) {
+    Round round;
+    if (!critical_interval(jobs, round)) break;
+    rounds.push_back(round);
+
+    std::vector<YdsJob> rest;
+    rest.reserve(jobs.size());
+    const Time a = round.begin;
+    const Time b = round.end;
+    const Time width = b - a;
+    for (const YdsJob& job : jobs) {
+      if (job.release >= a && job.deadline <= b) continue;  // Scheduled.
+      YdsJob moved = job;
+      // Clamp endpoints inside the removed interval to its left edge,
+      // then shift everything beyond it left by its width.
+      auto compress = [&](Time t) {
+        if (t <= a) return t;
+        if (t <= b) return a;
+        return t - width;
+      };
+      moved.release = compress(job.release);
+      moved.deadline = compress(job.deadline);
+      LPFPS_CHECK(moved.deadline > moved.release);
+      rest.push_back(moved);
+    }
+    jobs = std::move(rest);
+  }
+
+  // Phase 2: map every round's interval back to original coordinates.
+  // Round k lives in coordinates with rounds 0..k-1 removed; undo the
+  // compressions in reverse order.  The result is the round's convex
+  // hull in original time, inside which all earlier rounds it swallowed
+  // are embedded.
+  struct Hull {
+    Time begin;
+    Time end;
+    double speed;
+    std::size_t round;
+  };
+  std::vector<Hull> hulls;
+  hulls.reserve(rounds.size());
+  for (std::size_t k = 0; k < rounds.size(); ++k) {
+    Time begin = rounds[k].begin;
+    Time end = rounds[k].end;
+    for (std::size_t j = k; j-- > 0;) {
+      const Time a = rounds[j].begin;
+      const Time width = rounds[j].end - rounds[j].begin;
+      if (begin >= a) begin += width;
+      if (end > a) end += width;
+    }
+    hulls.push_back(Hull{begin, end, rounds[k].speed, k});
+  }
+
+  // Phase 3: paint hulls; where hulls nest, the earliest round (the
+  // highest intensity) wins.
+  std::vector<Time> cuts;
+  for (const Hull& hull : hulls) {
+    cuts.push_back(hull.begin);
+    cuts.push_back(hull.end);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<SpeedInterval> result;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const Time lo = cuts[i];
+    const Time hi = cuts[i + 1];
+    const Time mid = (lo + hi) / 2.0;
+    const Hull* winner = nullptr;
+    for (const Hull& hull : hulls) {
+      if (mid > hull.begin && mid < hull.end &&
+          (winner == nullptr || hull.round < winner->round)) {
+        winner = &hull;
+      }
+    }
+    if (winner == nullptr) continue;  // Idle gap.
+    if (!result.empty() && approx_equal(result.back().end, lo) &&
+        result.back().speed == winner->speed) {
+      result.back().end = hi;
+    } else {
+      result.push_back(SpeedInterval{lo, hi, winner->speed});
+    }
+  }
+  return result;
+}
+
+Energy yds_energy(const std::vector<SpeedInterval>& schedule,
+                  const power::PowerModel& model, Ratio min_ratio) {
+  LPFPS_CHECK(min_ratio > 0.0 && min_ratio <= 1.0);
+  Energy total = 0.0;
+  for (const SpeedInterval& interval : schedule) {
+    LPFPS_CHECK(interval.end > interval.begin);
+    LPFPS_CHECK_MSG(interval.speed <= 1.0 + 1e-9,
+                    "YDS demands speed above the maximum clock: the job "
+                    "set is infeasible");
+    if (interval.speed <= 0.0) continue;
+    const Work work = interval.speed * (interval.end - interval.begin);
+    // Below the slowest clock, run at min_ratio for work/min_ratio and
+    // idle (charged zero: lower bound) the rest.
+    const Ratio effective = std::max(min_ratio, std::min(interval.speed, 1.0));
+    total += work / effective * model.run_power(effective);
+  }
+  return total;
+}
+
+std::vector<YdsJob> jobs_from_task_set(const sched::TaskSet& tasks,
+                                       Time horizon,
+                                       const exec::ExecModelPtr& exec_model,
+                                       std::uint64_t seed) {
+  LPFPS_CHECK(horizon > 0.0);
+  tasks.validate();
+
+  // Enumerate (release, task) pairs in the engine's sampling order:
+  // chronological by release, ties by task index.
+  struct Slot {
+    Time release;
+    TaskIndex task;
+  };
+  std::vector<Slot> slots;
+  for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks.size()); ++i) {
+    const sched::Task& t = tasks[i];
+    for (Time release = static_cast<Time>(t.phase); release < horizon;
+         release += static_cast<Time>(t.period)) {
+      slots.push_back(Slot{release, i});
+    }
+  }
+  std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+    if (a.release != b.release) return a.release < b.release;
+    return a.task < b.task;
+  });
+
+  Rng rng(seed);
+  std::vector<YdsJob> jobs;
+  jobs.reserve(slots.size());
+  for (const Slot& slot : slots) {
+    const sched::Task& t = tasks[slot.task];
+    YdsJob job;
+    job.release = slot.release;
+    job.deadline = slot.release + static_cast<Time>(t.deadline);
+    job.work = exec_model != nullptr ? exec_model->sample(t, rng) : t.wcet;
+    // Jobs whose deadline crosses the horizon are kept: the bound must
+    // cover the same demand the online policies execute.
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace lpfps::core

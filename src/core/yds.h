@@ -1,0 +1,76 @@
+// YDS — the optimal (clairvoyant, offline) voltage schedule of Yao,
+// Demers, and Shenker, "A scheduling model for reduced CPU energy",
+// FOCS 1995: the paper's reference [14] and the theoretical floor for
+// every DVS policy in this library.
+//
+// Given jobs with release times, deadlines, and (actual) work, YDS
+// repeatedly finds the *critical interval* — the window [a, b]
+// maximizing intensity g = (sum of work of jobs contained in [a, b]) /
+// (b - a) — runs exactly those jobs there at constant speed g under
+// EDF, removes them, collapses the interval, and recurses.  The result
+// minimizes total energy for any convex power-speed curve, so
+//
+//     yds_energy(...) <= energy of LPFPS / AVR / static / anything
+//
+// for the *same* actual execution times (ignoring power-down and
+// transition overheads, which only widen the gap).  bench_yds_bound
+// reports how close each policy comes to this floor.
+//
+// Complexity: O(J^2) intervals examined per critical-interval round and
+// at most J rounds — fine for the hyperperiod job counts of the paper's
+// workloads (tens to a few thousand jobs).
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "exec/exec_model.h"
+#include "power/power_model.h"
+#include "sched/task_set.h"
+
+namespace lpfps::core {
+
+/// One piece of work for the offline scheduler.
+struct YdsJob {
+  Time release = 0.0;
+  Time deadline = 0.0;
+  Work work = 0.0;  ///< Full-speed-equivalent microseconds.
+};
+
+/// A maximal interval of constant planned speed.  Speeds are in
+/// work-units per microsecond: 1.0 is the full clock; feasible inputs
+/// (EDF-schedulable at full speed) always yield speeds <= 1.
+struct SpeedInterval {
+  Time begin = 0.0;
+  Time end = 0.0;
+  double speed = 0.0;
+};
+
+/// The YDS optimal speed profile for `jobs` (need not be sorted).
+/// Returned intervals are disjoint, ordered, and cover exactly the time
+/// where work is scheduled (gaps are zero-speed idle).  Throws on
+/// malformed jobs (deadline <= release, negative work).
+std::vector<SpeedInterval> yds_schedule(std::vector<YdsJob> jobs);
+
+/// Max intensity over all intervals == the speed of the first critical
+/// interval.  The job set is EDF-feasible on a unit-speed processor iff
+/// this is <= 1.
+double yds_max_intensity(const std::vector<YdsJob>& jobs);
+
+/// Energy of executing the profile on `model`, clamping each interval's
+/// speed to the processor's [min_ratio, 1] range (speeds below the
+/// slowest clock run at min_ratio and idle the remainder at zero cost —
+/// still a valid lower bound).  `horizon` scales nothing; it is only
+/// used to compute average power.
+Energy yds_energy(const std::vector<SpeedInterval>& schedule,
+                  const power::PowerModel& model, Ratio min_ratio);
+
+/// Expands a periodic task set into the jobs released in [0, horizon),
+/// with actual work drawn from `exec_model` (or WCET when null) using
+/// the engine's per-job sampling order so results are seed-comparable.
+std::vector<YdsJob> jobs_from_task_set(const sched::TaskSet& tasks,
+                                       Time horizon,
+                                       const exec::ExecModelPtr& exec_model,
+                                       std::uint64_t seed);
+
+}  // namespace lpfps::core

@@ -1,0 +1,102 @@
+// Models of actual (as opposed to worst-case) job execution times.
+//
+// The paper's first observation is that real execution times frequently
+// fall well below the WCET (Figure 1).  Lacking per-application traces,
+// §4 draws each instance's execution time from a Gaussian with
+//     mean  m     = (BCET + WCET) / 2                     (eq. 4)
+//     sigma       = (WCET - BCET) / 6                     (eq. 5)
+// clamped into [BCET, WCET] (footnote 5), so ~99.7% of unclamped draws
+// already land inside the interval.  That model is implemented here along
+// with deterministic-WCET, uniform, and bimodal alternatives used by
+// tests and extension studies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "sched/task.h"
+
+namespace lpfps::exec {
+
+class ExecutionTimeModel {
+ public:
+  virtual ~ExecutionTimeModel() = default;
+
+  /// Actual execution time (full-speed work) of one job of `task`.
+  /// Postcondition: result in [task.bcet, task.wcet].
+  virtual Work sample(const sched::Task& task, Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Every job takes exactly its WCET (the paper's BCET == WCET endpoint
+/// and the assumption behind static schedulability analysis).
+class WcetModel final : public ExecutionTimeModel {
+ public:
+  Work sample(const sched::Task& task, Rng& rng) const override;
+  std::string name() const override { return "wcet"; }
+};
+
+/// Every job takes exactly its BCET.
+class BcetModel final : public ExecutionTimeModel {
+ public:
+  Work sample(const sched::Task& task, Rng& rng) const override;
+  std::string name() const override { return "bcet"; }
+};
+
+/// The paper's clamped Gaussian (eqs. 4-5 + clamping).
+class ClampedGaussianModel final : public ExecutionTimeModel {
+ public:
+  Work sample(const sched::Task& task, Rng& rng) const override;
+  std::string name() const override { return "gaussian"; }
+};
+
+/// Uniform on [BCET, WCET]; heavier tails than the Gaussian, used to
+/// probe sensitivity to the execution-time distribution.
+class UniformModel final : public ExecutionTimeModel {
+ public:
+  Work sample(const sched::Task& task, Rng& rng) const override;
+  std::string name() const override { return "uniform"; }
+};
+
+/// With probability p the job takes ~BCET, else ~WCET (mode-switching
+/// code paths).  Each mode adds small uniform jitter within the interval.
+class BimodalModel final : public ExecutionTimeModel {
+ public:
+  explicit BimodalModel(double p_short = 0.5);
+  Work sample(const sched::Task& task, Rng& rng) const override;
+  std::string name() const override { return "bimodal"; }
+
+ private:
+  double p_short_;
+};
+
+/// Replays recorded per-task execution-time sequences, keyed by task
+/// name, cycling when a sequence is exhausted.  Tasks without a
+/// sequence fall back to their WCET.  This is how the paper's worked
+/// scenarios (Example 2, Figure 2(b)) are scripted deterministically,
+/// and how measured traces would be fed in.
+class TraceDrivenModel final : public ExecutionTimeModel {
+ public:
+  explicit TraceDrivenModel(
+      std::map<std::string, std::vector<Work>> sequences);
+
+  /// Returns the task's next recorded value (clamped to its WCET after
+  /// a contract check: recorded values must be positive and must not
+  /// exceed the WCET).
+  Work sample(const sched::Task& task, Rng& rng) const override;
+  std::string name() const override { return "trace"; }
+
+ private:
+  std::map<std::string, std::vector<Work>> sequences_;
+  mutable std::map<std::string, std::size_t> cursors_;
+};
+
+using ExecModelPtr = std::shared_ptr<const ExecutionTimeModel>;
+
+}  // namespace lpfps::exec

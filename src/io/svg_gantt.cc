@@ -1,0 +1,149 @@
+#include "io/svg_gantt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace lpfps::io {
+
+namespace {
+
+constexpr int kGutterPx = 130;
+constexpr int kLanePadPx = 4;
+constexpr int kAxisPx = 24;
+
+/// Blue whose lightness tracks the speed ratio: ratio 1 -> deep,
+/// ratio ~0 -> pale.
+std::string run_fill(Ratio ratio) {
+  const double t = std::clamp(ratio, 0.0, 1.0);
+  const int r = static_cast<int>(40 + (1.0 - t) * 170);
+  const int g = static_cast<int>(90 + (1.0 - t) * 140);
+  const int b = 200;
+  std::ostringstream os;
+  os << "rgb(" << r << "," << g << "," << b << ")";
+  return os.str();
+}
+
+const char* mode_fill(sim::ProcessorMode mode) {
+  switch (mode) {
+    case sim::ProcessorMode::kRunning:
+      return "#4477cc";
+    case sim::ProcessorMode::kIdleBusyWait:
+      return "#dddddd";
+    case sim::ProcessorMode::kPowerDown:
+      return "#333333";
+    case sim::ProcessorMode::kWakeUp:
+      return "#cc4444";
+    case sim::ProcessorMode::kRamping:
+      return "#ccaa44";
+  }
+  return "#ff00ff";
+}
+
+std::string escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_svg_gantt(const sim::Trace& trace,
+                             const std::vector<std::string>& task_names,
+                             const SvgOptions& options) {
+  LPFPS_CHECK(options.end > options.begin);
+  LPFPS_CHECK(options.width_px > 0 && options.lane_height_px > 0);
+
+  const int lanes = static_cast<int>(task_names.size()) +
+                    (options.include_processor_lane ? 1 : 0);
+  const int height = lanes * options.lane_height_px + kAxisPx;
+  const int width = kGutterPx + options.width_px;
+  const double scale =
+      options.width_px / (options.end - options.begin);
+
+  std::ostringstream os;
+  os << std::setprecision(10);
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\" font-family=\"monospace\" "
+     << "font-size=\"12\">\n";
+  os << "<rect width=\"" << width << "\" height=\"" << height
+     << "\" fill=\"white\"/>\n";
+
+  // Lane labels and baselines.
+  auto lane_y = [&](int lane) { return lane * options.lane_height_px; };
+  for (std::size_t i = 0; i < task_names.size(); ++i) {
+    os << "<text x=\"4\" y=\""
+       << lane_y(static_cast<int>(i)) + options.lane_height_px - 9
+       << "\">" << escape(task_names[i]) << "</text>\n";
+  }
+  if (options.include_processor_lane) {
+    os << "<text x=\"4\" y=\""
+       << lane_y(static_cast<int>(task_names.size())) +
+              options.lane_height_px - 9
+       << "\">cpu</text>\n";
+  }
+
+  auto emit_rect = [&](int lane, Time t0, Time t1,
+                       const std::string& fill, const std::string& title) {
+    const double x = kGutterPx + (t0 - options.begin) * scale;
+    const double w = std::max(0.5, (t1 - t0) * scale);
+    os << "<rect x=\"" << x << "\" y=\"" << lane_y(lane) + kLanePadPx
+       << "\" width=\"" << w << "\" height=\""
+       << options.lane_height_px - 2 * kLanePadPx << "\" fill=\"" << fill
+       << "\"><title>" << escape(title) << "</title></rect>\n";
+  };
+
+  for (const sim::Segment& s : trace.segments()) {
+    if (s.end <= options.begin || s.begin >= options.end) continue;
+    const Time t0 = std::max(s.begin, options.begin);
+    const Time t1 = std::min(s.end, options.end);
+    std::ostringstream title;
+    title << to_string(s.mode) << " [" << t0 << ", " << t1 << ")";
+    if (s.mode == sim::ProcessorMode::kRunning) {
+      title << " ratio " << s.ratio_begin;
+      if (s.ratio_begin != s.ratio_end) title << "->" << s.ratio_end;
+      const auto lane = static_cast<std::size_t>(s.task);
+      LPFPS_CHECK(lane < task_names.size());
+      const Ratio mid = (s.ratio_begin + s.ratio_end) / 2.0;
+      emit_rect(static_cast<int>(lane), t0, t1, run_fill(mid),
+                title.str());
+    }
+    if (options.include_processor_lane) {
+      emit_rect(static_cast<int>(task_names.size()), t0, t1,
+                s.mode == sim::ProcessorMode::kRunning
+                    ? run_fill((s.ratio_begin + s.ratio_end) / 2.0)
+                    : mode_fill(s.mode),
+                title.str());
+    }
+  }
+
+  // Time axis: begin / middle / end ticks.
+  const int axis_y = lanes * options.lane_height_px + 14;
+  for (const double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const Time t = options.begin + frac * (options.end - options.begin);
+    const double x = kGutterPx + (t - options.begin) * scale;
+    os << "<text x=\"" << x << "\" y=\"" << axis_y
+       << "\" text-anchor=\"middle\">" << t << "</text>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace lpfps::io

@@ -1,0 +1,32 @@
+// SVG Gantt-chart rendering of execution traces — publication-quality
+// counterpart of sim::render_gantt's ASCII art (the paper's Figure 2).
+//
+// Layout: one horizontal lane per task plus a processor lane showing
+// idle/power-down/wake/ramp phases.  Running segments are shaded by
+// their speed ratio (full speed solid, deeper slowdowns lighter), so a
+// reader can see LPFPS's stretching directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/trace.h"
+
+namespace lpfps::io {
+
+struct SvgOptions {
+  Time begin = 0.0;
+  Time end = 0.0;        ///< Required: end > begin.
+  int width_px = 900;    ///< Drawing width (plus a label gutter).
+  int lane_height_px = 26;
+  bool include_processor_lane = true;
+};
+
+/// Renders [options.begin, options.end) as a standalone SVG document.
+/// `task_names` supplies lane labels indexed by TaskIndex.
+std::string render_svg_gantt(const sim::Trace& trace,
+                             const std::vector<std::string>& task_names,
+                             const SvgOptions& options);
+
+}  // namespace lpfps::io

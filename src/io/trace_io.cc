@@ -1,0 +1,65 @@
+#include "io/trace_io.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace lpfps::io {
+
+namespace {
+
+std::string task_label(TaskIndex task,
+                       const std::vector<std::string>& names) {
+  if (task == kNoTask) return "-";
+  const auto index = static_cast<std::size_t>(task);
+  if (index < names.size() && !names[index].empty()) return names[index];
+  return std::to_string(task);
+}
+
+}  // namespace
+
+std::string trace_segments_csv(const sim::Trace& trace,
+                               const std::vector<std::string>& task_names) {
+  std::ostringstream os;
+  os << "begin,end,mode,task,ratio_begin,ratio_end\n";
+  os << std::setprecision(12);
+  for (const sim::Segment& s : trace.segments()) {
+    os << s.begin << "," << s.end << "," << to_string(s.mode) << ","
+       << task_label(s.task, task_names) << "," << s.ratio_begin << ","
+       << s.ratio_end << "\n";
+  }
+  return os.str();
+}
+
+std::string trace_jobs_csv(const sim::Trace& trace,
+                           const std::vector<std::string>& task_names) {
+  std::ostringstream os;
+  os << "task,instance,release,deadline,completion,response,executed,"
+        "missed\n";
+  os << std::setprecision(12);
+  for (const sim::JobRecord& job : trace.jobs()) {
+    os << task_label(job.task, task_names) << "," << job.instance << ","
+       << job.release << "," << job.absolute_deadline << ","
+       << job.completion << "," << job.response_time() << ","
+       << job.executed << "," << (job.missed_deadline ? 1 : 0) << "\n";
+  }
+  return os.str();
+}
+
+std::string result_csv_header() {
+  return "policy,simulated_time,total_energy,average_power,jobs_completed,"
+         "deadline_misses,context_switches,speed_changes,power_downs,"
+         "mean_running_ratio\n";
+}
+
+std::string result_csv_row(const core::SimulationResult& result) {
+  std::ostringstream os;
+  os << std::setprecision(12);
+  os << result.policy_name << "," << result.simulated_time << ","
+     << result.total_energy << "," << result.average_power << ","
+     << result.jobs_completed << "," << result.deadline_misses << ","
+     << result.context_switches << "," << result.speed_changes << ","
+     << result.power_downs << "," << result.mean_running_ratio << "\n";
+  return os.str();
+}
+
+}  // namespace lpfps::io

@@ -1,0 +1,25 @@
+// Trace and result exporters for offline analysis / plotting.
+#pragma once
+
+#include <string>
+
+#include "core/result.h"
+#include "sim/trace.h"
+
+namespace lpfps::io {
+
+/// Segments as CSV: begin,end,mode,task,ratio_begin,ratio_end.
+/// `task_names` supplies the task column (empty name -> index).
+std::string trace_segments_csv(const sim::Trace& trace,
+                               const std::vector<std::string>& task_names);
+
+/// Jobs as CSV: task,instance,release,deadline,completion,response,
+/// executed,missed.
+std::string trace_jobs_csv(const sim::Trace& trace,
+                           const std::vector<std::string>& task_names);
+
+/// One SimulationResult as a CSV row (plus header), for sweep scripts.
+std::string result_csv_header();
+std::string result_csv_row(const core::SimulationResult& result);
+
+}  // namespace lpfps::io

@@ -1,0 +1,65 @@
+#include "metrics/experiment.h"
+
+#include "common/check.h"
+#include "exec/exec_model.h"
+#include "metrics/stats.h"
+
+namespace lpfps::metrics {
+
+std::vector<SweepPoint> run_bcet_sweep(const sched::TaskSet& tasks,
+                                       const power::ProcessorConfig& cpu,
+                                       const core::SchedulerPolicy& policy,
+                                       const SweepConfig& config) {
+  LPFPS_CHECK(config.horizon > 0.0);
+  LPFPS_CHECK(config.seeds > 0);
+  LPFPS_CHECK(!config.bcet_ratios.empty());
+
+  const auto exec_model = std::make_shared<exec::ClampedGaussianModel>();
+  const auto fps = core::SchedulerPolicy::fps();
+
+  // The paper's FPS reference: every job at its WCET (deterministic, one
+  // run), constant across the BCET axis.
+  double fps_wcet_power = 0.0;
+  {
+    core::EngineOptions options;
+    options.horizon = config.horizon;
+    fps_wcet_power =
+        core::simulate(tasks, cpu, fps, nullptr, options).average_power;
+  }
+
+  std::vector<SweepPoint> points;
+  points.reserve(config.bcet_ratios.size());
+  for (const double ratio : config.bcet_ratios) {
+    const sched::TaskSet scaled = tasks.with_bcet_ratio(ratio);
+    // Deterministic at BCET == WCET: the Gaussian degenerates.
+    const int seeds = ratio >= 1.0 ? 1 : config.seeds;
+
+    Summary fps_power;
+    Summary policy_power;
+    for (int seed = 0; seed < seeds; ++seed) {
+      core::EngineOptions options;
+      options.horizon = config.horizon;
+      options.seed = static_cast<std::uint64_t>(seed) + 1;
+      fps_power.add(
+          core::simulate(scaled, cpu, fps, exec_model, options)
+              .average_power);
+      policy_power.add(
+          core::simulate(scaled, cpu, policy, exec_model, options)
+              .average_power);
+    }
+
+    SweepPoint point;
+    point.bcet_ratio = ratio;
+    point.fps_power = fps_power.mean();
+    point.policy_power = policy_power.mean();
+    point.normalized = point.policy_power / point.fps_power;
+    point.reduction_pct = 100.0 * (1.0 - point.normalized);
+    point.fps_wcet_power = fps_wcet_power;
+    point.reduction_vs_wcet_pct =
+        100.0 * (1.0 - point.policy_power / fps_wcet_power);
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace lpfps::metrics

@@ -1,0 +1,51 @@
+// The Figure 8 experiment runner, shared by benches and integration
+// tests.
+//
+// For a workload and a policy, sweeps the BCET/WCET ratio and reports
+// the average power normalized to the FPS baseline (the paper's y-axis),
+// averaging over several seeds of the clamped-Gaussian execution-time
+// model.  At ratio 1.0 the execution times are deterministic (sigma = 0)
+// and a single run suffices.
+#pragma once
+
+#include <vector>
+
+#include "core/engine.h"
+#include "core/policy.h"
+#include "power/processor.h"
+#include "sched/task_set.h"
+
+namespace lpfps::metrics {
+
+struct SweepConfig {
+  /// BCET as a fraction of WCET, paper Figure 8 x-axis (0.1 .. 1.0).
+  std::vector<double> bcet_ratios = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                     0.6, 0.7, 0.8, 0.9, 1.0};
+  int seeds = 5;
+  Time horizon = 0.0;  ///< Required.
+};
+
+struct SweepPoint {
+  double bcet_ratio = 0.0;
+  double fps_power = 0.0;      ///< Mean FPS average power at this BCET.
+  double policy_power = 0.0;   ///< Mean policy average power.
+  double normalized = 0.0;     ///< policy_power / fps_power (same BCET).
+  double reduction_pct = 0.0;  ///< 100 * (1 - normalized).
+  /// FPS average power with every job at its WCET — the paper's
+  /// "proportional to utilization" FPS reference (§4), constant across
+  /// the BCET axis.
+  double fps_wcet_power = 0.0;
+  /// 100 * (1 - policy_power / fps_wcet_power): the reduction measured
+  /// against the WCET-utilization FPS reference; the paper's headline
+  /// "up to 62% (INS)" reads on this scale.
+  double reduction_vs_wcet_pct = 0.0;
+};
+
+/// Runs the sweep.  Both policies see identical seeds, hence identical
+/// job-by-job execution times.
+std::vector<SweepPoint> run_bcet_sweep(const sched::TaskSet& tasks,
+                                       const power::ProcessorConfig& cpu,
+                                       const core::SchedulerPolicy& policy,
+                                       const SweepConfig& config);
+
+}  // namespace lpfps::metrics

@@ -1,0 +1,92 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace lpfps::metrics {
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)) {
+  LPFPS_CHECK(edges_.size() >= 2);
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    LPFPS_CHECK_MSG(edges_[i] > edges_[i - 1],
+                    "histogram edges must ascend");
+  }
+  counts_.assign(edges_.size() - 1, 0);
+}
+
+Histogram Histogram::log_spaced(double lo, double hi, int bins) {
+  LPFPS_CHECK(lo > 0.0 && hi > lo && bins >= 1);
+  std::vector<double> edges;
+  edges.reserve(static_cast<std::size_t>(bins) + 1);
+  const double step = (std::log(hi) - std::log(lo)) / bins;
+  for (int i = 0; i <= bins; ++i) {
+    edges.push_back(std::exp(std::log(lo) + step * i));
+  }
+  edges.back() = hi;  // Kill rounding on the last edge.
+  return Histogram(std::move(edges));
+}
+
+void Histogram::add(double value) {
+  values_.push_back(value);
+  if (value < edges_.front()) {
+    ++underflow_;
+    return;
+  }
+  if (value >= edges_.back()) {
+    ++overflow_;
+    return;
+  }
+  const auto it =
+      std::upper_bound(edges_.begin(), edges_.end(), value);
+  const auto bin = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  ++counts_[bin];
+}
+
+std::int64_t Histogram::count(std::size_t bin) const {
+  LPFPS_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+std::int64_t Histogram::total() const {
+  std::int64_t sum = underflow_ + overflow_;
+  for (const std::int64_t c : counts_) sum += c;
+  return sum;
+}
+
+double Histogram::fraction_below(double threshold) const {
+  if (values_.empty()) return 0.0;
+  const auto below = std::count_if(
+      values_.begin(), values_.end(),
+      [threshold](double v) { return v < threshold; });
+  return static_cast<double>(below) / static_cast<double>(values_.size());
+}
+
+std::string Histogram::render(int width) const {
+  LPFPS_CHECK(width > 0);
+  std::int64_t peak = 1;
+  for (const std::int64_t c : counts_) peak = std::max(peak, c);
+
+  std::ostringstream os;
+  if (underflow_ > 0) {
+    os << "  < " << edges_.front() << ": " << underflow_ << "\n";
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const int bar = static_cast<int>(
+        std::llround(static_cast<double>(counts_[i]) * width / peak));
+    os << std::setw(10) << std::right << std::setprecision(6)
+       << edges_[i] << " .. " << std::setw(10) << std::left
+       << edges_[i + 1] << " |" << std::string(static_cast<std::size_t>(bar), '#')
+       << " " << counts_[i] << "\n";
+  }
+  if (overflow_ > 0) {
+    os << " >= " << edges_.back() << ": " << overflow_ << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lpfps::metrics

@@ -1,0 +1,43 @@
+// A fixed-bin histogram with ASCII rendering, for distribution-shaped
+// analyses (idle-gap lengths, response times, slack).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lpfps::metrics {
+
+class Histogram {
+ public:
+  /// Bins are [edge[i], edge[i+1]); values below the first edge count
+  /// as underflow, at/above the last as overflow.  Edges must be
+  /// strictly ascending, at least two.
+  explicit Histogram(std::vector<double> edges);
+
+  /// Log-spaced edges from lo to hi (inclusive), `bins` bins.
+  static Histogram log_spaced(double lo, double hi, int bins);
+
+  void add(double value);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::int64_t count(std::size_t bin) const;
+  std::int64_t underflow() const { return underflow_; }
+  std::int64_t overflow() const { return overflow_; }
+  std::int64_t total() const;
+
+  /// Fraction of all added values strictly below `threshold` (linear
+  /// interpolation inside the containing bin; under/overflow handled).
+  double fraction_below(double threshold) const;
+
+  /// ASCII rendering: one row per bin, bar scaled to `width` chars.
+  std::string render(int width = 40) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::int64_t> counts_;
+  std::vector<double> values_;  ///< Kept for exact fraction_below.
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+};
+
+}  // namespace lpfps::metrics

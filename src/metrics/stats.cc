@@ -1,0 +1,47 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lpfps::metrics {
+
+void Summary::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double Summary::mean() const {
+  LPFPS_CHECK(count_ > 0);
+  return mean_;
+}
+
+double Summary::variance() const {
+  LPFPS_CHECK(count_ > 0);
+  if (count_ == 1) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::min() const {
+  LPFPS_CHECK(count_ > 0);
+  return min_;
+}
+
+double Summary::max() const {
+  LPFPS_CHECK(count_ > 0);
+  return max_;
+}
+
+}  // namespace lpfps::metrics

@@ -1,0 +1,28 @@
+// Streaming summary statistics.
+#pragma once
+
+#include <cstddef>
+
+namespace lpfps::metrics {
+
+/// Welford's online mean/variance plus min/max.
+class Summary {
+ public:
+  void add(double value);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace lpfps::metrics

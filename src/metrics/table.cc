@@ -1,0 +1,69 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace lpfps::metrics {
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  LPFPS_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LPFPS_CHECK_MSG(cells.size() == header_.size(),
+                  "row width != header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::to_aligned() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+         << row[c];
+    }
+    os << "\n";
+  };
+  emit_row(header_);
+  std::size_t rule = 0;
+  for (const std::size_t w : widths) rule += w + 2;
+  os << std::string(rule, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+}  // namespace lpfps::metrics

@@ -1,0 +1,31 @@
+// Aligned-text and CSV table emission for bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lpfps::metrics {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// monospace table (for terminal reading) or CSV (for plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must match the header's column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 4);
+
+  std::string to_aligned() const;
+  std::string to_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lpfps::metrics

@@ -1,0 +1,145 @@
+#include "multicore/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "sched/analysis.h"
+#include "sched/priority.h"
+
+namespace lpfps::multicore {
+
+const char* to_string(PackingHeuristic heuristic) {
+  switch (heuristic) {
+    case PackingHeuristic::kFirstFitDecreasing:
+      return "first-fit";
+    case PackingHeuristic::kBestFitDecreasing:
+      return "best-fit";
+    case PackingHeuristic::kWorstFitDecreasing:
+      return "worst-fit";
+  }
+  return "?";
+}
+
+void Partition::validate(std::size_t task_count) const {
+  std::vector<int> seen(task_count, 0);
+  for (const auto& core : cores) {
+    for (const TaskIndex task : core) {
+      LPFPS_CHECK(task >= 0 &&
+                  static_cast<std::size_t>(task) < task_count);
+      ++seen[static_cast<std::size_t>(task)];
+    }
+  }
+  for (std::size_t i = 0; i < task_count; ++i) {
+    LPFPS_CHECK_MSG(seen[i] == 1, "task assigned " +
+                                      std::to_string(seen[i]) + " times");
+  }
+}
+
+sched::TaskSet core_task_set(const sched::TaskSet& tasks,
+                             const std::vector<TaskIndex>& assignment) {
+  sched::TaskSet subset;
+  for (const TaskIndex index : assignment) {
+    subset.add(tasks[index]);
+  }
+  sched::assign_rate_monotonic(subset);
+  return subset;
+}
+
+namespace {
+
+double core_utilization(const sched::TaskSet& tasks,
+                        const std::vector<TaskIndex>& core) {
+  double u = 0.0;
+  for (const TaskIndex index : core) u += tasks[index].utilization();
+  return u;
+}
+
+bool admits(const sched::TaskSet& tasks, std::vector<TaskIndex> core,
+            TaskIndex candidate) {
+  core.push_back(candidate);
+  return sched::is_schedulable_rta(core_task_set(tasks, core));
+}
+
+}  // namespace
+
+std::optional<Partition> partition_tasks(const sched::TaskSet& tasks,
+                                         int core_count,
+                                         PackingHeuristic heuristic) {
+  LPFPS_CHECK(core_count > 0);
+  tasks.validate();
+
+  std::vector<TaskIndex> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](TaskIndex a, TaskIndex b) {
+                     return tasks[a].utilization() >
+                            tasks[b].utilization();
+                   });
+
+  Partition partition;
+  partition.cores.assign(static_cast<std::size_t>(core_count), {});
+
+  for (const TaskIndex task : order) {
+    int chosen = -1;
+    double chosen_utilization = 0.0;
+    for (int core = 0; core < core_count; ++core) {
+      const auto& members = partition.cores[static_cast<std::size_t>(core)];
+      if (!admits(tasks, members, task)) continue;
+      const double u = core_utilization(tasks, members);
+      const bool better = [&] {
+        switch (heuristic) {
+          case PackingHeuristic::kFirstFitDecreasing:
+            return chosen < 0;  // First admissible wins.
+          case PackingHeuristic::kBestFitDecreasing:
+            return chosen < 0 || u > chosen_utilization;
+          case PackingHeuristic::kWorstFitDecreasing:
+            return chosen < 0 || u < chosen_utilization;
+        }
+        return false;
+      }();
+      if (better) {
+        chosen = core;
+        chosen_utilization = u;
+        if (heuristic == PackingHeuristic::kFirstFitDecreasing) break;
+      }
+    }
+    if (chosen < 0) return std::nullopt;
+    partition.cores[static_cast<std::size_t>(chosen)].push_back(task);
+  }
+  partition.validate(tasks.size());
+  return partition;
+}
+
+std::optional<int> min_cores(const sched::TaskSet& tasks, int max_cores,
+                             PackingHeuristic heuristic) {
+  LPFPS_CHECK(max_cores >= 1);
+  for (int cores = 1; cores <= max_cores; ++cores) {
+    if (partition_tasks(tasks, cores, heuristic).has_value()) {
+      return cores;
+    }
+  }
+  return std::nullopt;
+}
+
+double utilization_imbalance(const sched::TaskSet& tasks,
+                             const Partition& partition) {
+  LPFPS_CHECK(!partition.cores.empty());
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (const auto& core : partition.cores) {
+    const double u = core_utilization(tasks, core);
+    if (first) {
+      lo = u;
+      hi = u;
+      first = false;
+    } else {
+      lo = std::min(lo, u);
+      hi = std::max(hi, u);
+    }
+  }
+  return hi - lo;
+}
+
+}  // namespace lpfps::multicore

@@ -1,0 +1,64 @@
+// Partitioned multiprocessor scheduling: assign periodic tasks to
+// cores, each core running its own fixed-priority (LPFPS-capable)
+// scheduler.
+//
+// The paper is single-processor; partitioning is the standard way its
+// machinery scales out (each core keeps the exact-knowledge properties
+// LPFPS relies on, unlike global scheduling).  Admission per core is
+// the *exact* response-time test, not a utilization bound, so packing
+// decisions see true schedulability.  Energy-wise, how tasks are spread
+// matters: balanced loads leave every core more DVS slack
+// (bench_multicore quantifies this against first-fit's tendency to
+// saturate early cores).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sched/task_set.h"
+
+namespace lpfps::multicore {
+
+/// Bin-packing order is always by decreasing utilization; the heuristic
+/// picks which admissible core receives the task.
+enum class PackingHeuristic : std::uint8_t {
+  kFirstFitDecreasing,  ///< Lowest-index admissible core.
+  kBestFitDecreasing,   ///< Admissible core with least remaining capacity.
+  kWorstFitDecreasing,  ///< Admissible core with most remaining capacity
+                        ///< (load balancing; usually best for DVS).
+};
+
+const char* to_string(PackingHeuristic heuristic);
+
+/// A task-to-core assignment.  Task indices refer to the original set.
+struct Partition {
+  std::vector<std::vector<TaskIndex>> cores;
+
+  int core_count() const { return static_cast<int>(cores.size()); }
+  /// Throws unless every task index in [0, n) appears exactly once.
+  void validate(std::size_t task_count) const;
+};
+
+/// The tasks of one core as a standalone TaskSet with rate-monotonic
+/// priorities reassigned within the core.
+sched::TaskSet core_task_set(const sched::TaskSet& tasks,
+                             const std::vector<TaskIndex>& assignment);
+
+/// Packs `tasks` onto `core_count` cores with the given heuristic,
+/// admitting a task onto a core only if the grown core passes the exact
+/// RTA.  Returns nullopt if some task fits nowhere.
+std::optional<Partition> partition_tasks(const sched::TaskSet& tasks,
+                                         int core_count,
+                                         PackingHeuristic heuristic);
+
+/// Smallest core count (up to `max_cores`) for which partition_tasks
+/// succeeds, or nullopt.
+std::optional<int> min_cores(const sched::TaskSet& tasks, int max_cores,
+                             PackingHeuristic heuristic);
+
+/// Max per-core utilization minus min per-core utilization — 0 is a
+/// perfectly balanced packing.
+double utilization_imbalance(const sched::TaskSet& tasks,
+                             const Partition& partition);
+
+}  // namespace lpfps::multicore

@@ -1,0 +1,58 @@
+#include "multicore/simulate.h"
+
+#include "common/check.h"
+
+namespace lpfps::multicore {
+
+MulticoreResult simulate_partitioned(const sched::TaskSet& tasks,
+                                     const Partition& partition,
+                                     const power::ProcessorConfig& cpu,
+                                     const core::SchedulerPolicy& policy,
+                                     const exec::ExecModelPtr& exec_model,
+                                     const core::EngineOptions& options) {
+  partition.validate(tasks.size());
+  LPFPS_CHECK(options.horizon > 0.0);
+  LPFPS_CHECK_MSG(options.release_jitter.empty(),
+                  "per-core jitter vectors are not remapped; configure "
+                  "jitter per core-level run instead");
+
+  MulticoreResult result;
+  for (std::size_t index = 0; index < partition.cores.size(); ++index) {
+    const auto& members = partition.cores[index];
+    core::EngineOptions core_options = options;
+    core_options.seed = options.seed + index;
+
+    if (members.empty()) {
+      // An empty core never runs: account it as parked (power-down
+      // fraction for the whole horizon) — what a real integration would
+      // do with an unused core.
+      core::SimulationResult idle;
+      idle.policy_name = policy.name + " (parked core)";
+      idle.simulated_time = options.horizon;
+      const auto ladder = cpu.sleep_ladder();
+      double deepest = 1.0;
+      for (const auto& state : ladder) {
+        deepest = std::min(deepest, state.power_fraction);
+      }
+      idle.total_energy = options.horizon * deepest;
+      idle.average_power = deepest;
+      result.total_energy += idle.total_energy;
+      result.per_core.push_back(std::move(idle));
+      continue;
+    }
+
+    const sched::TaskSet subset = core_task_set(tasks, members);
+    core::SimulationResult run =
+        core::simulate(subset, cpu, policy, exec_model, core_options);
+    result.total_energy += run.total_energy;
+    result.deadline_misses += run.deadline_misses;
+    result.jobs_completed += run.jobs_completed;
+    result.per_core.push_back(std::move(run));
+  }
+  result.mean_core_power =
+      result.total_energy /
+      (static_cast<double>(partition.cores.size()) * options.horizon);
+  return result;
+}
+
+}  // namespace lpfps::multicore

@@ -1,0 +1,86 @@
+#include "power/energy.h"
+
+#include "common/check.h"
+#include "common/float_compare.h"
+#include "power/speed_profile.h"
+
+namespace lpfps::power {
+
+EnergyAccumulator::EnergyAccumulator(const PowerModel* model)
+    : model_(model) {
+  LPFPS_CHECK(model_ != nullptr);
+}
+
+void EnergyAccumulator::charge(sim::ProcessorMode mode, Time duration,
+                               Energy energy) {
+  LPFPS_CHECK(duration >= -kTimeEpsilon);
+  if (duration <= 0.0) return;
+  auto& slot = by_mode_[static_cast<std::size_t>(mode)];
+  slot.time += duration;
+  slot.energy += energy;
+}
+
+void EnergyAccumulator::add_run(Time duration, Ratio ratio) {
+  charge(sim::ProcessorMode::kRunning, duration,
+         duration * model_->run_power(ratio));
+}
+
+void EnergyAccumulator::add_run_ramp(Time duration, Ratio from, Ratio to,
+                                     double rho) {
+  LPFPS_CHECK(approx_equal(duration, ramp_duration(from, to, rho),
+                           1e-6 + duration * 1e-9));
+  charge(sim::ProcessorMode::kRunning, duration,
+         model_->ramp_energy(from, to, rho, /*executing=*/true));
+}
+
+void EnergyAccumulator::add_idle_nop(Time duration, Ratio ratio) {
+  charge(sim::ProcessorMode::kIdleBusyWait, duration,
+         duration * model_->idle_nop_power(ratio));
+}
+
+void EnergyAccumulator::add_idle_ramp(Time duration, Ratio from, Ratio to,
+                                      double rho) {
+  LPFPS_CHECK(approx_equal(duration, ramp_duration(from, to, rho),
+                           1e-6 + duration * 1e-9));
+  charge(sim::ProcessorMode::kRamping, duration,
+         model_->ramp_energy(from, to, rho, /*executing=*/false));
+}
+
+void EnergyAccumulator::add_power_down(Time duration) {
+  add_power_down(duration, model_->power_down_power());
+}
+
+void EnergyAccumulator::add_power_down(Time duration,
+                                       double power_fraction) {
+  LPFPS_CHECK(power_fraction >= 0.0 && power_fraction <= 1.0);
+  charge(sim::ProcessorMode::kPowerDown, duration,
+         duration * power_fraction);
+}
+
+void EnergyAccumulator::add_wakeup(Time duration) {
+  charge(sim::ProcessorMode::kWakeUp, duration, duration * 1.0);
+}
+
+Energy EnergyAccumulator::total_energy() const {
+  Energy total = 0.0;
+  for (const ModeTotals& slot : by_mode_) total += slot.energy;
+  return total;
+}
+
+Time EnergyAccumulator::total_time() const {
+  Time total = 0.0;
+  for (const ModeTotals& slot : by_mode_) total += slot.time;
+  return total;
+}
+
+double EnergyAccumulator::average_power() const {
+  const Time t = total_time();
+  if (t <= 0.0) return 0.0;
+  return total_energy() / t;
+}
+
+const ModeTotals& EnergyAccumulator::totals(sim::ProcessorMode mode) const {
+  return by_mode_[static_cast<std::size_t>(mode)];
+}
+
+}  // namespace lpfps::power

@@ -1,0 +1,66 @@
+// Energy accounting over a simulation run.
+//
+// The accumulator receives every processor interval the engine produces
+// (runs, ramps, NOP idling, power-down, wake-up) and integrates the power
+// model over it, keeping a per-mode breakdown so benches can report where
+// the energy went (the paper's §4 discussion of *why* INS wins relies on
+// exactly this breakdown).
+#pragma once
+
+#include <array>
+
+#include "common/units.h"
+#include "power/power_model.h"
+#include "sim/trace.h"
+
+namespace lpfps::power {
+
+/// Energy and wall-time attributed to one processor mode.
+struct ModeTotals {
+  Energy energy = 0.0;
+  Time time = 0.0;
+};
+
+class EnergyAccumulator {
+ public:
+  explicit EnergyAccumulator(const PowerModel* model);
+
+  /// Task execution at constant speed.
+  void add_run(Time duration, Ratio ratio);
+
+  /// Task execution during a frequency/voltage ramp (linear in time).
+  void add_run_ramp(Time duration, Ratio from, Ratio to, double rho);
+
+  /// Busy-wait NOP idling at constant speed.
+  void add_idle_nop(Time duration, Ratio ratio);
+
+  /// Ramp with nothing to execute (the processor spins NOPs while the
+  /// voltage settles).
+  void add_idle_ramp(Time duration, Ratio from, Ratio to, double rho);
+
+  /// Power-down residence at the model's default power-down fraction.
+  void add_power_down(Time duration);
+
+  /// Power-down residence in a specific sleep state (fraction of full
+  /// power); used with sleep-state hierarchies.
+  void add_power_down(Time duration, double power_fraction);
+
+  /// Wake-up transition (full power, no useful work).
+  void add_wakeup(Time duration);
+
+  Energy total_energy() const;
+  Time total_time() const;
+
+  /// Average power = total energy / total time (0 if no time elapsed).
+  double average_power() const;
+
+  const ModeTotals& totals(sim::ProcessorMode mode) const;
+
+ private:
+  void charge(sim::ProcessorMode mode, Time duration, Energy energy);
+
+  const PowerModel* model_;
+  std::array<ModeTotals, 5> by_mode_{};
+};
+
+}  // namespace lpfps::power

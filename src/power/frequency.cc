@@ -1,0 +1,60 @@
+#include "power/frequency.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/float_compare.h"
+#include "common/math_utils.h"
+
+namespace lpfps::power {
+
+FrequencyTable FrequencyTable::arm8_like() {
+  return stepped(8.0, 100.0, 1.0);
+}
+
+FrequencyTable FrequencyTable::stepped(MegaHertz f_min, MegaHertz f_max,
+                                       MegaHertz step) {
+  LPFPS_CHECK(f_min > 0.0 && f_max >= f_min && step > 0.0);
+  std::vector<MegaHertz> levels;
+  for (MegaHertz f = f_min; f <= f_max + 1e-9; f += step) {
+    levels.push_back(std::min(f, f_max));
+  }
+  if (!approx_equal(levels.back(), f_max, 1e-9)) levels.push_back(f_max);
+  return from_levels(std::move(levels));
+}
+
+FrequencyTable FrequencyTable::from_levels(std::vector<MegaHertz> levels) {
+  LPFPS_CHECK(!levels.empty());
+  std::sort(levels.begin(), levels.end());
+  for (const MegaHertz f : levels) LPFPS_CHECK(f > 0.0);
+  FrequencyTable table;
+  table.levels_ = std::move(levels);
+  table.f_min_ = table.levels_.front();
+  table.f_max_ = table.levels_.back();
+  table.continuous_ = false;
+  return table;
+}
+
+FrequencyTable FrequencyTable::continuous(MegaHertz f_min, MegaHertz f_max) {
+  LPFPS_CHECK(f_min > 0.0 && f_max >= f_min);
+  FrequencyTable table;
+  table.f_min_ = f_min;
+  table.f_max_ = f_max;
+  table.continuous_ = true;
+  return table;
+}
+
+Ratio FrequencyTable::quantize_up(Ratio desired) const {
+  const Ratio floor_ratio = f_min_ / f_max_;
+  const Ratio clamped = clamp(desired, floor_ratio, 1.0);
+  if (continuous_) return clamped;
+  // Smallest level whose ratio is >= clamped (tolerantly, so a desired
+  // ratio of exactly 0.5 selects 50 MHz rather than 51 MHz).
+  for (const MegaHertz f : levels_) {
+    const Ratio r = f / f_max_;
+    if (approx_ge(r, clamped, 1e-12) || r >= clamped) return r;
+  }
+  return 1.0;
+}
+
+}  // namespace lpfps::power

@@ -1,0 +1,55 @@
+// Discrete clock-frequency levels of a variable-speed processor.
+//
+// The paper's processor (ARM8-like) runs 8..100 MHz in 1 MHz steps at up
+// to 3.3 V.  LPFPS computes a desired speed *ratio* and must then select
+// an available frequency >= the computed one to preserve the timing
+// guarantee (paper L18: "find a minimum allowable clock frequency >=
+// speed_ratio * max_frequency").
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace lpfps::power {
+
+class FrequencyTable {
+ public:
+  /// The paper's configuration: 100 MHz max, 8 MHz min, 1 MHz steps.
+  static FrequencyTable arm8_like();
+
+  /// Evenly stepped levels [f_min, f_max] inclusive.
+  static FrequencyTable stepped(MegaHertz f_min, MegaHertz f_max,
+                                MegaHertz step);
+
+  /// Explicit levels (ablation A4 uses e.g. {25, 50, 75, 100}).
+  static FrequencyTable from_levels(std::vector<MegaHertz> levels);
+
+  /// An idealized continuously variable clock in [f_min, f_max]; the
+  /// quantization upper bound on achievable savings.
+  static FrequencyTable continuous(MegaHertz f_min, MegaHertz f_max);
+
+  MegaHertz f_max() const { return f_max_; }
+  MegaHertz f_min() const { return f_min_; }
+  bool is_continuous() const { return continuous_; }
+
+  /// Levels in ascending MHz (empty for a continuous table).
+  const std::vector<MegaHertz>& levels() const { return levels_; }
+
+  /// Smallest available ratio >= `desired` (clamped to [f_min/f_max, 1]).
+  /// This implements L18 of the paper's pseudocode.
+  Ratio quantize_up(Ratio desired) const;
+
+  /// The ratio corresponding to a frequency level.
+  Ratio ratio_of(MegaHertz f) const { return f / f_max_; }
+
+ private:
+  FrequencyTable() = default;
+
+  std::vector<MegaHertz> levels_;  // Ascending; empty if continuous.
+  MegaHertz f_min_ = 0.0;
+  MegaHertz f_max_ = 0.0;
+  bool continuous_ = false;
+};
+
+}  // namespace lpfps::power

@@ -1,0 +1,71 @@
+#include "power/processor.h"
+
+#include "common/check.h"
+
+namespace lpfps::power {
+
+ProcessorConfig ProcessorConfig::arm8_default() { return ProcessorConfig{}; }
+
+ProcessorConfig ProcessorConfig::with_sleep_hierarchy() {
+  ProcessorConfig config;
+  config.sleep_states = {
+      {"doze", 0.30, 10.0},
+      {"nap", 0.10, 20.0},
+      {"sleep", 0.05, 1'000.0},        // PLL running; ~10 us at 100 MHz.
+      {"deep-sleep", 0.02, 10'000.0},  // PLL off; ~100 us.
+  };
+  return config;
+}
+
+PowerModel ProcessorConfig::make_power_model() const {
+  return PowerModel(voltage, power);
+}
+
+Time ProcessorConfig::wakeup_delay() const {
+  return power.wakeup_cycles / frequencies.f_max();
+}
+
+std::vector<SleepState> ProcessorConfig::sleep_ladder() const {
+  if (!sleep_states.empty()) return sleep_states;
+  return {SleepState{"power-down", power.power_down_fraction,
+                     power.wakeup_cycles}};
+}
+
+std::optional<SleepState> ProcessorConfig::deepest_state_for_gap(
+    Time gap) const {
+  // Choose the state minimizing the energy of covering the gap:
+  //   (gap - latency) * state_power + latency * full_power,
+  // restricted to states that can wake in time.  A deeper state only
+  // pays when the gap amortizes its longer full-power wake-up — the
+  // §2.1 trade-off.
+  std::optional<SleepState> best;
+  double best_energy = 0.0;
+  for (const SleepState& state : sleep_ladder()) {
+    const Time latency = state.wakeup_cycles / frequencies.f_max();
+    if (latency >= gap) continue;  // Cannot wake in time.
+    const double energy =
+        (gap - latency) * state.power_fraction + latency * 1.0;
+    if (!best.has_value() || energy < best_energy) {
+      best = state;
+      best_energy = energy;
+    }
+  }
+  return best;
+}
+
+void ProcessorConfig::validate() const {
+  LPFPS_CHECK(voltage != nullptr);
+  LPFPS_CHECK(ramp_rate > 0.0);
+  LPFPS_CHECK(frequencies.f_max() > 0.0);
+  LPFPS_CHECK(frequencies.f_min() > 0.0);
+  for (const SleepState& state : sleep_states) {
+    LPFPS_CHECK(state.power_fraction >= 0.0 &&
+                state.power_fraction <= 1.0);
+    LPFPS_CHECK(state.wakeup_cycles >= 0.0);
+  }
+  // The voltage model must be defined down to the slowest frequency.
+  (void)voltage->voltage_for_ratio(frequencies.f_min() /
+                                   frequencies.f_max());
+}
+
+}  // namespace lpfps::power

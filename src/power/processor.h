@@ -1,0 +1,71 @@
+// The complete variable-speed processor configuration.
+//
+// Bundles everything the engine needs to know about the hardware: the
+// available frequencies, the voltage law, the power fractions, the
+// frequency-transition rate, and the power-down wake-up latency.  The
+// default matches the paper's experimental setup (§4).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "power/frequency.h"
+#include "power/power_model.h"
+#include "power/voltage.h"
+
+namespace lpfps::power {
+
+struct ProcessorConfig {
+  FrequencyTable frequencies = FrequencyTable::arm8_like();
+  /// Default voltage law: linear V ~ f with a 1.1 V floor, calibrated to
+  /// the ARM8 DVS design of the paper's reference [20] (Burd/Pering):
+  /// 8 MHz at 1.1 V, 100 MHz at 3.3 V.  The pure ring-oscillator
+  /// inverter law overestimates the voltage needed at mid frequencies
+  /// (velocity saturation helps real silicon); ablation A5 compares
+  /// both.
+  VoltageModelPtr voltage =
+      std::make_shared<ProportionalVoltageModel>(3.3, 1.1);
+  PowerParams power{};
+  /// Speed-ratio change rate rho, per microsecond (paper: 0.07/us,
+  /// e.g. 30 MHz -> 100 MHz including the voltage ramp in 10 us).
+  double ramp_rate = 0.07;
+
+  /// Optional sleep-state hierarchy (paper §2.1's PowerPC-style mode
+  /// ladder).  Empty = the single classic power-down state from
+  /// `power` (5% / 10 cycles).  When non-empty, LPFPS's exact timer
+  /// picks the *deepest* (lowest-power) state whose wake-up latency
+  /// still fits the known idle gap.
+  std::vector<SleepState> sleep_states;
+
+  /// The paper's ARM8-like processor: 100 MHz / 3.3 V max, 8..100 MHz in
+  /// 1 MHz steps, rho = 0.07/us, power-down at 5% of full power with a
+  /// 10-cycle wake-up, NOP at 20% of a typical instruction.
+  static ProcessorConfig arm8_default();
+
+  /// arm8_default() plus a PowerPC 603-style mode ladder (paper §2.1):
+  /// doze 30% / 10 cycles, nap 10% / 20 cycles, sleep (PLL on) 5% /
+  /// 10 us, deep sleep (PLL off) 2% / 100 us.
+  static ProcessorConfig with_sleep_hierarchy();
+
+  PowerModel make_power_model() const;
+
+  /// Wake-up latency from power-down, in microseconds.
+  Time wakeup_delay() const;
+
+  /// The effective sleep ladder: `sleep_states` if set, else the single
+  /// classic state synthesized from `power`.  Sorted shallowest (fastest
+  /// wake) first; validate() checks depth and latency are aligned.
+  std::vector<SleepState> sleep_ladder() const;
+
+  /// The energy-optimal sleep state for an idle gap of `gap`
+  /// microseconds: among states that can wake in time, the one
+  /// minimizing (gap - latency) * power + latency * full-power — deeper
+  /// states only win once the gap amortizes their longer full-power
+  /// wake-up (§2.1's trade-off).  nullopt if no state can wake in time.
+  std::optional<SleepState> deepest_state_for_gap(Time gap) const;
+
+  /// Throws if the configuration is internally inconsistent.
+  void validate() const;
+};
+
+}  // namespace lpfps::power

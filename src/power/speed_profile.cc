@@ -1,0 +1,66 @@
+#include "power/speed_profile.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/float_compare.h"
+
+namespace lpfps::power {
+
+Time ramp_duration(Ratio from, Ratio to, double rho) {
+  LPFPS_CHECK(rho > 0.0);
+  return std::fabs(to - from) / rho;
+}
+
+Work ramp_work(Ratio from, Ratio to, double rho) {
+  return ramp_duration(from, to, rho) * (from + to) / 2.0;
+}
+
+Work work_done(Ratio r0, double slope, Time elapsed) {
+  LPFPS_CHECK(elapsed >= 0.0);
+  LPFPS_CHECK(r0 > 0.0);
+  LPFPS_CHECK(r0 + slope * elapsed >= -kTimeEpsilon);
+  return r0 * elapsed + slope * elapsed * elapsed / 2.0;
+}
+
+std::optional<Time> time_to_complete(Ratio r0, double slope, Time window,
+                                     Work work) {
+  LPFPS_CHECK(r0 > 0.0 && window >= 0.0);
+  work = snap_nonnegative(work);
+  LPFPS_CHECK(work >= 0.0);
+  if (work == 0.0) return 0.0;
+
+  if (slope == 0.0) {
+    const Time tau = work / r0;
+    if (approx_le(tau, window)) return std::min(tau, window);
+    return std::nullopt;
+  }
+
+  // slope/2 tau^2 + r0 tau - work = 0.  The product of roots is
+  // -2*work/slope; for slope > 0 the roots straddle zero and we need the
+  // positive one; for slope < 0 both roots are positive and we need the
+  // smaller (the parabola's first crossing).
+  const double a = slope / 2.0;
+  const double disc = r0 * r0 + 2.0 * slope * work;
+  if (disc < 0.0) return std::nullopt;  // Decelerating; work never reached.
+  const double sqrt_disc = std::sqrt(disc);
+  // Numerically stable smallest-positive-root selection: with b = r0 > 0
+  // the root (-b + sqrt(disc)) / (2a) is the first crossing for both
+  // slope signs; compute it via the conjugate form to avoid cancellation.
+  const double tau = (2.0 * work) / (r0 + sqrt_disc);
+  (void)a;
+  if (tau < 0.0) return std::nullopt;
+  if (approx_le(tau, window)) return std::min(tau, window);
+  return std::nullopt;
+}
+
+Work plan_capacity(Ratio ratio, Time window, double rho) {
+  LPFPS_CHECK(ratio > 0.0 && ratio <= 1.0 + 1e-12);
+  LPFPS_CHECK(rho > 0.0);
+  const Time ramp = (1.0 - ratio) / rho;
+  LPFPS_CHECK_MSG(approx_le(ramp, window),
+                  "window shorter than the ramp back to full speed");
+  return ratio * window + (1.0 - ratio) * (1.0 - ratio) / (2.0 * rho);
+}
+
+}  // namespace lpfps::power

@@ -1,0 +1,45 @@
+// Work/time arithmetic over piecewise-linear speed profiles.
+//
+// While the processor ramps between frequencies it keeps executing
+// (paper §3.3: "the processor can still execute operations while its
+// speed is being changed"), so the engine must integrate work under a
+// trapezoidal speed curve.  These helpers isolate that math: they are the
+// numerical heart of both the optimal ratio r_opt (paper eq. (2)) and the
+// engine's completion-time predictions, and are tested directly against
+// closed-form cases.
+#pragma once
+
+#include <optional>
+
+#include "common/units.h"
+
+namespace lpfps::power {
+
+/// Duration of a ramp between two ratios at rate `rho` (ratio per us).
+Time ramp_duration(Ratio from, Ratio to, double rho);
+
+/// Work executed during a full ramp between two ratios: the trapezoid
+/// area |to - from| / rho * (from + to) / 2.
+Work ramp_work(Ratio from, Ratio to, double rho);
+
+/// Work executed in `elapsed` microseconds when speed starts at `r0` and
+/// changes linearly with slope `slope` (ratio per us; may be negative,
+/// zero for constant speed).  The caller guarantees the speed stays
+/// positive over [0, elapsed].
+Work work_done(Ratio r0, double slope, Time elapsed);
+
+/// Earliest tau in [0, window] with work_done(r0, slope, tau) == work, or
+/// nullopt if the work does not complete within the window.  Solves the
+/// quadratic slope/2 tau^2 + r0 tau - work = 0 robustly.
+std::optional<Time> time_to_complete(Ratio r0, double slope, Time window,
+                                     Work work);
+
+/// Work capacity of the LPFPS slowdown plan of paper eq. (1): run at
+/// `ratio` from now (t_c) until the last moment, then ramp up at `rho` so
+/// the speed reaches 1.0 exactly at t_a.  Capacity over a window of
+/// length `window` = t_a - t_c is  ratio * window + (1 - ratio)^2/(2 rho).
+/// Precondition: the window is long enough to contain the ramp,
+/// window >= (1 - ratio) / rho.
+Work plan_capacity(Ratio ratio, Time window, double rho);
+
+}  // namespace lpfps::power

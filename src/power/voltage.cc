@@ -1,0 +1,53 @@
+#include "power/voltage.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lpfps::power {
+
+double VoltageModel::power_factor(Ratio ratio) const {
+  LPFPS_CHECK(ratio > 0.0 && ratio <= 1.0 + 1e-9);
+  const Volts v = voltage_for_ratio(ratio);
+  const double vv = v / v_max();
+  return ratio * vv * vv;
+}
+
+RingOscillatorVoltageModel::RingOscillatorVoltageModel(Volts v_max,
+                                                       Volts v_threshold)
+    : v_max_(v_max), v_threshold_(v_threshold) {
+  LPFPS_CHECK(v_max_ > v_threshold_ && v_threshold_ >= 0.0);
+  norm_ = (v_max_ - v_threshold_) * (v_max_ - v_threshold_) / v_max_;
+}
+
+Ratio RingOscillatorVoltageModel::ratio_for_voltage(Volts v) const {
+  LPFPS_CHECK(v > v_threshold_ && v <= v_max_ + 1e-9);
+  return (v - v_threshold_) * (v - v_threshold_) / v / norm_;
+}
+
+Volts RingOscillatorVoltageModel::voltage_for_ratio(Ratio ratio) const {
+  LPFPS_CHECK(ratio > 0.0 && ratio <= 1.0 + 1e-9);
+  // Solve (V - Vt)^2 / V = ratio * norm for V:
+  //   V^2 - (2 Vt + k) V + Vt^2 = 0,  k = ratio * norm,
+  // taking the larger root (the smaller one lies below Vt, where the
+  // oscillator does not run).
+  const double k = ratio * norm_;
+  const double b = 2.0 * v_threshold_ + k;
+  const double disc = b * b - 4.0 * v_threshold_ * v_threshold_;
+  LPFPS_CHECK(disc >= 0.0);
+  const double v = (b + std::sqrt(disc)) / 2.0;
+  return std::min(v, v_max_);
+}
+
+ProportionalVoltageModel::ProportionalVoltageModel(Volts v_max,
+                                                   Volts v_floor)
+    : v_max_(v_max), v_floor_(v_floor) {
+  LPFPS_CHECK(v_max_ > 0.0 && v_floor_ >= 0.0 && v_floor_ <= v_max_);
+}
+
+Volts ProportionalVoltageModel::voltage_for_ratio(Ratio ratio) const {
+  LPFPS_CHECK(ratio > 0.0 && ratio <= 1.0 + 1e-9);
+  return std::max(v_floor_, v_max_ * ratio);
+}
+
+}  // namespace lpfps::power

@@ -1,0 +1,223 @@
+#include "sched/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/float_compare.h"
+
+namespace lpfps::sched {
+
+double liu_layland_bound(int task_count) {
+  LPFPS_CHECK(task_count > 0);
+  const double n = task_count;
+  return n * (std::pow(2.0, 1.0 / n) - 1.0);
+}
+
+bool passes_utilization_bound(const TaskSet& tasks) {
+  LPFPS_CHECK(!tasks.empty());
+  return tasks.utilization() <=
+         liu_layland_bound(static_cast<int>(tasks.size())) + 1e-12;
+}
+
+std::optional<Time> response_time(const TaskSet& tasks, TaskIndex index) {
+  tasks.validate();
+  const Task& task = tasks[index];
+  LPFPS_CHECK_MSG(task.deadline <= task.period,
+                  "RTA requires constrained deadlines (D <= T)");
+
+  // Fixed-point iteration R <- C_i + sum_hp ceil(R / T_j) C_j starting
+  // from R = C_i.  The sequence is non-decreasing; it either converges or
+  // exceeds the deadline (divergence for our purposes).
+  double r = task.wcet;
+  for (int iter = 0; iter < 100000; ++iter) {
+    double next = task.wcet;
+    for (const Task& other : tasks.tasks()) {
+      if (other.priority >= task.priority) continue;
+      LPFPS_CHECK(other.deadline <= other.period);
+      const double jobs =
+          std::ceil((r - kTimeEpsilon) / static_cast<double>(other.period));
+      next += std::max(1.0, jobs) * other.wcet;
+    }
+    if (approx_equal(next, r)) return next;
+    if (next > static_cast<double>(task.deadline) + kTimeEpsilon) {
+      return std::nullopt;
+    }
+    r = next;
+  }
+  return std::nullopt;  // Did not converge within the iteration budget.
+}
+
+std::vector<std::optional<Time>> response_times(const TaskSet& tasks) {
+  std::vector<std::optional<Time>> out;
+  out.reserve(tasks.size());
+  for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks.size()); ++i) {
+    out.push_back(response_time(tasks, i));
+  }
+  return out;
+}
+
+bool is_schedulable_rta(const TaskSet& tasks) {
+  for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks.size()); ++i) {
+    const auto r = response_time(tasks, i);
+    if (!r.has_value()) return false;
+    if (definitely_greater(*r, static_cast<double>(tasks[i].deadline))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_schedulable_edf(const TaskSet& tasks) {
+  return approx_le(tasks.utilization(), 1.0);
+}
+
+Work demand_bound(const TaskSet& tasks, Time t) {
+  LPFPS_CHECK(t >= 0.0);
+  Work demand = 0.0;
+  for (const Task& task : tasks.tasks()) {
+    const double jobs =
+        std::floor((t - static_cast<double>(task.deadline)) /
+                   static_cast<double>(task.period)) +
+        1.0;
+    if (jobs > 0.0) demand += jobs * task.wcet;
+  }
+  return demand;
+}
+
+bool is_schedulable_edf_exact(const TaskSet& tasks) {
+  LPFPS_CHECK(!tasks.empty());
+  for (const Task& t : tasks.tasks()) {
+    LPFPS_CHECK_MSG(t.deadline <= t.period,
+                    "PDA here requires constrained deadlines");
+    LPFPS_CHECK_MSG(t.phase == 0, "PDA assumes synchronous release");
+  }
+  const double u = tasks.utilization();
+  if (definitely_greater(u, 1.0, 1e-9)) return false;
+  if (tasks.implicit_deadlines()) return true;  // U <= 1 is exact.
+
+  // Deadlines need checking only up to the smaller of the hyperperiod
+  // and the Baruah-Rosier bound U/(1-U) * max(T_i - D_i) (when U < 1).
+  double limit = static_cast<double>(tasks.hyperperiod());
+  if (u < 1.0) {
+    double max_gap = 0.0;
+    for (const Task& t : tasks.tasks()) {
+      max_gap = std::max(
+          max_gap, static_cast<double>(t.period - t.deadline));
+    }
+    limit = std::min(limit, u / (1.0 - u) * max_gap);
+  }
+
+  for (const Task& t : tasks.tasks()) {
+    for (double d = static_cast<double>(t.deadline); d <= limit + 1e-9;
+         d += static_cast<double>(t.period)) {
+      if (definitely_greater(demand_bound(tasks, d), d)) return false;
+    }
+  }
+  return true;
+}
+
+AnalysisExtras AnalysisExtras::zero(const TaskSet& tasks) {
+  AnalysisExtras extras;
+  extras.jitter.assign(tasks.size(), 0.0);
+  extras.blocking.assign(tasks.size(), 0.0);
+  return extras;
+}
+
+void AnalysisExtras::validate(const TaskSet& tasks) const {
+  LPFPS_CHECK(jitter.size() == tasks.size());
+  LPFPS_CHECK(blocking.size() == tasks.size());
+  for (const Time j : jitter) LPFPS_CHECK(j >= 0.0);
+  for (const Time b : blocking) LPFPS_CHECK(b >= 0.0);
+}
+
+std::optional<Time> response_time_extended(const TaskSet& tasks,
+                                           TaskIndex index,
+                                           const AnalysisExtras& extras) {
+  tasks.validate();
+  extras.validate(tasks);
+  const Task& task = tasks[index];
+  LPFPS_CHECK_MSG(task.deadline <= task.period,
+                  "RTA requires constrained deadlines (D <= T)");
+  const auto at = [](const std::vector<Time>& v, TaskIndex i) {
+    return v[static_cast<std::size_t>(i)];
+  };
+
+  const double own_jitter = at(extras.jitter, index);
+  double w = task.wcet + at(extras.blocking, index);
+  for (int iter = 0; iter < 100000; ++iter) {
+    double next = task.wcet + at(extras.blocking, index);
+    for (TaskIndex j = 0; j < static_cast<TaskIndex>(tasks.size()); ++j) {
+      const Task& other = tasks[j];
+      if (other.priority >= task.priority) continue;
+      const double jobs = std::ceil(
+          (w + at(extras.jitter, j) - kTimeEpsilon) /
+          static_cast<double>(other.period));
+      next += std::max(1.0, jobs) * other.wcet;
+    }
+    if (approx_equal(next, w)) return w + own_jitter;
+    if (next + own_jitter >
+        static_cast<double>(task.deadline) + kTimeEpsilon) {
+      return std::nullopt;
+    }
+    w = next;
+  }
+  return std::nullopt;
+}
+
+bool is_schedulable_extended(const TaskSet& tasks,
+                             const AnalysisExtras& extras) {
+  for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks.size()); ++i) {
+    const auto r = response_time_extended(tasks, i, extras);
+    if (!r.has_value()) return false;
+    if (definitely_greater(*r, static_cast<double>(tasks[i].deadline))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double critical_scaling_factor(const TaskSet& tasks, double tolerance) {
+  tasks.validate();
+  LPFPS_CHECK(tolerance > 0.0);
+
+  const auto schedulable_scaled = [&](double alpha) {
+    TaskSet scaled = tasks;
+    for (TaskIndex i = 0; i < static_cast<TaskIndex>(scaled.size()); ++i) {
+      Task& t = scaled.at(i);
+      t.wcet *= alpha;
+      t.bcet = std::min(t.bcet * alpha, t.wcet);
+      if (t.wcet > static_cast<double>(t.deadline)) return false;
+    }
+    return is_schedulable_rta(scaled);
+  };
+
+  // Bracket: utilization bounds alpha above by 1/U (processor capacity).
+  double lo = 0.0;
+  double hi = 1.0 / tasks.utilization() + 1.0;
+  if (!schedulable_scaled(tolerance)) return 0.0;
+  lo = tolerance;
+  while (hi - lo > tolerance) {
+    const double mid = (lo + hi) / 2.0;
+    if (schedulable_scaled(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Time static_idle_time_per_hyperperiod(const TaskSet& tasks) {
+  // With synchronous release, D <= T and a schedulable set, every job
+  // released in [0, H) also completes in [0, H), so idle time is exactly
+  // H * (1 - U).
+  LPFPS_CHECK(!tasks.empty());
+  for (const Task& t : tasks.tasks()) LPFPS_CHECK(t.phase == 0);
+  const double h = static_cast<double>(tasks.hyperperiod());
+  const double u = tasks.utilization();
+  LPFPS_CHECK_MSG(approx_le(u, 1.0), "overloaded task set");
+  return h * (1.0 - u);
+}
+
+}  // namespace lpfps::sched

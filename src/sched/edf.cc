@@ -1,0 +1,154 @@
+#include "sched/edf.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/float_compare.h"
+
+namespace lpfps::sched {
+
+namespace {
+
+struct ReadyJob {
+  TaskIndex task = kNoTask;
+  std::int64_t instance = 0;
+  Time release = 0.0;
+  Time absolute_deadline = 0.0;
+  Work total_work = 0.0;
+  Work executed = 0.0;
+};
+
+/// EDF dispatch order: earliest absolute deadline first, ties by task.
+bool earlier(const ReadyJob& a, const ReadyJob& b) {
+  if (a.absolute_deadline != b.absolute_deadline) {
+    return a.absolute_deadline < b.absolute_deadline;
+  }
+  return a.task < b.task;
+}
+
+}  // namespace
+
+EdfKernel::EdfKernel(TaskSet tasks) : tasks_(std::move(tasks)) {
+  for (const Task& t : tasks_.tasks()) t.validate();
+  exec_time_ = [this](TaskIndex task, std::int64_t) {
+    return tasks_[task].wcet;
+  };
+}
+
+void EdfKernel::set_exec_time_provider(ExecTimeProvider provider) {
+  LPFPS_CHECK(static_cast<bool>(provider));
+  exec_time_ = std::move(provider);
+}
+
+KernelResult EdfKernel::run(Time horizon) {
+  LPFPS_CHECK(horizon > 0.0);
+  KernelResult result;
+
+  const auto n = static_cast<TaskIndex>(tasks_.size());
+  std::vector<ReadyJob> ready;
+  std::vector<Time> next_release(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> next_instance(static_cast<std::size_t>(n), 0);
+  for (TaskIndex i = 0; i < n; ++i) {
+    next_release[static_cast<std::size_t>(i)] =
+        static_cast<Time>(tasks_[i].phase);
+  }
+
+  Time now = 0.0;
+  TaskIndex running = kNoTask;  // Index into `ready` is found on demand.
+
+  auto release_due_jobs = [&]() {
+    for (TaskIndex i = 0; i < n; ++i) {
+      auto& release = next_release[static_cast<std::size_t>(i)];
+      while (approx_le(release, now)) {
+        ReadyJob job;
+        job.task = i;
+        job.instance = next_instance[static_cast<std::size_t>(i)]++;
+        job.release = release;
+        job.absolute_deadline =
+            release + static_cast<Time>(tasks_[i].deadline);
+        job.total_work = exec_time_(i, job.instance);
+        ready.push_back(job);
+        release += static_cast<Time>(tasks_[i].period);
+      }
+    }
+  };
+
+  auto pick = [&]() -> int {
+    if (ready.empty()) return -1;
+    int best = 0;
+    for (int i = 1; i < static_cast<int>(ready.size()); ++i) {
+      if (earlier(ready[static_cast<std::size_t>(i)],
+                  ready[static_cast<std::size_t>(best)])) {
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  release_due_jobs();
+  while (definitely_less(now, horizon)) {
+    ++result.scheduler_invocations;
+    const int current = pick();
+
+    // Next decision point.
+    Time next = horizon;
+    for (TaskIndex i = 0; i < n; ++i) {
+      next = std::min(next, next_release[static_cast<std::size_t>(i)]);
+    }
+    bool completes = false;
+    if (current >= 0) {
+      const ReadyJob& job = ready[static_cast<std::size_t>(current)];
+      const Time completion = now + (job.total_work - job.executed);
+      if (approx_le(completion, next)) {
+        next = completion;
+        completes = true;
+      }
+    }
+    LPFPS_CHECK(approx_ge(next, now));
+
+    if (definitely_less(now, next)) {
+      sim::Segment segment;
+      segment.begin = now;
+      segment.end = next;
+      if (current >= 0) {
+        ReadyJob& job = ready[static_cast<std::size_t>(current)];
+        if (running != job.task && running != kNoTask) {
+          ++result.context_switches;
+        }
+        running = job.task;
+        segment.mode = sim::ProcessorMode::kRunning;
+        segment.task = job.task;
+        job.executed += next - now;
+      } else {
+        segment.mode = sim::ProcessorMode::kIdleBusyWait;
+        running = kNoTask;
+      }
+      result.trace.add_segment(segment);
+    }
+    now = next;
+
+    if (completes && current >= 0) {
+      const ReadyJob job = ready[static_cast<std::size_t>(current)];
+      sim::JobRecord record;
+      record.task = job.task;
+      record.instance = job.instance;
+      record.release = job.release;
+      record.absolute_deadline = job.absolute_deadline;
+      record.completion = now;
+      record.executed = job.total_work;
+      record.finished = true;
+      record.missed_deadline =
+          definitely_greater(now, record.absolute_deadline);
+      if (record.missed_deadline) ++result.deadline_misses;
+      result.trace.add_job(record);
+      ready.erase(ready.begin() + current);
+      running = kNoTask;
+    }
+    release_due_jobs();
+  }
+
+  return result;
+}
+
+}  // namespace lpfps::sched

@@ -1,0 +1,33 @@
+// Earliest-deadline-first reference scheduler.
+//
+// The paper contrasts fixed-priority scheduling with EDF (optimal dynamic
+// priorities, schedulable iff U <= 1 for implicit deadlines).  This
+// simulator exists as a comparison substrate: extension benches use it to
+// study how the idle-time structure (which LPFPS feeds on) differs
+// between RM and EDF schedules.
+#pragma once
+
+#include "sched/kernel.h"
+#include "sched/task_set.h"
+#include "sim/trace.h"
+
+namespace lpfps::sched {
+
+class EdfKernel {
+ public:
+  /// Priorities in the task set are ignored; deadlines drive dispatch.
+  explicit EdfKernel(TaskSet tasks);
+
+  /// Overrides the default all-jobs-take-WCET behaviour.
+  void set_exec_time_provider(ExecTimeProvider provider);
+
+  /// Simulates [0, horizon) under preemptive EDF.  Ties on the absolute
+  /// deadline break by task index (deterministic).
+  KernelResult run(Time horizon);
+
+ private:
+  TaskSet tasks_;
+  ExecTimeProvider exec_time_;
+};
+
+}  // namespace lpfps::sched

@@ -1,0 +1,90 @@
+#include "sched/priority.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "sched/analysis.h"
+
+namespace lpfps::sched {
+
+namespace {
+
+/// Assigns priorities 0..n-1 following the order of `keys` (stable by
+/// index on ties).
+void assign_by_key(TaskSet& tasks, const std::vector<std::int64_t>& keys) {
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return keys[a] < keys[b];
+                   });
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    tasks.at(static_cast<TaskIndex>(order[rank])).priority =
+        static_cast<Priority>(rank);
+  }
+}
+
+}  // namespace
+
+void assign_rate_monotonic(TaskSet& tasks) {
+  std::vector<std::int64_t> keys;
+  keys.reserve(tasks.size());
+  for (const Task& t : tasks.tasks()) keys.push_back(t.period);
+  assign_by_key(tasks, keys);
+}
+
+void assign_deadline_monotonic(TaskSet& tasks) {
+  std::vector<std::int64_t> keys;
+  keys.reserve(tasks.size());
+  for (const Task& t : tasks.tasks()) keys.push_back(t.deadline);
+  assign_by_key(tasks, keys);
+}
+
+bool assign_audsley_optimal(TaskSet& tasks) {
+  // Audsley's algorithm: assign the lowest priority level to any task
+  // that is schedulable at that level (all others assumed higher), then
+  // recurse on the remainder.  If at some level no task fits, no
+  // fixed-priority assignment exists.
+  const int n = static_cast<int>(tasks.size());
+  TaskSet work = tasks;
+  std::vector<bool> placed(tasks.size(), false);
+  std::vector<Priority> result(tasks.size(), 0);
+
+  for (int level = n - 1; level >= 0; --level) {
+    bool found = false;
+    for (TaskIndex candidate = 0; candidate < n && !found; ++candidate) {
+      if (placed[static_cast<std::size_t>(candidate)]) continue;
+      // Tentatively give `candidate` the lowest unassigned level and all
+      // other unplaced tasks strictly higher priorities.
+      Priority next_high = 0;
+      for (TaskIndex i = 0; i < n; ++i) {
+        if (placed[static_cast<std::size_t>(i)]) {
+          work.at(i).priority = result[static_cast<std::size_t>(i)];
+        } else if (i == candidate) {
+          work.at(i).priority = static_cast<Priority>(level);
+        } else {
+          work.at(i).priority = next_high++;
+        }
+      }
+      LPFPS_CHECK(next_high <= level);
+      const auto r = response_time(work, candidate);
+      if (r.has_value() &&
+          *r <= static_cast<double>(work[candidate].deadline)) {
+        placed[static_cast<std::size_t>(candidate)] = true;
+        result[static_cast<std::size_t>(candidate)] =
+            static_cast<Priority>(level);
+        found = true;
+      }
+    }
+    if (!found) return false;
+  }
+
+  for (TaskIndex i = 0; i < n; ++i) {
+    tasks.at(i).priority = result[static_cast<std::size_t>(i)];
+  }
+  return true;
+}
+
+}  // namespace lpfps::sched

@@ -1,0 +1,30 @@
+// Fixed-priority assignment policies.
+//
+// Rate-monotonic (Liu & Layland [1]): shorter period = higher priority;
+// optimal among fixed-priority policies for implicit deadlines.
+// Deadline-monotonic (Audsley et al. [4]): shorter relative deadline =
+// higher priority; optimal for constrained deadlines (D <= T).
+// Audsley's algorithm: optimal priority ordering for the general case,
+// built on the exact response-time test (sched/analysis.h).
+#pragma once
+
+#include "sched/task_set.h"
+
+namespace lpfps::sched {
+
+/// Assigns rate-monotonic priorities in place (0 = highest).  Ties on the
+/// period are broken by index order, making the assignment deterministic.
+void assign_rate_monotonic(TaskSet& tasks);
+
+/// Assigns deadline-monotonic priorities in place (0 = highest), ties by
+/// index order.
+void assign_deadline_monotonic(TaskSet& tasks);
+
+/// Audsley's optimal priority assignment: tries to find *some* priority
+/// ordering under which every task passes the exact response-time test.
+/// On success assigns priorities in place and returns true; on failure
+/// (no fixed-priority ordering is feasible) leaves priorities untouched
+/// and returns false.
+bool assign_audsley_optimal(TaskSet& tasks);
+
+}  // namespace lpfps::sched

@@ -1,0 +1,90 @@
+// The two scheduler queues of the kernel implementation model the paper
+// builds on (Katcher et al. [17], Burns et al. [18], paper §3.1):
+//
+//  * run queue   — tasks released and waiting for the processor, ordered
+//                  by priority (head = highest priority = lowest value);
+//  * delay queue — tasks that finished their current instance and await
+//                  their next release, ordered by release time.
+//
+// LPFPS's entire run-time knowledge derives from these queues: the head
+// of the delay queue tells the scheduler the exact next release time,
+// which is what makes exact power-down and safe DVS possible.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+#include "sched/task.h"
+
+namespace lpfps::sched {
+
+/// An entry waiting in the run queue.
+struct RunEntry {
+  TaskIndex task = kNoTask;
+  Priority priority = 0;
+};
+
+/// An entry waiting in the delay queue.
+struct DelayEntry {
+  TaskIndex task = kNoTask;
+  Time release_time = 0.0;
+};
+
+/// Priority-ordered ready queue.  Ties (impossible with validated task
+/// sets, which require unique priorities) would break by task index.
+class RunQueue {
+ public:
+  void insert(RunEntry entry);
+
+  /// Highest-priority waiting task.  Precondition: !empty().
+  const RunEntry& head() const;
+
+  /// Removes and returns the head.  Precondition: !empty().
+  RunEntry pop_head();
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Entries in priority order (head first); used by tests that assert
+  /// the paper's Figure 3 / Figure 5 queue snapshots.
+  const std::vector<RunEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<RunEntry> entries_;  // Sorted by (priority, task).
+};
+
+/// Release-time-ordered queue of sleeping tasks.
+class DelayQueue {
+ public:
+  void insert(DelayEntry entry);
+
+  /// Earliest-release entry.  Precondition: !empty().
+  const DelayEntry& head() const;
+
+  /// Removes and returns the head.  Precondition: !empty().
+  DelayEntry pop_head();
+
+  /// Release time of the head, or nullopt when empty.
+  std::optional<Time> next_release() const;
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Entries in release order (head first).
+  const std::vector<DelayEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<DelayEntry> entries_;  // Sorted by (release_time, task).
+};
+
+/// A copy of both queues plus the active task, for inspection hooks.
+struct QueueSnapshot {
+  Time time = 0.0;
+  std::vector<RunEntry> run_queue;
+  std::vector<DelayEntry> delay_queue;
+  TaskIndex active_task = kNoTask;
+  Work active_executed = 0.0;  ///< E_i of the active task, if any.
+};
+
+}  // namespace lpfps::sched

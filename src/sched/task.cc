@@ -1,0 +1,39 @@
+#include "sched/task.h"
+
+#include "common/check.h"
+
+namespace lpfps::sched {
+
+double Task::utilization() const {
+  LPFPS_CHECK(period > 0);
+  return wcet / static_cast<double>(period);
+}
+
+void Task::validate() const {
+  LPFPS_CHECK_MSG(!name.empty(), "task must be named");
+  LPFPS_CHECK_MSG(period > 0, name);
+  LPFPS_CHECK_MSG(deadline > 0, name);
+  LPFPS_CHECK_MSG(wcet > 0.0, name);
+  LPFPS_CHECK_MSG(bcet > 0.0 && bcet <= wcet, name);
+  LPFPS_CHECK_MSG(wcet <= static_cast<double>(deadline), name);
+  LPFPS_CHECK_MSG(phase >= 0, name);
+}
+
+Task make_task(std::string name, std::int64_t period, Work wcet) {
+  return make_task(std::move(name), period, period, wcet, wcet, 0);
+}
+
+Task make_task(std::string name, std::int64_t period, std::int64_t deadline,
+               Work wcet, Work bcet, std::int64_t phase) {
+  Task task;
+  task.name = std::move(name);
+  task.period = period;
+  task.deadline = deadline;
+  task.wcet = wcet;
+  task.bcet = bcet;
+  task.phase = phase;
+  task.validate();
+  return task;
+}
+
+}  // namespace lpfps::sched

@@ -1,0 +1,48 @@
+// Periodic task model.
+//
+// The paper uses the classic Liu & Layland periodic model extended with
+// deadlines (deadline-monotonic-compatible): each task tau_i releases an
+// instance (a *job*) every T_i microseconds starting at its phase, each
+// job needs at most C_i (WCET) and at least B_i (BCET) full-speed
+// microseconds of processor time, and must finish within D_i of its
+// release.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace lpfps::sched {
+
+/// Priority value; lower value = higher priority (the real-time
+/// scheduling convention, footnote 1 of the paper).
+using Priority = int;
+
+struct Task {
+  std::string name;
+  std::int64_t period = 0;    ///< T_i in microseconds (integer).
+  std::int64_t deadline = 0;  ///< D_i in microseconds, relative to release.
+  Work wcet = 0.0;            ///< C_i, worst-case execution time.
+  Work bcet = 0.0;            ///< Best-case execution time (<= wcet).
+  std::int64_t phase = 0;     ///< First release instant.
+  Priority priority = 0;      ///< Lower value = higher priority.
+
+  /// Processor utilization C_i / T_i.
+  double utilization() const;
+
+  /// Throws std::logic_error if any field is out of domain
+  /// (period/deadline <= 0, wcet <= 0, bcet outside (0, wcet], wcet >
+  /// deadline, phase < 0).
+  void validate() const;
+};
+
+/// Convenience constructor for implicit-deadline tasks (D = T, phase 0,
+/// BCET = WCET).  Priority must still be assigned (see sched/priority.h).
+Task make_task(std::string name, std::int64_t period, Work wcet);
+
+/// Full-field constructor with validation.
+Task make_task(std::string name, std::int64_t period, std::int64_t deadline,
+               Work wcet, Work bcet, std::int64_t phase = 0);
+
+}  // namespace lpfps::sched

@@ -1,0 +1,278 @@
+#include "sched/validator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace lpfps::sched {
+
+namespace {
+
+/// A job's ground-truth window, reconstructed from its record.
+struct JobWindow {
+  std::int64_t instance = 0;
+  double release = 0.0;
+  double completion = 0.0;  ///< = +inf for never-finished jobs.
+  double executed = 0.0;
+};
+
+class Validator {
+ public:
+  Validator(const sim::Trace& trace, const TaskSet& tasks,
+            const ValidatorOptions& options)
+      : trace_(trace), tasks_(tasks), options_(options) {}
+
+  ValidationReport run() {
+    tasks_.validate();
+    collect_jobs();
+    check_segment_structure();     // S1
+    check_run_inside_windows();    // S2
+    check_work_integrals();        // S3
+    check_priority_invariant();    // S4
+    if (options_.require_work_conserving) check_work_conserving();  // S5
+    check_deadline_records();      // S6
+    return std::move(report_);
+  }
+
+ private:
+  void violation(const std::string& message) {
+    if (static_cast<int>(report_.violations.size()) <
+        options_.max_violations) {
+      report_.violations.push_back(message);
+    }
+  }
+
+  const std::string& name(TaskIndex task) const {
+    return tasks_[task].name;
+  }
+
+  void collect_jobs() {
+    jobs_.resize(tasks_.size());
+    for (const sim::JobRecord& record : trace_.jobs()) {
+      if (record.task < 0 ||
+          static_cast<std::size_t>(record.task) >= tasks_.size()) {
+        violation("job record references unknown task index " +
+                  std::to_string(record.task));
+        continue;
+      }
+      JobWindow window;
+      window.instance = record.instance;
+      window.release = record.release;
+      window.completion = record.finished
+                              ? record.completion
+                              : std::numeric_limits<double>::infinity();
+      window.executed = record.executed;
+      jobs_[static_cast<std::size_t>(record.task)].push_back(window);
+
+      // Releases are deterministic: check the record's release against
+      // the task parameters.
+      const Task& t = tasks_[record.task];
+      const double expected =
+          static_cast<double>(t.phase) +
+          static_cast<double>(record.instance) * static_cast<double>(t.period);
+      if (std::fabs(record.release - expected) > options_.epsilon) {
+        violation(name(record.task) + " instance " +
+                  std::to_string(record.instance) +
+                  ": release " + std::to_string(record.release) +
+                  " != phase + k*T = " + std::to_string(expected));
+      }
+    }
+    for (auto& windows : jobs_) {
+      std::sort(windows.begin(), windows.end(),
+                [](const JobWindow& a, const JobWindow& b) {
+                  return a.release < b.release;
+                });
+    }
+  }
+
+  void check_segment_structure() {
+    const auto& segments = trace_.segments();
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      const sim::Segment& s = segments[i];
+      if (s.end <= s.begin + 0.0) {
+        violation("segment " + std::to_string(i) + " is empty or reversed");
+      }
+      if (i > 0 &&
+          std::fabs(segments[i - 1].end - s.begin) > options_.epsilon) {
+        violation("gap between segments " + std::to_string(i - 1) +
+                  " and " + std::to_string(i));
+      }
+      if (s.ratio_begin <= 0.0 || s.ratio_begin > 1.0 + 1e-9 ||
+          s.ratio_end <= 0.0 || s.ratio_end > 1.0 + 1e-9) {
+        violation("segment " + std::to_string(i) +
+                  " has speed ratio outside (0, 1]");
+      }
+      if (s.mode == sim::ProcessorMode::kRunning && s.task == kNoTask) {
+        violation("running segment " + std::to_string(i) +
+                  " names no task");
+      }
+    }
+  }
+
+  /// The job window that contains time t for `task`, or nullptr.
+  const JobWindow* window_at(TaskIndex task, double t) const {
+    for (const JobWindow& w : jobs_[static_cast<std::size_t>(task)]) {
+      if (t >= w.release - options_.epsilon &&
+          t <= w.completion + options_.epsilon) {
+        return &w;
+      }
+    }
+    return nullptr;
+  }
+
+  void check_run_inside_windows() {
+    for (const sim::Segment& s : trace_.segments()) {
+      if (s.mode != sim::ProcessorMode::kRunning || s.task == kNoTask) {
+        continue;
+      }
+      const double mid = (s.begin + s.end) / 2.0;
+      if (window_at(s.task, mid) == nullptr &&
+          !runs_into_unrecorded_job(s)) {
+        violation(name(s.task) + " runs at t=" + std::to_string(mid) +
+                  " outside any of its job windows");
+      }
+    }
+  }
+
+  /// A segment may belong to a job still in flight at the horizon (no
+  /// record).  It is legitimate iff it starts at/after a release that
+  /// has no record.
+  bool runs_into_unrecorded_job(const sim::Segment& s) const {
+    const Task& t = tasks_[s.task];
+    const auto& windows = jobs_[static_cast<std::size_t>(s.task)];
+    const std::int64_t next_instance =
+        windows.empty() ? 0
+                        : windows.back().instance + 1;
+    const double release =
+        static_cast<double>(t.phase) +
+        static_cast<double>(next_instance) * static_cast<double>(t.period);
+    return s.begin >= release - options_.epsilon;
+  }
+
+  void check_work_integrals() {
+    for (TaskIndex task = 0; task < static_cast<TaskIndex>(tasks_.size());
+         ++task) {
+      for (const JobWindow& w : jobs_[static_cast<std::size_t>(task)]) {
+        if (!std::isfinite(w.completion)) continue;
+        double work = 0.0;
+        for (const sim::Segment& s : trace_.segments()) {
+          if (s.mode != sim::ProcessorMode::kRunning || s.task != task) {
+            continue;
+          }
+          const double lo = std::max(s.begin, w.release);
+          const double hi = std::min(s.end, w.completion);
+          if (hi <= lo) continue;
+          // Linear ratio over the segment: integrate the clipped part.
+          const double span = s.end - s.begin;
+          const double r_lo =
+              s.ratio_begin +
+              (s.ratio_end - s.ratio_begin) * ((lo - s.begin) / span);
+          const double r_hi =
+              s.ratio_begin +
+              (s.ratio_end - s.ratio_begin) * ((hi - s.begin) / span);
+          work += (r_lo + r_hi) / 2.0 * (hi - lo);
+        }
+        // Tolerance scales with the work: ramp integrals accumulate
+        // rounding across many segments.
+        const double tol = options_.epsilon * 10.0 + w.executed * 1e-9;
+        if (std::fabs(work - w.executed) > tol) {
+          violation(name(task) + " instance " +
+                    std::to_string(w.instance) + ": executed " +
+                    std::to_string(w.executed) +
+                    " but segments integrate to " + std::to_string(work));
+        }
+      }
+    }
+  }
+
+  /// True if `task` has a pending (released, unfinished) job throughout
+  /// a non-empty sub-interval of (begin, end).
+  bool pending_overlap(TaskIndex task, double begin, double end) const {
+    for (const JobWindow& w : jobs_[static_cast<std::size_t>(task)]) {
+      const double lo = std::max(begin, w.release);
+      const double hi = std::min(end, w.completion);
+      if (hi - lo > options_.epsilon * 10.0) return true;
+    }
+    return false;
+  }
+
+  void check_priority_invariant() {
+    for (const sim::Segment& s : trace_.segments()) {
+      if (s.mode != sim::ProcessorMode::kRunning || s.task == kNoTask) {
+        continue;
+      }
+      for (TaskIndex other = 0;
+           other < static_cast<TaskIndex>(tasks_.size()); ++other) {
+        if (other == s.task) continue;
+        if (tasks_[other].priority >= tasks_[s.task].priority) continue;
+        if (pending_overlap(other, s.begin, s.end)) {
+          violation(name(s.task) + " runs in [" + std::to_string(s.begin) +
+                    ", " + std::to_string(s.end) +
+                    ") while higher-priority " + name(other) +
+                    " has a pending job");
+        }
+      }
+    }
+  }
+
+  void check_work_conserving() {
+    for (const sim::Segment& s : trace_.segments()) {
+      if (s.mode == sim::ProcessorMode::kRunning) continue;
+      for (TaskIndex task = 0; task < static_cast<TaskIndex>(tasks_.size());
+           ++task) {
+        if (pending_overlap(task, s.begin, s.end)) {
+          violation("processor is " + std::string(to_string(s.mode)) +
+                    " in [" + std::to_string(s.begin) + ", " +
+                    std::to_string(s.end) + ") while " + name(task) +
+                    " has a pending job");
+          break;
+        }
+      }
+    }
+  }
+
+  void check_deadline_records() {
+    for (const sim::JobRecord& record : trace_.jobs()) {
+      if (!record.finished) continue;
+      const bool late = record.completion >
+                        record.absolute_deadline + options_.epsilon;
+      if (late && !record.missed_deadline) {
+        violation(name(record.task) + " instance " +
+                  std::to_string(record.instance) +
+                  " finished late but is not flagged as a miss");
+      }
+      if (!late && record.missed_deadline) {
+        violation(name(record.task) + " instance " +
+                  std::to_string(record.instance) +
+                  " flagged as a miss but finished on time");
+      }
+    }
+  }
+
+  const sim::Trace& trace_;
+  const TaskSet& tasks_;
+  const ValidatorOptions& options_;
+  std::vector<std::vector<JobWindow>> jobs_;
+  ValidationReport report_;
+};
+
+}  // namespace
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  for (const std::string& violation : violations) os << violation << "\n";
+  return os.str();
+}
+
+ValidationReport validate_schedule(const sim::Trace& trace,
+                                   const TaskSet& tasks,
+                                   const ValidatorOptions& options) {
+  Validator validator(trace, tasks, options);
+  return validator.run();
+}
+
+}  // namespace lpfps::sched

@@ -1,0 +1,54 @@
+// Independent schedule validation.
+//
+// Replays a recorded Trace against the task-set ground truth and checks
+// the properties any (work-conserving, preemptive, fixed-priority)
+// power-managed schedule must satisfy — without reusing any engine
+// logic, so engine bugs cannot vouch for themselves:
+//
+//   S1  segments are contiguous, forward-running, with ratios in (0,1];
+//   S2  a task only runs inside one of its job windows
+//       [release_k, completion_k];
+//   S3  the work integral (ratio dt) inside each job window matches the
+//       job record's executed time;
+//   S4  while a higher-priority job is pending (released, unfinished),
+//       no lower-priority task runs — the fixed-priority invariant;
+//   S5  while any job is pending the processor is running (work
+//       conservation: LPFPS never idles or sleeps with work queued);
+//   S6  completion <= absolute deadline for every job not flagged
+//       missed, and flagged records really are late.
+//
+// Requires a trace recorded with job records (EngineOptions::
+// record_trace) over a task set with unique priorities and D <= T.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/task_set.h"
+#include "sim/trace.h"
+
+namespace lpfps::sched {
+
+struct ValidationReport {
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+  /// All violations joined by newlines (test-failure friendly).
+  std::string to_string() const;
+};
+
+struct ValidatorOptions {
+  /// Time tolerance for boundary coincidences, in microseconds.
+  double epsilon = 1e-5;
+  /// Stop after this many violations (the rest are usually echoes).
+  int max_violations = 20;
+  /// Check S5 (no idling while work pending).  True for every policy in
+  /// this library; disable for externally produced non-work-conserving
+  /// schedules.
+  bool require_work_conserving = true;
+};
+
+ValidationReport validate_schedule(const sim::Trace& trace,
+                                   const TaskSet& tasks,
+                                   const ValidatorOptions& options = {});
+
+}  // namespace lpfps::sched

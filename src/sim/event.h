@@ -1,0 +1,38 @@
+// Event types for the discrete-event simulation kernel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace lpfps::sim {
+
+/// What an event means to the scheduler engine.
+enum class EventKind : std::uint8_t {
+  kTaskRelease,    ///< A periodic task instance becomes ready.
+  kCompletion,     ///< The active task finishes its remaining work.
+  kTimerExpire,    ///< The power-down wakeup timer fires.
+  kRampComplete,   ///< A frequency/voltage transition reaches its target.
+  kSimulationEnd,  ///< Horizon reached; the engine stops processing.
+};
+
+const char* to_string(EventKind kind);
+
+/// A scheduled occurrence.  `payload` is interpreted per kind (for
+/// kTaskRelease it is the TaskIndex of the released task); unused
+/// otherwise.  `priority` breaks ties between events at the same instant:
+/// lower values are delivered first, so e.g. a completion at t is handled
+/// before a release at t (the completing job must not be preempted by a
+/// job it already beat to the finish line).
+struct Event {
+  Time time = 0.0;
+  EventKind kind = EventKind::kTaskRelease;
+  std::int32_t payload = -1;
+  std::int32_t priority = 0;
+};
+
+/// Human-readable one-line rendering, for traces and test diagnostics.
+std::string describe(const Event& event);
+
+}  // namespace lpfps::sim

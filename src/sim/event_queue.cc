@@ -1,0 +1,83 @@
+#include "sim/event_queue.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace lpfps::sim {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTaskRelease:
+      return "release";
+    case EventKind::kCompletion:
+      return "completion";
+    case EventKind::kTimerExpire:
+      return "timer";
+    case EventKind::kRampComplete:
+      return "ramp-complete";
+    case EventKind::kSimulationEnd:
+      return "end";
+  }
+  return "?";
+}
+
+std::string describe(const Event& event) {
+  std::ostringstream os;
+  os << "[t=" << event.time << " " << to_string(event.kind);
+  if (event.payload >= 0) os << " task=" << event.payload;
+  os << "]";
+  return os.str();
+}
+
+EventId EventQueue::push(const Event& event) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{event, id, next_sequence_++});
+  in_heap_.insert(id);
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  LPFPS_CHECK(id != 0 && id < next_id_);
+  // Cancelling an id that was already popped (or already cancelled) is a
+  // benign no-op: the engine may race a completion against its own
+  // delivery.
+  if (in_heap_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
+}
+
+bool EventQueue::empty() const { return live_count_ == 0; }
+
+void EventQueue::skim() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const { return peek().time; }
+
+const Event& EventQueue::peek() const {
+  LPFPS_CHECK(!empty());
+  skim();
+  LPFPS_CHECK(!heap_.empty());
+  return heap_.top().event;
+}
+
+Event EventQueue::pop() {
+  LPFPS_CHECK(!empty());
+  skim();
+  LPFPS_CHECK(!heap_.empty());
+  const Event event = heap_.top().event;
+  in_heap_.erase(heap_.top().id);
+  heap_.pop();
+  --live_count_;
+  return event;
+}
+
+}  // namespace lpfps::sim

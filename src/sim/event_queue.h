@@ -1,0 +1,80 @@
+// A cancellable, stable-ordered event queue for discrete-event simulation.
+//
+// Ordering: events are delivered by ascending time; ties are broken by
+// ascending Event::priority, then by insertion order (FIFO), so simulation
+// runs are fully deterministic.
+//
+// Cancellation: push() returns an EventId; cancel() lazily invalidates the
+// entry (it is skipped when it reaches the top).  The scheduler engine uses
+// this for tentative completion events that become stale when the processor
+// speed changes or the active task is preempted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.h"
+
+namespace lpfps::sim {
+
+/// Identifier of a queued event, usable for cancellation.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Enqueues an event and returns its id.
+  EventId push(const Event& event);
+
+  /// Invalidates a previously pushed event.  Cancelling an id that was
+  /// already popped or cancelled is a no-op (returns false).
+  bool cancel(EventId id);
+
+  /// True if no live events remain.
+  bool empty() const;
+
+  /// Number of live (non-cancelled) events.
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event.  Precondition: !empty().
+  Time next_time() const;
+
+  /// Removes and returns the earliest live event.  Precondition: !empty().
+  Event pop();
+
+  /// Earliest live event without removing it.  Precondition: !empty().
+  const Event& peek() const;
+
+ private:
+  struct Entry {
+    Event event;
+    EventId id;
+    std::uint64_t sequence;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.event.time != b.event.time) return a.event.time > b.event.time;
+      if (a.event.priority != b.event.priority) {
+        return a.event.priority > b.event.priority;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  /// Drops cancelled entries from the top of the heap.
+  void skim() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Ids of live (pushed, not yet popped, not cancelled) events.
+  mutable std::unordered_set<EventId> in_heap_;
+  /// Ids cancelled while still physically present in the heap.
+  mutable std::unordered_set<EventId> cancelled_;
+  std::size_t live_count_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace lpfps::sim

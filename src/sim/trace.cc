@@ -1,0 +1,221 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/float_compare.h"
+
+namespace lpfps::sim {
+
+const char* to_string(ProcessorMode mode) {
+  switch (mode) {
+    case ProcessorMode::kRunning:
+      return "run";
+    case ProcessorMode::kIdleBusyWait:
+      return "idle-nop";
+    case ProcessorMode::kPowerDown:
+      return "power-down";
+    case ProcessorMode::kWakeUp:
+      return "wake-up";
+    case ProcessorMode::kRamping:
+      return "ramping";
+  }
+  return "?";
+}
+
+void Trace::add_segment(const Segment& segment) {
+  LPFPS_CHECK_MSG(approx_le(segment.begin, segment.end),
+                  "segment runs backwards");
+  if (approx_equal(segment.begin, segment.end)) return;
+  if (!segments_.empty()) {
+    LPFPS_CHECK_MSG(approx_equal(segments_.back().end, segment.begin),
+                    "segments must be contiguous");
+    Segment& last = segments_.back();
+    const bool same_const_speed = last.ratio_begin == last.ratio_end &&
+                                  segment.ratio_begin == segment.ratio_end &&
+                                  last.ratio_end == segment.ratio_begin;
+    if (last.mode == segment.mode && last.task == segment.task &&
+        same_const_speed) {
+      last.end = segment.end;
+      return;
+    }
+  }
+  segments_.push_back(segment);
+}
+
+void Trace::add_job(const JobRecord& job) { jobs_.push_back(job); }
+
+Time Trace::time_in_mode(ProcessorMode mode) const {
+  Time total = 0.0;
+  for (const Segment& s : segments_) {
+    if (s.mode == mode) total += s.duration();
+  }
+  return total;
+}
+
+Time Trace::running_time(TaskIndex task) const {
+  Time total = 0.0;
+  for (const Segment& s : segments_) {
+    if (s.mode == ProcessorMode::kRunning && s.task == task) {
+      total += s.duration();
+    }
+  }
+  return total;
+}
+
+int Trace::preemption_count() const {
+  // A preemption shows up as a kRunning segment of task A directly
+  // followed (possibly after ramps) by a kRunning segment of task B while
+  // A's job has not finished by that boundary.
+  int count = 0;
+  for (std::size_t i = 0; i + 1 < segments_.size(); ++i) {
+    const Segment& cur = segments_[i];
+    if (cur.mode != ProcessorMode::kRunning) continue;
+    // Find the next running segment.
+    std::size_t j = i + 1;
+    while (j < segments_.size() &&
+           segments_[j].mode != ProcessorMode::kRunning) {
+      ++j;
+    }
+    if (j >= segments_.size()) break;
+    const Segment& next = segments_[j];
+    if (next.task == cur.task) continue;
+    // Was cur's task unfinished at the boundary?  Check job records.
+    for (const JobRecord& job : jobs_) {
+      if (job.task != cur.task) continue;
+      if (approx_le(job.release, cur.end) &&
+          (!job.finished || definitely_greater(job.completion, cur.end))) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<JobRecord> Trace::missed_jobs() const {
+  std::vector<JobRecord> missed;
+  for (const JobRecord& job : jobs_) {
+    if (job.missed_deadline) missed.push_back(job);
+  }
+  return missed;
+}
+
+void Trace::check_invariants() const {
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& s = segments_[i];
+    LPFPS_CHECK(definitely_less(s.begin, s.end));
+    LPFPS_CHECK(s.ratio_begin > 0.0 && s.ratio_begin <= 1.0 + kTimeEpsilon);
+    LPFPS_CHECK(s.ratio_end > 0.0 && s.ratio_end <= 1.0 + kTimeEpsilon);
+    if (i > 0) {
+      LPFPS_CHECK(approx_equal(segments_[i - 1].end, s.begin));
+    }
+    if (s.mode == ProcessorMode::kRunning) {
+      LPFPS_CHECK(s.task != kNoTask);
+    }
+  }
+}
+
+namespace {
+
+char glyph_for(const Segment& s) {
+  switch (s.mode) {
+    case ProcessorMode::kRunning:
+      return '#';
+    case ProcessorMode::kIdleBusyWait:
+      return '.';
+    case ProcessorMode::kPowerDown:
+      return '_';
+    case ProcessorMode::kWakeUp:
+      return 'w';
+    case ProcessorMode::kRamping:
+      return '/';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string render_gantt(const Trace& trace,
+                         const std::vector<std::string>& task_names,
+                         Time begin, Time end, int width) {
+  LPFPS_CHECK(width > 0 && definitely_less(begin, end));
+  const double scale = width / (end - begin);
+  std::size_t label_width = 4;
+  for (const std::string& name : task_names) {
+    label_width = std::max(label_width, name.size());
+  }
+
+  auto make_row = [&](const std::string& label) {
+    std::string row = label;
+    row.resize(label_width, ' ');
+    row += " |";
+    row.append(static_cast<std::size_t>(width), ' ');
+    return row;
+  };
+
+  std::vector<std::string> rows;
+  rows.reserve(task_names.size() + 1);
+  for (const std::string& name : task_names) rows.push_back(make_row(name));
+  rows.push_back(make_row("cpu"));
+
+  auto paint = [&](std::string& row, Time t0, Time t1, char glyph) {
+    const int c0 =
+        static_cast<int>(std::max(0.0, (t0 - begin) * scale + 1e-9));
+    int c1 = static_cast<int>((t1 - begin) * scale - 1e-9);
+    c1 = std::min(c1, width - 1);
+    for (int c = c0; c <= c1; ++c) {
+      row[label_width + 2 + static_cast<std::size_t>(c)] = glyph;
+    }
+  };
+
+  for (const Segment& s : trace.segments()) {
+    if (approx_le(s.end, begin) || approx_ge(s.begin, end)) continue;
+    const Time t0 = std::max(s.begin, begin);
+    const Time t1 = std::min(s.end, end);
+    if (s.mode == ProcessorMode::kRunning) {
+      const auto row_index = static_cast<std::size_t>(s.task);
+      LPFPS_CHECK(row_index < task_names.size());
+      const bool slowed = s.ratio_begin < 1.0 || s.ratio_end < 1.0;
+      paint(rows[row_index], t0, t1, slowed ? 'o' : '#');
+    }
+    paint(rows.back(), t0, t1, glyph_for(s));
+  }
+
+  std::ostringstream os;
+  os << std::string(label_width, ' ') << "  " << begin
+     << " .. " << end << " us  (#: full speed, o: scaled, .: nop idle, "
+        "_: power-down, /: ramp, w: wake)\n";
+  for (const std::string& row : rows) os << row << "\n";
+  return os.str();
+}
+
+std::string render_segments(const Trace& trace,
+                            const std::vector<std::string>& task_names) {
+  std::ostringstream os;
+  os << std::left << std::setw(12) << "begin" << std::setw(12) << "end"
+     << std::setw(12) << "mode" << std::setw(10) << "task" << std::setw(14)
+     << "speed" << "\n";
+  for (const Segment& s : trace.segments()) {
+    std::string task = "-";
+    if (s.task != kNoTask) {
+      const auto index = static_cast<std::size_t>(s.task);
+      task = index < task_names.size() ? task_names[index]
+                                       : std::to_string(s.task);
+    }
+    std::ostringstream speed;
+    speed << std::setprecision(4) << s.ratio_begin;
+    if (s.ratio_begin != s.ratio_end) {
+      speed << "->" << std::setprecision(4) << s.ratio_end;
+    }
+    os << std::left << std::setw(12) << s.begin << std::setw(12) << s.end
+       << std::setw(12) << to_string(s.mode) << std::setw(10) << task
+       << std::setw(14) << speed.str() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lpfps::sim

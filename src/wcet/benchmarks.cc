@@ -1,0 +1,138 @@
+#include "wcet/benchmarks.h"
+
+namespace lpfps::wcet {
+
+namespace {
+
+/// insertion sort over n elements: the inner shift loop runs 0 times on
+/// sorted input and i times on reverse-sorted input.
+BenchmarkProgram insertion_sort(std::int64_t n) {
+  // Inner loop bounds use the *average* worst case n/2 per outer
+  // iteration (the schema is per-iteration-uniform, the standard
+  // conservative treatment).
+  const NodePtr inner_body = block("shift_element", 6);
+  const NodePtr inner = loop(0, n / 2, 2, inner_body);
+  const NodePtr outer_body =
+      seq({block("load_key", 4), inner, block("store_key", 3)});
+  return {"insertion_sort", "sorting",
+          seq({block("init", 10), loop(n - 1, n - 1, 2, outer_body)})};
+}
+
+/// bubble sort with early exit: best case one clean pass.
+BenchmarkProgram bubble_sort(std::int64_t n) {
+  const NodePtr compare_swap =
+      seq({block("compare", 3), branch(1, block("swap", 5), nullptr)});
+  const NodePtr pass = loop(n - 1, n - 1, 2, compare_swap);
+  return {"bubble_sort_early_exit", "sorting",
+          seq({block("init", 8), loop(1, n - 1, 3, pass)})};
+}
+
+/// binary search: log2(n) probes worst case, 1 best case.
+BenchmarkProgram binary_search(std::int64_t log_n) {
+  const NodePtr probe = seq(
+      {block("mid", 4), branch(2, block("go_left", 3), block("go_right", 3))});
+  return {"binary_search", "searching",
+          seq({block("setup", 6), loop(1, log_n, 3, probe),
+               block("report", 4)})};
+}
+
+/// run-length decoder: expansion factor is data dependent.
+BenchmarkProgram rle_decode(std::int64_t tokens) {
+  const NodePtr expand = loop(1, 16, 1, block("emit_byte", 2));
+  const NodePtr token = seq({block("read_token", 5), expand});
+  return {"rle_decode", "compression",
+          seq({block("header", 12), loop(tokens / 16, tokens, 2, token)})};
+}
+
+/// huffman-style decoder: per-symbol tree walk of depth 4..12 (the
+/// shortest code in a saturated table is still several bits).
+BenchmarkProgram huffman_decode(std::int64_t symbols) {
+  const NodePtr walk = loop(4, 12, 1, block("follow_edge", 3));
+  const NodePtr symbol = seq({walk, block("emit_symbol", 4)});
+  return {"huffman_decode", "compression",
+          seq({block("build_table", 200),
+               loop(symbols, symbols, 2, symbol)})};
+}
+
+/// checksum with a data-dependent escape branch on each word.
+BenchmarkProgram crc32(std::int64_t words) {
+  const NodePtr word = seq(
+      {block("fetch", 3),
+       branch(1, block("table_lookup", 4), block("slow_path", 9))});
+  return {"crc32", "checksum",
+          seq({block("init", 6), loop(words, words, 2, word)})};
+}
+
+/// 8x8 DCT: fully fixed iteration structure (ratio 1.0).
+BenchmarkProgram dct8x8() {
+  const NodePtr butterfly = block("butterfly", 14);
+  const NodePtr row_pass = loop(8, 8, 2, loop(8, 8, 2, butterfly));
+  return {"dct_8x8", "transform kernel",
+          seq({block("load_block", 40), row_pass, row_pass,
+               block("store_block", 40)})};
+}
+
+/// FIR filter, fixed taps (ratio 1.0).
+BenchmarkProgram fir(std::int64_t taps, std::int64_t samples) {
+  const NodePtr mac = block("multiply_accumulate", 4);
+  const NodePtr sample = seq({loop(taps, taps, 1, mac), block("store", 2)});
+  return {"fir_filter", "transform kernel",
+          seq({block("init", 15), loop(samples, samples, 2, sample)})};
+}
+
+/// matrix multiply with a sparsity shortcut on zero rows (even a
+/// skipped row is scanned once to prove it zero).
+BenchmarkProgram matmul(std::int64_t n) {
+  const NodePtr inner = loop(n, n, 1, block("mac", 4));
+  const NodePtr scan_row = loop(n, n, 1, block("test_zero", 2));
+  const NodePtr maybe_row =
+      branch(2, scan_row, seq({inner, block("store", 2)}));
+  return {"matmul_sparse_shortcut", "linear algebra",
+          seq({block("init", 20), loop(n * n, n * n, 2, maybe_row)})};
+}
+
+/// fixed-point FFT stage structure (ratio 1.0).
+BenchmarkProgram fft(std::int64_t log_n, std::int64_t n) {
+  const NodePtr butterfly = block("fft_butterfly", 18);
+  const NodePtr stage = loop(n / 2, n / 2, 2, butterfly);
+  return {"fft_radix2", "transform kernel",
+          seq({block("bit_reverse", 6 * n), loop(log_n, log_n, 3, stage)})};
+}
+
+/// string pattern matcher: mismatch usually aborts the inner loop early.
+BenchmarkProgram string_match(std::int64_t text, std::int64_t pattern) {
+  const NodePtr compare = loop(1, pattern, 2, block("char_compare", 2));
+  return {"string_match", "searching",
+          seq({block("setup", 5), loop(text, text, 2, compare)})};
+}
+
+/// PID controller step with saturation branches (near-constant path).
+BenchmarkProgram pid_step() {
+  const NodePtr saturate =
+      branch(2, block("clamp_output", 3), block("pass_through", 2));
+  return {"pid_controller_step", "control law",
+          seq({block("read_sensors", 20), block("error_terms", 25),
+               block("pid_arithmetic", 45), saturate,
+               block("write_actuator", 15)})};
+}
+
+}  // namespace
+
+std::vector<BenchmarkProgram> benchmark_suite() {
+  return {
+      binary_search(10),       // strongly data dependent.
+      bubble_sort(64),
+      string_match(256, 16),
+      rle_decode(512),
+      insertion_sort(64),
+      huffman_decode(1024),
+      crc32(256),
+      matmul(16),
+      pid_step(),
+      fir(32, 128),            // fixed-iteration kernels: ratio 1.
+      dct8x8(),
+      fft(8, 256),
+  };
+}
+
+}  // namespace lpfps::wcet

@@ -1,0 +1,29 @@
+// Synthetic benchmark programs for the Figure 1 reproduction.
+//
+// Ernst & Ye's Figure 1 plots the BCET/WCET ratio of a dozen embedded
+// programs; the exact programs/measurements are unavailable, so this
+// suite models the same archetypes — data-dependent control loops
+// (sorting, searching, compression) at the low-ratio end, fixed-iteration
+// kernels (DCT, FIR, matrix multiply) at the high end — as structured
+// CFGs analysed by wcet/cfg.h.  What matters downstream is the *spread*
+// of ratios (roughly 0.1 .. 1.0), which feeds the execution-time model's
+// BCET/WCET axis in Figure 8.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wcet/cfg.h"
+
+namespace lpfps::wcet {
+
+struct BenchmarkProgram {
+  std::string name;
+  std::string archetype;  ///< e.g. "sorting", "transform kernel".
+  NodePtr program;
+};
+
+/// The full suite, ordered roughly by ascending BCET/WCET ratio.
+std::vector<BenchmarkProgram> benchmark_suite();
+
+}  // namespace lpfps::wcet

@@ -1,0 +1,168 @@
+#include "wcet/cfg.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lpfps::wcet {
+
+namespace {
+
+std::string pad(int indent) { return std::string(static_cast<std::size_t>(indent) * 2, ' '); }
+
+class BlockNode final : public Node {
+ public:
+  BlockNode(std::string label, std::int64_t cycles)
+      : label_(std::move(label)), cycles_(cycles) {
+    LPFPS_CHECK(cycles_ >= 0);
+  }
+
+  Bounds analyze() const override { return {cycles_, cycles_}; }
+
+  std::string describe(int indent) const override {
+    std::ostringstream os;
+    os << pad(indent) << "block " << label_ << " (" << cycles_
+       << " cycles)\n";
+    return os.str();
+  }
+
+ private:
+  std::string label_;
+  std::int64_t cycles_;
+};
+
+class SeqNode final : public Node {
+ public:
+  explicit SeqNode(std::vector<NodePtr> children)
+      : children_(std::move(children)) {
+    for (const NodePtr& child : children_) LPFPS_CHECK(child != nullptr);
+  }
+
+  Bounds analyze() const override {
+    Bounds total;
+    for (const NodePtr& child : children_) {
+      const Bounds b = child->analyze();
+      total.best += b.best;
+      total.worst += b.worst;
+    }
+    return total;
+  }
+
+  std::string describe(int indent) const override {
+    std::ostringstream os;
+    os << pad(indent) << "seq\n";
+    for (const NodePtr& child : children_) os << child->describe(indent + 1);
+    return os.str();
+  }
+
+ private:
+  std::vector<NodePtr> children_;
+};
+
+class BranchNode final : public Node {
+ public:
+  BranchNode(std::int64_t condition_cycles, NodePtr then_arm,
+             NodePtr else_arm)
+      : condition_cycles_(condition_cycles),
+        then_arm_(std::move(then_arm)),
+        else_arm_(std::move(else_arm)) {
+    LPFPS_CHECK(condition_cycles_ >= 0);
+  }
+
+  Bounds analyze() const override {
+    const Bounds then_bounds =
+        then_arm_ ? then_arm_->analyze() : Bounds{0, 0};
+    const Bounds else_bounds =
+        else_arm_ ? else_arm_->analyze() : Bounds{0, 0};
+    Bounds result;
+    result.best =
+        condition_cycles_ + std::min(then_bounds.best, else_bounds.best);
+    result.worst =
+        condition_cycles_ + std::max(then_bounds.worst, else_bounds.worst);
+    return result;
+  }
+
+  std::string describe(int indent) const override {
+    std::ostringstream os;
+    os << pad(indent) << "branch (" << condition_cycles_ << " cycles)\n";
+    if (then_arm_) os << then_arm_->describe(indent + 1);
+    os << pad(indent + 1) << "else\n";
+    if (else_arm_) os << else_arm_->describe(indent + 2);
+    return os.str();
+  }
+
+ private:
+  std::int64_t condition_cycles_;
+  NodePtr then_arm_;
+  NodePtr else_arm_;
+};
+
+class LoopNode final : public Node {
+ public:
+  LoopNode(std::int64_t min_iterations, std::int64_t max_iterations,
+           std::int64_t test_cycles, NodePtr body)
+      : min_iterations_(min_iterations),
+        max_iterations_(max_iterations),
+        test_cycles_(test_cycles),
+        body_(std::move(body)) {
+    LPFPS_CHECK(min_iterations_ >= 0 &&
+                max_iterations_ >= min_iterations_);
+    LPFPS_CHECK(test_cycles_ >= 0);
+    LPFPS_CHECK(body_ != nullptr);
+  }
+
+  Bounds analyze() const override {
+    const Bounds body = body_->analyze();
+    Bounds result;
+    result.best = min_iterations_ * (body.best + test_cycles_) +
+                  test_cycles_;  // Exit test.
+    result.worst =
+        max_iterations_ * (body.worst + test_cycles_) + test_cycles_;
+    return result;
+  }
+
+  std::string describe(int indent) const override {
+    std::ostringstream os;
+    os << pad(indent) << "loop [" << min_iterations_ << ".."
+       << max_iterations_ << "] (" << test_cycles_ << " cycles/test)\n"
+       << body_->describe(indent + 1);
+    return os.str();
+  }
+
+ private:
+  std::int64_t min_iterations_;
+  std::int64_t max_iterations_;
+  std::int64_t test_cycles_;
+  NodePtr body_;
+};
+
+}  // namespace
+
+NodePtr block(std::string label, std::int64_t cycles) {
+  return std::make_shared<BlockNode>(std::move(label), cycles);
+}
+
+NodePtr seq(std::vector<NodePtr> children) {
+  return std::make_shared<SeqNode>(std::move(children));
+}
+
+NodePtr branch(std::int64_t condition_cycles, NodePtr then_arm,
+               NodePtr else_arm) {
+  return std::make_shared<BranchNode>(condition_cycles, std::move(then_arm),
+                                      std::move(else_arm));
+}
+
+NodePtr loop(std::int64_t min_iterations, std::int64_t max_iterations,
+             std::int64_t test_cycles, NodePtr body) {
+  return std::make_shared<LoopNode>(min_iterations, max_iterations,
+                                    test_cycles, std::move(body));
+}
+
+Bounds analyze(const NodePtr& program) {
+  LPFPS_CHECK(program != nullptr);
+  return program->analyze();
+}
+
+}  // namespace lpfps::wcet

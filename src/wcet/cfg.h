@@ -1,0 +1,66 @@
+// A structured program model for best/worst-case execution time
+// analysis.
+//
+// The paper's Figure 1 motivates LPFPS with the BCET/WCET ratios of real
+// embedded programs measured by Ernst & Ye [8] using path clustering.
+// Those measurements are not redistributable, so (per DESIGN.md §3) we
+// implement the same *kind* of analysis — structural timing schema in
+// the style of Park & Shaw [5]: programs are trees of basic blocks,
+// sequences, branches, and bounded loops, and BCET/WCET follow from
+// shortest/longest feasible paths — and run it over a suite of synthetic
+// benchmark programs (wcet/benchmarks.h).
+//
+// Costs are in processor cycles at full speed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lpfps::wcet {
+
+class Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+/// Result of analysing a (sub)program.
+struct Bounds {
+  std::int64_t best = 0;   ///< BCET in cycles.
+  std::int64_t worst = 0;  ///< WCET in cycles.
+
+  double ratio() const {
+    return worst == 0 ? 1.0 : static_cast<double>(best) / worst;
+  }
+};
+
+/// Abstract syntax of a structured program.
+class Node {
+ public:
+  virtual ~Node() = default;
+  /// Structural timing schema: combine children's bounds.
+  virtual Bounds analyze() const = 0;
+  /// Pretty-printed structure (for documentation output and tests).
+  virtual std::string describe(int indent) const = 0;
+};
+
+/// A straight-line basic block costing a fixed cycle count.
+NodePtr block(std::string label, std::int64_t cycles);
+
+/// Sequential composition.
+NodePtr seq(std::vector<NodePtr> children);
+
+/// Two-way branch: BCET takes the cheaper arm, WCET the dearer, plus a
+/// fixed condition-evaluation cost.  A null arm models an if-without-
+/// else (zero cost on that path).
+NodePtr branch(std::int64_t condition_cycles, NodePtr then_arm,
+               NodePtr else_arm);
+
+/// A loop whose body executes between min_iterations and max_iterations
+/// times, with a per-iteration test cost (also paid once on exit).
+NodePtr loop(std::int64_t min_iterations, std::int64_t max_iterations,
+             std::int64_t test_cycles, NodePtr body);
+
+/// Analyze a whole program.
+Bounds analyze(const NodePtr& program);
+
+}  // namespace lpfps::wcet

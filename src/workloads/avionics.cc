@@ -1,0 +1,31 @@
+#include "workloads/avionics.h"
+
+#include "sched/priority.h"
+
+namespace lpfps::workloads {
+
+sched::TaskSet avionics() {
+  sched::TaskSet tasks;
+  // (name, period us, WCET us) — Generic Avionics Platform.
+  tasks.add(sched::make_task("radar_tracking_filter", 25'000, 2'000.0));
+  tasks.add(sched::make_task("rwr_contact_mgmt", 25'000, 5'000.0));
+  tasks.add(sched::make_task("data_bus_poll", 40'000, 1'000.0));
+  tasks.add(sched::make_task("weapon_aiming", 50'000, 3'000.0));
+  tasks.add(sched::make_task("radar_target_update", 50'000, 5'000.0));
+  tasks.add(sched::make_task("nav_update", 59'000, 8'000.0));
+  tasks.add(sched::make_task("display_graphic", 80'000, 9'000.0));
+  tasks.add(sched::make_task("display_hook_update", 80'000, 2'000.0));
+  tasks.add(sched::make_task("tracking_target_update", 100'000, 5'000.0));
+  tasks.add(sched::make_task("weapon_protocol", 200'000, 1'000.0));
+  tasks.add(sched::make_task("nav_steering_cmds", 200'000, 3'000.0));
+  tasks.add(sched::make_task("display_stores_update", 200'000, 1'000.0));
+  tasks.add(sched::make_task("display_keyset", 200'000, 1'000.0));
+  tasks.add(sched::make_task("display_status_update", 200'000, 3'000.0));
+  tasks.add(sched::make_task("weapon_release", 200'000, 3'000.0));
+  tasks.add(sched::make_task("bet_e_status_update", 1'000'000, 1'000.0));
+  tasks.add(sched::make_task("nav_status", 1'000'000, 1'000.0));
+  sched::assign_rate_monotonic(tasks);
+  return tasks;
+}
+
+}  // namespace lpfps::workloads

@@ -1,0 +1,18 @@
+// Avionics — the Generic Avionics Platform task set (Locke, Vogel,
+// Mesler, "Building a predictable avionics platform in Ada: a case
+// study", RTSS 1991; the paper's reference [21]).
+#pragma once
+
+#include "sched/task_set.h"
+
+namespace lpfps::workloads {
+
+/// Seventeen periodic tasks with WCETs of 1,000 .. 9,000 us (paper
+/// Table 2) and total utilization ~0.85, reconstructed from the GAP
+/// case-study parameters as circulated in the fixed-priority scheduling
+/// literature.  Periods include the famous mutually-inconvenient 59 ms
+/// navigation task, which pushes the hyperperiod to 236 s — the kind of
+/// LCM blow-up the paper cites against statically-computed schedules.
+sched::TaskSet avionics();
+
+}  // namespace lpfps::workloads

@@ -1,0 +1,21 @@
+#include "workloads/cnc.h"
+
+#include "sched/priority.h"
+
+namespace lpfps::workloads {
+
+sched::TaskSet cnc() {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("position_sensing", 2'400, 35.0));
+  tasks.add(sched::make_task("servo_control_x", 2'400, 180.0));
+  tasks.add(sched::make_task("servo_control_y", 2'400, 180.0));
+  tasks.add(sched::make_task("interpolator", 4'800, 720.0));
+  tasks.add(sched::make_task("emergency_check", 4'800, 165.0));
+  tasks.add(sched::make_task("command_decode", 9'600, 570.0));
+  tasks.add(sched::make_task("display_update", 9'600, 330.0));
+  tasks.add(sched::make_task("host_interface", 19'200, 40.0));
+  sched::assign_rate_monotonic(tasks);
+  return tasks;
+}
+
+}  // namespace lpfps::workloads

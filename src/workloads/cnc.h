@@ -1,0 +1,20 @@
+// CNC — Computerized Numerical Control machine controller (Kim et al.,
+// "Visual assessment of a real-time system design: a case study on a
+// CNC controller", RTSS 1996; the paper's reference [23]).
+#pragma once
+
+#include "sched/task_set.h"
+
+namespace lpfps::workloads {
+
+/// Eight tasks with WCETs spanning 35 .. 720 us (paper Table 2).  The
+/// exact period/WCET table is not printed in the paper, so this is a
+/// reconstruction that preserves every stated constraint: 8 tasks, the
+/// Table 2 WCET range, sub-10ms control periods typical of machining
+/// loops, and rate-monotonic schedulability.  Note the timing parameters
+/// are of the same order as the 10 us speed-transition delay — the
+/// paper's §4 singles CNC out for exactly this, and it is why CNC shows
+/// the smallest DVS gain of the four applications.
+sched::TaskSet cnc();
+
+}  // namespace lpfps::workloads

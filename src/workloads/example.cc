@@ -1,0 +1,16 @@
+#include "workloads/example.h"
+
+#include "sched/priority.h"
+
+namespace lpfps::workloads {
+
+sched::TaskSet example_table1() {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("tau1", 50, 10.0));
+  tasks.add(sched::make_task("tau2", 80, 20.0));
+  tasks.add(sched::make_task("tau3", 100, 40.0));
+  sched::assign_rate_monotonic(tasks);
+  return tasks;
+}
+
+}  // namespace lpfps::workloads

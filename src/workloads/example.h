@@ -1,0 +1,15 @@
+// The paper's running example (Table 1).
+#pragma once
+
+#include "sched/task_set.h"
+
+namespace lpfps::workloads {
+
+/// Table 1: three tasks, T = D = {50, 80, 100}, C = {10, 20, 40},
+/// rate-monotonic priorities (tau1 highest).  The set "just meets" its
+/// schedulability: if tau2 ran slightly longer, tau3 would miss its
+/// deadline at t = 100 (paper §2.3) — a property asserted by
+/// tests/workloads/example_test.cc.
+sched::TaskSet example_table1();
+
+}  // namespace lpfps::workloads

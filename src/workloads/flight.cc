@@ -1,0 +1,19 @@
+#include "workloads/flight.h"
+
+#include "sched/priority.h"
+
+namespace lpfps::workloads {
+
+sched::TaskSet flight_control() {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("sensor_processing", 50'000, 10'000.0));
+  tasks.add(sched::make_task("inner_loop_control", 100'000, 20'000.0));
+  tasks.add(sched::make_task("outer_loop_control", 200'000, 30'000.0));
+  tasks.add(sched::make_task("guidance_law", 400'000, 40'000.0));
+  tasks.add(sched::make_task("navigation_update", 800'000, 60'000.0));
+  tasks.add(sched::make_task("mission_telemetry", 1'600'000, 16'000.0));
+  sched::assign_rate_monotonic(tasks);
+  return tasks;
+}
+
+}  // namespace lpfps::workloads

@@ -1,0 +1,19 @@
+// Flight control system (Liu et al., "PERTS: A prototyping environment
+// for real-time systems", UIUC tech report 1993; the paper's reference
+// [22]).
+#pragma once
+
+#include "sched/task_set.h"
+
+namespace lpfps::workloads {
+
+/// Six tasks with WCETs of 10,000 .. 60,000 us (paper Table 2) in a
+/// classic inner/outer control-loop hierarchy with harmonic periods.
+/// The original tech report's exact table is not reprinted in the
+/// paper; this reconstruction preserves the task count, the Table 2
+/// WCET range, and a mission-critical utilization (~0.74) comparable to
+/// INS but spread evenly across tasks — which is why flight control
+/// gains *less* from LPFPS than INS despite similar load (paper §4).
+sched::TaskSet flight_control();
+
+}  // namespace lpfps::workloads

@@ -1,0 +1,67 @@
+#include "workloads/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "common/check.h"
+#include "sched/priority.h"
+
+namespace lpfps::workloads {
+
+std::vector<double> uunifast(int task_count, double total, Rng& rng) {
+  LPFPS_CHECK(task_count > 0 && total > 0.0);
+  std::vector<double> utils(static_cast<std::size_t>(task_count));
+  double sum = total;
+  for (int i = 0; i < task_count - 1; ++i) {
+    const double exponent = 1.0 / static_cast<double>(task_count - 1 - i);
+    const double next = sum * std::pow(rng.uniform(0.0, 1.0), exponent);
+    utils[static_cast<std::size_t>(i)] = sum - next;
+    sum = next;
+  }
+  utils[static_cast<std::size_t>(task_count - 1)] = sum;
+  return utils;
+}
+
+sched::TaskSet generate_task_set(const GeneratorConfig& config, Rng& rng) {
+  LPFPS_CHECK(config.task_count > 0);
+  LPFPS_CHECK(config.total_utilization > 0.0 &&
+              config.total_utilization <= 1.0);
+  LPFPS_CHECK(config.period_min > 0 &&
+              config.period_max >= config.period_min);
+  LPFPS_CHECK(config.period_granularity > 0);
+  LPFPS_CHECK(config.bcet_ratio > 0.0 && config.bcet_ratio <= 1.0);
+
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const std::vector<double> utils =
+        uunifast(config.task_count, config.total_utilization, rng);
+
+    sched::TaskSet tasks;
+    bool degenerate = false;
+    for (int i = 0; i < config.task_count; ++i) {
+      const double log_min = std::log(static_cast<double>(config.period_min));
+      const double log_max = std::log(static_cast<double>(config.period_max));
+      const double raw = std::exp(rng.uniform(log_min, log_max));
+      std::int64_t period =
+          static_cast<std::int64_t>(std::llround(raw)) /
+          config.period_granularity * config.period_granularity;
+      period = std::max(period, config.period_min);
+      const double wcet = utils[static_cast<std::size_t>(i)] *
+                          static_cast<double>(period);
+      if (wcet < 1.0) {
+        degenerate = true;
+        break;
+      }
+      tasks.add(sched::make_task("rand" + std::to_string(i), period, period,
+                                 wcet, wcet * config.bcet_ratio));
+    }
+    if (degenerate) continue;
+    sched::assign_rate_monotonic(tasks);
+    return tasks;
+  }
+  throw std::runtime_error(
+      "generate_task_set: could not draw a non-degenerate set");
+}
+
+}  // namespace lpfps::workloads

@@ -1,0 +1,38 @@
+// Random task-set generation for extension studies (DESIGN.md A6).
+//
+// Uses the UUniFast algorithm (Bini & Buttazzo) to draw n per-task
+// utilizations summing exactly to U without bias, then assigns periods
+// log-uniformly from a configurable range and derives WCETs as u_i*T_i.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "sched/task_set.h"
+
+namespace lpfps::workloads {
+
+struct GeneratorConfig {
+  int task_count = 5;
+  double total_utilization = 0.6;
+  /// Periods are drawn log-uniformly in [period_min, period_max] us and
+  /// rounded to a multiple of `period_granularity` (keeps hyperperiods
+  /// finite and releases on integer instants).
+  std::int64_t period_min = 10'000;
+  std::int64_t period_max = 1'000'000;
+  std::int64_t period_granularity = 10'000;
+  /// BCET is set to bcet_ratio * WCET.
+  double bcet_ratio = 1.0;
+};
+
+/// Per-task utilizations summing to `total` (UUniFast; unbiased over the
+/// simplex).  Exposed for direct testing.
+std::vector<double> uunifast(int task_count, double total, Rng& rng);
+
+/// Draws a random implicit-deadline task set with rate-monotonic
+/// priorities.  Tasks whose rounded parameters would be degenerate
+/// (WCET < 1 us) are re-drawn.  The set is NOT guaranteed RM-schedulable;
+/// callers filter with sched::is_schedulable_rta.
+sched::TaskSet generate_task_set(const GeneratorConfig& config, Rng& rng);
+
+}  // namespace lpfps::workloads

@@ -1,0 +1,21 @@
+#include "workloads/ins.h"
+
+#include "sched/priority.h"
+
+namespace lpfps::workloads {
+
+sched::TaskSet ins() {
+  sched::TaskSet tasks;
+  // (name, period us, WCET us) from Burns/Tindell/Wellings' INS case
+  // study.  Utilizations: 0.472, 0.107, 0.016, 0.020, 0.080, 0.025.
+  tasks.add(sched::make_task("attitude_update", 2'500, 1'180.0));
+  tasks.add(sched::make_task("velocity_update", 40'000, 4'280.0));
+  tasks.add(sched::make_task("attitude_send", 625'000, 10'280.0));
+  tasks.add(sched::make_task("navigation_send", 1'000'000, 20'280.0));
+  tasks.add(sched::make_task("status_send", 1'250'000, 100'280.0));
+  tasks.add(sched::make_task("self_test", 1'000'000, 25'000.0));
+  sched::assign_rate_monotonic(tasks);
+  return tasks;
+}
+
+}  // namespace lpfps::workloads

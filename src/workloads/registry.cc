@@ -1,0 +1,62 @@
+#include "workloads/registry.h"
+
+#include <stdexcept>
+
+#include "common/check.h"
+#include "workloads/avionics.h"
+#include "workloads/cnc.h"
+#include "workloads/flight.h"
+#include "workloads/ins.h"
+
+namespace lpfps::workloads {
+
+namespace {
+
+/// Smallest whole number of hyperperiods covering `minimum` microseconds
+/// of simulated time, capped at `maximum` (the cap truncates only the
+/// avionics set, whose 59 ms task inflates the hyperperiod to 236 s).
+Time pick_horizon(const sched::TaskSet& tasks, Time minimum, Time maximum) {
+  const auto hyper = static_cast<Time>(tasks.hyperperiod());
+  if (hyper >= maximum) return maximum;
+  Time horizon = hyper;
+  while (horizon < minimum) horizon += hyper;
+  return horizon;
+}
+
+Workload make(std::string name, std::string description,
+              sched::TaskSet tasks) {
+  Workload workload;
+  workload.name = std::move(name);
+  workload.description = std::move(description);
+  workload.horizon = pick_horizon(tasks, 1e6, 2e7);
+  workload.tasks = std::move(tasks);
+  LPFPS_CHECK(workload.horizon > 0.0);
+  return workload;
+}
+
+}  // namespace
+
+std::vector<Workload> paper_workloads() {
+  std::vector<Workload> all;
+  all.push_back(make("Avionics",
+                     "Generic Avionics Platform, 17 tasks (Locke et al.)",
+                     avionics()));
+  all.push_back(
+      make("INS", "Inertial Navigation System, 6 tasks (Burns et al.)",
+           ins()));
+  all.push_back(make("Flight control",
+                     "PERTS flight control system, 6 tasks (Liu et al.)",
+                     flight_control()));
+  all.push_back(
+      make("CNC", "CNC machine controller, 8 tasks (Kim et al.)", cnc()));
+  return all;
+}
+
+Workload workload_by_name(const std::string& name) {
+  for (Workload& workload : paper_workloads()) {
+    if (workload.name == name) return std::move(workload);
+  }
+  throw std::out_of_range("unknown workload: " + name);
+}
+
+}  // namespace lpfps::workloads

@@ -1,0 +1,28 @@
+// Central registry of the paper's benchmark applications (Table 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/task_set.h"
+
+namespace lpfps::workloads {
+
+struct Workload {
+  std::string name;         ///< Table 2 name: Avionics / INS / ...
+  std::string description;
+  sched::TaskSet tasks;
+  /// Simulation horizon benches use by default: a whole number of
+  /// hyperperiods, at least ~1 second of simulated time, capped so that
+  /// the 236 s avionics hyperperiod stays tractable inside sweeps.
+  Time horizon = 0.0;
+};
+
+/// The paper's four applications in Table 2 order.
+std::vector<Workload> paper_workloads();
+
+/// Look up one workload by its Table 2 name (case-sensitive).  Throws
+/// std::out_of_range for unknown names.
+Workload workload_by_name(const std::string& name);
+
+}  // namespace lpfps::workloads

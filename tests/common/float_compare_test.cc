@@ -1,0 +1,63 @@
+#include "common/float_compare.h"
+
+#include <gtest/gtest.h>
+
+namespace lpfps {
+namespace {
+
+TEST(FloatCompare, ApproxEqualWithinEpsilon) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + kTimeEpsilon / 2));
+  EXPECT_TRUE(approx_equal(1.0, 1.0 - kTimeEpsilon / 2));
+  EXPECT_FALSE(approx_equal(1.0, 1.0 + 2 * kTimeEpsilon));
+}
+
+TEST(FloatCompare, ApproxEqualCustomEpsilon) {
+  EXPECT_TRUE(approx_equal(10.0, 10.4, 0.5));
+  EXPECT_FALSE(approx_equal(10.0, 10.6, 0.5));
+}
+
+TEST(FloatCompare, ApproxLeIsTolerant) {
+  EXPECT_TRUE(approx_le(1.0, 1.0));
+  EXPECT_TRUE(approx_le(1.0 + kTimeEpsilon / 2, 1.0));
+  EXPECT_FALSE(approx_le(1.0 + 2 * kTimeEpsilon, 1.0));
+  EXPECT_TRUE(approx_le(0.5, 1.0));
+}
+
+TEST(FloatCompare, ApproxGeIsTolerant) {
+  EXPECT_TRUE(approx_ge(1.0, 1.0));
+  EXPECT_TRUE(approx_ge(1.0 - kTimeEpsilon / 2, 1.0));
+  EXPECT_FALSE(approx_ge(1.0 - 2 * kTimeEpsilon, 1.0));
+}
+
+TEST(FloatCompare, DefinitelyLessRequiresMargin) {
+  EXPECT_TRUE(definitely_less(1.0, 2.0));
+  EXPECT_FALSE(definitely_less(1.0, 1.0));
+  EXPECT_FALSE(definitely_less(1.0 - kTimeEpsilon / 2, 1.0));
+}
+
+TEST(FloatCompare, DefinitelyGreaterRequiresMargin) {
+  EXPECT_TRUE(definitely_greater(2.0, 1.0));
+  EXPECT_FALSE(definitely_greater(1.0, 1.0));
+  EXPECT_FALSE(definitely_greater(1.0 + kTimeEpsilon / 2, 1.0));
+}
+
+TEST(FloatCompare, SnapNonnegativeClampsRoundingDebris) {
+  EXPECT_EQ(snap_nonnegative(0.0), 0.0);
+  EXPECT_EQ(snap_nonnegative(-kTimeEpsilon / 2), 0.0);
+  EXPECT_EQ(snap_nonnegative(5.0), 5.0);
+  // Genuinely negative values pass through for assertions downstream.
+  EXPECT_LT(snap_nonnegative(-1.0), 0.0);
+}
+
+TEST(FloatCompare, ReleaseInstantVsScaledCompletion) {
+  // The motivating scenario: a completion computed through a division
+  // lands a hair before an integer release instant.
+  const double release = 100.0;
+  const double completion = 20.0 / 0.2 + 1e-13;  // "100.0" with noise.
+  EXPECT_TRUE(approx_equal(completion, release));
+  EXPECT_FALSE(definitely_greater(completion, release));
+}
+
+}  // namespace
+}  // namespace lpfps

@@ -1,0 +1,98 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+namespace lpfps {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(3.0, 9.0);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 9.0);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(rng.uniform(5.0, 5.0), 5.0);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(1, 4);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+    saw_lo = saw_lo || v == 1;
+    saw_hi = saw_hi || v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianZeroSigmaIsMean) {
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(rng.gaussian(12.5, 0.0), 12.5);
+}
+
+TEST(Rng, GaussianMomentsApproximate) {
+  Rng rng(13);
+  const int n = 50'000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ClampedGaussianRespectsBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 10'000; ++i) {
+    // Wide sigma so that clamping actually engages.
+    const double v = rng.clamped_gaussian(5.0, 10.0, 2.0, 8.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LE(v, 8.0);
+  }
+}
+
+TEST(Rng, ForkSeedProducesIndependentStreams) {
+  Rng parent(99);
+  Rng child_a(parent.fork_seed());
+  Rng child_b(parent.fork_seed());
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child_a.uniform(0.0, 1.0) == child_b.uniform(0.0, 1.0)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace lpfps

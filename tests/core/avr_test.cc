@@ -1,0 +1,118 @@
+#include "core/avr.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "sched/priority.h"
+#include "workloads/example.h"
+#include "workloads/ins.h"
+
+namespace lpfps::core {
+namespace {
+
+power::ProcessorConfig cpu() { return power::ProcessorConfig::arm8_default(); }
+
+TEST(AvrRatio, IsQuantizedUtilization) {
+  // Table 1: U = 0.85 -> exactly 85 MHz on the 1 MHz grid.
+  EXPECT_DOUBLE_EQ(
+      avr_ratio(workloads::example_table1(),
+                power::FrequencyTable::arm8_like()),
+      0.85);
+}
+
+TEST(AvrRatio, RequiresImplicitDeadlines) {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("constrained", 100, 50, 10.0, 10.0));
+  EXPECT_THROW(avr_ratio(tasks, power::FrequencyTable::arm8_like()),
+               std::logic_error);
+}
+
+TEST(Avr, MeetsAllDeadlinesAtWcet) {
+  AvrOptions options;
+  options.horizon = 4000.0;
+  const SimulationResult result = simulate_avr(
+      workloads::example_table1(), cpu(), nullptr, options);
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_DOUBLE_EQ(result.mean_running_ratio, 0.85);
+  EXPECT_EQ(result.policy_name, "AVR");
+}
+
+TEST(Avr, BusyFractionMatchesAnalytic) {
+  // At WCET, EDF at ratio U keeps the processor busy U_actual / ratio
+  // of the time: with ratio == U exactly, 100% busy.
+  AvrOptions options;
+  options.horizon = 4000.0;
+  const SimulationResult result = simulate_avr(
+      workloads::example_table1(), cpu(), nullptr, options);
+  const auto busy = result.mode(sim::ProcessorMode::kRunning).time;
+  EXPECT_NEAR(busy / options.horizon, 1.0, 1e-6);
+}
+
+TEST(Avr, CannotReclaimDynamicSlackInItsClock) {
+  // The paper's §2.2 criticism, asserted mechanically: AVR's speed is
+  // computed from WCET-based average rates, so its clock ratio stays
+  // pinned at quantize(U) no matter how short actual execution times
+  // run — unlike LPFPS, whose mean running ratio falls with BCET.
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+  const double ratios[] = {1.0, 0.5, 0.1};
+  double lpfps_prev_ratio = 2.0;
+  for (const double bcet : ratios) {
+    const sched::TaskSet tasks = workloads::ins().with_bcet_ratio(bcet);
+    AvrOptions avr_options;
+    avr_options.horizon = 5e6;
+    const auto avr = simulate_avr(tasks, cpu(), exec, avr_options);
+    EXPECT_DOUBLE_EQ(avr.mean_running_ratio, 0.73);  // Pinned.
+
+    EngineOptions engine_options;
+    engine_options.horizon = 5e6;
+    const auto lpfps = simulate(tasks, cpu(), SchedulerPolicy::lpfps(),
+                                exec, engine_options);
+    EXPECT_LT(lpfps.mean_running_ratio, lpfps_prev_ratio);  // Adapts.
+    lpfps_prev_ratio = lpfps.mean_running_ratio;
+  }
+}
+
+TEST(Avr, BeatsPlainFps) {
+  const sched::TaskSet tasks = workloads::ins().with_bcet_ratio(0.5);
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+  AvrOptions avr_options;
+  avr_options.horizon = 5e6;
+  const double avr_power =
+      simulate_avr(tasks, cpu(), exec, avr_options).average_power;
+  EngineOptions engine_options;
+  engine_options.horizon = 5e6;
+  const double fps_power =
+      simulate(tasks, cpu(), SchedulerPolicy::fps(), exec, engine_options)
+          .average_power;
+  EXPECT_LT(avr_power, fps_power);
+}
+
+TEST(Avr, EnergyDropsWithShorterExecutionTimes) {
+  // Busy time shrinks with BCET even though the clock is fixed.
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+  AvrOptions options;
+  options.horizon = 4000.0 * 50;
+  double previous = 1e9;
+  for (const double ratio : {1.0, 0.5, 0.1}) {
+    const double power =
+        simulate_avr(workloads::example_table1().with_bcet_ratio(ratio),
+                     cpu(), exec, options)
+            .average_power;
+    EXPECT_LT(power, previous + 1e-12);
+    previous = power;
+  }
+}
+
+TEST(Avr, ThrowsOnOverload) {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("hog", 10, 8.0));
+  tasks.add(sched::make_task("more", 20, 10.0));  // U = 1.3.
+  sched::assign_rate_monotonic(tasks);
+  AvrOptions options;
+  options.horizon = 100.0;
+  EXPECT_THROW(simulate_avr(tasks, cpu(), nullptr, options),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace lpfps::core

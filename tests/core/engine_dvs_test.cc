@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.h"
+#include "sched/priority.h"
+#include "workloads/example.h"
+
+namespace lpfps::core {
+namespace {
+
+using sim::ProcessorMode;
+
+/// An idealized processor: continuous frequencies, cubic power law
+/// (proportional voltage, no floor), near-instant transitions.  Makes
+/// DVS outcomes analytically predictable.
+power::ProcessorConfig ideal_cpu() {
+  power::ProcessorConfig config;
+  config.frequencies = power::FrequencyTable::continuous(1.0, 100.0);
+  config.voltage = std::make_shared<power::ProportionalVoltageModel>(3.3, 0.0);
+  config.ramp_rate = 1e6;  // Effectively instant ramps.
+  return config;
+}
+
+sched::TaskSet single_task(std::int64_t period, Work wcet) {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("solo", period, wcet));
+  sched::assign_rate_monotonic(tasks);
+  return tasks;
+}
+
+EngineOptions options(Time horizon, bool trace = false) {
+  EngineOptions opts;
+  opts.horizon = horizon;
+  opts.record_trace = trace;
+  return opts;
+}
+
+TEST(EngineDvs, SingleTaskStretchesToItsPeriod) {
+  // C = 50, T = 100: LPFPS runs the lone task at ratio 0.5 wall-to-wall.
+  const SimulationResult result =
+      simulate(single_task(100, 50.0), ideal_cpu(),
+               SchedulerPolicy::lpfps_dvs_only(), nullptr, options(1000.0));
+  EXPECT_NEAR(result.mean_running_ratio, 0.5, 1e-3);
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_EQ(result.jobs_completed, 10);
+  // Cubic power law: power = 0.5^3 = 0.125 while running ~all the time.
+  EXPECT_NEAR(result.average_power, 0.125, 5e-3);
+}
+
+TEST(EngineDvs, CubicEnergySavingVersusFps) {
+  const sched::TaskSet tasks = single_task(100, 50.0);
+  const SimulationResult fps = simulate(
+      tasks, ideal_cpu(), SchedulerPolicy::fps(), nullptr, options(1000.0));
+  const SimulationResult lpfps =
+      simulate(tasks, ideal_cpu(), SchedulerPolicy::lpfps_dvs_only(),
+               nullptr, options(1000.0));
+  // FPS: 0.5 * 1 + 0.5 * 0.2 = 0.6.  LPFPS-DVS: 0.125.
+  EXPECT_NEAR(fps.average_power, 0.6, 1e-6);
+  EXPECT_LT(lpfps.average_power / fps.average_power, 0.25);
+}
+
+TEST(EngineDvs, QuantizationRoundsSpeedUp) {
+  // Discrete levels {25, 50, 100} MHz: a desired ratio of 0.30 must pick
+  // 50 MHz, never 25 MHz.
+  power::ProcessorConfig config = ideal_cpu();
+  config.frequencies = power::FrequencyTable::from_levels({25.0, 50.0, 100.0});
+  const SimulationResult result =
+      simulate(single_task(100, 30.0), config,
+               SchedulerPolicy::lpfps_dvs_only(), nullptr,
+               options(1000.0, true));
+  EXPECT_EQ(result.deadline_misses, 0);
+  for (const sim::Segment& s : result.trace->segments()) {
+    if (s.mode == ProcessorMode::kRunning && s.ratio_begin < 1.0) {
+      EXPECT_NEAR(s.ratio_begin, 0.5, 1e-9);
+    }
+  }
+}
+
+TEST(EngineDvs, NoSlowdownWithoutSlack) {
+  // C == T: zero slack, LPFPS must run at full speed throughout.
+  const SimulationResult result =
+      simulate(single_task(100, 100.0), ideal_cpu(),
+               SchedulerPolicy::lpfps_dvs_only(), nullptr, options(500.0));
+  EXPECT_DOUBLE_EQ(result.mean_running_ratio, 1.0);
+  EXPECT_EQ(result.speed_changes, 0);
+  EXPECT_EQ(result.deadline_misses, 0);
+}
+
+TEST(EngineDvs, SlowdownOnlyWhenAlone) {
+  // Two equal-period tasks: while both are pending the processor stays
+  // at full speed; only the lower-priority one (running last, alone)
+  // may be stretched.
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("first", 100, 30.0));
+  tasks.add(sched::make_task("second", 100, 30.0));
+  sched::assign_rate_monotonic(tasks);
+  const SimulationResult result =
+      simulate(tasks, ideal_cpu(), SchedulerPolicy::lpfps_dvs_only(),
+               nullptr, options(1000.0, true));
+  EXPECT_EQ(result.deadline_misses, 0);
+  for (const sim::Segment& s : result.trace->segments()) {
+    if (s.mode == ProcessorMode::kRunning && s.task == 0) {
+      // The higher-priority task always has the other one pending.
+      EXPECT_DOUBLE_EQ(s.ratio_begin, 1.0);
+    }
+  }
+  EXPECT_GT(result.speed_changes, 0);  // "second" does get stretched.
+}
+
+TEST(EngineDvs, RealRampRateStillMeetsDeadlines) {
+  // Paper transition rate, paper frequency grid, Table 1 task set at
+  // WCET: every deadline holds (throw_on_miss is on by default).
+  const SimulationResult result =
+      simulate(lpfps::workloads::example_table1(),
+               power::ProcessorConfig::arm8_default(),
+               SchedulerPolicy::lpfps(), nullptr, options(4000.0));
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_GT(result.speed_changes, 0);
+}
+
+TEST(EngineDvs, OptimalRatioNeverSlowerThanDeadlinesAllow) {
+  const SimulationResult result =
+      simulate(lpfps::workloads::example_table1(),
+               power::ProcessorConfig::arm8_default(),
+               SchedulerPolicy::lpfps_optimal(), nullptr, options(4000.0));
+  EXPECT_EQ(result.deadline_misses, 0);
+}
+
+TEST(EngineDvs, OptimalSavesAtLeastAsMuchAsHeuristicOnShortWindows) {
+  // CNC-like short windows are where r_opt < r_heu matters (Figure 7).
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("short_a", 200, 40.0));
+  tasks.add(sched::make_task("short_b", 400, 60.0));
+  sched::assign_rate_monotonic(tasks);
+  const power::ProcessorConfig config =
+      power::ProcessorConfig::arm8_default();
+  const SimulationResult heuristic = simulate(
+      tasks, config, SchedulerPolicy::lpfps(), nullptr, options(4000.0));
+  const SimulationResult optimal =
+      simulate(tasks, config, SchedulerPolicy::lpfps_optimal(), nullptr,
+               options(4000.0));
+  EXPECT_LE(optimal.total_energy, heuristic.total_energy + 1e-6);
+}
+
+TEST(EngineDvs, MeanRunningRatioBelowOneWhenSlackExists) {
+  const SimulationResult result =
+      simulate(lpfps::workloads::example_table1(),
+               power::ProcessorConfig::arm8_default(),
+               SchedulerPolicy::lpfps(), nullptr, options(4000.0));
+  EXPECT_LT(result.mean_running_ratio, 1.0);
+  EXPECT_GT(result.mean_running_ratio, 0.3);
+}
+
+}  // namespace
+}  // namespace lpfps::core

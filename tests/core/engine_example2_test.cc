@@ -1,0 +1,140 @@
+// Paper Example 2 (§3.2, Figure 5) end-to-end on the engine.
+//
+// At t=160 a request for tau2 arrives while every other task sleeps in
+// the delay queue until t=200.  The scheduler computes
+// (C2 - E2)/(t_a - t_c) = 20/40 = 0.5 and halves the processor speed.
+// If that instance then executes only half its WCET, it completes early
+// and the processor enters power-down with the timer set to tau1's next
+// arrival at t=200.
+//
+// The paper idealizes both transition delays to zero for the example;
+// the engine models them (rho = 0.07/us, 0.1 us wake-up), so instants
+// below are checked against the exact delayed equivalents.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "exec/exec_model.h"
+#include "sched/kernel.h"
+#include "workloads/example.h"
+
+namespace lpfps::core {
+namespace {
+
+using sim::ProcessorMode;
+using sim::Segment;
+
+/// Execution times: everything at WCET except tau2's third instance
+/// (released at 160), which takes half its WCET as in Figure 2(b)'s
+/// t=160..180 episode.
+class Example2ExecModel final : public exec::ExecutionTimeModel {
+ public:
+  Work sample(const sched::Task& task, Rng&) const override {
+    if (task.name == "tau2" && ++counts_ == 3) return 10.0;
+    return task.wcet;
+  }
+  std::string name() const override { return "example2"; }
+
+ private:
+  mutable int counts_ = 0;
+};
+
+SimulationResult run_example2() {
+  EngineOptions options;
+  options.horizon = 200.0;
+  options.record_trace = true;
+  return simulate(lpfps::workloads::example_table1(),
+                  power::ProcessorConfig::arm8_default(),
+                  SchedulerPolicy::lpfps(),
+                  std::make_shared<Example2ExecModel>(), options);
+}
+
+TEST(Example2, SpeedHalvedAtTime160) {
+  const SimulationResult result = run_example2();
+  ASSERT_TRUE(result.trace.has_value());
+  // After the down-ramp (duration (1-0.5)/0.07 = 7.142857 us) tau2 runs
+  // at exactly ratio 0.5.
+  bool found = false;
+  for (const Segment& s : result.trace->segments()) {
+    if (s.mode == ProcessorMode::kRunning && s.task == 1 &&
+        s.begin > 160.0 && s.ratio_begin == s.ratio_end &&
+        s.ratio_begin < 1.0) {
+      EXPECT_NEAR(s.ratio_begin, 0.5, 1e-9);
+      EXPECT_NEAR(s.begin, 160.0 + 0.5 / 0.07, 1e-6);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Example2, EarlyCompletionTriggersPowerDownUntil200) {
+  const SimulationResult result = run_example2();
+  ASSERT_TRUE(result.trace.has_value());
+  // tau2's work: down-ramp [160, 167.143) contributes
+  // (1+0.5)/2 * 7.142857 = 5.357 us; the remaining 4.643 us at ratio 0.5
+  // takes 9.286 us -> completion at ~176.43.
+  const Time expected_completion = 160.0 + (0.5 / 0.07) + 4.642857 / 0.5;
+  bool completion_checked = false;
+  for (const sim::JobRecord& job : result.trace->jobs()) {
+    if (job.task == 1 && job.instance == 2) {
+      EXPECT_NEAR(job.completion, expected_completion, 1e-3);
+      completion_checked = true;
+    }
+  }
+  EXPECT_TRUE(completion_checked);
+
+  // After the L1-L4 ramp back to full speed (7.14 us) the processor
+  // powers down with the timer at 200 - 0.1 = 199.9 (L14), then wakes.
+  bool saw_powerdown = false;
+  bool saw_wakeup = false;
+  for (const Segment& s : result.trace->segments()) {
+    if (s.mode == ProcessorMode::kPowerDown && s.begin > 160.0) {
+      saw_powerdown = true;
+      EXPECT_NEAR(s.begin, expected_completion + 0.5 / 0.07, 1e-3);
+      EXPECT_NEAR(s.end, 199.9, 1e-9);
+    }
+    if (s.mode == ProcessorMode::kWakeUp && s.begin > 160.0) {
+      saw_wakeup = true;
+      EXPECT_NEAR(s.begin, 199.9, 1e-9);
+      EXPECT_NEAR(s.end, 200.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(saw_powerdown);
+  EXPECT_TRUE(saw_wakeup);
+  EXPECT_GE(result.power_downs, 1);
+}
+
+TEST(Example2, ScheduleBefore160MatchesFigure2a) {
+  // Up to t=160 every instance runs at WCET, so the schedule matches the
+  // conventional FPS schedule (the first slack window LPFPS can exploit
+  // with DVS only opens at t=160; the idle gap at [80,100) in Figure
+  // 2(a) does not exist — tau2 occupies it).
+  const SimulationResult result = run_example2();
+  ASSERT_TRUE(result.trace.has_value());
+  sched::FixedPriorityKernel kernel(lpfps::workloads::example_table1());
+  const sched::KernelResult reference = kernel.run(160.0);
+
+  std::vector<Segment> engine_running;
+  for (const Segment& s : result.trace->segments()) {
+    if (s.mode == ProcessorMode::kRunning && s.end <= 160.0 + 1e-9) {
+      engine_running.push_back(s);
+    }
+  }
+  std::vector<Segment> kernel_running;
+  for (const Segment& s : reference.trace.segments()) {
+    if (s.mode == ProcessorMode::kRunning) kernel_running.push_back(s);
+  }
+  ASSERT_EQ(engine_running.size(), kernel_running.size());
+  for (std::size_t i = 0; i < engine_running.size(); ++i) {
+    EXPECT_NEAR(engine_running[i].begin, kernel_running[i].begin, 1e-9);
+    EXPECT_NEAR(engine_running[i].end, kernel_running[i].end, 1e-9);
+    EXPECT_EQ(engine_running[i].task, kernel_running[i].task);
+  }
+}
+
+TEST(Example2, NoDeadlineMissed) {
+  const SimulationResult result = run_example2();
+  EXPECT_EQ(result.deadline_misses, 0);
+}
+
+}  // namespace
+}  // namespace lpfps::core

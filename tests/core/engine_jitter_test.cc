@@ -1,0 +1,152 @@
+// Release jitter in the engine, paired with the jitter-aware RTA.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "metrics/stats.h"
+#include "sched/analysis.h"
+#include "sched/priority.h"
+#include "workloads/example.h"
+
+namespace lpfps::core {
+namespace {
+
+power::ProcessorConfig cpu() { return power::ProcessorConfig::arm8_default(); }
+
+sched::TaskSet slack_set() {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("fast", 100, 10.0));
+  tasks.add(sched::make_task("slow", 400, 80.0));  // U = 0.3.
+  sched::assign_rate_monotonic(tasks);
+  return tasks;
+}
+
+TEST(EngineJitter, EmptyVectorMatchesDefaultExactly) {
+  EngineOptions plain;
+  plain.horizon = 4000.0;
+  EngineOptions with_empty = plain;
+  with_empty.release_jitter = {};
+  const auto a = simulate(slack_set(), cpu(), SchedulerPolicy::lpfps(),
+                          nullptr, plain);
+  const auto b = simulate(slack_set(), cpu(), SchedulerPolicy::lpfps(),
+                          nullptr, with_empty);
+  EXPECT_DOUBLE_EQ(a.total_energy, b.total_energy);
+}
+
+TEST(EngineJitter, ZeroJitterVectorMatchesDefaultExactly) {
+  EngineOptions plain;
+  plain.horizon = 4000.0;
+  EngineOptions zero = plain;
+  zero.release_jitter = {0.0, 0.0};
+  const auto a = simulate(slack_set(), cpu(), SchedulerPolicy::lpfps(),
+                          nullptr, plain);
+  const auto b = simulate(slack_set(), cpu(), SchedulerPolicy::lpfps(),
+                          nullptr, zero);
+  EXPECT_DOUBLE_EQ(a.total_energy, b.total_energy);
+}
+
+TEST(EngineJitter, WrongVectorSizeRejected) {
+  EngineOptions options;
+  options.horizon = 400.0;
+  options.release_jitter = {1.0};  // Two tasks.
+  EXPECT_THROW(simulate(slack_set(), cpu(), SchedulerPolicy::fps(),
+                        nullptr, options),
+               std::logic_error);
+  options.release_jitter = {1.0, -1.0};
+  EXPECT_THROW(simulate(slack_set(), cpu(), SchedulerPolicy::fps(),
+                        nullptr, options),
+               std::logic_error);
+}
+
+TEST(EngineJitter, DispatchDelayedByUpToJitter) {
+  // Single task with jitter 5: each job's first running segment starts
+  // between its nominal release and release + 5; mean offset ~2.5.
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("solo", 100, 10.0));
+  sched::assign_rate_monotonic(tasks);
+  EngineOptions options;
+  options.horizon = 100.0 * 400;
+  options.record_trace = true;
+  options.release_jitter = {5.0};
+  const auto result = simulate(tasks, cpu(), SchedulerPolicy::fps(),
+                               nullptr, options);
+  metrics::Summary offsets;
+  Time expected_release = 0.0;
+  for (const sim::Segment& s : result.trace->segments()) {
+    if (s.mode != sim::ProcessorMode::kRunning) continue;
+    const double offset = s.begin - expected_release;
+    EXPECT_GE(offset, -1e-9);
+    EXPECT_LE(offset, 5.0 + 1e-9);
+    offsets.add(offset);
+    expected_release += 100.0;
+  }
+  EXPECT_GT(offsets.count(), 300u);
+  EXPECT_NEAR(offsets.mean(), 2.5, 0.3);
+}
+
+TEST(EngineJitter, ResponseTimesStayWithinExtendedRta) {
+  // The engine's observed response times (from nominal release) must
+  // respect the jitter-aware analysis bound.
+  sched::TaskSet tasks = slack_set();
+  sched::AnalysisExtras extras = sched::AnalysisExtras::zero(tasks);
+  extras.jitter = {20.0, 30.0};
+  ASSERT_TRUE(sched::is_schedulable_extended(tasks, extras));
+  const auto bound_fast = sched::response_time_extended(tasks, 0, extras);
+  const auto bound_slow = sched::response_time_extended(tasks, 1, extras);
+  ASSERT_TRUE(bound_fast.has_value());
+  ASSERT_TRUE(bound_slow.has_value());
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    EngineOptions options;
+    options.horizon = 40'000.0;
+    options.seed = seed;
+    options.record_trace = true;
+    options.release_jitter = {20.0, 30.0};
+    const auto result = simulate(tasks, cpu(), SchedulerPolicy::fps(),
+                                 nullptr, options);
+    for (const sim::JobRecord& job : result.trace->jobs()) {
+      const double bound = job.task == 0 ? *bound_fast : *bound_slow;
+      EXPECT_LE(job.response_time(), bound + 1e-6)
+          << "task " << job.task << " seed " << seed;
+    }
+  }
+}
+
+TEST(EngineJitter, LpfpsStaysSafeUnderJitter) {
+  // The conservative staging rules (no DVS / no power-down while a
+  // jitter-delayed arrival is in flight) must preserve hard deadlines.
+  const sched::TaskSet tasks = slack_set();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    EngineOptions options;
+    options.horizon = 40'000.0;
+    options.seed = seed;
+    options.release_jitter = {20.0, 30.0};
+    for (const auto& policy :
+         {SchedulerPolicy::lpfps(), SchedulerPolicy::lpfps_optimal(),
+          SchedulerPolicy::lpfps_powerdown_only()}) {
+      const auto result =
+          simulate(tasks, cpu(), policy, nullptr, options);
+      EXPECT_EQ(result.deadline_misses, 0)
+          << policy.name << " seed " << seed;
+    }
+  }
+}
+
+TEST(EngineJitter, JitterReducesLpfpsSavings) {
+  // Staged arrivals suppress DVS/power-down windows, so jittered runs
+  // spend at least as much energy.
+  const sched::TaskSet tasks = slack_set();
+  EngineOptions plain;
+  plain.horizon = 40'000.0;
+  const double base_energy =
+      simulate(tasks, cpu(), SchedulerPolicy::lpfps(), nullptr, plain)
+          .total_energy;
+  EngineOptions jittered = plain;
+  jittered.release_jitter = {40.0, 80.0};
+  const double jittered_energy =
+      simulate(tasks, cpu(), SchedulerPolicy::lpfps(), nullptr, jittered)
+          .total_energy;
+  EXPECT_GE(jittered_energy, base_energy - 1e-6);
+}
+
+}  // namespace
+}  // namespace lpfps::core

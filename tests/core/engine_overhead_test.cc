@@ -1,0 +1,101 @@
+// Context-switch overhead modelling (EngineOptions::context_switch_cost).
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "sched/priority.h"
+#include "workloads/example.h"
+
+namespace lpfps::core {
+namespace {
+
+power::ProcessorConfig cpu() { return power::ProcessorConfig::arm8_default(); }
+
+SimulationResult run_with_cost(Work cost, Time horizon = 400.0) {
+  EngineOptions options;
+  options.horizon = horizon;
+  options.context_switch_cost = cost;
+  return simulate(workloads::example_table1(), cpu(),
+                  SchedulerPolicy::fps(), nullptr, options);
+}
+
+TEST(ContextSwitchCost, ZeroCostMatchesBaseline) {
+  const SimulationResult baseline = run_with_cost(0.0);
+  EXPECT_NEAR(baseline.average_power, 0.88, 1e-9);
+}
+
+TEST(ContextSwitchCost, EnergyGrowsWithCost) {
+  // Each preemption burns extra full-power work instead of NOP idle.
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("fast", 100, 10.0));
+  tasks.add(sched::make_task("long", 200, 120.0));
+  sched::assign_rate_monotonic(tasks);
+  auto power_at = [&](Work cost) {
+    EngineOptions options;
+    options.horizon = 2000.0;
+    options.context_switch_cost = cost;
+    return simulate(tasks, cpu(), SchedulerPolicy::fps(), nullptr, options)
+        .average_power;
+  };
+  const double p0 = power_at(0.0);
+  const double p1 = power_at(1.0);
+  const double p2 = power_at(3.0);
+  EXPECT_LT(p0, p1);
+  EXPECT_LT(p1, p2);
+}
+
+TEST(ContextSwitchCost, ChargedPerPreemption) {
+  // Two tasks engineered for exactly one preemption per hyperperiod:
+  // the busy time must grow by exactly cost * context_switches.
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("fast", 100, 10.0));
+  tasks.add(sched::make_task("long", 200, 120.0));
+  sched::assign_rate_monotonic(tasks);
+
+  auto run = [&](Work cost) {
+    EngineOptions options;
+    options.horizon = 2000.0;
+    options.context_switch_cost = cost;
+    return simulate(tasks, cpu(), SchedulerPolicy::fps(), nullptr,
+                    options);
+  };
+  const SimulationResult base = run(0.0);
+  const double cost = 2.0;
+  const SimulationResult loaded = run(cost);
+  EXPECT_EQ(base.context_switches, 10);  // One per 200 us hyperperiod.
+  ASSERT_EQ(base.context_switches, loaded.context_switches);
+  const double busy_base = base.mode(sim::ProcessorMode::kRunning).time;
+  const double busy_loaded =
+      loaded.mode(sim::ProcessorMode::kRunning).time;
+  EXPECT_NEAR(busy_loaded - busy_base, cost * base.context_switches, 1e-6);
+}
+
+TEST(ContextSwitchCost, AnyCostBreaksZeroSlackSetLoudly) {
+  // Table 1 "just meets" schedulability (tau3's response time equals
+  // the window to tau2's next release), so even 1 us of unbudgeted
+  // kernel overhead must surface as a deadline throw, not silent
+  // lateness.
+  EXPECT_THROW(run_with_cost(1.0), std::runtime_error);
+}
+
+TEST(ContextSwitchCost, RecordedWhenNotThrowing) {
+  EngineOptions options;
+  options.horizon = 400.0;
+  options.context_switch_cost = 1.0;
+  options.throw_on_miss = false;
+  const SimulationResult result =
+      simulate(workloads::example_table1(), cpu(), SchedulerPolicy::fps(),
+               nullptr, options);
+  EXPECT_GT(result.deadline_misses, 0);
+}
+
+TEST(ContextSwitchCost, NegativeCostRejected) {
+  EngineOptions options;
+  options.horizon = 400.0;
+  options.context_switch_cost = -1.0;
+  EXPECT_THROW(simulate(workloads::example_table1(), cpu(),
+                        SchedulerPolicy::fps(), nullptr, options),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace lpfps::core

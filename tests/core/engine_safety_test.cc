@@ -1,0 +1,111 @@
+// Safety of the slowdown window.
+//
+// The paper's L17 stretches the active task's remaining WCET across
+// [t_c, t_a] where t_a is the next release in the delay queue.  That is
+// unsafe in general: t_a can lie beyond the active task's own absolute
+// deadline.  Concretely (all deadlines == periods):
+//
+//   tau_b: T = 70,  C = 20  (higher priority under RM)
+//   tau_a: T = 100, C = 60  (response time exactly 100: just feasible)
+//
+// Timeline: tau_a's 2nd job (release 100) runs [100,140), is preempted
+// by tau_b's 3rd job [140,160), and resumes at 160 with 20 us of work
+// left.  The run queue is empty and the delay queue's head (tau_b) is
+// released at 210 — *after* tau_a's deadline at 200.  The paper's
+// uncapped ratio (C-E)/(t_a-t_c) = 20/50 = 0.4 would finish at 210 and
+// miss.  Our engine caps the window at min(t_a, deadline), computing
+// 20/40 = 0.5 and finishing by 200.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/speed_ratio.h"
+#include "sched/analysis.h"
+#include "sched/priority.h"
+
+namespace lpfps::core {
+namespace {
+
+sched::TaskSet hazardous_set() {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("tau_b", 70, 20.0));
+  tasks.add(sched::make_task("tau_a", 100, 60.0));
+  sched::assign_rate_monotonic(tasks);
+  return tasks;
+}
+
+TEST(EngineSafety, HazardSetIsJustFeasible) {
+  const sched::TaskSet tasks = hazardous_set();
+  ASSERT_TRUE(sched::is_schedulable_rta(tasks));
+  const auto r = sched::response_time(tasks, 1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(*r, 100.0);  // Exactly at the deadline: zero margin.
+}
+
+TEST(EngineSafety, UncappedPaperFormulaWouldMiss) {
+  // Pure arithmetic of the scenario: remaining 20 over the uncapped
+  // window 50 (t_a = 210, t_c = 160) finishes at 210 > deadline 200.
+  const double uncapped = heuristic_ratio(20.0, 210.0 - 160.0);
+  EXPECT_NEAR(uncapped, 0.4, 1e-12);
+  EXPECT_GT(160.0 + 20.0 / uncapped, 200.0);
+  // The capped window (deadline 200) is safe by construction.
+  const double capped = heuristic_ratio(20.0, 200.0 - 160.0);
+  EXPECT_LE(160.0 + 20.0 / capped, 200.0 + 1e-9);
+}
+
+TEST(EngineSafety, LpfpsMeetsEveryDeadlineOnHazardSet) {
+  // throw_on_miss is on: a miss anywhere in 10 hyperperiods would throw.
+  EngineOptions options;
+  options.horizon = 7000.0;  // lcm(70, 100) = 700.
+  const SimulationResult result =
+      simulate(hazardous_set(), power::ProcessorConfig::arm8_default(),
+               SchedulerPolicy::lpfps(), nullptr, options);
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_GT(result.speed_changes, 0);  // DVS did engage.
+}
+
+TEST(EngineSafety, AllLpfpsVariantsSafeOnHazardSet) {
+  EngineOptions options;
+  options.horizon = 7000.0;
+  for (const auto& policy :
+       {SchedulerPolicy::lpfps(), SchedulerPolicy::lpfps_optimal(),
+        SchedulerPolicy::lpfps_dvs_only(),
+        SchedulerPolicy::lpfps_powerdown_only()}) {
+    const SimulationResult result =
+        simulate(hazardous_set(), power::ProcessorConfig::arm8_default(),
+                 policy, nullptr, options);
+    EXPECT_EQ(result.deadline_misses, 0) << policy.name;
+  }
+}
+
+TEST(EngineSafety, HazardSetWithRandomExecutionTimes) {
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+  const sched::TaskSet tasks = hazardous_set().with_bcet_ratio(0.2);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    EngineOptions options;
+    options.horizon = 7000.0;
+    options.seed = seed;
+    const SimulationResult result =
+        simulate(tasks, power::ProcessorConfig::arm8_default(),
+                 SchedulerPolicy::lpfps(), exec, options);
+    EXPECT_EQ(result.deadline_misses, 0) << "seed " << seed;
+  }
+}
+
+TEST(EngineSafety, ZeroSlackTaskSetNeverSlowsOrSleeps) {
+  // U = 1 harmonic set: LPFPS degrades gracefully to plain FPS.
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("half", 10, 5.0));
+  tasks.add(sched::make_task("rest", 20, 10.0));
+  sched::assign_rate_monotonic(tasks);
+  EngineOptions options;
+  options.horizon = 2000.0;
+  const SimulationResult result =
+      simulate(tasks, power::ProcessorConfig::arm8_default(),
+               SchedulerPolicy::lpfps(), nullptr, options);
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_DOUBLE_EQ(result.mean_running_ratio, 1.0);
+  EXPECT_EQ(result.power_downs, 0);
+}
+
+}  // namespace
+}  // namespace lpfps::core

@@ -1,0 +1,61 @@
+#include "core/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace lpfps::core {
+namespace {
+
+TEST(Policy, FpsBaseline) {
+  const SchedulerPolicy fps = SchedulerPolicy::fps();
+  EXPECT_EQ(fps.name, "FPS");
+  EXPECT_EQ(fps.dvs, RatioMethod::kNone);
+  EXPECT_EQ(fps.idle, IdleMethod::kBusyWait);
+  EXPECT_FALSE(fps.uses_dvs());
+  EXPECT_NO_THROW(fps.validate());
+}
+
+TEST(Policy, LpfpsUsesHeuristicAndExactPowerDown) {
+  const SchedulerPolicy lpfps = SchedulerPolicy::lpfps();
+  EXPECT_EQ(lpfps.dvs, RatioMethod::kHeuristic);
+  EXPECT_EQ(lpfps.idle, IdleMethod::kExactPowerDown);
+  EXPECT_TRUE(lpfps.uses_dvs());
+}
+
+TEST(Policy, OptimalVariant) {
+  EXPECT_EQ(SchedulerPolicy::lpfps_optimal().dvs, RatioMethod::kOptimal);
+}
+
+TEST(Policy, AblationVariantsIsolateMechanisms) {
+  const SchedulerPolicy dvs_only = SchedulerPolicy::lpfps_dvs_only();
+  EXPECT_TRUE(dvs_only.uses_dvs());
+  EXPECT_EQ(dvs_only.idle, IdleMethod::kBusyWait);
+
+  const SchedulerPolicy pd_only = SchedulerPolicy::lpfps_powerdown_only();
+  EXPECT_FALSE(pd_only.uses_dvs());
+  EXPECT_EQ(pd_only.idle, IdleMethod::kExactPowerDown);
+}
+
+TEST(Policy, TimeoutShutdownStoresTimeout) {
+  const SchedulerPolicy timeout =
+      SchedulerPolicy::fps_timeout_shutdown(500.0);
+  EXPECT_EQ(timeout.idle, IdleMethod::kTimeoutShutdown);
+  EXPECT_DOUBLE_EQ(timeout.shutdown_timeout, 500.0);
+}
+
+TEST(Policy, NamesAreDistinct) {
+  EXPECT_NE(SchedulerPolicy::fps().name, SchedulerPolicy::lpfps().name);
+  EXPECT_NE(SchedulerPolicy::lpfps().name,
+            SchedulerPolicy::lpfps_optimal().name);
+}
+
+TEST(Policy, ToStringCoverage) {
+  EXPECT_STREQ(to_string(RatioMethod::kNone), "none");
+  EXPECT_STREQ(to_string(RatioMethod::kHeuristic), "heuristic");
+  EXPECT_STREQ(to_string(RatioMethod::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(IdleMethod::kBusyWait), "busy-wait");
+  EXPECT_STREQ(to_string(IdleMethod::kExactPowerDown), "exact-power-down");
+  EXPECT_STREQ(to_string(IdleMethod::kTimeoutShutdown), "timeout-shutdown");
+}
+
+}  // namespace
+}  // namespace lpfps::core

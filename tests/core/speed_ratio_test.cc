@@ -1,0 +1,123 @@
+#include "core/speed_ratio.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace lpfps::core {
+namespace {
+
+constexpr double kRho = 0.07;  // The paper's transition rate.
+
+TEST(Heuristic, PaperExample2) {
+  // t=160: C2 - E2 = 20, t_a - t_c = 40 -> r_heu = 0.5 (paper §3.2).
+  EXPECT_NEAR(heuristic_ratio(20.0, 40.0), 0.5, 1e-12);
+}
+
+TEST(Heuristic, NoSlackMeansFullSpeed) {
+  EXPECT_DOUBLE_EQ(heuristic_ratio(40.0, 40.0), 1.0);
+  EXPECT_DOUBLE_EQ(heuristic_ratio(50.0, 40.0), 1.0);
+}
+
+TEST(Heuristic, ZeroRemainingWork) {
+  EXPECT_DOUBLE_EQ(heuristic_ratio(0.0, 40.0), 0.0);
+}
+
+TEST(Optimal, SatisfiesEquation1Exactly) {
+  // The returned ratio must make plan capacity == remaining work.
+  for (double window : {50.0, 100.0, 500.0, 3000.0}) {
+    for (double frac : {0.15, 0.3, 0.5, 0.7, 0.9}) {
+      const double remaining = frac * window;
+      const double r = optimal_ratio(remaining, window, kRho);
+      if (r < 1.0 && r > 1.0 - kRho * window) {
+        EXPECT_NEAR(plan_work_capacity(r, window, kRho), remaining,
+                    1e-6 * window)
+            << "window=" << window << " frac=" << frac;
+      }
+    }
+  }
+}
+
+TEST(Optimal, PaperExample2WithTransitionDelay) {
+  // t_I = 40, R = 20, rho = 0.07: eq. (2) gives ~0.4446 (< r_heu = 0.5
+  // because the ramp back to full speed contributes work).
+  const double r = optimal_ratio(20.0, 40.0, kRho);
+  EXPECT_NEAR(r, 0.445, 1e-3);
+  EXPECT_LT(r, 0.5);
+}
+
+TEST(Optimal, ApproachesHeuristicForLongWindows) {
+  // Figure 7: r_heu -> r_opt as t_a - t_c grows.
+  const double remaining_frac = 0.5;
+  double prev_gap = 1.0;
+  for (double window : {50.0, 200.0, 1000.0, 3000.0}) {
+    const double remaining = remaining_frac * window;
+    const double gap =
+        heuristic_ratio(remaining, window) -
+        optimal_ratio(remaining, window, kRho);
+    EXPECT_GE(gap, -1e-12);
+    EXPECT_LE(gap, prev_gap + 1e-12);
+    prev_gap = gap;
+  }
+  EXPECT_LT(prev_gap, 0.01);  // Nearly converged at 3000 us.
+}
+
+TEST(Optimal, InstantTransitionEqualsHeuristic) {
+  // rho -> infinity removes the ramp term: r_opt == r_heu.
+  EXPECT_NEAR(optimal_ratio(20.0, 40.0, 1e9),
+              heuristic_ratio(20.0, 40.0), 1e-6);
+}
+
+TEST(Optimal, ShortWindowHitsFeasibilityFloor) {
+  // window = 5 us: even r = 1 - rho*5 = 0.65 leaves more capacity than
+  // tiny remaining work; the floor is returned.
+  const double r = optimal_ratio(0.5, 5.0, kRho);
+  EXPECT_NEAR(r, 1.0 - kRho * 5.0, 1e-12);
+}
+
+TEST(Optimal, NoSlackMeansFullSpeed) {
+  EXPECT_DOUBLE_EQ(optimal_ratio(40.0, 40.0, kRho), 1.0);
+  EXPECT_DOUBLE_EQ(optimal_ratio(80.0, 40.0, kRho), 1.0);
+}
+
+TEST(Theorem1Domain, MatchesPaperHypotheses) {
+  EXPECT_TRUE(theorem1_applies(20.0, 40.0));
+  EXPECT_FALSE(theorem1_applies(40.0, 40.0));
+  EXPECT_FALSE(theorem1_applies(50.0, 40.0));
+  EXPECT_FALSE(theorem1_applies(20.0, 0.0));
+}
+
+// ---------------------------------------------------------------------
+// Theorem 1 as a parameterized property: r_heu >= r_opt over a dense
+// sweep of (window, remaining-fraction) pairs, mirroring Figure 7's
+// axes (t_a - t_c in [50, 3000], r_heu in [0.1, 0.9]).
+// ---------------------------------------------------------------------
+class Theorem1Property
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(Theorem1Property, HeuristicIsAlwaysSafe) {
+  const double window = std::get<0>(GetParam());
+  const double frac = std::get<1>(GetParam());
+  const double remaining = frac * window;
+  ASSERT_TRUE(theorem1_applies(remaining, window));
+  const double r_heu = heuristic_ratio(remaining, window);
+  const double r_opt = optimal_ratio(remaining, window, kRho);
+  // Safety (Theorem 1): r_heu never below r_opt.
+  EXPECT_GE(r_heu, r_opt - 1e-12)
+      << "window=" << window << " frac=" << frac;
+  // And running at r_heu completes no later than the window's end under
+  // the optimal plan's own accounting.
+  if (r_heu < 1.0 && r_heu >= 1.0 - kRho * window) {
+    EXPECT_GE(plan_work_capacity(r_heu, window, kRho), remaining - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure7Grid, Theorem1Property,
+    ::testing::Combine(
+        ::testing::Values(50.0, 100.0, 250.0, 500.0, 1000.0, 2000.0,
+                          3000.0),
+        ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)));
+
+}  // namespace
+}  // namespace lpfps::core

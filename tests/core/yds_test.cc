@@ -1,0 +1,179 @@
+#include "core/yds.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "sched/priority.h"
+#include "workloads/cnc.h"
+#include "workloads/example.h"
+
+namespace lpfps::core {
+namespace {
+
+TEST(YdsSchedule, SingleJobRunsAtItsDensity) {
+  const auto schedule =
+      yds_schedule({YdsJob{0.0, 10.0, 5.0}});
+  ASSERT_EQ(schedule.size(), 1u);
+  EXPECT_DOUBLE_EQ(schedule[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(schedule[0].end, 10.0);
+  EXPECT_DOUBLE_EQ(schedule[0].speed, 0.5);
+}
+
+TEST(YdsSchedule, DisjointJobsKeepOwnSpeeds) {
+  const auto schedule = yds_schedule(
+      {YdsJob{0.0, 10.0, 2.0}, YdsJob{20.0, 30.0, 8.0}});
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_DOUBLE_EQ(schedule[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(schedule[0].end, 10.0);
+  EXPECT_DOUBLE_EQ(schedule[0].speed, 0.2);
+  EXPECT_DOUBLE_EQ(schedule[1].begin, 20.0);
+  EXPECT_DOUBLE_EQ(schedule[1].end, 30.0);
+  EXPECT_DOUBLE_EQ(schedule[1].speed, 0.8);
+}
+
+TEST(YdsSchedule, SharedWindowAverages) {
+  // A: [0,10] w=5, B: [0,2] w=1.  The whole [0,10] has intensity 0.6 >
+  // [0,2]'s 0.5, so one constant interval at 0.6 (EDF fits B first).
+  const auto schedule = yds_schedule(
+      {YdsJob{0.0, 10.0, 5.0}, YdsJob{0.0, 2.0, 1.0}});
+  ASSERT_EQ(schedule.size(), 1u);
+  EXPECT_DOUBLE_EQ(schedule[0].speed, 0.6);
+  EXPECT_DOUBLE_EQ(schedule[0].end, 10.0);
+}
+
+TEST(YdsSchedule, NestedCriticalIntervalTextbookCase) {
+  // A: [0,10] w=2, B: [4,6] w=1.5.  Critical interval [4,6] @ 0.75;
+  // after collapsing, A runs at 0.25 around it.
+  const auto schedule = yds_schedule(
+      {YdsJob{0.0, 10.0, 2.0}, YdsJob{4.0, 6.0, 1.5}});
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_DOUBLE_EQ(schedule[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(schedule[0].end, 4.0);
+  EXPECT_DOUBLE_EQ(schedule[0].speed, 0.25);
+  EXPECT_DOUBLE_EQ(schedule[1].begin, 4.0);
+  EXPECT_DOUBLE_EQ(schedule[1].end, 6.0);
+  EXPECT_DOUBLE_EQ(schedule[1].speed, 0.75);
+  EXPECT_DOUBLE_EQ(schedule[2].begin, 6.0);
+  EXPECT_DOUBLE_EQ(schedule[2].end, 10.0);
+  EXPECT_DOUBLE_EQ(schedule[2].speed, 0.25);
+}
+
+TEST(YdsSchedule, TotalWorkIsConserved) {
+  const std::vector<YdsJob> jobs = {
+      {0.0, 50.0, 10.0}, {10.0, 30.0, 8.0}, {25.0, 90.0, 20.0},
+      {60.0, 70.0, 6.0}, {0.0, 100.0, 5.0},
+  };
+  Work total = 0.0;
+  for (const YdsJob& job : jobs) total += job.work;
+  Work scheduled = 0.0;
+  for (const SpeedInterval& s : yds_schedule(jobs)) {
+    scheduled += s.speed * (s.end - s.begin);
+  }
+  EXPECT_NEAR(scheduled, total, 1e-9);
+}
+
+TEST(YdsSchedule, SpeedsAreNonIncreasingInCriticality) {
+  // Every point's speed equals some round's intensity, and rounds are
+  // found in non-increasing intensity order; spot-check the profile has
+  // no speed above the max intensity.
+  const std::vector<YdsJob> jobs = {
+      {0.0, 40.0, 10.0}, {5.0, 15.0, 6.0}, {20.0, 25.0, 4.0},
+  };
+  const double peak = yds_max_intensity(jobs);
+  for (const SpeedInterval& s : yds_schedule(jobs)) {
+    EXPECT_LE(s.speed, peak + 1e-12);
+  }
+  EXPECT_NEAR(peak, 0.8, 1e-12);  // [20,25]: 4/5.
+}
+
+TEST(YdsMaxIntensity, FeasibilityOracle) {
+  // Table 1 is schedulable at full speed, so max intensity <= 1; the
+  // overloaded variant exceeds 1.
+  const auto feasible = jobs_from_task_set(
+      lpfps::workloads::example_table1(), 400.0, nullptr, 1);
+  EXPECT_LE(yds_max_intensity(feasible), 1.0 + 1e-12);
+
+  sched::TaskSet overloaded;
+  overloaded.add(sched::make_task("hog", 10, 8.0));
+  overloaded.add(sched::make_task("more", 20, 10.0));
+  sched::assign_rate_monotonic(overloaded);
+  const auto infeasible =
+      jobs_from_task_set(overloaded, 100.0, nullptr, 1);
+  EXPECT_GT(yds_max_intensity(infeasible), 1.0);
+}
+
+TEST(YdsMaxIntensity, EmptyAndZeroWork) {
+  EXPECT_DOUBLE_EQ(yds_max_intensity({}), 0.0);
+  EXPECT_DOUBLE_EQ(yds_max_intensity({YdsJob{0.0, 10.0, 0.0}}), 0.0);
+}
+
+TEST(YdsSchedule, RejectsMalformedJobs) {
+  EXPECT_THROW(yds_schedule({YdsJob{10.0, 10.0, 1.0}}), std::logic_error);
+  EXPECT_THROW(yds_schedule({YdsJob{0.0, 10.0, -1.0}}), std::logic_error);
+}
+
+TEST(YdsEnergy, ConstantSpeedCase) {
+  const auto model =
+      power::ProcessorConfig::arm8_default().make_power_model();
+  const std::vector<SpeedInterval> schedule = {{0.0, 100.0, 0.5}};
+  EXPECT_NEAR(yds_energy(schedule, model, 0.08),
+              100.0 * model.run_power(0.5), 1e-9);
+}
+
+TEST(YdsEnergy, SubMinimumSpeedChargesAtFloorDensity) {
+  const auto model =
+      power::ProcessorConfig::arm8_default().make_power_model();
+  // speed 0.04 < floor 0.08: run the 4 units of work at 0.08 for 50 us.
+  const std::vector<SpeedInterval> schedule = {{0.0, 100.0, 0.04}};
+  EXPECT_NEAR(yds_energy(schedule, model, 0.08),
+              50.0 * model.run_power(0.08), 1e-9);
+}
+
+TEST(YdsEnergy, InfeasibleSpeedThrows) {
+  const auto model =
+      power::ProcessorConfig::arm8_default().make_power_model();
+  EXPECT_THROW(yds_energy({{0.0, 1.0, 1.5}}, model, 0.08),
+               std::logic_error);
+}
+
+TEST(YdsBound, LowerBoundsEveryOnlinePolicy) {
+  // The core optimality claim, checked empirically on CNC over two
+  // hyperperiods with random execution times.
+  const sched::TaskSet tasks =
+      lpfps::workloads::cnc().with_bcet_ratio(0.4);
+  const Time horizon = 38'400.0;
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  const auto model = cpu.make_power_model();
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto jobs = jobs_from_task_set(tasks, horizon, exec, seed);
+    const Energy bound =
+        yds_energy(yds_schedule(jobs), model,
+                   cpu.frequencies.f_min() / cpu.frequencies.f_max());
+    for (const auto& policy :
+         {SchedulerPolicy::fps(), SchedulerPolicy::lpfps(),
+          SchedulerPolicy::lpfps_optimal(),
+          SchedulerPolicy::lpfps_hybrid(0.9)}) {
+      EngineOptions options;
+      options.horizon = horizon;
+      options.seed = seed;
+      const Energy actual =
+          simulate(tasks, cpu, policy, exec, options).total_energy;
+      EXPECT_LE(bound, actual + 1e-6) << policy.name << " seed " << seed;
+    }
+  }
+}
+
+TEST(JobsFromTaskSet, CountsAndDeadlines) {
+  const auto jobs = jobs_from_task_set(
+      lpfps::workloads::example_table1(), 400.0, nullptr, 1);
+  EXPECT_EQ(jobs.size(), 8u + 5u + 4u);
+  for (const YdsJob& job : jobs) {
+    EXPECT_GT(job.deadline, job.release);
+    EXPECT_GT(job.work, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace lpfps::core

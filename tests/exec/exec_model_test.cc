@@ -1,0 +1,177 @@
+#include "exec/exec_model.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/stats.h"
+#include "sched/task.h"
+
+namespace lpfps::exec {
+namespace {
+
+sched::Task task_with_bcet(double bcet_ratio) {
+  return sched::make_task("t", 1000, 1000, 100.0, 100.0 * bcet_ratio);
+}
+
+TEST(WcetModel, AlwaysWorstCase) {
+  Rng rng(1);
+  const WcetModel model;
+  const sched::Task t = task_with_bcet(0.5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(model.sample(t, rng), 100.0);
+  }
+}
+
+TEST(BcetModel, AlwaysBestCase) {
+  Rng rng(1);
+  const BcetModel model;
+  const sched::Task t = task_with_bcet(0.5);
+  EXPECT_DOUBLE_EQ(model.sample(t, rng), 50.0);
+}
+
+TEST(ClampedGaussian, AlwaysWithinBounds) {
+  Rng rng(2);
+  const ClampedGaussianModel model;
+  const sched::Task t = task_with_bcet(0.1);
+  for (int i = 0; i < 20'000; ++i) {
+    const Work w = model.sample(t, rng);
+    EXPECT_GE(w, t.bcet);
+    EXPECT_LE(w, t.wcet);
+  }
+}
+
+TEST(ClampedGaussian, DegeneratesToWcetWhenBcetEqualsWcet) {
+  Rng rng(3);
+  const ClampedGaussianModel model;
+  const sched::Task t = task_with_bcet(1.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(model.sample(t, rng), 100.0);
+  }
+}
+
+TEST(ClampedGaussian, MeanMatchesEquation4) {
+  // m = (BCET + WCET) / 2; clamping at +-3 sigma barely moves the mean.
+  Rng rng(4);
+  const ClampedGaussianModel model;
+  const sched::Task t = task_with_bcet(0.4);
+  metrics::Summary summary;
+  for (int i = 0; i < 50'000; ++i) summary.add(model.sample(t, rng));
+  EXPECT_NEAR(summary.mean(), (t.bcet + t.wcet) / 2.0, 0.3);
+}
+
+TEST(ClampedGaussian, StddevMatchesEquation5) {
+  // sigma = (WCET - BCET) / 6 = 10 for bcet_ratio 0.4.
+  Rng rng(5);
+  const ClampedGaussianModel model;
+  const sched::Task t = task_with_bcet(0.4);
+  metrics::Summary summary;
+  for (int i = 0; i < 50'000; ++i) summary.add(model.sample(t, rng));
+  EXPECT_NEAR(summary.stddev(), (t.wcet - t.bcet) / 6.0, 0.3);
+}
+
+TEST(Uniform, CoversTheWholeInterval) {
+  Rng rng(6);
+  const UniformModel model;
+  const sched::Task t = task_with_bcet(0.2);
+  metrics::Summary summary;
+  for (int i = 0; i < 20'000; ++i) {
+    const Work w = model.sample(t, rng);
+    EXPECT_GE(w, t.bcet);
+    EXPECT_LE(w, t.wcet);
+    summary.add(w);
+  }
+  EXPECT_NEAR(summary.mean(), 60.0, 1.0);
+  EXPECT_LT(summary.min(), 25.0);
+  EXPECT_GT(summary.max(), 95.0);
+}
+
+TEST(Bimodal, SamplesClusterAtBothEnds) {
+  Rng rng(7);
+  const BimodalModel model(0.5);
+  const sched::Task t = task_with_bcet(0.2);
+  int low = 0;
+  int high = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const Work w = model.sample(t, rng);
+    EXPECT_GE(w, t.bcet);
+    EXPECT_LE(w, t.wcet);
+    if (w < 40.0) ++low;
+    if (w > 80.0) ++high;
+  }
+  EXPECT_GT(low, 3000);
+  EXPECT_GT(high, 3000);
+}
+
+TEST(Bimodal, ProbabilityParameterRespected) {
+  Rng rng(8);
+  const BimodalModel model(0.9);
+  const sched::Task t = task_with_bcet(0.2);
+  int low = 0;
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample(t, rng) < 60.0) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.9, 0.03);
+}
+
+TEST(TraceDriven, ReplaysSequenceInOrder) {
+  Rng rng(9);
+  const TraceDrivenModel model({{"t", {10.0, 20.0, 30.0}}});
+  const sched::Task t = task_with_bcet(0.1);
+  EXPECT_DOUBLE_EQ(model.sample(t, rng), 10.0);
+  EXPECT_DOUBLE_EQ(model.sample(t, rng), 20.0);
+  EXPECT_DOUBLE_EQ(model.sample(t, rng), 30.0);
+}
+
+TEST(TraceDriven, CyclesWhenExhausted) {
+  Rng rng(9);
+  const TraceDrivenModel model({{"t", {10.0, 20.0}}});
+  const sched::Task t = task_with_bcet(0.1);
+  (void)model.sample(t, rng);
+  (void)model.sample(t, rng);
+  EXPECT_DOUBLE_EQ(model.sample(t, rng), 10.0);  // Wraps around.
+}
+
+TEST(TraceDriven, UnknownTaskFallsBackToWcet) {
+  Rng rng(9);
+  const TraceDrivenModel model({{"other", {5.0}}});
+  const sched::Task t = task_with_bcet(0.1);
+  EXPECT_DOUBLE_EQ(model.sample(t, rng), t.wcet);
+}
+
+TEST(TraceDriven, IndependentCursorsPerTask) {
+  Rng rng(9);
+  const TraceDrivenModel model({{"a", {1.0, 2.0}}, {"b", {3.0, 4.0}}});
+  const sched::Task a = sched::make_task("a", 1000, 1000, 100.0, 1.0);
+  const sched::Task b = sched::make_task("b", 1000, 1000, 100.0, 1.0);
+  EXPECT_DOUBLE_EQ(model.sample(a, rng), 1.0);
+  EXPECT_DOUBLE_EQ(model.sample(b, rng), 3.0);
+  EXPECT_DOUBLE_EQ(model.sample(a, rng), 2.0);
+  EXPECT_DOUBLE_EQ(model.sample(b, rng), 4.0);
+}
+
+TEST(TraceDriven, RejectsBadSequences) {
+  std::map<std::string, std::vector<Work>> empty_sequence;
+  empty_sequence["t"] = {};
+  EXPECT_THROW(TraceDrivenModel model(std::move(empty_sequence)),
+               std::logic_error);
+  EXPECT_THROW(TraceDrivenModel({{"t", {0.0}}}), std::logic_error);
+}
+
+TEST(TraceDriven, RejectsValuesAboveWcet) {
+  Rng rng(9);
+  const TraceDrivenModel model({{"t", {500.0}}});
+  const sched::Task t = task_with_bcet(0.1);  // WCET 100.
+  EXPECT_THROW(model.sample(t, rng), std::logic_error);
+}
+
+TEST(Models, NamesAreDistinct) {
+  EXPECT_EQ(WcetModel().name(), "wcet");
+  EXPECT_EQ(BcetModel().name(), "bcet");
+  EXPECT_EQ(ClampedGaussianModel().name(), "gaussian");
+  EXPECT_EQ(UniformModel().name(), "uniform");
+  EXPECT_EQ(BimodalModel().name(), "bimodal");
+  EXPECT_EQ(TraceDrivenModel({{"x", {1.0}}}).name(), "trace");
+}
+
+}  // namespace
+}  // namespace lpfps::exec

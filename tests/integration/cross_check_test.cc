@@ -1,0 +1,180 @@
+// Cross-validation between independent implementations:
+//  * the power-aware engine with everything disabled (FPS policy) must
+//    produce byte-identical schedules to the simple reference kernel;
+//  * EDF and FPS must agree on total work and idle time per hyperperiod
+//    (both are work-conserving);
+//  * analytic FPS power formula vs the engine, on all four workloads.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/engine.h"
+#include "sched/edf.h"
+#include "sched/kernel.h"
+#include "workloads/registry.h"
+
+namespace lpfps {
+namespace {
+
+using core::EngineOptions;
+using core::SchedulerPolicy;
+using core::SimulationResult;
+using sim::ProcessorMode;
+
+class CrossCheck : public ::testing::TestWithParam<std::string> {
+ protected:
+  workloads::Workload workload() const {
+    return workloads::workload_by_name(GetParam());
+  }
+  /// Test horizon: capped for speed, still several thousand jobs.
+  Time horizon() const { return std::min(workload().horizon, 5e6); }
+};
+
+TEST_P(CrossCheck, EngineFpsMatchesReferenceKernelSchedule) {
+  const workloads::Workload w = workload();
+  EngineOptions options;
+  options.horizon = horizon();
+  options.record_trace = true;
+  const SimulationResult engine_result =
+      core::simulate(w.tasks, power::ProcessorConfig::arm8_default(),
+                     SchedulerPolicy::fps(), nullptr, options);
+
+  sched::FixedPriorityKernel kernel(w.tasks);
+  const sched::KernelResult kernel_result = kernel.run(options.horizon);
+
+  ASSERT_TRUE(engine_result.trace.has_value());
+  const auto& a = engine_result.trace->segments();
+  const auto& b = kernel_result.trace.segments();
+  ASSERT_EQ(a.size(), b.size()) << w.name;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i].begin, b[i].begin, 1e-6) << w.name << " seg " << i;
+    ASSERT_NEAR(a[i].end, b[i].end, 1e-6) << w.name << " seg " << i;
+    ASSERT_EQ(a[i].task, b[i].task) << w.name << " seg " << i;
+    ASSERT_EQ(a[i].mode, b[i].mode) << w.name << " seg " << i;
+  }
+  EXPECT_EQ(engine_result.context_switches, kernel_result.context_switches);
+}
+
+TEST_P(CrossCheck, EngineMatchesKernelUnderRandomExecutionTimes) {
+  // Same check with varying execution times: both simulators are driven
+  // by the same deterministic (task, instance) -> time function, so
+  // their schedules must still be identical.
+  const workloads::Workload w = workload();
+  const sched::TaskSet varied = w.tasks.with_bcet_ratio(0.3);
+
+  const auto pseudo_time = [&varied](TaskIndex task,
+                                     std::int64_t instance) -> Work {
+    const sched::Task& t = varied[task];
+    // Deterministic hash -> fraction in [0, 1).
+    std::uint64_t h = static_cast<std::uint64_t>(task) * 1000003u +
+                      static_cast<std::uint64_t>(instance) * 29u + 17u;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    const double fraction =
+        static_cast<double>(h % 100000u) / 100000.0;
+    return t.bcet + fraction * (t.wcet - t.bcet);
+  };
+
+  /// Exec model adapter replaying the same function for the engine.
+  class PseudoModel final : public exec::ExecutionTimeModel {
+   public:
+    PseudoModel(const sched::TaskSet& tasks,
+                std::function<Work(TaskIndex, std::int64_t)> fn)
+        : tasks_(tasks), fn_(std::move(fn)), next_(tasks.size(), 0) {}
+    Work sample(const sched::Task& task, Rng&) const override {
+      for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks_.size());
+           ++i) {
+        if (tasks_[i].name == task.name) {
+          return fn_(i, next_[static_cast<std::size_t>(i)]++);
+        }
+      }
+      return task.wcet;
+    }
+    std::string name() const override { return "pseudo"; }
+
+   private:
+    const sched::TaskSet& tasks_;
+    std::function<Work(TaskIndex, std::int64_t)> fn_;
+    mutable std::vector<std::int64_t> next_;
+  };
+
+  EngineOptions options;
+  options.horizon = std::min(horizon(), 2e6);
+  options.record_trace = true;
+  const SimulationResult engine_result = core::simulate(
+      varied, power::ProcessorConfig::arm8_default(),
+      SchedulerPolicy::fps(),
+      std::make_shared<PseudoModel>(varied, pseudo_time), options);
+
+  sched::FixedPriorityKernel kernel(varied);
+  kernel.set_exec_time_provider(pseudo_time);
+  const sched::KernelResult kernel_result = kernel.run(options.horizon);
+
+  const auto& a = engine_result.trace->segments();
+  const auto& b = kernel_result.trace.segments();
+  ASSERT_EQ(a.size(), b.size()) << w.name;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i].begin, b[i].begin, 1e-6) << w.name << " seg " << i;
+    ASSERT_EQ(a[i].task, b[i].task) << w.name << " seg " << i;
+    ASSERT_EQ(a[i].mode, b[i].mode) << w.name << " seg " << i;
+  }
+}
+
+TEST_P(CrossCheck, FpsPowerMatchesUtilizationFormulaOverHyperperiods) {
+  // Over a whole number of hyperperiods at WCET, FPS average power is
+  // exactly U + (1 - U) * 0.2.
+  const workloads::Workload w = workload();
+  const auto hyper = static_cast<Time>(w.tasks.hyperperiod());
+  if (hyper > 5e6) GTEST_SKIP() << "hyperperiod too long for exact check";
+  EngineOptions options;
+  options.horizon = hyper;
+  const SimulationResult result =
+      core::simulate(w.tasks, power::ProcessorConfig::arm8_default(),
+                     SchedulerPolicy::fps(), nullptr, options);
+  const double u = w.tasks.utilization();
+  EXPECT_NEAR(result.average_power, u + (1.0 - u) * 0.2, 1e-6) << w.name;
+}
+
+TEST_P(CrossCheck, EdfAndFpsAgreeOnIdleTime) {
+  const workloads::Workload w = workload();
+  const auto hyper = static_cast<Time>(w.tasks.hyperperiod());
+  if (hyper > 5e6) GTEST_SKIP() << "hyperperiod too long for exact check";
+
+  sched::FixedPriorityKernel fps(w.tasks);
+  sched::EdfKernel edf(w.tasks);
+  const Time fps_idle =
+      fps.run(hyper).trace.time_in_mode(ProcessorMode::kIdleBusyWait);
+  const Time edf_idle =
+      edf.run(hyper).trace.time_in_mode(ProcessorMode::kIdleBusyWait);
+  EXPECT_NEAR(fps_idle, edf_idle, 1e-3) << w.name;
+  EXPECT_NEAR(fps_idle, hyper * (1.0 - w.tasks.utilization()), 1e-3)
+      << w.name;
+}
+
+TEST_P(CrossCheck, LpfpsCompletesSameJobsAsFps) {
+  // Power management must never change *what* gets done, only when and
+  // at what speed.
+  const workloads::Workload w = workload();
+  EngineOptions options;
+  options.horizon = std::min(horizon(), 2e6);
+  const SimulationResult fps =
+      core::simulate(w.tasks, power::ProcessorConfig::arm8_default(),
+                     SchedulerPolicy::fps(), nullptr, options);
+  const SimulationResult lpfps =
+      core::simulate(w.tasks, power::ProcessorConfig::arm8_default(),
+                     SchedulerPolicy::lpfps(), nullptr, options);
+  // Slowed completions can shift a handful of jobs across the horizon
+  // boundary; allow that slack only.
+  EXPECT_NEAR(fps.jobs_completed, lpfps.jobs_completed,
+              static_cast<double>(w.tasks.size()))
+      << w.name;
+  EXPECT_EQ(lpfps.deadline_misses, 0) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWorkloads, CrossCheck,
+                         ::testing::Values("Avionics", "INS",
+                                           "Flight control", "CNC"));
+
+}  // namespace
+}  // namespace lpfps

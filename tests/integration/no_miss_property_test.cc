@@ -1,0 +1,70 @@
+// The hard-real-time property: every LPFPS variant meets every deadline
+// on every paper workload, across the BCET sweep and multiple random
+// seeds.  The engine throws on any miss, so a single violation anywhere
+// fails loudly.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/engine.h"
+#include "exec/exec_model.h"
+#include "workloads/registry.h"
+
+namespace lpfps {
+namespace {
+
+using core::EngineOptions;
+using core::SchedulerPolicy;
+
+SchedulerPolicy policy_by_name(const std::string& name) {
+  if (name == "LPFPS") return SchedulerPolicy::lpfps();
+  if (name == "LPFPS-opt") return SchedulerPolicy::lpfps_optimal();
+  if (name == "LPFPS-dvs") return SchedulerPolicy::lpfps_dvs_only();
+  if (name == "LPFPS-pd") return SchedulerPolicy::lpfps_powerdown_only();
+  throw std::out_of_range(name);
+}
+
+class NoMissProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string, double>> {};
+
+TEST_P(NoMissProperty, EveryDeadlineHolds) {
+  const auto& [workload_name, policy_name, bcet_ratio] = GetParam();
+  const workloads::Workload w = workloads::workload_by_name(workload_name);
+  const sched::TaskSet tasks = w.tasks.with_bcet_ratio(bcet_ratio);
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    EngineOptions options;
+    options.horizon = std::min(w.horizon, 2e6);
+    options.seed = seed;
+    // throw_on_miss (default) turns any violation into a test failure.
+    const auto result =
+        core::simulate(tasks, power::ProcessorConfig::arm8_default(),
+                       policy_by_name(policy_name), exec, options);
+    EXPECT_EQ(result.deadline_misses, 0)
+        << workload_name << "/" << policy_name << "/bcet=" << bcet_ratio
+        << "/seed=" << seed;
+    EXPECT_GT(result.jobs_completed, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NoMissProperty,
+    ::testing::Combine(
+        ::testing::Values("Avionics", "INS", "Flight control", "CNC"),
+        ::testing::Values("LPFPS", "LPFPS-opt", "LPFPS-dvs", "LPFPS-pd"),
+        ::testing::Values(0.1, 0.5, 1.0)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param) + "_" +
+                         std::get<1>(info.param) + "_" +
+                         std::to_string(static_cast<int>(
+                             std::get<2>(info.param) * 10));
+      for (char& c : name) {
+        if (c == ' ' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace lpfps

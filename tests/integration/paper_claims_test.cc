@@ -1,0 +1,137 @@
+// The paper's §4 experimental claims, asserted as tests (DESIGN.md §6).
+//
+// Absolute numbers depend on the authors' exact workload tables, which
+// the paper does not print; what must reproduce is the *shape*:
+//  1. LPFPS <= FPS everywhere;
+//  2. normalized power falls as BCET/WCET falls;
+//  3. LPFPS wins even at BCET == WCET (static slack alone);
+//  4. INS shows the deepest reduction, approaching the paper's 62%;
+//  5. r_heu >= r_opt (Theorem 1) — covered in core/speed_ratio_test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "metrics/experiment.h"
+#include "workloads/registry.h"
+
+namespace lpfps {
+namespace {
+
+using metrics::SweepConfig;
+using metrics::SweepPoint;
+
+/// One shared sweep per workload (expensive); computed lazily.
+const std::map<std::string, std::vector<SweepPoint>>& sweeps() {
+  static const auto* result = [] {
+    auto* map = new std::map<std::string, std::vector<SweepPoint>>();
+    for (const workloads::Workload& w : workloads::paper_workloads()) {
+      SweepConfig config;
+      config.bcet_ratios = {0.1, 0.3, 0.5, 0.7, 1.0};
+      config.seeds = 3;
+      config.horizon = std::min(w.horizon, 5e6);
+      (*map)[w.name] = metrics::run_bcet_sweep(
+          w.tasks, power::ProcessorConfig::arm8_default(),
+          core::SchedulerPolicy::lpfps(), config);
+    }
+    return map;
+  }();
+  return *result;
+}
+
+TEST(PaperClaims, LpfpsNeverExceedsFpsPower) {
+  for (const auto& [name, points] : sweeps()) {
+    for (const SweepPoint& p : points) {
+      EXPECT_LE(p.normalized, 1.0 + 1e-9)
+          << name << " at BCET/WCET=" << p.bcet_ratio;
+    }
+  }
+}
+
+TEST(PaperClaims, SavingsGrowAsExecutionTimesShrink) {
+  // Figure 8's dominant trend.  Sampling noise can wiggle single
+  // adjacent points, so require the endpoints to be well ordered and
+  // the sequence to be near-monotone.
+  for (const auto& [name, points] : sweeps()) {
+    ASSERT_GE(points.size(), 2u);
+    EXPECT_LT(points.front().normalized, points.back().normalized - 0.02)
+        << name;
+    for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+      EXPECT_LE(points[i].normalized, points[i + 1].normalized + 0.03)
+          << name << " between " << points[i].bcet_ratio << " and "
+          << points[i + 1].bcet_ratio;
+    }
+  }
+}
+
+TEST(PaperClaims, LpfpsWinsEvenAtWorstCaseExecution) {
+  // "Even when the BCET equals the WCET ... LPFPS obtains a higher power
+  // reduction than FPS" — the static-slack effect.
+  for (const auto& [name, points] : sweeps()) {
+    const SweepPoint& at_wcet = points.back();
+    ASSERT_DOUBLE_EQ(at_wcet.bcet_ratio, 1.0);
+    EXPECT_LT(at_wcet.normalized, 0.995) << name;
+  }
+}
+
+TEST(PaperClaims, InsShowsTheDeepestReduction) {
+  // Paper §4: INS peaks at ~62% reduction because a single high-rate
+  // task dominates its utilization.  The paper's FPS reference is the
+  // WCET-utilization baseline ("for FPS, the average power consumption
+  // is proportional to processor utilization sum C_i/T_i"), so the 62%
+  // figure reads on reduction_vs_wcet_pct.
+  double ins_best = 0.0;
+  double others_best = 0.0;
+  for (const auto& [name, points] : sweeps()) {
+    double best = 0.0;
+    for (const SweepPoint& p : points) {
+      best = std::max(best, p.reduction_vs_wcet_pct);
+    }
+    if (name == "INS") {
+      ins_best = best;
+    } else {
+      others_best = std::max(others_best, best);
+    }
+  }
+  EXPECT_GT(ins_best, others_best);
+  EXPECT_GT(ins_best, 55.0);  // Paper: up to 62%.
+  EXPECT_LT(ins_best, 75.0);  // Sanity: not implausibly deep.
+}
+
+TEST(PaperClaims, FpsPowerTracksUtilizationButLpfpsDoesNot) {
+  // §4's observation: FPS average power is ~proportional to utilization
+  // across applications, while LPFPS's is reshaped by the load skew
+  // (INS consumes relatively little despite the second-largest U).
+  std::map<std::string, double> util;
+  for (const workloads::Workload& w : workloads::paper_workloads()) {
+    util[w.name] = w.tasks.utilization();
+  }
+  // FPS at BCET==WCET: power ordering must follow utilization ordering.
+  std::vector<std::pair<double, double>> fps_by_util;
+  for (const auto& [name, points] : sweeps()) {
+    fps_by_util.emplace_back(util.at(name), points.back().fps_power);
+  }
+  std::sort(fps_by_util.begin(), fps_by_util.end());
+  for (std::size_t i = 0; i + 1 < fps_by_util.size(); ++i) {
+    EXPECT_LE(fps_by_util[i].second, fps_by_util[i + 1].second + 1e-9);
+  }
+  // LPFPS at low BCET: INS must consume less than Flight control even
+  // though INS's utilization is similar/higher.
+  const double ins_low = sweeps().at("INS").front().policy_power;
+  const double flight_low =
+      sweeps().at("Flight control").front().policy_power;
+  EXPECT_LT(ins_low, flight_low);
+}
+
+TEST(PaperClaims, ReductionPercentagesInPlausibleBand) {
+  // Every workload saves something substantial at BCET/WCET = 0.1; none
+  // saves more than the physical floor allows.
+  for (const auto& [name, points] : sweeps()) {
+    const SweepPoint& deepest = points.front();
+    EXPECT_GT(deepest.reduction_pct, 15.0) << name;
+    EXPECT_LT(deepest.reduction_pct, 90.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace lpfps

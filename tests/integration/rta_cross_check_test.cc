@@ -1,0 +1,60 @@
+// Analysis vs simulation: with synchronous release (the critical
+// instant) and every job at its WCET, the FIRST job of each task must
+// exhibit exactly the response time the exact RTA predicts, and no job
+// anywhere in a hyperperiod may exceed it.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sched/analysis.h"
+#include "sched/kernel.h"
+#include "workloads/registry.h"
+
+namespace lpfps {
+namespace {
+
+class RtaCrossCheck : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RtaCrossCheck, FirstJobResponseEqualsRtaBound) {
+  const workloads::Workload w = workloads::workload_by_name(GetParam());
+  const auto bounds = sched::response_times(w.tasks);
+
+  sched::FixedPriorityKernel kernel(w.tasks);
+  const Time horizon = std::min(static_cast<Time>(w.tasks.hyperperiod()),
+                                5e6);
+  const sched::KernelResult result = kernel.run(horizon);
+
+  std::map<TaskIndex, double> first_response;
+  std::map<TaskIndex, double> max_response;
+  for (const sim::JobRecord& job : result.trace.jobs()) {
+    if (!job.finished) continue;
+    if (job.instance == 0) first_response[job.task] = job.response_time();
+    auto& worst = max_response[job.task];
+    worst = std::max(worst, job.response_time());
+  }
+
+  for (TaskIndex i = 0; i < static_cast<TaskIndex>(w.tasks.size()); ++i) {
+    ASSERT_TRUE(bounds[static_cast<std::size_t>(i)].has_value())
+        << w.tasks[i].name;
+    const double bound = *bounds[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(first_response.count(i)) << w.tasks[i].name;
+    // Critical instant: the synchronous first job attains the bound.
+    EXPECT_NEAR(first_response[i], bound, 1e-6) << w.tasks[i].name;
+    // And nothing ever exceeds it.
+    EXPECT_LE(max_response[i], bound + 1e-6) << w.tasks[i].name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWorkloads, RtaCrossCheck,
+                         ::testing::Values("Avionics", "INS",
+                                           "Flight control", "CNC"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == ' ') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace lpfps

@@ -1,0 +1,60 @@
+// The shipped task-set files under data/ must parse and agree exactly
+// with the programmatic workload registry.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/task_set_io.h"
+#include "sched/priority.h"
+#include "workloads/example.h"
+#include "workloads/registry.h"
+
+namespace lpfps::io {
+namespace {
+
+/// CMake passes LPFPS_SOURCE_DIR so the test can run from any cwd.
+std::string data_path(const std::string& file) {
+  return std::string(LPFPS_SOURCE_DIR) + "/data/" + file;
+}
+
+void expect_matches(const sched::TaskSet& parsed,
+                    const sched::TaskSet& reference) {
+  ASSERT_EQ(parsed.size(), reference.size());
+  for (TaskIndex i = 0; i < static_cast<TaskIndex>(parsed.size()); ++i) {
+    EXPECT_EQ(parsed[i].name, reference[i].name);
+    EXPECT_EQ(parsed[i].period, reference[i].period);
+    EXPECT_EQ(parsed[i].deadline, reference[i].deadline);
+    EXPECT_DOUBLE_EQ(parsed[i].wcet, reference[i].wcet);
+    EXPECT_DOUBLE_EQ(parsed[i].bcet, reference[i].bcet);
+  }
+}
+
+TEST(DataFiles, ExampleTable1MatchesRegistry) {
+  sched::TaskSet parsed = load_task_set(data_path("example_table1.tasks"));
+  sched::assign_rate_monotonic(parsed);
+  expect_matches(parsed, workloads::example_table1());
+}
+
+TEST(DataFiles, InsMatchesRegistry) {
+  sched::TaskSet parsed = load_task_set(data_path("ins.tasks"));
+  expect_matches(parsed, workloads::workload_by_name("INS").tasks);
+}
+
+TEST(DataFiles, CncMatchesRegistry) {
+  sched::TaskSet parsed = load_task_set(data_path("cnc.tasks"));
+  expect_matches(parsed, workloads::workload_by_name("CNC").tasks);
+}
+
+TEST(DataFiles, FlightControlMatchesRegistry) {
+  sched::TaskSet parsed = load_task_set(data_path("flight_control.tasks"));
+  expect_matches(parsed,
+                 workloads::workload_by_name("Flight control").tasks);
+}
+
+TEST(DataFiles, AvionicsMatchesRegistry) {
+  sched::TaskSet parsed = load_task_set(data_path("avionics.tasks"));
+  expect_matches(parsed, workloads::workload_by_name("Avionics").tasks);
+}
+
+}  // namespace
+}  // namespace lpfps::io

@@ -1,0 +1,103 @@
+#include "io/svg_gantt.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "workloads/example.h"
+
+namespace lpfps::io {
+namespace {
+
+sim::Trace lpfps_trace() {
+  core::EngineOptions options;
+  options.horizon = 400.0;
+  options.record_trace = true;
+  return *core::simulate(workloads::example_table1(),
+                         power::ProcessorConfig::arm8_default(),
+                         core::SchedulerPolicy::lpfps(), nullptr, options)
+              .trace;
+}
+
+SvgOptions window(Time begin, Time end) {
+  SvgOptions options;
+  options.begin = begin;
+  options.end = end;
+  return options;
+}
+
+TEST(SvgGantt, ProducesWellFormedDocument) {
+  const std::string svg =
+      render_svg_gantt(lpfps_trace(),
+                       workloads::example_table1().names(),
+                       window(0.0, 400.0));
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Balanced rect tags: every <rect is self-closed or titled.
+  const auto count_of = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = svg.find(needle); pos != std::string::npos;
+         pos = svg.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count_of("<rect"), 10u);
+  EXPECT_EQ(count_of("<title>"), count_of("</title>"));
+}
+
+TEST(SvgGantt, LabelsEveryTaskAndCpuLane) {
+  const std::string svg =
+      render_svg_gantt(lpfps_trace(),
+                       workloads::example_table1().names(),
+                       window(0.0, 400.0));
+  EXPECT_NE(svg.find(">tau1<"), std::string::npos);
+  EXPECT_NE(svg.find(">tau2<"), std::string::npos);
+  EXPECT_NE(svg.find(">tau3<"), std::string::npos);
+  EXPECT_NE(svg.find(">cpu<"), std::string::npos);
+}
+
+TEST(SvgGantt, ShowsPowerStates) {
+  const std::string svg =
+      render_svg_gantt(lpfps_trace(),
+                       workloads::example_table1().names(),
+                       window(0.0, 400.0));
+  EXPECT_NE(svg.find("power-down"), std::string::npos);
+  EXPECT_NE(svg.find("wake-up"), std::string::npos);
+}
+
+TEST(SvgGantt, WindowClipsSegments) {
+  const std::string full =
+      render_svg_gantt(lpfps_trace(),
+                       workloads::example_table1().names(),
+                       window(0.0, 400.0));
+  const std::string clipped =
+      render_svg_gantt(lpfps_trace(),
+                       workloads::example_table1().names(),
+                       window(0.0, 50.0));
+  EXPECT_LT(clipped.size(), full.size());
+  EXPECT_EQ(clipped.find("power-down"), std::string::npos);  // None yet.
+}
+
+TEST(SvgGantt, EscapesMarkupInNames) {
+  sim::Trace trace;
+  sim::Segment s;
+  s.begin = 0.0;
+  s.end = 10.0;
+  s.mode = sim::ProcessorMode::kRunning;
+  s.task = 0;
+  trace.add_segment(s);
+  const std::string svg =
+      render_svg_gantt(trace, {"a<b&c>"}, window(0.0, 10.0));
+  EXPECT_NE(svg.find("a&lt;b&amp;c&gt;"), std::string::npos);
+  EXPECT_EQ(svg.find("a<b"), std::string::npos);
+}
+
+TEST(SvgGantt, RejectsEmptyWindow) {
+  EXPECT_THROW(render_svg_gantt(lpfps_trace(),
+                                workloads::example_table1().names(),
+                                window(10.0, 10.0)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace lpfps::io

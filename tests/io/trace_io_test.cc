@@ -1,0 +1,77 @@
+#include "io/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/engine.h"
+#include "workloads/example.h"
+
+namespace lpfps::io {
+namespace {
+
+core::SimulationResult traced_run() {
+  core::EngineOptions options;
+  options.horizon = 400.0;
+  options.record_trace = true;
+  return core::simulate(workloads::example_table1(),
+                        power::ProcessorConfig::arm8_default(),
+                        core::SchedulerPolicy::lpfps(), nullptr, options);
+}
+
+int count_lines(const std::string& text) {
+  int lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+TEST(TraceCsv, SegmentsHaveHeaderAndRows) {
+  const auto result = traced_run();
+  const std::string csv = trace_segments_csv(
+      *result.trace, workloads::example_table1().names());
+  EXPECT_EQ(csv.rfind("begin,end,mode,task", 0), 0u);
+  EXPECT_EQ(count_lines(csv),
+            1 + static_cast<int>(result.trace->segments().size()));
+  EXPECT_NE(csv.find("tau1"), std::string::npos);
+  EXPECT_NE(csv.find("power-down"), std::string::npos);
+}
+
+TEST(TraceCsv, JobsHaveOneRowPerJob) {
+  const auto result = traced_run();
+  const std::string csv =
+      trace_jobs_csv(*result.trace, workloads::example_table1().names());
+  EXPECT_EQ(count_lines(csv),
+            1 + static_cast<int>(result.trace->jobs().size()));
+  // 8 + 5 + 4 jobs in one hyperperiod, none missed.
+  EXPECT_EQ(count_lines(csv), 1 + 17);
+  EXPECT_EQ(csv.find(",1\n"), std::string::npos);  // No missed flag set.
+}
+
+TEST(TraceCsv, UnknownTaskIndexFallsBackToNumber) {
+  sim::Trace trace;
+  sim::Segment s;
+  s.begin = 0.0;
+  s.end = 1.0;
+  s.mode = sim::ProcessorMode::kRunning;
+  s.task = 5;
+  trace.add_segment(s);
+  const std::string csv = trace_segments_csv(trace, {"only_one"});
+  EXPECT_NE(csv.find(",5,"), std::string::npos);
+}
+
+TEST(ResultCsv, HeaderAndRowAgreeOnColumnCount) {
+  const auto result = traced_run();
+  const std::string header = result_csv_header();
+  const std::string row = result_csv_row(result);
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(header), commas(row));
+  EXPECT_NE(row.find("LPFPS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lpfps::io

@@ -1,0 +1,78 @@
+#include "metrics/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lpfps::metrics {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h({0.0, 10.0, 20.0, 30.0});
+  h.add(5.0);
+  h.add(10.0);  // Left-closed: lands in [10, 20).
+  h.add(15.0);
+  h.add(29.999);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 2);
+  EXPECT_EQ(h.count(2), 1);
+  EXPECT_EQ(h.total(), 4);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  Histogram h({0.0, 10.0});
+  h.add(-1.0);
+  h.add(10.0);  // At the last edge: overflow.
+  h.add(100.0);
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.total(), 4);
+}
+
+TEST(Histogram, LogSpacedEdges) {
+  const Histogram h = Histogram::log_spaced(1.0, 1000.0, 3);
+  // Edges 1, 10, 100, 1000.
+  EXPECT_EQ(h.bin_count(), 3u);
+  Histogram copy = h;
+  copy.add(5.0);
+  copy.add(50.0);
+  copy.add(500.0);
+  EXPECT_EQ(copy.count(0), 1);
+  EXPECT_EQ(copy.count(1), 1);
+  EXPECT_EQ(copy.count(2), 1);
+}
+
+TEST(Histogram, FractionBelow) {
+  Histogram h({0.0, 100.0});
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i * 10));
+  EXPECT_DOUBLE_EQ(h.fraction_below(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_below(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_below(0.0), 0.0);
+}
+
+TEST(Histogram, FractionBelowEmptyIsZero) {
+  const Histogram h({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(h.fraction_below(0.5), 0.0);
+}
+
+TEST(Histogram, RenderShowsBarsAndCounts) {
+  Histogram h({0.0, 10.0, 20.0});
+  for (int i = 0; i < 8; ++i) h.add(5.0);
+  h.add(15.0);
+  const std::string art = h.render(16);
+  EXPECT_NE(art.find("################"), std::string::npos);
+  EXPECT_NE(art.find(" 8"), std::string::npos);
+  EXPECT_NE(art.find(" 1"), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadEdges) {
+  EXPECT_THROW(Histogram({1.0}), std::logic_error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::logic_error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::logic_error);
+  EXPECT_THROW(Histogram::log_spaced(0.0, 10.0, 3), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lpfps::metrics

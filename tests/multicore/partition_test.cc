@@ -1,0 +1,133 @@
+#include "multicore/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sched/analysis.h"
+#include "sched/priority.h"
+#include "workloads/generator.h"
+#include "workloads/ins.h"
+
+namespace lpfps::multicore {
+namespace {
+
+/// A heavy set (U = 2.2) that needs several cores.
+sched::TaskSet heavy_set() {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("a", 100, 60.0));
+  tasks.add(sched::make_task("b", 200, 100.0));
+  tasks.add(sched::make_task("c", 400, 160.0));
+  tasks.add(sched::make_task("d", 100, 30.0));
+  tasks.add(sched::make_task("e", 200, 80.0));
+  tasks.add(sched::make_task("f", 400, 120.0));
+  sched::assign_rate_monotonic(tasks);
+  return tasks;
+}
+
+TEST(Partition, EveryTaskAssignedExactlyOnce) {
+  const sched::TaskSet tasks = heavy_set();
+  const auto partition =
+      partition_tasks(tasks, 4, PackingHeuristic::kFirstFitDecreasing);
+  ASSERT_TRUE(partition.has_value());
+  EXPECT_NO_THROW(partition->validate(tasks.size()));
+}
+
+TEST(Partition, EveryCoreIsRtaSchedulable) {
+  const sched::TaskSet tasks = heavy_set();
+  for (const auto heuristic :
+       {PackingHeuristic::kFirstFitDecreasing,
+        PackingHeuristic::kBestFitDecreasing,
+        PackingHeuristic::kWorstFitDecreasing}) {
+    const auto partition = partition_tasks(tasks, 4, heuristic);
+    ASSERT_TRUE(partition.has_value()) << to_string(heuristic);
+    for (const auto& members : partition->cores) {
+      if (members.empty()) continue;
+      EXPECT_TRUE(
+          sched::is_schedulable_rta(core_task_set(tasks, members)))
+          << to_string(heuristic);
+    }
+  }
+}
+
+TEST(Partition, SingleCoreRejectsOverload) {
+  EXPECT_FALSE(partition_tasks(heavy_set(), 1,
+                               PackingHeuristic::kFirstFitDecreasing)
+                   .has_value());
+  EXPECT_FALSE(partition_tasks(heavy_set(), 2,
+                               PackingHeuristic::kFirstFitDecreasing)
+                   .has_value());  // U = 2.2 needs > 2 cores.
+}
+
+TEST(Partition, SingleCoreAcceptsSchedulableSet) {
+  const auto partition = partition_tasks(
+      lpfps::workloads::ins(), 1, PackingHeuristic::kFirstFitDecreasing);
+  ASSERT_TRUE(partition.has_value());
+  EXPECT_EQ(partition->cores[0].size(), 6u);
+}
+
+TEST(Partition, MinCoresFindsTheKnee) {
+  const auto cores = min_cores(heavy_set(), 8,
+                               PackingHeuristic::kWorstFitDecreasing);
+  ASSERT_TRUE(cores.has_value());
+  EXPECT_GE(*cores, 3);  // U = 2.2 cannot fit on 2.
+  EXPECT_LE(*cores, 4);
+  // And indeed one fewer core must fail.
+  EXPECT_FALSE(
+      partition_tasks(heavy_set(), *cores - 1,
+                      PackingHeuristic::kWorstFitDecreasing)
+          .has_value());
+}
+
+TEST(Partition, MinCoresNulloptWhenImpossible) {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("huge", 100, 99.0));
+  tasks.add(sched::make_task("huge2", 100, 99.0));
+  sched::assign_rate_monotonic(tasks);
+  EXPECT_TRUE(min_cores(tasks, 2, PackingHeuristic::kFirstFitDecreasing)
+                  .has_value());  // One per core fits.
+  EXPECT_FALSE(min_cores(tasks, 1, PackingHeuristic::kFirstFitDecreasing)
+                   .has_value());
+}
+
+TEST(Partition, WorstFitBalancesBetterThanFirstFit) {
+  const sched::TaskSet tasks = heavy_set();
+  const auto first = partition_tasks(
+      tasks, 4, PackingHeuristic::kFirstFitDecreasing);
+  const auto worst = partition_tasks(
+      tasks, 4, PackingHeuristic::kWorstFitDecreasing);
+  ASSERT_TRUE(first.has_value() && worst.has_value());
+  EXPECT_LE(utilization_imbalance(tasks, *worst),
+            utilization_imbalance(tasks, *first) + 1e-12);
+}
+
+TEST(Partition, CoreTaskSetReassignsPrioritiesRm) {
+  const sched::TaskSet tasks = heavy_set();
+  const sched::TaskSet subset = core_task_set(tasks, {2, 0});
+  ASSERT_EQ(subset.size(), 2u);
+  // "a" (period 100) must outrank "c" (period 400) within the core.
+  EXPECT_EQ(subset[1].name, "a");
+  EXPECT_LT(subset[1].priority, subset[0].priority);
+}
+
+TEST(Partition, RandomSetsAlwaysPartitionValidly) {
+  Rng rng(77);
+  workloads::GeneratorConfig config;
+  config.task_count = 10;
+  config.total_utilization = 0.9;  // Per generator limits U <= 1.
+  for (int i = 0; i < 10; ++i) {
+    const sched::TaskSet tasks = workloads::generate_task_set(config, rng);
+    const auto partition = partition_tasks(
+        tasks, 3, PackingHeuristic::kWorstFitDecreasing);
+    ASSERT_TRUE(partition.has_value()) << i;
+    partition->validate(tasks.size());
+    for (const auto& members : partition->cores) {
+      if (!members.empty()) {
+        EXPECT_TRUE(
+            sched::is_schedulable_rta(core_task_set(tasks, members)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lpfps::multicore

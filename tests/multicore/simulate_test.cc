@@ -1,0 +1,105 @@
+#include "multicore/simulate.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/exec_model.h"
+#include "sched/priority.h"
+
+namespace lpfps::multicore {
+namespace {
+
+sched::TaskSet heavy_set() {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("a", 100, 60.0));
+  tasks.add(sched::make_task("b", 200, 100.0));
+  tasks.add(sched::make_task("c", 400, 160.0));
+  tasks.add(sched::make_task("d", 100, 30.0));
+  tasks.add(sched::make_task("e", 200, 80.0));
+  tasks.add(sched::make_task("f", 400, 120.0));
+  sched::assign_rate_monotonic(tasks);
+  return tasks;
+}
+
+TEST(MulticoreSim, EnergyAggregatesAcrossCores) {
+  const sched::TaskSet tasks = heavy_set();
+  const auto partition = partition_tasks(
+      tasks, 4, PackingHeuristic::kWorstFitDecreasing);
+  ASSERT_TRUE(partition.has_value());
+
+  core::EngineOptions options;
+  options.horizon = 4000.0;
+  const MulticoreResult result = simulate_partitioned(
+      tasks, *partition, power::ProcessorConfig::arm8_default(),
+      core::SchedulerPolicy::lpfps(),
+      std::make_shared<exec::ClampedGaussianModel>(), options);
+
+  ASSERT_EQ(result.per_core.size(), 4u);
+  Energy sum = 0.0;
+  for (const auto& core_result : result.per_core) {
+    sum += core_result.total_energy;
+  }
+  EXPECT_NEAR(sum, result.total_energy, 1e-9);
+  EXPECT_NEAR(result.mean_core_power,
+              result.total_energy / (4.0 * options.horizon), 1e-12);
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_GT(result.jobs_completed, 0);
+}
+
+TEST(MulticoreSim, EmptyCoreIsParkedAtDeepestSleep) {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("only", 100, 10.0));
+  sched::assign_rate_monotonic(tasks);
+  Partition partition;
+  partition.cores = {{0}, {}};  // Second core unused.
+
+  core::EngineOptions options;
+  options.horizon = 1000.0;
+  const MulticoreResult result = simulate_partitioned(
+      tasks, partition, power::ProcessorConfig::arm8_default(),
+      core::SchedulerPolicy::lpfps(), nullptr, options);
+  ASSERT_EQ(result.per_core.size(), 2u);
+  EXPECT_NEAR(result.per_core[1].average_power, 0.05, 1e-12);
+}
+
+TEST(MulticoreSim, MoreCoresMeansLessPerCorePowerUnderLpfps) {
+  // Spreading the same work over more cores leaves more slack per core:
+  // the per-core DVS savings should make TOTAL energy fall (or at least
+  // not rise much) despite paying idle floors on extra cores — the
+  // spread-vs-race trade DVS is famous for.
+  const sched::TaskSet tasks = heavy_set();
+  core::EngineOptions options;
+  options.horizon = 4000.0;
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+
+  std::vector<double> totals;
+  for (const int cores : {3, 4, 6}) {
+    const auto partition = partition_tasks(
+        tasks, cores, PackingHeuristic::kWorstFitDecreasing);
+    ASSERT_TRUE(partition.has_value()) << cores;
+    totals.push_back(simulate_partitioned(
+                         tasks, *partition,
+                         power::ProcessorConfig::arm8_default(),
+                         core::SchedulerPolicy::lpfps(), exec, options)
+                         .total_energy);
+  }
+  // 4 balanced cores beat 3 loaded ones under the cubic-ish power law.
+  EXPECT_LT(totals[1], totals[0]);
+}
+
+TEST(MulticoreSim, RejectsJitterVectors) {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("only", 100, 10.0));
+  sched::assign_rate_monotonic(tasks);
+  Partition partition;
+  partition.cores = {{0}};
+  core::EngineOptions options;
+  options.horizon = 1000.0;
+  options.release_jitter = {5.0};
+  EXPECT_THROW(simulate_partitioned(
+                   tasks, partition, power::ProcessorConfig::arm8_default(),
+                   core::SchedulerPolicy::lpfps(), nullptr, options),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace lpfps::multicore

@@ -1,0 +1,92 @@
+#include "power/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "power/processor.h"
+
+namespace lpfps::power {
+namespace {
+
+class EnergyTest : public ::testing::Test {
+ protected:
+  EnergyTest()
+      : model_(ProcessorConfig::arm8_default().make_power_model()),
+        acc_(&model_) {}
+
+  PowerModel model_;
+  EnergyAccumulator acc_;
+};
+
+TEST_F(EnergyTest, StartsEmpty) {
+  EXPECT_DOUBLE_EQ(acc_.total_energy(), 0.0);
+  EXPECT_DOUBLE_EQ(acc_.total_time(), 0.0);
+  EXPECT_DOUBLE_EQ(acc_.average_power(), 0.0);
+}
+
+TEST_F(EnergyTest, FullSpeedRun) {
+  acc_.add_run(10.0, 1.0);
+  EXPECT_NEAR(acc_.total_energy(), 10.0, 1e-9);
+  EXPECT_NEAR(acc_.average_power(), 1.0, 1e-9);
+}
+
+TEST_F(EnergyTest, IdleNopIsTwentyPercent) {
+  acc_.add_idle_nop(10.0, 1.0);
+  EXPECT_NEAR(acc_.total_energy(), 2.0, 1e-9);
+}
+
+TEST_F(EnergyTest, PowerDownIsFivePercent) {
+  acc_.add_power_down(100.0);
+  EXPECT_NEAR(acc_.total_energy(), 5.0, 1e-9);
+}
+
+TEST_F(EnergyTest, WakeupIsFullPower) {
+  acc_.add_wakeup(0.1);
+  EXPECT_NEAR(acc_.total_energy(), 0.1, 1e-9);
+}
+
+TEST_F(EnergyTest, PerModeBreakdown) {
+  acc_.add_run(10.0, 1.0);
+  acc_.add_idle_nop(5.0, 1.0);
+  acc_.add_power_down(20.0);
+  EXPECT_NEAR(acc_.totals(sim::ProcessorMode::kRunning).time, 10.0, 1e-12);
+  EXPECT_NEAR(acc_.totals(sim::ProcessorMode::kIdleBusyWait).energy, 1.0,
+              1e-12);
+  EXPECT_NEAR(acc_.totals(sim::ProcessorMode::kPowerDown).time, 20.0,
+              1e-12);
+  EXPECT_NEAR(acc_.total_time(), 35.0, 1e-12);
+}
+
+TEST_F(EnergyTest, RunRampMatchesModelIntegral) {
+  const double rho = 0.07;
+  const double duration = (1.0 - 0.5) / rho;
+  acc_.add_run_ramp(duration, 0.5, 1.0, rho);
+  EXPECT_NEAR(acc_.total_energy(), model_.ramp_energy(0.5, 1.0, rho, true),
+              1e-12);
+  EXPECT_NEAR(acc_.total_time(), duration, 1e-12);
+}
+
+TEST_F(EnergyTest, RampDurationMismatchRejected) {
+  EXPECT_THROW(acc_.add_run_ramp(3.0, 0.5, 1.0, 0.07), std::logic_error);
+}
+
+TEST_F(EnergyTest, SlowRunningIsCheaperThanFullIdleComparison) {
+  // The paper's §3.2 argument: running slowed beats running at full then
+  // powering down, for the same work, when the window is fixed.
+  const double window = 40.0;
+  const double work = 20.0;  // Example 2: half-utilized window.
+  // Plan A: run at 0.5 the whole window.
+  EnergyAccumulator slow(&model_);
+  slow.add_run(window, 0.5);
+  // Plan B: run at full speed for 20 us, then power down for 20 us.
+  EnergyAccumulator fast(&model_);
+  fast.add_run(work, 1.0);
+  fast.add_power_down(window - work);
+  EXPECT_LT(slow.total_energy(), fast.total_energy());
+}
+
+TEST_F(EnergyTest, NegativeDurationRejected) {
+  EXPECT_THROW(acc_.add_run(-1.0, 1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lpfps::power

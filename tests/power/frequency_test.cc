@@ -1,0 +1,74 @@
+#include "power/frequency.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lpfps::power {
+namespace {
+
+TEST(FrequencyTable, Arm8HasPaperLevels) {
+  const FrequencyTable table = FrequencyTable::arm8_like();
+  EXPECT_DOUBLE_EQ(table.f_min(), 8.0);
+  EXPECT_DOUBLE_EQ(table.f_max(), 100.0);
+  EXPECT_EQ(table.levels().size(), 93u);  // 8..100 inclusive, step 1.
+  EXPECT_FALSE(table.is_continuous());
+}
+
+TEST(FrequencyTable, QuantizeUpSelectsNextLevel) {
+  const FrequencyTable table = FrequencyTable::arm8_like();
+  // Desired 0.5 -> exactly 50 MHz.
+  EXPECT_DOUBLE_EQ(table.quantize_up(0.5), 0.50);
+  // Desired 0.505 -> 51 MHz.
+  EXPECT_DOUBLE_EQ(table.quantize_up(0.505), 0.51);
+  // Desired 0.5001 -> 51 MHz (never round down).
+  EXPECT_DOUBLE_EQ(table.quantize_up(0.5001), 0.51);
+}
+
+TEST(FrequencyTable, QuantizeClampsToFloorAndCeiling) {
+  const FrequencyTable table = FrequencyTable::arm8_like();
+  EXPECT_DOUBLE_EQ(table.quantize_up(0.01), 0.08);  // 8 MHz floor.
+  EXPECT_DOUBLE_EQ(table.quantize_up(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(table.quantize_up(0.999), 1.0);
+}
+
+TEST(FrequencyTable, QuantizedRatioNeverBelowDesired) {
+  const FrequencyTable table = FrequencyTable::arm8_like();
+  for (double desired = 0.08; desired <= 1.0; desired += 0.001) {
+    EXPECT_GE(table.quantize_up(desired), desired - 1e-9) << desired;
+  }
+}
+
+TEST(FrequencyTable, ExplicitLevels) {
+  const FrequencyTable table =
+      FrequencyTable::from_levels({100.0, 25.0, 75.0, 50.0});
+  EXPECT_DOUBLE_EQ(table.f_min(), 25.0);
+  EXPECT_DOUBLE_EQ(table.f_max(), 100.0);
+  EXPECT_DOUBLE_EQ(table.quantize_up(0.3), 0.5);
+  EXPECT_DOUBLE_EQ(table.quantize_up(0.75), 0.75);
+  EXPECT_DOUBLE_EQ(table.quantize_up(0.76), 1.0);
+}
+
+TEST(FrequencyTable, ContinuousPassesRatiosThrough) {
+  const FrequencyTable table = FrequencyTable::continuous(8.0, 100.0);
+  EXPECT_TRUE(table.is_continuous());
+  EXPECT_DOUBLE_EQ(table.quantize_up(0.4321), 0.4321);
+  EXPECT_DOUBLE_EQ(table.quantize_up(0.01), 0.08);
+  EXPECT_DOUBLE_EQ(table.quantize_up(2.0), 1.0);
+}
+
+TEST(FrequencyTable, SteppedIncludesMaxEvenOffGrid) {
+  const FrequencyTable table = FrequencyTable::stepped(10.0, 95.0, 20.0);
+  // Levels 10,30,50,70,90 plus the 95 ceiling.
+  EXPECT_DOUBLE_EQ(table.f_max(), 95.0);
+  EXPECT_DOUBLE_EQ(table.quantize_up(0.99), 1.0);
+}
+
+TEST(FrequencyTable, RejectsBadInput) {
+  EXPECT_THROW(FrequencyTable::stepped(0.0, 100.0, 1.0), std::logic_error);
+  EXPECT_THROW(FrequencyTable::from_levels({}), std::logic_error);
+  EXPECT_THROW(FrequencyTable::continuous(50.0, 40.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lpfps::power

@@ -1,0 +1,98 @@
+#include "power/power_model.h"
+
+#include <gtest/gtest.h>
+
+#include "power/processor.h"
+
+namespace lpfps::power {
+namespace {
+
+PowerModel paper_model() {
+  return ProcessorConfig::arm8_default().make_power_model();
+}
+
+TEST(PowerModel, FullSpeedRunPowerIsUnity) {
+  EXPECT_NEAR(paper_model().run_power(1.0), 1.0, 1e-9);
+}
+
+TEST(PowerModel, NopIdleIsTwentyPercentOfRun) {
+  const PowerModel model = paper_model();
+  EXPECT_NEAR(model.idle_nop_power(1.0), 0.2, 1e-9);
+  EXPECT_NEAR(model.idle_nop_power(0.5), 0.2 * model.run_power(0.5), 1e-12);
+}
+
+TEST(PowerModel, PowerDownIsFivePercent) {
+  EXPECT_NEAR(paper_model().power_down_power(), 0.05, 1e-12);
+}
+
+TEST(PowerModel, WakeupDelayIsTenCyclesAt100MHz) {
+  // 10 cycles / 100 MHz = 0.1 us.
+  EXPECT_NEAR(paper_model().wakeup_delay(100.0), 0.1, 1e-12);
+}
+
+TEST(PowerModel, RampEnergyBetweenEndpointBounds) {
+  const PowerModel model = paper_model();
+  const double rho = 0.07;
+  const double duration = (1.0 - 0.5) / rho;
+  const Energy energy = model.ramp_energy(0.5, 1.0, rho, true);
+  EXPECT_GT(energy, duration * model.run_power(0.5));
+  EXPECT_LT(energy, duration * model.run_power(1.0));
+}
+
+TEST(PowerModel, RampEnergySymmetricInDirection) {
+  const PowerModel model = paper_model();
+  EXPECT_NEAR(model.ramp_energy(0.3, 0.9, 0.07, true),
+              model.ramp_energy(0.9, 0.3, 0.07, true), 1e-9);
+}
+
+TEST(PowerModel, IdleRampIsNopScaled) {
+  const PowerModel model = paper_model();
+  EXPECT_NEAR(model.ramp_energy(0.4, 1.0, 0.07, false),
+              0.2 * model.ramp_energy(0.4, 1.0, 0.07, true), 1e-9);
+}
+
+TEST(PowerModel, ZeroLengthRampCostsNothing) {
+  EXPECT_DOUBLE_EQ(paper_model().ramp_energy(0.7, 0.7, 0.07, true), 0.0);
+}
+
+TEST(PowerModel, SlowerIsAlwaysCheaperPerUnitTime) {
+  const PowerModel model = paper_model();
+  double prev = 0.0;
+  for (double r = 0.08; r <= 1.0; r += 0.01) {
+    const double p = model.run_power(r);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModel, HalfSpeedBeatsFullSpeedPerUnitWork) {
+  // Energy per unit of work at ratio r is run_power(r) / r; DVS wins
+  // only because voltage drops too.  Verify the energy-per-work gain.
+  const PowerModel model = paper_model();
+  const double full = model.run_power(1.0) / 1.0;
+  const double half = model.run_power(0.5) / 0.5;
+  EXPECT_LT(half, full);
+}
+
+TEST(ProcessorConfig, DefaultsMatchPaperSection4) {
+  const ProcessorConfig config = ProcessorConfig::arm8_default();
+  EXPECT_DOUBLE_EQ(config.frequencies.f_max(), 100.0);
+  EXPECT_DOUBLE_EQ(config.frequencies.f_min(), 8.0);
+  EXPECT_DOUBLE_EQ(config.ramp_rate, 0.07);
+  EXPECT_DOUBLE_EQ(config.power.nop_power_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(config.power.power_down_fraction, 0.05);
+  EXPECT_DOUBLE_EQ(config.power.wakeup_cycles, 10.0);
+  EXPECT_NEAR(config.wakeup_delay(), 0.1, 1e-12);
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(ProcessorConfig, PaperTransitionExample) {
+  // "the clock frequency can be raised from 30 MHz to 100 MHz in 10 us"
+  // => rho = 0.07 / us.
+  const ProcessorConfig config = ProcessorConfig::arm8_default();
+  const double duration = (1.0 - 0.3) / config.ramp_rate;
+  EXPECT_NEAR(duration, 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lpfps::power

@@ -1,0 +1,126 @@
+// Sleep-state hierarchy (paper §2.1's PowerPC-style mode ladder).
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "power/processor.h"
+#include "sched/priority.h"
+
+namespace lpfps::power {
+namespace {
+
+TEST(SleepLadder, DefaultSynthesizesClassicState) {
+  const ProcessorConfig config = ProcessorConfig::arm8_default();
+  const auto ladder = config.sleep_ladder();
+  ASSERT_EQ(ladder.size(), 1u);
+  EXPECT_DOUBLE_EQ(ladder[0].power_fraction, 0.05);
+  EXPECT_DOUBLE_EQ(ladder[0].wakeup_cycles, 10.0);
+}
+
+TEST(SleepLadder, HierarchyPresetHasFourModes) {
+  const ProcessorConfig config = ProcessorConfig::with_sleep_hierarchy();
+  EXPECT_EQ(config.sleep_ladder().size(), 4u);
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(SleepSelection, NoStateFitsTinyGap) {
+  const ProcessorConfig config = ProcessorConfig::with_sleep_hierarchy();
+  // Shallowest state (doze) needs 0.1 us.
+  EXPECT_FALSE(config.deepest_state_for_gap(0.05).has_value());
+}
+
+TEST(SleepSelection, EnergyOptimalThresholds) {
+  const ProcessorConfig config = ProcessorConfig::with_sleep_hierarchy();
+  // gap 0.15 us: only doze can wake in time.
+  EXPECT_STREQ(config.deepest_state_for_gap(0.15)->name, "doze");
+  // gap 80 us: nap (0.2 us wake) beats sleep, whose 10 us full-power
+  // wake-up is not yet amortized: 79.8*0.1+0.2 = 8.18 < 70*0.05+10.
+  EXPECT_STREQ(config.deepest_state_for_gap(80.0)->name, "nap");
+  // gap 1000 us: sleep's 5% now wins (59.5 < 100.2 < 118).
+  EXPECT_STREQ(config.deepest_state_for_gap(1000.0)->name, "sleep");
+  // gap 10000 us: deep sleep amortizes its 100 us wake (298 < 509).
+  EXPECT_STREQ(config.deepest_state_for_gap(10000.0)->name, "deep-sleep");
+}
+
+TEST(SleepSelection, ClassicLadderMatchesLegacyBehaviour) {
+  const ProcessorConfig config = ProcessorConfig::arm8_default();
+  EXPECT_FALSE(config.deepest_state_for_gap(0.05).has_value());
+  const auto state = config.deepest_state_for_gap(50.0);
+  ASSERT_TRUE(state.has_value());
+  EXPECT_DOUBLE_EQ(state->power_fraction, 0.05);
+}
+
+TEST(SleepSelection, ValidatesStateRanges) {
+  ProcessorConfig config = ProcessorConfig::with_sleep_hierarchy();
+  config.sleep_states[0].power_fraction = 1.5;
+  EXPECT_THROW(config.validate(), std::logic_error);
+}
+
+// ---- engine integration -------------------------------------------------
+
+sched::TaskSet single_task(std::int64_t period, Work wcet) {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("solo", period, wcet));
+  sched::assign_rate_monotonic(tasks);
+  return tasks;
+}
+
+TEST(SleepHierarchyEngine, PicksNapForMediumGaps) {
+  // T=100, C=20: the 80 us gap selects nap (10%, 0.2 us wake).
+  // Energy/period = 20 + 79.8*0.1 + 0.2*1.0 = 28.18.
+  core::EngineOptions options;
+  options.horizon = 1000.0;
+  const auto result = core::simulate(
+      single_task(100, 20.0), power::ProcessorConfig::with_sleep_hierarchy(),
+      core::SchedulerPolicy::lpfps_powerdown_only(), nullptr, options);
+  EXPECT_NEAR(result.average_power, 28.18 / 100.0, 1e-6);
+  EXPECT_EQ(result.deadline_misses, 0);
+}
+
+TEST(SleepHierarchyEngine, DeepSleepOnLongGaps) {
+  // T=100000, C=1000: 99 ms gap -> deep sleep at 2%.
+  // Energy/period = 1000 + (99000-100)*0.02 + 100*1.0 = 3078.
+  core::EngineOptions options;
+  options.horizon = 1e6;
+  const auto result = core::simulate(
+      single_task(100'000, 1'000.0),
+      power::ProcessorConfig::with_sleep_hierarchy(),
+      core::SchedulerPolicy::lpfps_powerdown_only(), nullptr, options);
+  EXPECT_NEAR(result.average_power, 3078.0 / 100'000.0, 1e-6);
+}
+
+TEST(SleepHierarchyEngine, HierarchyNeverWorseThanSingleState) {
+  for (const std::int64_t period : {100, 1'000, 10'000, 100'000}) {
+    const sched::TaskSet tasks =
+        single_task(period, static_cast<double>(period) / 5.0);
+    core::EngineOptions options;
+    options.horizon = static_cast<Time>(period) * 10;
+    const double classic =
+        core::simulate(tasks, power::ProcessorConfig::arm8_default(),
+                       core::SchedulerPolicy::lpfps_powerdown_only(),
+                       nullptr, options)
+            .total_energy;
+    const double ladder =
+        core::simulate(tasks, power::ProcessorConfig::with_sleep_hierarchy(),
+                       core::SchedulerPolicy::lpfps_powerdown_only(),
+                       nullptr, options)
+            .total_energy;
+    // The ladder contains strictly better options for long gaps and at
+    // worst a shallower-but-adequate one for short gaps; the classic
+    // single state (5% / 10 cycles) is in neither config's way of
+    // meeting deadlines.
+    EXPECT_EQ(core::simulate(
+                  tasks, power::ProcessorConfig::with_sleep_hierarchy(),
+                  core::SchedulerPolicy::lpfps_powerdown_only(), nullptr,
+                  options)
+                  .deadline_misses,
+              0)
+        << period;
+    // Not strictly comparable at every period (nap 10% vs classic 5%),
+    // so only demand sanity: within 2x of each other.
+    EXPECT_LT(ladder, classic * 2.0) << period;
+    EXPECT_LT(classic, ladder * 2.0) << period;
+  }
+}
+
+}  // namespace
+}  // namespace lpfps::power

@@ -1,0 +1,89 @@
+// Randomized properties of the ramp math: work/time inversion, plan
+// capacity consistency, and monotonicity — the numerical bedrock under
+// every engine completion prediction.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/speed_ratio.h"
+#include "power/speed_profile.h"
+
+namespace lpfps::power {
+namespace {
+
+class SpeedProfileProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SpeedProfileProperty, TimeToCompleteInvertsWorkDone) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const double r0 = rng.uniform(0.05, 1.0);
+    const double rho = rng.uniform(0.001, 1.0);
+    const double slope = rng.uniform(0.0, 1.0) < 0.5 ? rho : -rho;
+    // Keep the speed positive over the window.
+    double window = rng.uniform(0.1, 50.0);
+    if (slope < 0.0) window = std::min(window, (r0 - 0.01) / rho);
+    if (window <= 0.0) continue;
+    const double elapsed = rng.uniform(0.0, window);
+    const Work w = work_done(r0, slope, elapsed);
+    const auto tau = time_to_complete(r0, slope, window, w);
+    ASSERT_TRUE(tau.has_value())
+        << "r0=" << r0 << " slope=" << slope << " elapsed=" << elapsed;
+    EXPECT_NEAR(*tau, elapsed, 1e-6 + elapsed * 1e-9);
+  }
+}
+
+TEST_P(SpeedProfileProperty, WorkBeyondWindowIsNullopt) {
+  Rng rng(GetParam() + 99);
+  for (int i = 0; i < 2000; ++i) {
+    const double r0 = rng.uniform(0.05, 1.0);
+    const double window = rng.uniform(0.1, 50.0);
+    // Constant speed: anything above r0*window (+eps) cannot fit.
+    const Work beyond = r0 * window * rng.uniform(1.01, 3.0) + 1e-3;
+    EXPECT_FALSE(time_to_complete(r0, 0.0, window, beyond).has_value());
+  }
+}
+
+TEST_P(SpeedProfileProperty, PlanCapacityMonotoneInRatio) {
+  Rng rng(GetParam() + 7);
+  for (int i = 0; i < 1000; ++i) {
+    const double rho = rng.uniform(0.01, 0.5);
+    const double window = rng.uniform(1.0 / rho, 100.0 + 1.0 / rho);
+    const double r1 = rng.uniform(0.05, 0.95);
+    const double r2 = rng.uniform(r1, 1.0);
+    // Both plans must fit their ramp in the window (window >= 1/rho
+    // guarantees it for any ratio).
+    EXPECT_LE(plan_capacity(r1, window, rho),
+              plan_capacity(r2, window, rho) + 1e-9);
+  }
+}
+
+TEST_P(SpeedProfileProperty, OptimalRatioSolvesItsOwnCapacityEquation) {
+  Rng rng(GetParam() + 13);
+  for (int i = 0; i < 1000; ++i) {
+    const double rho = rng.uniform(0.01, 0.5);
+    const double window = rng.uniform(5.0, 500.0);
+    const double target = rng.uniform(0.2, 1.0);
+    const double remaining =
+        rng.uniform(0.01, 0.99) * target * window;
+    const double r = lpfps::core::optimal_ratio_to_target(
+        remaining, window, rho, target);
+    // r == 0 is legitimate: the just-in-time ramp alone over-delivers
+    // the remaining work (the caller's frequency floor takes over).
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, target + 1e-12);
+    const double floor = std::max(0.0, target - rho * window);
+    EXPECT_GE(r, floor - 1e-12);
+    if (r > floor + 1e-9 && r < target - 1e-9) {
+      // Interior solution: capacity is exact.
+      const double capacity =
+          window * r + (target - r) * (target - r) / (2.0 * rho);
+      EXPECT_NEAR(capacity, remaining, 1e-6 * window);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpeedProfileProperty,
+                         ::testing::Values(11u, 222u, 3333u));
+
+}  // namespace
+}  // namespace lpfps::power

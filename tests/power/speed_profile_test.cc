@@ -1,0 +1,104 @@
+#include "power/speed_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lpfps::power {
+namespace {
+
+TEST(RampDuration, Basic) {
+  EXPECT_NEAR(ramp_duration(0.3, 1.0, 0.07), 10.0, 1e-12);
+  EXPECT_NEAR(ramp_duration(1.0, 0.3, 0.07), 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ramp_duration(0.5, 0.5, 0.07), 0.0);
+}
+
+TEST(RampWork, TrapezoidArea) {
+  // Ramp 0.5 -> 1.0 at rho 0.07: duration 50/7, mean speed 0.75.
+  EXPECT_NEAR(ramp_work(0.5, 1.0, 0.07), (0.5 / 0.07) * 0.75, 1e-12);
+}
+
+TEST(WorkDone, ConstantSpeed) {
+  EXPECT_NEAR(work_done(0.5, 0.0, 10.0), 5.0, 1e-12);
+}
+
+TEST(WorkDone, LinearRampMatchesTrapezoid) {
+  // From 0.4 rising at 0.07 for 2 us: mean speed 0.47.
+  EXPECT_NEAR(work_done(0.4, 0.07, 2.0), 0.47 * 2.0, 1e-12);
+}
+
+TEST(WorkDone, DeceleratingRamp) {
+  // From 1.0 falling at 0.07 for 5 us: mean speed 0.825.
+  EXPECT_NEAR(work_done(1.0, -0.07, 5.0), 0.825 * 5.0, 1e-12);
+}
+
+TEST(TimeToComplete, ConstantSpeedExact) {
+  const auto tau = time_to_complete(0.5, 0.0, 100.0, 20.0);
+  ASSERT_TRUE(tau.has_value());
+  EXPECT_NEAR(*tau, 40.0, 1e-12);
+}
+
+TEST(TimeToComplete, ConstantSpeedBeyondWindow) {
+  EXPECT_FALSE(time_to_complete(0.5, 0.0, 10.0, 20.0).has_value());
+}
+
+TEST(TimeToComplete, ZeroWorkIsImmediate) {
+  const auto tau = time_to_complete(0.5, 0.0, 10.0, 0.0);
+  ASSERT_TRUE(tau.has_value());
+  EXPECT_DOUBLE_EQ(*tau, 0.0);
+}
+
+TEST(TimeToComplete, AcceleratingRampInvertsWorkDone) {
+  const double r0 = 0.3;
+  const double slope = 0.07;
+  const double elapsed = 7.5;
+  const Work w = work_done(r0, slope, elapsed);
+  const auto tau = time_to_complete(r0, slope, 100.0, w);
+  ASSERT_TRUE(tau.has_value());
+  EXPECT_NEAR(*tau, elapsed, 1e-9);
+}
+
+TEST(TimeToComplete, DeceleratingRampInvertsWorkDone) {
+  const double r0 = 1.0;
+  const double slope = -0.07;
+  const double elapsed = 4.0;
+  const Work w = work_done(r0, slope, elapsed);
+  const auto tau = time_to_complete(r0, slope, 10.0, w);
+  ASSERT_TRUE(tau.has_value());
+  EXPECT_NEAR(*tau, elapsed, 1e-9);
+}
+
+TEST(TimeToComplete, DeceleratingNeverReachesLargeWork) {
+  // From 0.5 decelerating at 0.07 the speed hits zero after ~7.1 us
+  // having done ~1.79 us of work; 3.0 is unreachable no matter the
+  // window.
+  EXPECT_FALSE(time_to_complete(0.5, -0.07, 1000.0, 3.0).has_value());
+}
+
+TEST(TimeToComplete, ExactlyAtWindowBoundary) {
+  const auto tau = time_to_complete(0.5, 0.0, 40.0, 20.0);
+  ASSERT_TRUE(tau.has_value());
+  EXPECT_NEAR(*tau, 40.0, 1e-9);
+}
+
+TEST(PlanCapacity, MatchesPaperEquation1) {
+  // Capacity = r*w + (1-r)^2 / (2 rho).  Example 2 of the paper with
+  // rho -> infinity reduces to r*w; with finite rho the ramp adds work.
+  const double rho = 0.07;
+  const double w = 40.0;
+  const double r = 0.445;
+  EXPECT_NEAR(plan_capacity(r, w, rho),
+              r * w + (1 - r) * (1 - r) / (2 * rho), 1e-12);
+}
+
+TEST(PlanCapacity, FullSpeedPlanIsWindow) {
+  EXPECT_NEAR(plan_capacity(1.0, 25.0, 0.07), 25.0, 1e-12);
+}
+
+TEST(PlanCapacity, RejectsWindowShorterThanRamp) {
+  // Ramp from 0.3 needs 10 us; a 5 us window cannot host the plan.
+  EXPECT_THROW(plan_capacity(0.3, 5.0, 0.07), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lpfps::power

@@ -1,0 +1,90 @@
+#include "power/voltage.h"
+
+#include <gtest/gtest.h>
+
+namespace lpfps::power {
+namespace {
+
+TEST(RingOscillator, FullRatioIsVmax) {
+  const RingOscillatorVoltageModel model(3.3, 0.8);
+  EXPECT_NEAR(model.voltage_for_ratio(1.0), 3.3, 1e-9);
+}
+
+TEST(RingOscillator, InverseRoundTrips) {
+  const RingOscillatorVoltageModel model(3.3, 0.8);
+  for (double r = 0.05; r <= 1.0; r += 0.05) {
+    const Volts v = model.voltage_for_ratio(r);
+    EXPECT_NEAR(model.ratio_for_voltage(v), r, 1e-9) << "ratio " << r;
+  }
+}
+
+TEST(RingOscillator, VoltageMonotonicInRatio) {
+  const RingOscillatorVoltageModel model(3.3, 0.8);
+  Volts prev = 0.0;
+  for (double r = 0.05; r <= 1.0; r += 0.01) {
+    const Volts v = model.voltage_for_ratio(r);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(RingOscillator, VoltageStaysAboveThreshold) {
+  const RingOscillatorVoltageModel model(3.3, 0.8);
+  for (double r = 0.01; r <= 1.0; r += 0.01) {
+    EXPECT_GT(model.voltage_for_ratio(r), 0.8);
+  }
+}
+
+TEST(RingOscillator, PaperOperatingPoint) {
+  // At the 8 MHz floor (ratio 0.08) the required voltage is far below
+  // 3.3 V — the quadratic saving LPFPS banks on.
+  const RingOscillatorVoltageModel model(3.3, 0.8);
+  const Volts v = model.voltage_for_ratio(0.08);
+  EXPECT_LT(v, 1.4);
+  EXPECT_GT(v, 0.8);
+}
+
+TEST(PowerFactor, CubicLikeScalingAtLowSpeed) {
+  // P/Pfull = r * (V/Vmax)^2 must shrink much faster than r itself.
+  const RingOscillatorVoltageModel model(3.3, 0.8);
+  EXPECT_NEAR(model.power_factor(1.0), 1.0, 1e-9);
+  EXPECT_LT(model.power_factor(0.5), 0.30);   // << 0.5.
+  EXPECT_LT(model.power_factor(0.08), 0.015);  // << 0.08.
+}
+
+TEST(PowerFactor, MonotonicInRatio) {
+  const RingOscillatorVoltageModel model(3.3, 0.8);
+  double prev = 0.0;
+  for (double r = 0.05; r <= 1.0; r += 0.01) {
+    const double p = model.power_factor(r);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Proportional, LinearWithFloor) {
+  const ProportionalVoltageModel model(3.3, 0.8);
+  EXPECT_NEAR(model.voltage_for_ratio(1.0), 3.3, 1e-12);
+  EXPECT_NEAR(model.voltage_for_ratio(0.5), 1.65, 1e-12);
+  EXPECT_NEAR(model.voltage_for_ratio(0.1), 0.8, 1e-12);  // Floor.
+}
+
+TEST(Proportional, PowerFactorIsCubicAboveFloor) {
+  const ProportionalVoltageModel model(3.3, 0.0);
+  EXPECT_NEAR(model.power_factor(0.5), 0.125, 1e-12);  // r^3.
+}
+
+TEST(VoltageModels, RingOscillatorNeedsHigherVoltageThanProportional) {
+  // The ring-oscillator law is concave: sustaining ratio r needs more
+  // voltage than the idealized proportional model, hence less saving —
+  // the realistic pessimism the paper's reference [20] models.
+  const RingOscillatorVoltageModel ring(3.3, 0.8);
+  const ProportionalVoltageModel prop(3.3, 0.0);
+  for (double r = 0.1; r < 1.0; r += 0.1) {
+    EXPECT_GT(ring.voltage_for_ratio(r), prop.voltage_for_ratio(r))
+        << "ratio " << r;
+  }
+}
+
+}  // namespace
+}  // namespace lpfps::power

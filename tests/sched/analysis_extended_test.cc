@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/static_slowdown.h"
+#include "sched/analysis.h"
+#include "sched/priority.h"
+#include "workloads/example.h"
+#include "workloads/registry.h"
+
+namespace lpfps::sched {
+namespace {
+
+TaskSet table1() { return lpfps::workloads::example_table1(); }
+
+TEST(ExtendedRta, ZeroExtrasMatchesPlainRta) {
+  const TaskSet tasks = table1();
+  const AnalysisExtras extras = AnalysisExtras::zero(tasks);
+  for (TaskIndex i = 0; i < 3; ++i) {
+    const auto plain = response_time(tasks, i);
+    const auto extended = response_time_extended(tasks, i, extras);
+    ASSERT_TRUE(plain.has_value());
+    ASSERT_TRUE(extended.has_value());
+    EXPECT_DOUBLE_EQ(*plain, *extended) << "task " << i;
+  }
+}
+
+TEST(ExtendedRta, BlockingAddsDirectly) {
+  // tau1 blocked for 5 us by a lower-priority critical section:
+  // R1 = 10 + 5.
+  const TaskSet tasks = table1();
+  AnalysisExtras extras = AnalysisExtras::zero(tasks);
+  extras.blocking[0] = 5.0;
+  const auto r = response_time_extended(tasks, 0, extras);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(*r, 15.0);
+}
+
+TEST(ExtendedRta, OwnJitterAddsToResponse) {
+  const TaskSet tasks = table1();
+  AnalysisExtras extras = AnalysisExtras::zero(tasks);
+  extras.jitter[0] = 4.0;
+  const auto r = response_time_extended(tasks, 0, extras);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(*r, 14.0);  // w = 10, R = w + J.
+}
+
+TEST(ExtendedRta, HigherPriorityJitterAddsInterference) {
+  // tau2 sees tau1 with jitter 25: within w=30, ceil((30+25)/50) = 2
+  // tau1 jobs instead of 1: R2 = 20 + 2*10 = 40.
+  const TaskSet tasks = table1();
+  AnalysisExtras extras = AnalysisExtras::zero(tasks);
+  extras.jitter[0] = 25.0;
+  const auto r = response_time_extended(tasks, 1, extras);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(*r, 40.0);
+}
+
+TEST(ExtendedRta, BlockingCanBreakTightSets) {
+  // tau3 has zero slack in Table 1; any blocking on it diverges.
+  const TaskSet tasks = table1();
+  AnalysisExtras extras = AnalysisExtras::zero(tasks);
+  extras.blocking[2] = 1.0;
+  EXPECT_FALSE(response_time_extended(tasks, 2, extras).has_value());
+  EXPECT_FALSE(is_schedulable_extended(tasks, extras));
+}
+
+TEST(ExtendedRta, MismatchedExtrasRejected) {
+  const TaskSet tasks = table1();
+  AnalysisExtras extras;  // Wrong sizes.
+  EXPECT_THROW(response_time_extended(tasks, 0, extras), std::logic_error);
+  extras = AnalysisExtras::zero(tasks);
+  extras.jitter[1] = -1.0;
+  EXPECT_THROW(response_time_extended(tasks, 0, extras), std::logic_error);
+}
+
+TEST(CriticalScaling, Table1JustMeetsSchedulability) {
+  // The paper's §2.3 claim, quantified: the example set tolerates no
+  // WCET growth (alpha ~= 1.0).
+  const double alpha = critical_scaling_factor(table1());
+  EXPECT_NEAR(alpha, 1.0, 1e-4);
+}
+
+TEST(CriticalScaling, HarmonicSetScalesToCapacity) {
+  TaskSet tasks;
+  tasks.add(make_task("a", 100, 25.0));
+  tasks.add(make_task("b", 200, 50.0));  // U = 0.5, harmonic.
+  assign_rate_monotonic(tasks);
+  EXPECT_NEAR(critical_scaling_factor(tasks), 2.0, 1e-4);
+}
+
+TEST(CriticalScaling, UnschedulableSetIsBelowOne) {
+  TaskSet tasks;
+  tasks.add(make_task("hog", 10, 8.0));
+  tasks.add(make_task("victim", 20, 10.0));
+  assign_rate_monotonic(tasks);
+  const double alpha = critical_scaling_factor(tasks);
+  EXPECT_LT(alpha, 1.0);
+  EXPECT_GT(alpha, 0.0);
+}
+
+TEST(CriticalScaling, AgreesWithMinStaticRatioReciprocal) {
+  // Running at constant ratio r is the same as scaling every WCET by
+  // 1/r, so on a continuous frequency table the minimal static ratio
+  // must equal 1/alpha.
+  for (const auto& w : lpfps::workloads::paper_workloads()) {
+    const double alpha = critical_scaling_factor(w.tasks, 1e-7);
+    ASSERT_GE(alpha, 1.0) << w.name;
+    const auto ratio = lpfps::core::min_feasible_static_ratio(
+        w.tasks, lpfps::power::FrequencyTable::continuous(1.0, 100.0));
+    ASSERT_TRUE(ratio.has_value()) << w.name;
+    EXPECT_NEAR(*ratio, 1.0 / alpha, 1e-4) << w.name;
+  }
+}
+
+TEST(CriticalScaling, PaperWorkloadHeadroomOrdering) {
+  // CNC (U = 0.445) has far more WCET headroom than Avionics (U = .85).
+  const double cnc = critical_scaling_factor(
+      lpfps::workloads::workload_by_name("CNC").tasks);
+  const double avionics = critical_scaling_factor(
+      lpfps::workloads::workload_by_name("Avionics").tasks);
+  EXPECT_GT(cnc, avionics);
+  EXPECT_GT(cnc, 1.8);
+  EXPECT_LT(avionics, 1.3);
+}
+
+}  // namespace
+}  // namespace lpfps::sched

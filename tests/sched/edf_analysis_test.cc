@@ -1,0 +1,104 @@
+// Processor-demand analysis for EDF (exact test for constrained
+// deadlines), cross-checked against the EDF kernel simulator.
+#include <gtest/gtest.h>
+
+#include "sched/analysis.h"
+#include "sched/edf.h"
+#include "sched/priority.h"
+#include "workloads/example.h"
+
+namespace lpfps::sched {
+namespace {
+
+TEST(DemandBound, ClosedFormValues) {
+  TaskSet tasks;
+  tasks.add(make_task("a", 4, 2, 2.0, 2.0));   // D = 2.
+  tasks.add(make_task("b", 8, 4, 2.0, 2.0));   // D = 4.
+  EXPECT_DOUBLE_EQ(demand_bound(tasks, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(demand_bound(tasks, 1.9), 0.0);
+  EXPECT_DOUBLE_EQ(demand_bound(tasks, 2.0), 2.0);   // a's first job.
+  EXPECT_DOUBLE_EQ(demand_bound(tasks, 4.0), 4.0);   // + b's first.
+  EXPECT_DOUBLE_EQ(demand_bound(tasks, 6.0), 6.0);   // + a's second.
+  EXPECT_DOUBLE_EQ(demand_bound(tasks, 12.0), 10.0);
+}
+
+TEST(EdfExact, ImplicitDeadlinesReduceToUtilization) {
+  EXPECT_TRUE(is_schedulable_edf_exact(workloads::example_table1()));
+  TaskSet overloaded;
+  overloaded.add(make_task("hog", 10, 8.0));
+  overloaded.add(make_task("more", 20, 10.0));  // U = 1.3.
+  EXPECT_FALSE(is_schedulable_edf_exact(overloaded));
+}
+
+TEST(EdfExact, ConstrainedDeadlinesFeasibleCase) {
+  TaskSet tasks;
+  tasks.add(make_task("a", 4, 2, 2.0, 2.0));
+  tasks.add(make_task("b", 8, 4, 2.0, 2.0));  // U = 0.75, h(t) <= t.
+  EXPECT_TRUE(is_schedulable_edf_exact(tasks));
+}
+
+TEST(EdfExact, ConstrainedDeadlinesInfeasibleDespiteUtilizationOk) {
+  // U = 1.0 but h(3) = 4 > 3: the deadline crunch at t = 3 is fatal.
+  TaskSet tasks;
+  tasks.add(make_task("a", 4, 2, 2.0, 2.0));
+  tasks.add(make_task("b", 4, 3, 2.0, 2.0));
+  EXPECT_TRUE(is_schedulable_edf(tasks));  // Necessary test passes...
+  EXPECT_FALSE(is_schedulable_edf_exact(tasks));  // ...exact one fails.
+}
+
+TEST(EdfExact, AgreesWithSimulationOnFeasibility) {
+  struct Case {
+    TaskSet tasks;
+    const char* label;
+  };
+  std::vector<Case> cases;
+  {
+    TaskSet tasks;
+    tasks.add(make_task("a", 4, 2, 2.0, 2.0));
+    tasks.add(make_task("b", 8, 4, 2.0, 2.0));
+    cases.push_back({tasks, "feasible constrained"});
+  }
+  {
+    TaskSet tasks;
+    tasks.add(make_task("a", 4, 2, 2.0, 2.0));
+    tasks.add(make_task("b", 4, 3, 2.0, 2.0));
+    cases.push_back({tasks, "infeasible constrained"});
+  }
+  {
+    TaskSet tasks;
+    tasks.add(make_task("a", 10, 5.0));
+    tasks.add(make_task("b", 20, 10.0));
+    cases.push_back({tasks, "U = 1 implicit"});
+  }
+  for (const Case& c : cases) {
+    TaskSet tasks = c.tasks;
+    assign_deadline_monotonic(tasks);  // EdfKernel ignores priorities.
+    EdfKernel kernel(tasks);
+    const KernelResult result =
+        kernel.run(static_cast<Time>(tasks.hyperperiod()) * 4.0);
+    const bool predicted = is_schedulable_edf_exact(c.tasks);
+    EXPECT_EQ(result.deadline_misses == 0, predicted) << c.label;
+  }
+}
+
+TEST(EdfExact, BusyPeriodBoundKeepsTestFinite) {
+  // U < 1 with mutually prime periods: the Baruah-Rosier bound, not the
+  // (large) hyperperiod, limits the testing set; just verify it runs
+  // and accepts a clearly feasible set.
+  TaskSet tasks;
+  tasks.add(make_task("p", 9973, 5000, 100.0, 100.0));
+  tasks.add(make_task("q", 10007, 6000, 100.0, 100.0));
+  tasks.add(make_task("r", 10009, 7000, 100.0, 100.0));
+  EXPECT_TRUE(is_schedulable_edf_exact(tasks));
+}
+
+TEST(EdfExact, RejectsUnsupportedShapes) {
+  TaskSet tasks;
+  tasks.add(make_task("late", 100, 150, 10.0, 10.0, 0));
+  // D > T violates make_task? No: deadline 150 > period 100 is allowed
+  // by the task model but not by this analysis.
+  EXPECT_THROW(is_schedulable_edf_exact(tasks), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lpfps::sched

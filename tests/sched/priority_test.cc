@@ -1,0 +1,89 @@
+#include "sched/priority.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/analysis.h"
+
+namespace lpfps::sched {
+namespace {
+
+TEST(RateMonotonic, ShorterPeriodHigherPriority) {
+  TaskSet tasks;
+  tasks.add(make_task("slow", 100, 10.0));
+  tasks.add(make_task("fast", 10, 1.0));
+  tasks.add(make_task("mid", 50, 5.0));
+  assign_rate_monotonic(tasks);
+  EXPECT_EQ(tasks[1].priority, 0);  // fast.
+  EXPECT_EQ(tasks[2].priority, 1);  // mid.
+  EXPECT_EQ(tasks[0].priority, 2);  // slow.
+}
+
+TEST(RateMonotonic, TiesBreakByIndex) {
+  TaskSet tasks;
+  tasks.add(make_task("first", 50, 5.0));
+  tasks.add(make_task("second", 50, 5.0));
+  assign_rate_monotonic(tasks);
+  EXPECT_LT(tasks[0].priority, tasks[1].priority);
+}
+
+TEST(RateMonotonic, PaperTable1Order) {
+  TaskSet tasks;
+  tasks.add(make_task("tau1", 50, 10.0));
+  tasks.add(make_task("tau2", 80, 20.0));
+  tasks.add(make_task("tau3", 100, 40.0));
+  assign_rate_monotonic(tasks);
+  EXPECT_EQ(tasks[0].priority, 0);
+  EXPECT_EQ(tasks[1].priority, 1);
+  EXPECT_EQ(tasks[2].priority, 2);
+}
+
+TEST(DeadlineMonotonic, ShorterDeadlineHigherPriority) {
+  TaskSet tasks;
+  tasks.add(make_task("a", 100, 90, 10.0, 10.0));
+  tasks.add(make_task("b", 100, 30, 10.0, 10.0));
+  tasks.add(make_task("c", 100, 60, 10.0, 10.0));
+  assign_deadline_monotonic(tasks);
+  EXPECT_EQ(tasks[1].priority, 0);
+  EXPECT_EQ(tasks[2].priority, 1);
+  EXPECT_EQ(tasks[0].priority, 2);
+}
+
+TEST(Audsley, FindsAssignmentForSchedulableSet) {
+  TaskSet tasks;
+  tasks.add(make_task("tau1", 50, 10.0));
+  tasks.add(make_task("tau2", 80, 20.0));
+  tasks.add(make_task("tau3", 100, 40.0));
+  ASSERT_TRUE(assign_audsley_optimal(tasks));
+  EXPECT_TRUE(tasks.priorities_are_unique());
+  EXPECT_TRUE(is_schedulable_rta(tasks));
+}
+
+TEST(Audsley, AgreesWithDmWhenDmWorks) {
+  // Constrained-deadline set where DM is optimal; Audsley must also
+  // succeed (possibly with a different but valid ordering).
+  TaskSet tasks;
+  tasks.add(make_task("a", 100, 40, 10.0, 10.0));
+  tasks.add(make_task("b", 150, 150, 30.0, 30.0));
+  tasks.add(make_task("c", 300, 120, 20.0, 20.0));
+  TaskSet dm = tasks;
+  assign_deadline_monotonic(dm);
+  ASSERT_TRUE(is_schedulable_rta(dm));
+  ASSERT_TRUE(assign_audsley_optimal(tasks));
+  EXPECT_TRUE(is_schedulable_rta(tasks));
+}
+
+TEST(Audsley, FailsForInfeasibleSet) {
+  TaskSet tasks;
+  tasks.add(make_task("a", 10, 6.0));
+  tasks.add(make_task("b", 10, 6.0));  // U = 1.2: hopeless.
+  TaskSet before = tasks;
+  EXPECT_FALSE(assign_audsley_optimal(tasks));
+  // Priorities untouched on failure.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[static_cast<TaskIndex>(i)].priority,
+              before[static_cast<TaskIndex>(i)].priority);
+  }
+}
+
+}  // namespace
+}  // namespace lpfps::sched

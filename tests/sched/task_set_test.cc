@@ -1,0 +1,92 @@
+#include "sched/task_set.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workloads/example.h"
+
+namespace lpfps::sched {
+namespace {
+
+TaskSet table1() { return lpfps::workloads::example_table1(); }
+
+TEST(TaskSet, SizeAndAccess) {
+  const TaskSet tasks = table1();
+  ASSERT_EQ(tasks.size(), 3u);
+  EXPECT_EQ(tasks[0].name, "tau1");
+  EXPECT_EQ(tasks[2].period, 100);
+}
+
+TEST(TaskSet, OutOfRangeAccessThrows) {
+  const TaskSet tasks = table1();
+  EXPECT_THROW((void)tasks[3], std::logic_error);
+  EXPECT_THROW((void)tasks[-1], std::logic_error);
+}
+
+TEST(TaskSet, UtilizationOfPaperExample) {
+  // 10/50 + 20/80 + 40/100 = 0.2 + 0.25 + 0.4 = 0.85.
+  EXPECT_NEAR(table1().utilization(), 0.85, 1e-12);
+}
+
+TEST(TaskSet, HyperperiodOfPaperExample) {
+  EXPECT_EQ(table1().hyperperiod(), 400);
+}
+
+TEST(TaskSet, WcetRange) {
+  const TaskSet tasks = table1();
+  EXPECT_DOUBLE_EQ(tasks.min_wcet(), 10.0);
+  EXPECT_DOUBLE_EQ(tasks.max_wcet(), 40.0);
+}
+
+TEST(TaskSet, NamesInIndexOrder) {
+  const auto names = table1().names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "tau1");
+  EXPECT_EQ(names[1], "tau2");
+  EXPECT_EQ(names[2], "tau3");
+}
+
+TEST(TaskSet, ImplicitDeadlinesDetected) {
+  TaskSet tasks = table1();
+  EXPECT_TRUE(tasks.implicit_deadlines());
+  tasks.add(make_task("constrained", 200, 150, 10.0, 10.0));
+  EXPECT_FALSE(tasks.implicit_deadlines());
+}
+
+TEST(TaskSet, DuplicatePrioritiesRejectedByValidate) {
+  TaskSet tasks;
+  Task a = make_task("a", 50, 10.0);
+  Task b = make_task("b", 100, 10.0);
+  a.priority = 0;
+  b.priority = 0;
+  tasks.add(a);
+  tasks.add(b);
+  EXPECT_FALSE(tasks.priorities_are_unique());
+  EXPECT_THROW(tasks.validate(), std::logic_error);
+}
+
+TEST(TaskSet, WithBcetRatioScalesEveryTask) {
+  const TaskSet scaled = table1().with_bcet_ratio(0.25);
+  for (const Task& t : scaled.tasks()) {
+    EXPECT_DOUBLE_EQ(t.bcet, t.wcet * 0.25);
+  }
+  // Original untouched semantics: returns a copy.
+  const TaskSet original = table1();
+  for (const Task& t : original.tasks()) {
+    EXPECT_DOUBLE_EQ(t.bcet, t.wcet);
+  }
+}
+
+TEST(TaskSet, WithBcetRatioRejectsOutOfRange) {
+  EXPECT_THROW(table1().with_bcet_ratio(0.0), std::logic_error);
+  EXPECT_THROW(table1().with_bcet_ratio(1.5), std::logic_error);
+}
+
+TEST(TaskSet, HyperperiodOnEmptyThrows) {
+  const TaskSet empty;
+  EXPECT_THROW(empty.hyperperiod(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lpfps::sched

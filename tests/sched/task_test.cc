@@ -1,0 +1,58 @@
+#include "sched/task.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lpfps::sched {
+namespace {
+
+TEST(Task, ImplicitDeadlineConstructor) {
+  const Task t = make_task("tau1", 50, 10.0);
+  EXPECT_EQ(t.period, 50);
+  EXPECT_EQ(t.deadline, 50);
+  EXPECT_DOUBLE_EQ(t.wcet, 10.0);
+  EXPECT_DOUBLE_EQ(t.bcet, 10.0);
+  EXPECT_EQ(t.phase, 0);
+}
+
+TEST(Task, Utilization) {
+  const Task t = make_task("t", 100, 25.0);
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.25);
+}
+
+TEST(Task, FullConstructorValidates) {
+  const Task t = make_task("t", 100, 80, 20.0, 5.0, 10);
+  EXPECT_EQ(t.deadline, 80);
+  EXPECT_DOUBLE_EQ(t.bcet, 5.0);
+  EXPECT_EQ(t.phase, 10);
+}
+
+TEST(Task, RejectsEmptyName) {
+  EXPECT_THROW(make_task("", 100, 10.0), std::logic_error);
+}
+
+TEST(Task, RejectsNonPositivePeriod) {
+  EXPECT_THROW(make_task("t", 0, 10.0), std::logic_error);
+  EXPECT_THROW(make_task("t", -5, 10.0), std::logic_error);
+}
+
+TEST(Task, RejectsNonPositiveWcet) {
+  EXPECT_THROW(make_task("t", 100, 100, 0.0, 0.0), std::logic_error);
+}
+
+TEST(Task, RejectsBcetAboveWcet) {
+  EXPECT_THROW(make_task("t", 100, 100, 10.0, 11.0), std::logic_error);
+}
+
+TEST(Task, RejectsWcetAboveDeadline) {
+  EXPECT_THROW(make_task("t", 100, 50, 60.0, 60.0), std::logic_error);
+}
+
+TEST(Task, RejectsNegativePhase) {
+  EXPECT_THROW(make_task("t", 100, 100, 10.0, 10.0, -1),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace lpfps::sched

@@ -1,0 +1,176 @@
+#include "sched/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "sched/priority.h"
+#include "workloads/example.h"
+#include "workloads/ins.h"
+
+namespace lpfps::sched {
+namespace {
+
+core::SimulationResult run_traced(const TaskSet& tasks,
+                                  const core::SchedulerPolicy& policy,
+                                  Time horizon, double bcet_ratio = 1.0) {
+  core::EngineOptions options;
+  options.horizon = horizon;
+  options.record_trace = true;
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+  return core::simulate(tasks.with_bcet_ratio(bcet_ratio),
+                        power::ProcessorConfig::arm8_default(), policy,
+                        exec, options);
+}
+
+TEST(Validator, AcceptsFpsSchedule) {
+  const TaskSet tasks = lpfps::workloads::example_table1();
+  const auto result =
+      run_traced(tasks, core::SchedulerPolicy::fps(), 4000.0);
+  const ValidationReport report =
+      validate_schedule(*result.trace, tasks);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Validator, AcceptsLpfpsScheduleWithDvsAndPowerDown) {
+  const TaskSet tasks = lpfps::workloads::example_table1();
+  const auto result =
+      run_traced(tasks, core::SchedulerPolicy::lpfps(), 4000.0, 0.4);
+  const ValidationReport report =
+      validate_schedule(*result.trace, tasks);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Validator, AcceptsAllPolicyVariantsOnIns) {
+  const TaskSet tasks = lpfps::workloads::ins();
+  for (const auto& policy :
+       {core::SchedulerPolicy::fps(), core::SchedulerPolicy::lpfps(),
+        core::SchedulerPolicy::lpfps_optimal(),
+        core::SchedulerPolicy::lpfps_dvs_only(),
+        core::SchedulerPolicy::lpfps_powerdown_only()}) {
+    const auto result = run_traced(tasks, policy, 5e6, 0.3);
+    const ValidationReport report =
+        validate_schedule(*result.trace, tasks);
+    EXPECT_TRUE(report.ok()) << policy.name << ":\n" << report.to_string();
+  }
+}
+
+// ---- negative cases: corrupt a genuine trace and expect detection ----
+
+sim::Trace valid_trace(const TaskSet& tasks) {
+  return *run_traced(tasks, core::SchedulerPolicy::fps(), 400.0).trace;
+}
+
+sim::Trace rebuild_with_segments(const sim::Trace& original,
+                                 std::vector<sim::Segment> segments) {
+  sim::Trace out;
+  for (const sim::Segment& s : segments) out.add_segment(s);
+  for (const sim::JobRecord& job : original.jobs()) out.add_job(job);
+  return out;
+}
+
+TEST(Validator, DetectsWrongTaskInSegment) {
+  const TaskSet tasks = lpfps::workloads::example_table1();
+  const sim::Trace original = valid_trace(tasks);
+  auto segments = original.segments();
+  // Figure 2(a): [10,30) belongs to tau2; claim tau1 ran instead.
+  for (sim::Segment& s : segments) {
+    if (s.begin == 10.0 && s.task == 1) s.task = 0;
+  }
+  const auto report =
+      validate_schedule(rebuild_with_segments(original, segments), tasks);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Validator, DetectsPriorityInversion) {
+  const TaskSet tasks = lpfps::workloads::example_table1();
+  const sim::Trace original = valid_trace(tasks);
+  auto segments = original.segments();
+  // Swap the tasks of the first two running segments: tau2 before tau1
+  // at t=0 is an inversion (tau1 pending, higher priority).
+  ASSERT_GE(segments.size(), 2u);
+  std::swap(segments[0].task, segments[1].task);
+  const auto report =
+      validate_schedule(rebuild_with_segments(original, segments), tasks);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Validator, DetectsIdlingWithPendingWork) {
+  const TaskSet tasks = lpfps::workloads::example_table1();
+  const sim::Trace original = valid_trace(tasks);
+  auto segments = original.segments();
+  // Turn tau1's first segment into busy-wait idling: tau1 is pending.
+  segments[0].mode = sim::ProcessorMode::kIdleBusyWait;
+  segments[0].task = kNoTask;
+  const auto report =
+      validate_schedule(rebuild_with_segments(original, segments), tasks);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Validator, DetectsWorkIntegralMismatch) {
+  const TaskSet tasks = lpfps::workloads::example_table1();
+  const sim::Trace original = valid_trace(tasks);
+  auto segments = original.segments();
+  // Pretend tau1's first segment ran at half speed: the job's recorded
+  // 10 us of work no longer integrates.
+  segments[0].ratio_begin = 0.5;
+  segments[0].ratio_end = 0.5;
+  const auto report =
+      validate_schedule(rebuild_with_segments(original, segments), tasks);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Validator, DetectsInconsistentMissFlag) {
+  const TaskSet tasks = lpfps::workloads::example_table1();
+  const sim::Trace original = valid_trace(tasks);
+  sim::Trace tampered;
+  for (const sim::Segment& s : original.segments()) {
+    tampered.add_segment(s);
+  }
+  bool first = true;
+  for (sim::JobRecord job : original.jobs()) {
+    if (first) {
+      job.missed_deadline = true;  // Flag an on-time job as missed.
+      first = false;
+    }
+    tampered.add_job(job);
+  }
+  const auto report = validate_schedule(tampered, tasks);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Validator, DetectsForgedReleaseTime) {
+  const TaskSet tasks = lpfps::workloads::example_table1();
+  const sim::Trace original = valid_trace(tasks);
+  sim::Trace tampered;
+  for (const sim::Segment& s : original.segments()) {
+    tampered.add_segment(s);
+  }
+  bool first = true;
+  for (sim::JobRecord job : original.jobs()) {
+    if (first) {
+      job.release += 7.0;  // Releases are deterministic: phase + k*T.
+      first = false;
+    }
+    tampered.add_job(job);
+  }
+  const auto report = validate_schedule(tampered, tasks);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Validator, ReportCapsViolationCount) {
+  const TaskSet tasks = lpfps::workloads::example_table1();
+  const sim::Trace original = valid_trace(tasks);
+  auto segments = original.segments();
+  for (sim::Segment& s : segments) {
+    if (s.mode == sim::ProcessorMode::kRunning) s.ratio_begin = 0.5;
+  }
+  ValidatorOptions options;
+  options.max_violations = 5;
+  const auto report = validate_schedule(
+      rebuild_with_segments(original, segments), tasks, options);
+  EXPECT_FALSE(report.ok());
+  EXPECT_LE(report.violations.size(), 5u);
+}
+
+}  // namespace
+}  // namespace lpfps::sched

@@ -1,0 +1,97 @@
+// Randomized differential test: EventQueue against a trivially correct
+// reference (ordered multiset with explicit tombstones) across long
+// random push/pop/cancel interleavings.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/event_queue.h"
+
+namespace lpfps::sim {
+namespace {
+
+struct Reference {
+  // (time, priority, sequence) -> id; ordered exactly like EventQueue.
+  using Key = std::tuple<Time, std::int32_t, std::uint64_t>;
+  std::set<std::pair<Key, EventId>> live;
+  std::uint64_t next_sequence = 0;
+
+  Key push(const Event& event, EventId id) {
+    const Key key{event.time, event.priority, next_sequence++};
+    live.insert({key, id});
+    return key;
+  }
+  bool cancel(EventId id) {
+    for (auto it = live.begin(); it != live.end(); ++it) {
+      if (it->second == id) {
+        live.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  std::pair<Key, EventId> pop() {
+    auto it = live.begin();
+    const auto result = *it;
+    live.erase(it);
+    return result;
+  }
+};
+
+class EventQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueFuzz, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  EventQueue queue;
+  Reference reference;
+  std::vector<EventId> issued;
+
+  for (int step = 0; step < 5000; ++step) {
+    const double dice = rng.uniform(0.0, 1.0);
+    if (dice < 0.5 || queue.empty()) {
+      Event event;
+      event.time = static_cast<Time>(rng.uniform_int(0, 200));
+      event.priority = static_cast<std::int32_t>(rng.uniform_int(0, 3));
+      event.payload = step;
+      const EventId id = queue.push(event);
+      reference.push(event, id);
+      issued.push_back(id);
+    } else if (dice < 0.75 && !issued.empty()) {
+      const EventId id = issued[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(issued.size()) - 1))];
+      EXPECT_EQ(queue.cancel(id), reference.cancel(id)) << "step " << step;
+    } else {
+      ASSERT_FALSE(queue.empty());
+      const auto [key, id] = reference.pop();
+      const Event popped = queue.pop();
+      EXPECT_EQ(popped.time, std::get<0>(key)) << "step " << step;
+      EXPECT_EQ(popped.priority, std::get<1>(key)) << "step " << step;
+    }
+    ASSERT_EQ(queue.size(), reference.live.size()) << "step " << step;
+    if (!queue.empty()) {
+      ASSERT_EQ(queue.next_time(),
+                std::get<0>(reference.live.begin()->first))
+          << "step " << step;
+    }
+  }
+
+  // Drain and verify global ordering.
+  Time last = -1.0;
+  while (!queue.empty()) {
+    const auto [key, id] = reference.pop();
+    const Event popped = queue.pop();
+    EXPECT_EQ(popped.time, std::get<0>(key));
+    EXPECT_GE(popped.time, last);
+    last = popped.time;
+  }
+  EXPECT_TRUE(reference.live.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
+                         ::testing::Values(1u, 22u, 333u, 4444u));
+
+}  // namespace
+}  // namespace lpfps::sim

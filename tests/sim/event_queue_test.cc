@@ -1,0 +1,127 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace lpfps::sim {
+namespace {
+
+Event at(Time t, EventKind kind = EventKind::kTaskRelease,
+         std::int32_t payload = 0, std::int32_t priority = 0) {
+  return Event{t, kind, payload, priority};
+}
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  queue.push(at(30.0));
+  queue.push(at(10.0));
+  queue.push(at(20.0));
+  EXPECT_DOUBLE_EQ(queue.pop().time, 10.0);
+  EXPECT_DOUBLE_EQ(queue.pop().time, 20.0);
+  EXPECT_DOUBLE_EQ(queue.pop().time, 30.0);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, TieBrokenByPriorityThenFifo) {
+  EventQueue queue;
+  queue.push(at(5.0, EventKind::kTaskRelease, 1, /*priority=*/2));
+  queue.push(at(5.0, EventKind::kCompletion, 2, /*priority=*/0));
+  queue.push(at(5.0, EventKind::kTaskRelease, 3, /*priority=*/2));
+  EXPECT_EQ(queue.pop().payload, 2);  // Lowest priority value first.
+  EXPECT_EQ(queue.pop().payload, 1);  // FIFO among equals.
+  EXPECT_EQ(queue.pop().payload, 3);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue queue;
+  queue.push(at(1.0, EventKind::kTaskRelease, 1));
+  const EventId id = queue.push(at(2.0, EventKind::kTaskRelease, 2));
+  queue.push(at(3.0, EventKind::kTaskRelease, 3));
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.pop().payload, 1);
+  EXPECT_EQ(queue.pop().payload, 3);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, CancelHeadEvent) {
+  EventQueue queue;
+  const EventId id = queue.push(at(1.0, EventKind::kTaskRelease, 1));
+  queue.push(at(2.0, EventKind::kTaskRelease, 2));
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_DOUBLE_EQ(queue.next_time(), 2.0);
+}
+
+TEST(EventQueue, DoubleCancelIsNoOp) {
+  EventQueue queue;
+  const EventId id = queue.push(at(1.0));
+  queue.push(at(2.0));
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueue, CancelAfterPopIsNoOp) {
+  EventQueue queue;
+  const EventId id = queue.push(at(1.0));
+  queue.push(at(2.0));
+  (void)queue.pop();
+  EXPECT_FALSE(queue.cancel(id));
+  EXPECT_EQ(queue.size(), 1u);  // Live count untouched.
+}
+
+TEST(EventQueue, CancelUnknownIdThrows) {
+  EventQueue queue;
+  queue.push(at(1.0));
+  EXPECT_THROW(queue.cancel(999), std::logic_error);
+}
+
+TEST(EventQueue, PeekDoesNotRemove) {
+  EventQueue queue;
+  queue.push(at(4.0, EventKind::kTimerExpire));
+  EXPECT_EQ(queue.peek().kind, EventKind::kTimerExpire);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue queue;
+  EXPECT_THROW(queue.pop(), std::logic_error);
+}
+
+TEST(EventQueue, StressManyEventsOrdered) {
+  EventQueue queue;
+  std::vector<EventId> ids;
+  for (int i = 999; i >= 0; --i) {
+    ids.push_back(queue.push(at(static_cast<Time>(i % 100), EventKind::kTaskRelease, i)));
+  }
+  // Cancel every third event.
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    if (queue.cancel(ids[i])) ++cancelled;
+  }
+  EXPECT_EQ(queue.size(), 1000u - cancelled);
+  Time last = -1.0;
+  while (!queue.empty()) {
+    const Event event = queue.pop();
+    EXPECT_GE(event.time, last);
+    last = event.time;
+  }
+}
+
+TEST(EventDescribe, MentionsKindAndTime) {
+  const std::string text = describe(at(12.0, EventKind::kCompletion, 3));
+  EXPECT_NE(text.find("completion"), std::string::npos);
+  EXPECT_NE(text.find("12"), std::string::npos);
+  EXPECT_NE(text.find("task=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lpfps::sim

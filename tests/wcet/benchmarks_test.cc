@@ -1,0 +1,67 @@
+#include "wcet/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lpfps::wcet {
+namespace {
+
+TEST(BenchmarkSuite, HasAtLeastADozenPrograms) {
+  EXPECT_GE(benchmark_suite().size(), 12u);
+}
+
+TEST(BenchmarkSuite, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const BenchmarkProgram& program : benchmark_suite()) {
+    EXPECT_TRUE(names.insert(program.name).second) << program.name;
+  }
+}
+
+TEST(BenchmarkSuite, AllAnalyzable) {
+  for (const BenchmarkProgram& program : benchmark_suite()) {
+    const Bounds b = analyze(program.program);
+    EXPECT_GT(b.best, 0) << program.name;
+    EXPECT_GE(b.worst, b.best) << program.name;
+  }
+}
+
+TEST(BenchmarkSuite, RatiosSpanTheFigure1Range) {
+  // The suite must cover both strongly data-dependent programs (low
+  // BCET/WCET, like Ernst & Ye's sorting/searching examples) and fixed
+  // kernels (ratio 1.0), with spread in between.
+  double min_ratio = 1.0;
+  double max_ratio = 0.0;
+  int middle = 0;
+  for (const BenchmarkProgram& program : benchmark_suite()) {
+    const double r = analyze(program.program).ratio();
+    min_ratio = std::min(min_ratio, r);
+    max_ratio = std::max(max_ratio, r);
+    if (r > 0.3 && r < 0.95) ++middle;
+  }
+  EXPECT_LT(min_ratio, 0.25);
+  EXPECT_GT(max_ratio, 0.99);
+  EXPECT_GE(middle, 2);
+}
+
+TEST(BenchmarkSuite, FixedKernelsHaveRatioOne) {
+  for (const BenchmarkProgram& program : benchmark_suite()) {
+    if (program.name == "dct_8x8" || program.name == "fir_filter" ||
+        program.name == "fft_radix2") {
+      EXPECT_DOUBLE_EQ(analyze(program.program).ratio(), 1.0)
+          << program.name;
+    }
+  }
+}
+
+TEST(BenchmarkSuite, SortingIsStronglyDataDependent) {
+  for (const BenchmarkProgram& program : benchmark_suite()) {
+    if (program.archetype == "sorting" ||
+        program.archetype == "searching") {
+      EXPECT_LT(analyze(program.program).ratio(), 0.7) << program.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lpfps::wcet

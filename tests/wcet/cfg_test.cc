@@ -1,0 +1,90 @@
+#include "wcet/cfg.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lpfps::wcet {
+namespace {
+
+TEST(Cfg, SingleBlock) {
+  const Bounds b = analyze(block("body", 42));
+  EXPECT_EQ(b.best, 42);
+  EXPECT_EQ(b.worst, 42);
+  EXPECT_DOUBLE_EQ(b.ratio(), 1.0);
+}
+
+TEST(Cfg, SequenceAddsCosts) {
+  const Bounds b = analyze(seq({block("a", 10), block("b", 20), block("c", 5)}));
+  EXPECT_EQ(b.best, 35);
+  EXPECT_EQ(b.worst, 35);
+}
+
+TEST(Cfg, BranchTakesExtremes) {
+  const Bounds b = analyze(branch(2, block("cheap", 5), block("dear", 50)));
+  EXPECT_EQ(b.best, 7);    // Condition + cheap arm.
+  EXPECT_EQ(b.worst, 52);  // Condition + dear arm.
+}
+
+TEST(Cfg, BranchWithoutElse) {
+  const Bounds b = analyze(branch(3, block("then", 10), nullptr));
+  EXPECT_EQ(b.best, 3);
+  EXPECT_EQ(b.worst, 13);
+}
+
+TEST(Cfg, LoopMultipliesBodyByIterationBounds) {
+  const Bounds b = analyze(loop(2, 10, 1, block("body", 7)));
+  EXPECT_EQ(b.best, 2 * 8 + 1);
+  EXPECT_EQ(b.worst, 10 * 8 + 1);
+}
+
+TEST(Cfg, ZeroIterationLoopCostsOnlyExitTest) {
+  const Bounds b = analyze(loop(0, 0, 4, block("never", 100)));
+  EXPECT_EQ(b.best, 4);
+  EXPECT_EQ(b.worst, 4);
+}
+
+TEST(Cfg, NestedLoops) {
+  const Bounds b = analyze(loop(2, 2, 0, loop(3, 3, 0, block("inner", 5))));
+  EXPECT_EQ(b.best, 30);
+  EXPECT_EQ(b.worst, 30);
+}
+
+TEST(Cfg, BcetNeverExceedsWcet) {
+  // Structural property on a deep mixed program.
+  const NodePtr program = seq({
+      block("prologue", 12),
+      loop(1, 8, 2, branch(1, block("fast", 3), block("slow", 17))),
+      branch(2, nullptr, loop(0, 4, 1, block("tail", 6))),
+  });
+  const Bounds b = analyze(program);
+  EXPECT_LE(b.best, b.worst);
+  EXPECT_GT(b.best, 0);
+}
+
+TEST(Cfg, RatioComputation) {
+  Bounds b{25, 100};
+  EXPECT_DOUBLE_EQ(b.ratio(), 0.25);
+  Bounds zero{0, 0};
+  EXPECT_DOUBLE_EQ(zero.ratio(), 1.0);
+}
+
+TEST(Cfg, RejectsInvalidConstruction) {
+  EXPECT_THROW(block("neg", -1), std::logic_error);
+  EXPECT_THROW(loop(5, 2, 0, block("b", 1)), std::logic_error);
+  EXPECT_THROW(loop(0, 2, 0, nullptr), std::logic_error);
+  EXPECT_THROW(analyze(nullptr), std::logic_error);
+  EXPECT_THROW(seq({nullptr}), std::logic_error);
+}
+
+TEST(Cfg, DescribeShowsStructure) {
+  const NodePtr program =
+      seq({block("init", 1), loop(1, 4, 1, block("body", 2))});
+  const std::string text = program->describe(0);
+  EXPECT_NE(text.find("seq"), std::string::npos);
+  EXPECT_NE(text.find("loop [1..4]"), std::string::npos);
+  EXPECT_NE(text.find("block init"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lpfps::wcet

@@ -1,0 +1,108 @@
+#include "workloads/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/analysis.h"
+
+namespace lpfps::workloads {
+namespace {
+
+TEST(UUniFast, SumsExactlyToTarget) {
+  Rng rng(1);
+  for (int n : {1, 2, 5, 20}) {
+    const auto utils = uunifast(n, 0.7, rng);
+    ASSERT_EQ(utils.size(), static_cast<std::size_t>(n));
+    double sum = 0.0;
+    for (const double u : utils) {
+      EXPECT_GE(u, 0.0);
+      sum += u;
+    }
+    EXPECT_NEAR(sum, 0.7, 1e-12);
+  }
+}
+
+TEST(UUniFast, SingleTaskGetsEverything) {
+  Rng rng(2);
+  const auto utils = uunifast(1, 0.42, rng);
+  ASSERT_EQ(utils.size(), 1u);
+  EXPECT_DOUBLE_EQ(utils[0], 0.42);
+}
+
+TEST(UUniFast, MeanShareIsUniform) {
+  // Across many draws each slot's mean utilization must be U/n.
+  Rng rng(3);
+  const int n = 4;
+  const int draws = 5'000;
+  std::vector<double> sums(n, 0.0);
+  for (int d = 0; d < draws; ++d) {
+    const auto utils = uunifast(n, 0.8, rng);
+    for (int i = 0; i < n; ++i) sums[static_cast<std::size_t>(i)] += utils[static_cast<std::size_t>(i)];
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(sums[static_cast<std::size_t>(i)] / draws, 0.2, 0.01);
+  }
+}
+
+TEST(Generator, ProducesValidTaskSets) {
+  Rng rng(4);
+  GeneratorConfig config;
+  config.task_count = 6;
+  config.total_utilization = 0.6;
+  for (int i = 0; i < 50; ++i) {
+    const sched::TaskSet tasks = generate_task_set(config, rng);
+    ASSERT_EQ(tasks.size(), 6u);
+    EXPECT_NO_THROW(tasks.validate());
+    EXPECT_NEAR(tasks.utilization(), 0.6, 1e-9);
+    EXPECT_TRUE(tasks.implicit_deadlines());
+  }
+}
+
+TEST(Generator, PeriodsOnGranularityGrid) {
+  Rng rng(5);
+  GeneratorConfig config;
+  config.period_granularity = 10'000;
+  const sched::TaskSet tasks = generate_task_set(config, rng);
+  for (const sched::Task& t : tasks.tasks()) {
+    EXPECT_EQ(t.period % 10'000, 0) << t.name;
+    EXPECT_GE(t.period, config.period_min);
+    EXPECT_LE(t.period, config.period_max);
+  }
+}
+
+TEST(Generator, BcetRatioApplied) {
+  Rng rng(6);
+  GeneratorConfig config;
+  config.bcet_ratio = 0.3;
+  const sched::TaskSet tasks = generate_task_set(config, rng);
+  for (const sched::Task& t : tasks.tasks()) {
+    EXPECT_NEAR(t.bcet, t.wcet * 0.3, 1e-9);
+  }
+}
+
+TEST(Generator, LowUtilizationSetsAreUsuallySchedulable) {
+  Rng rng(7);
+  GeneratorConfig config;
+  config.task_count = 5;
+  config.total_utilization = 0.5;
+  int schedulable = 0;
+  const int draws = 50;
+  for (int i = 0; i < draws; ++i) {
+    if (sched::is_schedulable_rta(generate_task_set(config, rng))) {
+      ++schedulable;
+    }
+  }
+  EXPECT_GT(schedulable, draws * 9 / 10);  // U=0.5 almost always fits.
+}
+
+TEST(Generator, RejectsBadConfig) {
+  Rng rng(8);
+  GeneratorConfig config;
+  config.total_utilization = 1.5;
+  EXPECT_THROW(generate_task_set(config, rng), std::logic_error);
+  config.total_utilization = 0.5;
+  config.task_count = 0;
+  EXPECT_THROW(generate_task_set(config, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lpfps::workloads

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sched/analysis.h"
+#include "workloads/avionics.h"
+#include "workloads/cnc.h"
+#include "workloads/example.h"
+#include "workloads/flight.h"
+#include "workloads/ins.h"
+#include "workloads/registry.h"
+
+namespace lpfps::workloads {
+namespace {
+
+TEST(ExampleTable1, MatchesPaperParameters) {
+  const sched::TaskSet tasks = example_table1();
+  ASSERT_EQ(tasks.size(), 3u);
+  EXPECT_EQ(tasks[0].period, 50);
+  EXPECT_DOUBLE_EQ(tasks[0].wcet, 10.0);
+  EXPECT_EQ(tasks[1].period, 80);
+  EXPECT_DOUBLE_EQ(tasks[1].wcet, 20.0);
+  EXPECT_EQ(tasks[2].period, 100);
+  EXPECT_DOUBLE_EQ(tasks[2].wcet, 40.0);
+  EXPECT_TRUE(tasks.implicit_deadlines());
+  // Priorities in row order (paper Table 1 fifth column).
+  EXPECT_EQ(tasks[0].priority, 0);
+  EXPECT_EQ(tasks[1].priority, 1);
+  EXPECT_EQ(tasks[2].priority, 2);
+}
+
+TEST(Table2, AvionicsShape) {
+  const sched::TaskSet tasks = avionics();
+  EXPECT_EQ(tasks.size(), 17u);  // Paper Table 2: 17 tasks.
+  EXPECT_DOUBLE_EQ(tasks.min_wcet(), 1'000.0);
+  EXPECT_DOUBLE_EQ(tasks.max_wcet(), 9'000.0);
+  EXPECT_LT(tasks.utilization(), 1.0);
+  EXPECT_GT(tasks.utilization(), 0.7);  // Heavily loaded platform.
+}
+
+TEST(Table2, InsShape) {
+  const sched::TaskSet tasks = ins();
+  EXPECT_EQ(tasks.size(), 6u);
+  EXPECT_DOUBLE_EQ(tasks.min_wcet(), 1'180.0);
+  EXPECT_DOUBLE_EQ(tasks.max_wcet(), 100'280.0);
+  EXPECT_NEAR(tasks.utilization(), 0.73, 0.02);  // Paper: 0.736.
+}
+
+TEST(Table2, InsUtilizationSkew) {
+  // Paper §4: one task with period 2,500 us holds utilization 0.472; all
+  // others are between 0.02 and ~0.1.
+  const sched::TaskSet tasks = ins();
+  int dominant = 0;
+  for (const sched::Task& t : tasks.tasks()) {
+    if (t.period == 2'500) {
+      EXPECT_NEAR(t.utilization(), 0.472, 1e-3);
+      EXPECT_EQ(t.priority, 0);  // Highest rate -> highest RM priority.
+      ++dominant;
+    } else {
+      EXPECT_GE(t.utilization(), 0.015);
+      EXPECT_LE(t.utilization(), 0.11);
+    }
+  }
+  EXPECT_EQ(dominant, 1);
+}
+
+TEST(Table2, InsHyperperiodIsFiveSeconds) {
+  EXPECT_EQ(ins().hyperperiod(), 5'000'000);
+}
+
+TEST(Table2, FlightControlShape) {
+  const sched::TaskSet tasks = flight_control();
+  EXPECT_EQ(tasks.size(), 6u);
+  EXPECT_DOUBLE_EQ(tasks.min_wcet(), 10'000.0);
+  EXPECT_DOUBLE_EQ(tasks.max_wcet(), 60'000.0);
+  EXPECT_NEAR(tasks.utilization(), 0.735, 0.01);
+}
+
+TEST(Table2, CncShape) {
+  const sched::TaskSet tasks = cnc();
+  EXPECT_EQ(tasks.size(), 8u);
+  EXPECT_DOUBLE_EQ(tasks.min_wcet(), 35.0);
+  EXPECT_DOUBLE_EQ(tasks.max_wcet(), 720.0);
+  // Sub-10ms machining loops: timing parameters comparable to the 10 us
+  // transition delay (paper §4's caveat).
+  for (const sched::Task& t : tasks.tasks()) {
+    EXPECT_LE(t.period, 20'000);
+  }
+}
+
+TEST(Table2, AllWorkloadsRmSchedulable) {
+  for (const Workload& workload : paper_workloads()) {
+    EXPECT_TRUE(sched::is_schedulable_rta(workload.tasks)) << workload.name;
+  }
+}
+
+TEST(Registry, FourApplicationsInTable2Order) {
+  const auto all = paper_workloads();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "Avionics");
+  EXPECT_EQ(all[1].name, "INS");
+  EXPECT_EQ(all[2].name, "Flight control");
+  EXPECT_EQ(all[3].name, "CNC");
+}
+
+TEST(Registry, HorizonsAreWholeHyperperiodsWhereTractable) {
+  for (const Workload& workload : paper_workloads()) {
+    EXPECT_GT(workload.horizon, 0.0);
+    const auto hyper = static_cast<Time>(workload.tasks.hyperperiod());
+    if (hyper <= 2e7) {
+      const double periods = workload.horizon / hyper;
+      EXPECT_NEAR(periods, std::round(periods), 1e-9) << workload.name;
+      EXPECT_GE(workload.horizon, 1e6 - 1e-9) << workload.name;
+    } else {
+      EXPECT_DOUBLE_EQ(workload.horizon, 2e7) << workload.name;
+    }
+  }
+}
+
+TEST(Registry, LookupByName) {
+  EXPECT_EQ(workload_by_name("INS").tasks.size(), 6u);
+  EXPECT_THROW(workload_by_name("nonsense"), std::out_of_range);
+}
+
+TEST(Registry, PrioritiesAssignedRateMonotonic) {
+  for (const Workload& workload : paper_workloads()) {
+    const auto& tasks = workload.tasks;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      for (std::size_t j = 0; j < tasks.size(); ++j) {
+        const auto& a = tasks[static_cast<TaskIndex>(i)];
+        const auto& b = tasks[static_cast<TaskIndex>(j)];
+        if (a.period < b.period) {
+          EXPECT_LT(a.priority, b.priority)
+              << workload.name << ": " << a.name << " vs " << b.name;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lpfps::workloads
