@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_freqlevels"
+  "../bench/bench_ablation_freqlevels.pdb"
+  "CMakeFiles/bench_ablation_freqlevels.dir/bench_ablation_freqlevels.cc.o"
+  "CMakeFiles/bench_ablation_freqlevels.dir/bench_ablation_freqlevels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_freqlevels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

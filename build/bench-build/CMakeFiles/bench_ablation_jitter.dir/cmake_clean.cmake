@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_jitter"
+  "../bench/bench_ablation_jitter.pdb"
+  "CMakeFiles/bench_ablation_jitter.dir/bench_ablation_jitter.cc.o"
+  "CMakeFiles/bench_ablation_jitter.dir/bench_ablation_jitter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

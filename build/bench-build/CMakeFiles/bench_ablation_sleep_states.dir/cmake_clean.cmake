@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sleep_states"
+  "../bench/bench_ablation_sleep_states.pdb"
+  "CMakeFiles/bench_ablation_sleep_states.dir/bench_ablation_sleep_states.cc.o"
+  "CMakeFiles/bench_ablation_sleep_states.dir/bench_ablation_sleep_states.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sleep_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

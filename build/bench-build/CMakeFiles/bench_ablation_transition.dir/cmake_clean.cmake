@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_transition"
+  "../bench/bench_ablation_transition.pdb"
+  "CMakeFiles/bench_ablation_transition.dir/bench_ablation_transition.cc.o"
+  "CMakeFiles/bench_ablation_transition.dir/bench_ablation_transition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

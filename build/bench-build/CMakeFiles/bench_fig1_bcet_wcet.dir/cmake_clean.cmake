@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_bcet_wcet"
+  "../bench/bench_fig1_bcet_wcet.pdb"
+  "CMakeFiles/bench_fig1_bcet_wcet.dir/bench_fig1_bcet_wcet.cc.o"
+  "CMakeFiles/bench_fig1_bcet_wcet.dir/bench_fig1_bcet_wcet.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_bcet_wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_schedule"
+  "../bench/bench_fig2_schedule.pdb"
+  "CMakeFiles/bench_fig2_schedule.dir/bench_fig2_schedule.cc.o"
+  "CMakeFiles/bench_fig2_schedule.dir/bench_fig2_schedule.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

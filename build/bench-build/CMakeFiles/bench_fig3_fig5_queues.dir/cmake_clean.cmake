@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_fig5_queues"
+  "../bench/bench_fig3_fig5_queues.pdb"
+  "CMakeFiles/bench_fig3_fig5_queues.dir/bench_fig3_fig5_queues.cc.o"
+  "CMakeFiles/bench_fig3_fig5_queues.dir/bench_fig3_fig5_queues.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fig5_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_power"
+  "../bench/bench_fig8_power.pdb"
+  "CMakeFiles/bench_fig8_power.dir/bench_fig8_power.cc.o"
+  "CMakeFiles/bench_fig8_power.dir/bench_fig8_power.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_idle_gaps"
+  "../bench/bench_idle_gaps.pdb"
+  "CMakeFiles/bench_idle_gaps.dir/bench_idle_gaps.cc.o"
+  "CMakeFiles/bench_idle_gaps.dir/bench_idle_gaps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_idle_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_idle_gaps.
+# This may be replaced when dependencies are built.

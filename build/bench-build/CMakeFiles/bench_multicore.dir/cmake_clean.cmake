@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multicore"
+  "../bench/bench_multicore.pdb"
+  "CMakeFiles/bench_multicore.dir/bench_multicore.cc.o"
+  "CMakeFiles/bench_multicore.dir/bench_multicore.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

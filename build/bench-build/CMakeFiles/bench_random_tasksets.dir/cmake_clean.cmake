@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_random_tasksets"
+  "../bench/bench_random_tasksets.pdb"
+  "CMakeFiles/bench_random_tasksets.dir/bench_random_tasksets.cc.o"
+  "CMakeFiles/bench_random_tasksets.dir/bench_random_tasksets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_random_tasksets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

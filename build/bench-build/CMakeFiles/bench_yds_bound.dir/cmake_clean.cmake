@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_yds_bound"
+  "../bench/bench_yds_bound.pdb"
+  "CMakeFiles/bench_yds_bound.dir/bench_yds_bound.cc.o"
+  "CMakeFiles/bench_yds_bound.dir/bench_yds_bound.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_yds_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

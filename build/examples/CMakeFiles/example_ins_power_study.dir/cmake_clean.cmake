@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ins_power_study.dir/ins_power_study.cpp.o"
+  "CMakeFiles/example_ins_power_study.dir/ins_power_study.cpp.o.d"
+  "example_ins_power_study"
+  "example_ins_power_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ins_power_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_motivating_schedule.dir/motivating_schedule.cpp.o"
+  "CMakeFiles/example_motivating_schedule.dir/motivating_schedule.cpp.o.d"
+  "example_motivating_schedule"
+  "example_motivating_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_motivating_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

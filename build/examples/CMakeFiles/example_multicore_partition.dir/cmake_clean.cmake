@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multicore_partition.dir/multicore_partition.cpp.o"
+  "CMakeFiles/example_multicore_partition.dir/multicore_partition.cpp.o.d"
+  "example_multicore_partition"
+  "example_multicore_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multicore_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

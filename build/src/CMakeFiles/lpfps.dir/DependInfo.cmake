@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/float_compare.cc" "src/CMakeFiles/lpfps.dir/common/float_compare.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/common/float_compare.cc.o.d"
+  "/root/repo/src/common/math_utils.cc" "src/CMakeFiles/lpfps.dir/common/math_utils.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/common/math_utils.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/lpfps.dir/common/random.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/common/random.cc.o.d"
+  "/root/repo/src/core/avr.cc" "src/CMakeFiles/lpfps.dir/core/avr.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/core/avr.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/lpfps.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/lpfps.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/core/policy.cc.o.d"
+  "/root/repo/src/core/result.cc" "src/CMakeFiles/lpfps.dir/core/result.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/core/result.cc.o.d"
+  "/root/repo/src/core/speed_ratio.cc" "src/CMakeFiles/lpfps.dir/core/speed_ratio.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/core/speed_ratio.cc.o.d"
+  "/root/repo/src/core/static_slowdown.cc" "src/CMakeFiles/lpfps.dir/core/static_slowdown.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/core/static_slowdown.cc.o.d"
+  "/root/repo/src/core/yds.cc" "src/CMakeFiles/lpfps.dir/core/yds.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/core/yds.cc.o.d"
+  "/root/repo/src/exec/exec_model.cc" "src/CMakeFiles/lpfps.dir/exec/exec_model.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/exec/exec_model.cc.o.d"
+  "/root/repo/src/io/svg_gantt.cc" "src/CMakeFiles/lpfps.dir/io/svg_gantt.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/io/svg_gantt.cc.o.d"
+  "/root/repo/src/io/task_set_io.cc" "src/CMakeFiles/lpfps.dir/io/task_set_io.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/io/task_set_io.cc.o.d"
+  "/root/repo/src/io/trace_io.cc" "src/CMakeFiles/lpfps.dir/io/trace_io.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/io/trace_io.cc.o.d"
+  "/root/repo/src/metrics/experiment.cc" "src/CMakeFiles/lpfps.dir/metrics/experiment.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/metrics/experiment.cc.o.d"
+  "/root/repo/src/metrics/histogram.cc" "src/CMakeFiles/lpfps.dir/metrics/histogram.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/metrics/histogram.cc.o.d"
+  "/root/repo/src/metrics/stats.cc" "src/CMakeFiles/lpfps.dir/metrics/stats.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/metrics/stats.cc.o.d"
+  "/root/repo/src/metrics/table.cc" "src/CMakeFiles/lpfps.dir/metrics/table.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/metrics/table.cc.o.d"
+  "/root/repo/src/multicore/partition.cc" "src/CMakeFiles/lpfps.dir/multicore/partition.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/multicore/partition.cc.o.d"
+  "/root/repo/src/multicore/simulate.cc" "src/CMakeFiles/lpfps.dir/multicore/simulate.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/multicore/simulate.cc.o.d"
+  "/root/repo/src/power/energy.cc" "src/CMakeFiles/lpfps.dir/power/energy.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/power/energy.cc.o.d"
+  "/root/repo/src/power/frequency.cc" "src/CMakeFiles/lpfps.dir/power/frequency.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/power/frequency.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/CMakeFiles/lpfps.dir/power/power_model.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/power/power_model.cc.o.d"
+  "/root/repo/src/power/processor.cc" "src/CMakeFiles/lpfps.dir/power/processor.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/power/processor.cc.o.d"
+  "/root/repo/src/power/speed_profile.cc" "src/CMakeFiles/lpfps.dir/power/speed_profile.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/power/speed_profile.cc.o.d"
+  "/root/repo/src/power/voltage.cc" "src/CMakeFiles/lpfps.dir/power/voltage.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/power/voltage.cc.o.d"
+  "/root/repo/src/sched/analysis.cc" "src/CMakeFiles/lpfps.dir/sched/analysis.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/sched/analysis.cc.o.d"
+  "/root/repo/src/sched/edf.cc" "src/CMakeFiles/lpfps.dir/sched/edf.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/sched/edf.cc.o.d"
+  "/root/repo/src/sched/kernel.cc" "src/CMakeFiles/lpfps.dir/sched/kernel.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/sched/kernel.cc.o.d"
+  "/root/repo/src/sched/priority.cc" "src/CMakeFiles/lpfps.dir/sched/priority.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/sched/priority.cc.o.d"
+  "/root/repo/src/sched/queues.cc" "src/CMakeFiles/lpfps.dir/sched/queues.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/sched/queues.cc.o.d"
+  "/root/repo/src/sched/task.cc" "src/CMakeFiles/lpfps.dir/sched/task.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/sched/task.cc.o.d"
+  "/root/repo/src/sched/task_set.cc" "src/CMakeFiles/lpfps.dir/sched/task_set.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/sched/task_set.cc.o.d"
+  "/root/repo/src/sched/validator.cc" "src/CMakeFiles/lpfps.dir/sched/validator.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/sched/validator.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/lpfps.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/lpfps.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/sim/trace.cc.o.d"
+  "/root/repo/src/wcet/benchmarks.cc" "src/CMakeFiles/lpfps.dir/wcet/benchmarks.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/wcet/benchmarks.cc.o.d"
+  "/root/repo/src/wcet/cfg.cc" "src/CMakeFiles/lpfps.dir/wcet/cfg.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/wcet/cfg.cc.o.d"
+  "/root/repo/src/workloads/avionics.cc" "src/CMakeFiles/lpfps.dir/workloads/avionics.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/workloads/avionics.cc.o.d"
+  "/root/repo/src/workloads/cnc.cc" "src/CMakeFiles/lpfps.dir/workloads/cnc.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/workloads/cnc.cc.o.d"
+  "/root/repo/src/workloads/example.cc" "src/CMakeFiles/lpfps.dir/workloads/example.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/workloads/example.cc.o.d"
+  "/root/repo/src/workloads/flight.cc" "src/CMakeFiles/lpfps.dir/workloads/flight.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/workloads/flight.cc.o.d"
+  "/root/repo/src/workloads/generator.cc" "src/CMakeFiles/lpfps.dir/workloads/generator.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/workloads/generator.cc.o.d"
+  "/root/repo/src/workloads/ins.cc" "src/CMakeFiles/lpfps.dir/workloads/ins.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/workloads/ins.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/lpfps.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/lpfps.dir/workloads/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

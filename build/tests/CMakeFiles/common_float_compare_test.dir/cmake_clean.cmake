@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_float_compare_test.dir/common/float_compare_test.cc.o"
+  "CMakeFiles/common_float_compare_test.dir/common/float_compare_test.cc.o.d"
+  "common_float_compare_test"
+  "common_float_compare_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_float_compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_avr_test.dir/core/avr_test.cc.o"
+  "CMakeFiles/core_avr_test.dir/core/avr_test.cc.o.d"
+  "core_avr_test"
+  "core_avr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_avr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

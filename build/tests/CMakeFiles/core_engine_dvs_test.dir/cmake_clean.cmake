@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_engine_dvs_test.dir/core/engine_dvs_test.cc.o"
+  "CMakeFiles/core_engine_dvs_test.dir/core/engine_dvs_test.cc.o.d"
+  "core_engine_dvs_test"
+  "core_engine_dvs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_engine_dvs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_speed_ratio_test.dir/core/speed_ratio_test.cc.o"
+  "CMakeFiles/core_speed_ratio_test.dir/core/speed_ratio_test.cc.o.d"
+  "core_speed_ratio_test"
+  "core_speed_ratio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_speed_ratio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

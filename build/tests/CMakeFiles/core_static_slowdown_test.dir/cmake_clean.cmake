@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_static_slowdown_test.dir/core/static_slowdown_test.cc.o"
+  "CMakeFiles/core_static_slowdown_test.dir/core/static_slowdown_test.cc.o.d"
+  "core_static_slowdown_test"
+  "core_static_slowdown_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_static_slowdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_yds_test.dir/core/yds_test.cc.o"
+  "CMakeFiles/core_yds_test.dir/core/yds_test.cc.o.d"
+  "core_yds_test"
+  "core_yds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_yds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_exec_model_test.dir/exec/exec_model_test.cc.o"
+  "CMakeFiles/exec_exec_model_test.dir/exec/exec_model_test.cc.o.d"
+  "exec_exec_model_test"
+  "exec_exec_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_exec_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_cross_check_test.dir/integration/cross_check_test.cc.o"
+  "CMakeFiles/integration_cross_check_test.dir/integration/cross_check_test.cc.o.d"
+  "integration_cross_check_test"
+  "integration_cross_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_cross_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_data_files_test.dir/io/data_files_test.cc.o"
+  "CMakeFiles/io_data_files_test.dir/io/data_files_test.cc.o.d"
+  "io_data_files_test"
+  "io_data_files_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_data_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

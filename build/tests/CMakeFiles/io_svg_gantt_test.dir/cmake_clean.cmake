@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_svg_gantt_test.dir/io/svg_gantt_test.cc.o"
+  "CMakeFiles/io_svg_gantt_test.dir/io/svg_gantt_test.cc.o.d"
+  "io_svg_gantt_test"
+  "io_svg_gantt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_svg_gantt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

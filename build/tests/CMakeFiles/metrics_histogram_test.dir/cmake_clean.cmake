@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_histogram_test.dir/metrics/histogram_test.cc.o"
+  "CMakeFiles/metrics_histogram_test.dir/metrics/histogram_test.cc.o.d"
+  "metrics_histogram_test"
+  "metrics_histogram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_stats_test.dir/metrics/stats_test.cc.o"
+  "CMakeFiles/metrics_stats_test.dir/metrics/stats_test.cc.o.d"
+  "metrics_stats_test"
+  "metrics_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_partition_test.dir/multicore/partition_test.cc.o"
+  "CMakeFiles/multicore_partition_test.dir/multicore/partition_test.cc.o.d"
+  "multicore_partition_test"
+  "multicore_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_simulate_test.dir/multicore/simulate_test.cc.o"
+  "CMakeFiles/multicore_simulate_test.dir/multicore/simulate_test.cc.o.d"
+  "multicore_simulate_test"
+  "multicore_simulate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_simulate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_energy_test.dir/power/energy_test.cc.o"
+  "CMakeFiles/power_energy_test.dir/power/energy_test.cc.o.d"
+  "power_energy_test"
+  "power_energy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

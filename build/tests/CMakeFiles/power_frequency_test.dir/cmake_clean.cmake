@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_frequency_test.dir/power/frequency_test.cc.o"
+  "CMakeFiles/power_frequency_test.dir/power/frequency_test.cc.o.d"
+  "power_frequency_test"
+  "power_frequency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_frequency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_sleep_states_test.dir/power/sleep_states_test.cc.o"
+  "CMakeFiles/power_sleep_states_test.dir/power/sleep_states_test.cc.o.d"
+  "power_sleep_states_test"
+  "power_sleep_states_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_sleep_states_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_speed_profile_test.dir/power/speed_profile_test.cc.o"
+  "CMakeFiles/power_speed_profile_test.dir/power/speed_profile_test.cc.o.d"
+  "power_speed_profile_test"
+  "power_speed_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_speed_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

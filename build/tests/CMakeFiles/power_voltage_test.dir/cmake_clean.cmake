@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_voltage_test.dir/power/voltage_test.cc.o"
+  "CMakeFiles/power_voltage_test.dir/power/voltage_test.cc.o.d"
+  "power_voltage_test"
+  "power_voltage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_voltage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

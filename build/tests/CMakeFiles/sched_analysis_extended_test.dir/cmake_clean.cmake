@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_analysis_extended_test.dir/sched/analysis_extended_test.cc.o"
+  "CMakeFiles/sched_analysis_extended_test.dir/sched/analysis_extended_test.cc.o.d"
+  "sched_analysis_extended_test"
+  "sched_analysis_extended_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_analysis_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

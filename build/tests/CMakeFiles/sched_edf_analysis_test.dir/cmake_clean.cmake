@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_edf_analysis_test.dir/sched/edf_analysis_test.cc.o"
+  "CMakeFiles/sched_edf_analysis_test.dir/sched/edf_analysis_test.cc.o.d"
+  "sched_edf_analysis_test"
+  "sched_edf_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_edf_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_kernel_test.dir/sched/kernel_test.cc.o"
+  "CMakeFiles/sched_kernel_test.dir/sched/kernel_test.cc.o.d"
+  "sched_kernel_test"
+  "sched_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_priority_test.dir/sched/priority_test.cc.o"
+  "CMakeFiles/sched_priority_test.dir/sched/priority_test.cc.o.d"
+  "sched_priority_test"
+  "sched_priority_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_priority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

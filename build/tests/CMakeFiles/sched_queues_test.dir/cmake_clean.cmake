@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_queues_test.dir/sched/queues_test.cc.o"
+  "CMakeFiles/sched_queues_test.dir/sched/queues_test.cc.o.d"
+  "sched_queues_test"
+  "sched_queues_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_queues_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

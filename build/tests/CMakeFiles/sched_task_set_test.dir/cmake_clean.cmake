@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_task_set_test.dir/sched/task_set_test.cc.o"
+  "CMakeFiles/sched_task_set_test.dir/sched/task_set_test.cc.o.d"
+  "sched_task_set_test"
+  "sched_task_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_task_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

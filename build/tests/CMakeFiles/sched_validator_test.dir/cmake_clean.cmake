@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_validator_test.dir/sched/validator_test.cc.o"
+  "CMakeFiles/sched_validator_test.dir/sched/validator_test.cc.o.d"
+  "sched_validator_test"
+  "sched_validator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

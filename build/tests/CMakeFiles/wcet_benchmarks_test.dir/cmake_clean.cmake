@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_benchmarks_test.dir/wcet/benchmarks_test.cc.o"
+  "CMakeFiles/wcet_benchmarks_test.dir/wcet/benchmarks_test.cc.o.d"
+  "wcet_benchmarks_test"
+  "wcet_benchmarks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_benchmarks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

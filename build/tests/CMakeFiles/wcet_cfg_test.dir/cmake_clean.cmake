@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_cfg_test.dir/wcet/cfg_test.cc.o"
+  "CMakeFiles/wcet_cfg_test.dir/wcet/cfg_test.cc.o.d"
+  "wcet_cfg_test"
+  "wcet_cfg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_cfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_workloads_test.dir/workloads/workloads_test.cc.o"
+  "CMakeFiles/workloads_workloads_test.dir/workloads/workloads_test.cc.o.d"
+  "workloads_workloads_test"
+  "workloads_workloads_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpfps_sim.dir/lpfps_sim.cc.o"
+  "CMakeFiles/lpfps_sim.dir/lpfps_sim.cc.o.d"
+  "lpfps_sim"
+  "lpfps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpfps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

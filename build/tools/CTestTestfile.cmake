@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_cli_smoke "/root/repo/build/tools/lpfps_sim" "/root/repo/data/ins.tasks" "--policy" "all" "--csv" "--horizon" "1000000")
+set_tests_properties(tool_cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_cli_artifacts "/root/repo/build/tools/lpfps_sim" "/root/repo/data/example_table1.tasks" "--policy" "lpfps" "--gantt" "0" "400" "--svg" "/root/repo/build/cli_smoke.svg" "0" "400" "--trace-csv" "/root/repo/build/cli_smoke.csv")
+set_tests_properties(tool_cli_artifacts PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
