@@ -16,65 +16,112 @@
 // they slow *every* task while LPFPS only stretches tasks that run
 // alone; LPFPS's edge grows with execution-time variation and with
 // load skew (INS).
+//
+// Each (workload, BCET) cell is one parallel job on the runner pool;
+// within a cell every policy simulates under the cell's derived seed,
+// so all six columns see identical execution-time draws.
+#include <cmath>
 #include <cstdio>
 
 #include "core/avr.h"
 #include "core/engine.h"
 #include "core/static_slowdown.h"
 #include "exec/exec_model.h"
+#include "io/bench_json.h"
 #include "metrics/table.h"
+#include "runner/runner.h"
 #include "workloads/registry.h"
 
 int main() {
   using namespace lpfps;
+  const io::WallTimer timer;
   const auto cpu = power::ProcessorConfig::arm8_default();
   const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+  const std::uint64_t kBaseSeed = 1;
+  const std::vector<double> bcet_ratios = {1.0, 0.5, 0.1};
+
+  struct Cell {
+    const workloads::Workload* workload;
+    double bcet;
+    std::uint64_t seed;
+  };
+  const std::vector<workloads::Workload> all = workloads::paper_workloads();
+  std::vector<Cell> cells;
+  for (const workloads::Workload& w : all) {
+    for (const double bcet : bcet_ratios) {
+      cells.push_back({&w, bcet, runner::derive_seed(kBaseSeed, cells.size())});
+    }
+  }
+
+  struct Row {
+    double fps, fps_timeout, avr, lpfps;
+    double static_slowdown = NAN;  // NaN == no feasible static ratio.
+    double hybrid = NAN;
+  };
+  const std::vector<Row> rows = runner::run_batch(
+      cells.size(), [&](std::size_t index) {
+        const Cell& cell = cells[index];
+        const sched::TaskSet tasks =
+            cell.workload->tasks.with_bcet_ratio(cell.bcet);
+        const Time horizon = std::min(cell.workload->horizon, 5e6);
+
+        auto engine_power = [&](const core::SchedulerPolicy& policy) {
+          core::EngineOptions options;
+          options.horizon = horizon;
+          options.seed = cell.seed;
+          return core::simulate(tasks, cpu, policy, exec, options)
+              .average_power;
+        };
+
+        Row row;
+        row.fps = engine_power(core::SchedulerPolicy::fps());
+        row.fps_timeout =
+            engine_power(core::SchedulerPolicy::fps_timeout_shutdown(500.0));
+        core::AvrOptions avr_options;
+        avr_options.horizon = horizon;
+        avr_options.seed = cell.seed;
+        row.avr =
+            core::simulate_avr(tasks, cpu, exec, avr_options).average_power;
+        row.lpfps = engine_power(core::SchedulerPolicy::lpfps());
+        const auto static_ratio = core::min_feasible_static_ratio(
+            cell.workload->tasks, cpu.frequencies);
+        if (static_ratio) {
+          row.static_slowdown = engine_power(
+              core::SchedulerPolicy::static_slowdown(*static_ratio));
+          row.hybrid = engine_power(
+              core::SchedulerPolicy::lpfps_hybrid(*static_ratio));
+        }
+        return row;
+      });
 
   std::puts("== Baselines: average power (fraction of full power) ==");
   metrics::Table table({"workload", "BCET/WCET", "FPS", "FPS-timeout",
                         "AVR", "Static", "LPFPS", "Hybrid"});
-  for (const workloads::Workload& w : workloads::paper_workloads()) {
-    const auto static_ratio = core::min_feasible_static_ratio(
-        w.tasks, cpu.frequencies);
-    for (const double bcet : {1.0, 0.5, 0.1}) {
-      const sched::TaskSet tasks = w.tasks.with_bcet_ratio(bcet);
-      const Time horizon = std::min(w.horizon, 5e6);
-
-      auto engine_power = [&](const core::SchedulerPolicy& policy) {
-        core::EngineOptions options;
-        options.horizon = horizon;
-        return core::simulate(tasks, cpu, policy, exec, options)
-            .average_power;
-      };
-      core::AvrOptions avr_options;
-      avr_options.horizon = horizon;
-      const double avr =
-          core::simulate_avr(tasks, cpu, exec, avr_options).average_power;
-
-      table.add_row(
-          {w.name, metrics::Table::num(bcet, 1),
-           metrics::Table::num(engine_power(core::SchedulerPolicy::fps()),
-                               4),
-           metrics::Table::num(
-               engine_power(
-                   core::SchedulerPolicy::fps_timeout_shutdown(500.0)),
-               4),
-           metrics::Table::num(avr, 4),
-           static_ratio
-               ? metrics::Table::num(
-                     engine_power(core::SchedulerPolicy::static_slowdown(
-                         *static_ratio)),
-                     4)
-               : "infeasible",
-           metrics::Table::num(engine_power(core::SchedulerPolicy::lpfps()),
-                               4),
-           static_ratio
-               ? metrics::Table::num(
-                     engine_power(
-                         core::SchedulerPolicy::lpfps_hybrid(*static_ratio)),
-                     4)
-               : "infeasible"});
-    }
+  io::BenchJsonWriter json("baselines");
+  json.meta().set("base_seed", kBaseSeed);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const Row& row = rows[i];
+    const bool feasible = !std::isnan(row.static_slowdown);
+    table.add_row({cell.workload->name, metrics::Table::num(cell.bcet, 1),
+                   metrics::Table::num(row.fps, 4),
+                   metrics::Table::num(row.fps_timeout, 4),
+                   metrics::Table::num(row.avr, 4),
+                   feasible ? metrics::Table::num(row.static_slowdown, 4)
+                            : "infeasible",
+                   metrics::Table::num(row.lpfps, 4),
+                   feasible ? metrics::Table::num(row.hybrid, 4)
+                            : "infeasible"});
+    json.add_point()
+        .set("workload", cell.workload->name)
+        .set("bcet_ratio", cell.bcet)
+        .set("seed", cell.seed)
+        .set("fps", row.fps)
+        .set("fps_timeout", row.fps_timeout)
+        .set("avr", row.avr)
+        .set("static", row.static_slowdown)  // null when infeasible
+        .set("lpfps", row.lpfps)
+        .set("hybrid", row.hybrid);
   }
   std::fputs(table.to_aligned().c_str(), stdout);
   std::puts(
@@ -91,5 +138,9 @@ int main() {
       "folded static scaling into LPFPS-style dynamic reclamation —\n"
       "exactly what the Hybrid column implements: it never loses to\n"
       "Static and reclaims dynamic slack on top.");
+
+  json.set_jobs(runner::default_job_count());
+  json.set_wall_time_seconds(timer.seconds());
+  json.write();
   return 0;
 }

@@ -6,18 +6,26 @@
 // (eqs. 4-5), ARM8-like processor (100 MHz / 3.3 V max, 8..100 MHz in
 // 1 MHz steps), rho = 0.07/us, NOP = 20% of a typical instruction,
 // power-down = 5% of full power with a 10-cycle wake-up.
+//
+// The sweeps fan out over the runner thread pool (LPFPS_JOBS) and are
+// bit-identical for any thread count; BENCH_fig8_power.json captures
+// every point for the perf trajectory.
 #include <cstdio>
 #include <string>
 
+#include "io/bench_json.h"
 #include "metrics/experiment.h"
 #include "metrics/table.h"
+#include "runner/runner.h"
 #include "workloads/registry.h"
 
 int main() {
   using namespace lpfps;
+  const io::WallTimer timer;
   const auto cpu = power::ProcessorConfig::arm8_default();
 
   std::puts("== Figure 8: normalized power, LPFPS vs FPS ==");
+  io::BenchJsonWriter json("fig8_power");
   double best_reduction = 0.0;
   std::string best_app;
   for (const workloads::Workload& w : workloads::paper_workloads()) {
@@ -37,6 +45,13 @@ int main() {
                      metrics::Table::num(p.policy_power, 4),
                      metrics::Table::num(p.reduction_pct, 1),
                      metrics::Table::num(p.reduction_vs_wcet_pct, 1)});
+      json.add_point()
+          .set("workload", w.name)
+          .set("bcet_ratio", p.bcet_ratio)
+          .set("fps_power", p.fps_power)
+          .set("lpfps_power", p.policy_power)
+          .set("reduction_pct", p.reduction_pct)
+          .set("reduction_vs_wcet_pct", p.reduction_vs_wcet_pct);
       if (p.reduction_vs_wcet_pct > best_reduction) {
         best_reduction = p.reduction_vs_wcet_pct;
         best_app = w.name;
@@ -50,5 +65,11 @@ int main() {
       " FPS baseline, whose\npower also falls with early completions, is"
       " reported alongside.\n",
       best_reduction, best_app.c_str());
+
+  json.meta().set("seeds", 5).set("best_workload", best_app);
+  json.meta().set("best_reduction_vs_wcet_pct", best_reduction);
+  json.set_jobs(runner::default_job_count());
+  json.set_wall_time_seconds(timer.seconds());
+  json.write();
   return 0;
 }

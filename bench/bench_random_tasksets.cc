@@ -1,27 +1,46 @@
 // Extension A6 — LPFPS across random task sets (UUniFast) as a function
 // of total utilization.  Generalizes Figure 8 beyond the four case
 // studies: how much does the saving depend on how loaded the system is?
+//
+// Pipeline shape (the template for every heavy bench):
+//   1. generate work serially — task-set generation shares one RNG
+//      stream, so it stays ordered and cheap;
+//   2. fan the independent simulations out with runner::run_batch;
+//      every (utilization, set) pair simulates under its own seed,
+//      runner::derive_seed(kBaseSeed, job_index), so no two jobs share
+//      randomness and the table is bit-identical for any LPFPS_JOBS;
+//   3. reduce in job order, print the table, and emit
+//      BENCH_random_tasksets.json for the perf trajectory.
 #include <cstdio>
 
 #include "core/engine.h"
 #include "exec/exec_model.h"
+#include "io/bench_json.h"
 #include "metrics/stats.h"
 #include "metrics/table.h"
+#include "runner/runner.h"
 #include "sched/analysis.h"
 #include "workloads/generator.h"
 
 int main() {
   using namespace lpfps;
+  const io::WallTimer timer;
   const auto cpu = power::ProcessorConfig::arm8_default();
   const auto exec = std::make_shared<exec::ClampedGaussianModel>();
   const int sets_per_point = 20;
+  const std::uint64_t kBaseSeed = 2024;
+  const Time horizon = 2e6;
+  const std::vector<double> utilizations = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                            0.6, 0.7, 0.8, 0.9};
 
-  std::puts("== A6: random task sets (5 tasks, BCET/WCET = 0.5) ==");
-  metrics::Table table({"utilization", "sets", "mean reduction %",
-                        "min %", "max %", "mean LPFPS power"});
-
-  Rng rng(2024);
-  for (const double u : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+  struct Job {
+    double utilization;
+    sched::TaskSet tasks;
+    std::uint64_t seed;
+  };
+  std::vector<Job> jobs;
+  Rng rng(kBaseSeed);
+  for (const double u : utilizations) {
     workloads::GeneratorConfig config;
     config.task_count = 5;
     config.total_utilization = u;
@@ -30,26 +49,56 @@ int main() {
     config.period_max = 320'000;
     config.period_granularity = 10'000;
 
-    metrics::Summary reduction;
-    metrics::Summary lpfps_power;
     int generated = 0;
     while (generated < sets_per_point) {
-      const sched::TaskSet tasks = workloads::generate_task_set(config, rng);
+      sched::TaskSet tasks = workloads::generate_task_set(config, rng);
       if (!sched::is_schedulable_rta(tasks)) continue;  // RM-feasible only.
       ++generated;
-      core::EngineOptions options;
-      options.horizon = 2e6;
-      options.seed = static_cast<std::uint64_t>(generated);
-      const double fps =
-          core::simulate(tasks, cpu, core::SchedulerPolicy::fps(), exec,
-                         options)
-              .average_power;
-      const double lpfps =
-          core::simulate(tasks, cpu, core::SchedulerPolicy::lpfps(), exec,
-                         options)
-              .average_power;
-      reduction.add(100.0 * (1.0 - lpfps / fps));
-      lpfps_power.add(lpfps);
+      jobs.push_back({u, std::move(tasks), 0});
+    }
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].seed = runner::derive_seed(kBaseSeed, i);
+  }
+
+  struct Powers {
+    double fps;
+    double lpfps;
+  };
+  const std::vector<Powers> powers = runner::run_batch(
+      jobs.size(), [&](std::size_t i) {
+        core::EngineOptions options;
+        options.horizon = horizon;
+        options.seed = jobs[i].seed;  // Same draws for both policies.
+        Powers p;
+        p.fps = core::simulate(jobs[i].tasks, cpu,
+                               core::SchedulerPolicy::fps(), exec, options)
+                    .average_power;
+        p.lpfps = core::simulate(jobs[i].tasks, cpu,
+                                 core::SchedulerPolicy::lpfps(), exec,
+                                 options)
+                      .average_power;
+        return p;
+      });
+
+  std::puts("== A6: random task sets (5 tasks, BCET/WCET = 0.5) ==");
+  metrics::Table table({"utilization", "sets", "mean reduction %",
+                        "min %", "max %", "mean LPFPS power"});
+  io::BenchJsonWriter json("random_tasksets");
+  json.meta()
+      .set("base_seed", kBaseSeed)
+      .set("sets_per_point", sets_per_point)
+      .set("task_count", 5)
+      .set("bcet_ratio", 0.5)
+      .set("horizon_us", horizon);
+
+  std::size_t next = 0;
+  for (const double u : utilizations) {
+    metrics::Summary reduction;
+    metrics::Summary lpfps_power;
+    for (int set = 0; set < sets_per_point; ++set, ++next) {
+      reduction.add(100.0 * (1.0 - powers[next].lpfps / powers[next].fps));
+      lpfps_power.add(powers[next].lpfps);
     }
     table.add_row({metrics::Table::num(u, 1),
                    std::to_string(sets_per_point),
@@ -57,11 +106,21 @@ int main() {
                    metrics::Table::num(reduction.min(), 1),
                    metrics::Table::num(reduction.max(), 1),
                    metrics::Table::num(lpfps_power.mean(), 4)});
+    json.add_point()
+        .set("utilization", u)
+        .set("mean_reduction_pct", reduction.mean())
+        .set("min_reduction_pct", reduction.min())
+        .set("max_reduction_pct", reduction.max())
+        .set("mean_lpfps_power", lpfps_power.mean());
   }
   std::fputs(table.to_aligned().c_str(), stdout);
   std::puts(
       "\nLight systems save mostly via power-down; mid-utilization\n"
       "systems get the biggest relative DVS wins; near U=1 the slack\n"
       "vanishes and LPFPS converges to FPS, as theory demands.");
+
+  json.set_jobs(runner::default_job_count());
+  json.set_wall_time_seconds(timer.seconds());
+  json.write();
   return 0;
 }

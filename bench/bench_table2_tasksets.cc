@@ -4,12 +4,15 @@
 #include <cstdio>
 #include <string>
 
+#include "io/bench_json.h"
 #include "metrics/table.h"
 #include "sched/analysis.h"
 #include "workloads/registry.h"
 
 int main() {
   using namespace lpfps;
+  const io::WallTimer timer;
+  io::BenchJsonWriter json("table2_tasksets");
 
   std::puts("== Table 2: task sets for experiments ==");
   metrics::Table table({"Application", "#tasks", "WCET range (us)",
@@ -22,6 +25,14 @@ int main() {
          metrics::Table::num(w.tasks.utilization(), 3),
          std::to_string(static_cast<long long>(w.tasks.hyperperiod())),
          sched::is_schedulable_rta(w.tasks) ? "yes" : "no"});
+    json.add_point()
+        .set("workload", w.name)
+        .set("tasks", static_cast<std::int64_t>(w.tasks.size()))
+        .set("min_wcet_us", w.tasks.min_wcet())
+        .set("max_wcet_us", w.tasks.max_wcet())
+        .set("utilization", w.tasks.utilization())
+        .set("hyperperiod_us", w.tasks.hyperperiod())
+        .set("rm_schedulable", sched::is_schedulable_rta(w.tasks));
   }
   std::fputs(table.to_aligned().c_str(), stdout);
 
@@ -37,5 +48,8 @@ int main() {
     }
     std::fputs(detail.to_aligned().c_str(), stdout);
   }
+
+  json.set_wall_time_seconds(timer.seconds());
+  json.write();
   return 0;
 }

@@ -1,0 +1,150 @@
+#include "io/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lpfps::io {
+namespace {
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no NaN/Inf.
+  // Shortest representation that still round-trips to the same bits.
+  char buffer[32];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+void append_escaped(std::string& out, const std::string& text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+JsonObject& JsonObject::set(std::string key, double value) {
+  fields_.emplace_back(std::move(key), Value(value));
+  return *this;
+}
+
+JsonObject& JsonObject::set(std::string key, std::int64_t value) {
+  fields_.emplace_back(std::move(key), Value(value));
+  return *this;
+}
+
+JsonObject& JsonObject::set(std::string key, std::string value) {
+  fields_.emplace_back(std::move(key), Value(std::move(value)));
+  return *this;
+}
+
+JsonObject& JsonObject::set(std::string key, bool value) {
+  fields_.emplace_back(std::move(key), Value(value));
+  return *this;
+}
+
+void JsonObject::append_to(std::string& out) const {
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : fields_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, key);
+    out.push_back(':');
+    if (const auto* d = std::get_if<double>(&value)) {
+      out += json_number(*d);
+    } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
+      out += std::to_string(*i);
+    } else if (const auto* s = std::get_if<std::string>(&value)) {
+      append_escaped(out, *s);
+    } else {
+      out += std::get<bool>(value) ? "true" : "false";
+    }
+  }
+  out.push_back('}');
+}
+
+BenchJsonWriter::BenchJsonWriter(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+JsonObject& BenchJsonWriter::add_point() {
+  points_.emplace_back();
+  return points_.back();
+}
+
+std::string BenchJsonWriter::to_json() const {
+  std::string out = "{\"bench\":";
+  append_escaped(out, name_);
+  out += ",\"schema_version\":1,\"jobs\":";
+  out += std::to_string(jobs_);
+  out += ",\"wall_time_seconds\":";
+  out += json_number(wall_time_seconds_);
+  out += ",\"meta\":";
+  meta_.append_to(out);
+  out += ",\"points\":[";
+  bool first = true;
+  for (const JsonObject& point : points_) {
+    if (!first) out.push_back(',');
+    first = false;
+    point.append_to(out);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string BenchJsonWriter::write() const {
+  std::string path;
+  if (const char* dir = std::getenv("LPFPS_BENCH_JSON_DIR")) {
+    path = dir;
+    if (!path.empty() && path.back() != '/') path.push_back('/');
+  }
+  path += "BENCH_" + name_ + ".json";
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s for writing\n",
+                 path.c_str());
+    return "";
+  }
+  const std::string body = to_json();
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), file) == body.size();
+  std::fclose(file);
+  if (!ok) {
+    std::fprintf(stderr, "bench_json: short write to %s\n", path.c_str());
+    return "";
+  }
+  return path;
+}
+
+}  // namespace lpfps::io

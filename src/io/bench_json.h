@@ -1,0 +1,107 @@
+// Machine-readable bench results.
+//
+// Every heavy bench emits, alongside its human-readable table, one
+// `BENCH_<name>.json` record so the performance trajectory (wall time,
+// thread count, per-point power numbers) can be tracked by scripts and
+// CI instead of scraped from stdout.  The schema is flat and stable:
+//
+//   {
+//     "bench": "<name>",
+//     "schema_version": 1,
+//     "jobs": <worker threads used>,
+//     "wall_time_seconds": <steady-clock wall time>,
+//     "meta": { ...bench-wide parameters (seeds, horizons, ...) },
+//     "points": [ { ...one object per table row / sweep point } ]
+//   }
+//
+// Values are numbers, strings, or booleans; doubles are printed
+// round-trip exact (%.17g) and non-finite values serialize as null.
+// Files land in `LPFPS_BENCH_JSON_DIR` if set, else the working
+// directory (the build dir under ctest).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace lpfps::io {
+
+/// An insertion-ordered key -> scalar map serialized as a JSON object.
+class JsonObject {
+ public:
+  JsonObject& set(std::string key, double value);
+  JsonObject& set(std::string key, std::int64_t value);
+  JsonObject& set(std::string key, int value) {
+    return set(std::move(key), static_cast<std::int64_t>(value));
+  }
+  JsonObject& set(std::string key, std::uint64_t value) {
+    return set(std::move(key), static_cast<std::int64_t>(value));
+  }
+  JsonObject& set(std::string key, std::string value);
+  JsonObject& set(std::string key, const char* value) {
+    return set(std::move(key), std::string(value));
+  }
+  JsonObject& set(std::string key, bool value);
+
+  bool empty() const { return fields_.empty(); }
+
+  /// Appends `{"k":v,...}` to `out`.
+  void append_to(std::string& out) const;
+
+ private:
+  using Value = std::variant<double, std::int64_t, std::string, bool>;
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/// Accumulates one bench's record and serializes/writes it.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name);
+
+  /// Bench-wide parameters (base seed, horizon, set counts, ...).
+  JsonObject& meta() { return meta_; }
+
+  /// Appends a result point (one table row / sweep sample) and returns
+  /// it for population.
+  JsonObject& add_point();
+
+  void set_wall_time_seconds(double seconds) {
+    wall_time_seconds_ = seconds;
+  }
+  void set_jobs(std::size_t jobs) { jobs_ = static_cast<std::int64_t>(jobs); }
+
+  std::string to_json() const;
+
+  /// Writes `BENCH_<name>.json` into `LPFPS_BENCH_JSON_DIR` (or the
+  /// working directory) and returns the path, or "" on I/O failure
+  /// (reported to stderr, not fatal — the human-readable table already
+  /// went to stdout).
+  std::string write() const;
+
+ private:
+  std::string name_;
+  double wall_time_seconds_ = 0.0;
+  std::int64_t jobs_ = 1;
+  JsonObject meta_;
+  std::vector<JsonObject> points_;
+};
+
+/// Steady-clock stopwatch for bench wall times.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace lpfps::io

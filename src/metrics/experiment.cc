@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "exec/exec_model.h"
 #include "metrics/stats.h"
+#include "runner/runner.h"
 
 namespace lpfps::metrics {
 
@@ -14,38 +15,70 @@ std::vector<SweepPoint> run_bcet_sweep(const sched::TaskSet& tasks,
   LPFPS_CHECK(config.seeds > 0);
   LPFPS_CHECK(!config.bcet_ratios.empty());
 
+  // Stateless, so safe to share across parallel simulation jobs.
   const auto exec_model = std::make_shared<exec::ClampedGaussianModel>();
   const auto fps = core::SchedulerPolicy::fps();
 
-  // The paper's FPS reference: every job at its WCET (deterministic, one
-  // run), constant across the BCET axis.
-  double fps_wcet_power = 0.0;
-  {
-    core::EngineOptions options;
-    options.horizon = config.horizon;
-    fps_wcet_power =
-        core::simulate(tasks, cpu, fps, nullptr, options).average_power;
+  // Scaled task sets per ratio, precomputed so the parallel jobs only
+  // read shared immutable state.
+  std::vector<sched::TaskSet> scaled_sets;
+  scaled_sets.reserve(config.bcet_ratios.size());
+  for (const double ratio : config.bcet_ratios) {
+    scaled_sets.push_back(tasks.with_bcet_ratio(ratio));
   }
 
+  // Flatten the sweep grid into independent simulation jobs.  Each
+  // (point, sample) cell gets its seed from the cell's fixed grid
+  // position — runner's determinism contract — and the policy and its
+  // FPS baseline share that seed so their jobs draw identical
+  // execution times.  Job 0 is the paper's FPS reference: every job at
+  // its WCET (deterministic, one run), constant across the BCET axis.
+  struct SimJob {
+    const sched::TaskSet* tasks = nullptr;
+    const core::SchedulerPolicy* policy = nullptr;
+    bool use_exec_model = true;
+    std::uint64_t seed = 1;
+  };
+  std::vector<SimJob> jobs;
+  jobs.push_back({&tasks, &fps, /*use_exec_model=*/false, 1});
+  for (std::size_t point = 0; point < config.bcet_ratios.size(); ++point) {
+    // Deterministic at BCET == WCET: the Gaussian degenerates.
+    const int samples = config.bcet_ratios[point] >= 1.0 ? 1 : config.seeds;
+    for (int sample = 0; sample < samples; ++sample) {
+      const std::uint64_t seed = runner::derive_seed(
+          config.base_seed,
+          point * static_cast<std::uint64_t>(config.seeds) +
+              static_cast<std::uint64_t>(sample));
+      jobs.push_back({&scaled_sets[point], &fps, true, seed});
+      jobs.push_back({&scaled_sets[point], &policy, true, seed});
+    }
+  }
+
+  const std::vector<double> powers = runner::run_batch(
+      jobs.size(), [&](std::size_t index) {
+        const SimJob& job = jobs[index];
+        core::EngineOptions options;
+        options.horizon = config.horizon;
+        options.seed = job.seed;
+        return core::simulate(*job.tasks, cpu, *job.policy,
+                              job.use_exec_model ? exec_model : nullptr,
+                              options)
+            .average_power;
+      });
+
+  // Reduce in grid order — independent of how many threads ran the
+  // batch, so the sweep is bit-identical at any LPFPS_JOBS.
+  const double fps_wcet_power = powers[0];
   std::vector<SweepPoint> points;
   points.reserve(config.bcet_ratios.size());
+  std::size_t next = 1;
   for (const double ratio : config.bcet_ratios) {
-    const sched::TaskSet scaled = tasks.with_bcet_ratio(ratio);
-    // Deterministic at BCET == WCET: the Gaussian degenerates.
-    const int seeds = ratio >= 1.0 ? 1 : config.seeds;
-
+    const int samples = ratio >= 1.0 ? 1 : config.seeds;
     Summary fps_power;
     Summary policy_power;
-    for (int seed = 0; seed < seeds; ++seed) {
-      core::EngineOptions options;
-      options.horizon = config.horizon;
-      options.seed = static_cast<std::uint64_t>(seed) + 1;
-      fps_power.add(
-          core::simulate(scaled, cpu, fps, exec_model, options)
-              .average_power);
-      policy_power.add(
-          core::simulate(scaled, cpu, policy, exec_model, options)
-              .average_power);
+    for (int sample = 0; sample < samples; ++sample) {
+      fps_power.add(powers[next++]);
+      policy_power.add(powers[next++]);
     }
 
     SweepPoint point;

@@ -8,6 +8,7 @@
 // and a single run suffices.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/engine.h"
@@ -23,6 +24,11 @@ struct SweepConfig {
                                      0.6, 0.7, 0.8, 0.9, 1.0};
   int seeds = 5;
   Time horizon = 0.0;  ///< Required.
+  /// Root of the sweep's randomness.  Sample (point, j) simulates with
+  /// runner::derive_seed(base_seed, point * seeds + j) — a pure
+  /// function of the grid position, so results are bit-identical for
+  /// any thread count (the runner's determinism contract).
+  std::uint64_t base_seed = 1;
 };
 
 struct SweepPoint {

@@ -1,6 +1,7 @@
 #include "multicore/simulate.h"
 
 #include "common/check.h"
+#include "runner/runner.h"
 
 namespace lpfps::multicore {
 
@@ -16,34 +17,42 @@ MulticoreResult simulate_partitioned(const sched::TaskSet& tasks,
                   "per-core jitter vectors are not remapped; configure "
                   "jitter per core-level run instead");
 
+  // Cores are independent once partitioned, so they simulate in
+  // parallel.  Each core's seed derives from (options.seed, core
+  // index), and the reduction below walks cores in index order — the
+  // result is bit-identical for any LPFPS_JOBS.  Note exec_model is
+  // shared across concurrent cores: the stock models are stateless,
+  // but a TraceDrivenModel (mutable replay cursors) must not be used
+  // here.
+  std::vector<core::SimulationResult> per_core = runner::run_batch(
+      partition.cores.size(),
+      [&](std::size_t index) -> core::SimulationResult {
+        const auto& members = partition.cores[index];
+        if (members.empty()) {
+          // An empty core never runs: account it as parked (power-down
+          // fraction for the whole horizon) — what a real integration
+          // would do with an unused core.
+          core::SimulationResult idle;
+          idle.policy_name = policy.name + " (parked core)";
+          idle.simulated_time = options.horizon;
+          const auto ladder = cpu.sleep_ladder();
+          double deepest = 1.0;
+          for (const auto& state : ladder) {
+            deepest = std::min(deepest, state.power_fraction);
+          }
+          idle.total_energy = options.horizon * deepest;
+          idle.average_power = deepest;
+          return idle;
+        }
+        core::EngineOptions core_options = options;
+        core_options.seed = runner::derive_seed(options.seed, index);
+        const sched::TaskSet subset = core_task_set(tasks, members);
+        return core::simulate(subset, cpu, policy, exec_model,
+                              core_options);
+      });
+
   MulticoreResult result;
-  for (std::size_t index = 0; index < partition.cores.size(); ++index) {
-    const auto& members = partition.cores[index];
-    core::EngineOptions core_options = options;
-    core_options.seed = options.seed + index;
-
-    if (members.empty()) {
-      // An empty core never runs: account it as parked (power-down
-      // fraction for the whole horizon) — what a real integration would
-      // do with an unused core.
-      core::SimulationResult idle;
-      idle.policy_name = policy.name + " (parked core)";
-      idle.simulated_time = options.horizon;
-      const auto ladder = cpu.sleep_ladder();
-      double deepest = 1.0;
-      for (const auto& state : ladder) {
-        deepest = std::min(deepest, state.power_fraction);
-      }
-      idle.total_energy = options.horizon * deepest;
-      idle.average_power = deepest;
-      result.total_energy += idle.total_energy;
-      result.per_core.push_back(std::move(idle));
-      continue;
-    }
-
-    const sched::TaskSet subset = core_task_set(tasks, members);
-    core::SimulationResult run =
-        core::simulate(subset, cpu, policy, exec_model, core_options);
+  for (core::SimulationResult& run : per_core) {
     result.total_energy += run.total_energy;
     result.deadline_misses += run.deadline_misses;
     result.jobs_completed += run.jobs_completed;

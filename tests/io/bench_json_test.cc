@@ -1,0 +1,88 @@
+#include "io/bench_json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace lpfps::io {
+namespace {
+
+TEST(JsonObject, SerializesScalarsInInsertionOrder) {
+  JsonObject object;
+  object.set("power", 0.25)
+      .set("sets", 20)
+      .set("name", "INS")
+      .set("feasible", true);
+  std::string out;
+  object.append_to(out);
+  EXPECT_EQ(out, "{\"power\":0.25,\"sets\":20,\"name\":\"INS\","
+                 "\"feasible\":true}");
+}
+
+TEST(JsonObject, EscapesStringsAndMapsNonFiniteToNull) {
+  JsonObject object;
+  object.set("quote", "a\"b\\c\n\td");
+  object.set("nan", std::nan(""));
+  object.set("inf", HUGE_VAL);
+  std::string out;
+  object.append_to(out);
+  EXPECT_EQ(out,
+            "{\"quote\":\"a\\\"b\\\\c\\n\\td\",\"nan\":null,\"inf\":null}");
+}
+
+TEST(JsonObject, DoublesRoundTripExactly) {
+  const double value = 0.1234567890123456789;  // Not representable short.
+  JsonObject object;
+  object.set("v", value);
+  std::string out;
+  object.append_to(out);
+  // %.17g guarantees the decimal form parses back to the same bits.
+  double parsed = 0.0;
+  ASSERT_EQ(std::sscanf(out.c_str(), "{\"v\":%lf}", &parsed), 1);
+  EXPECT_EQ(parsed, value);
+}
+
+TEST(BenchJsonWriter, EmitsTheDocumentedSchema) {
+  BenchJsonWriter writer("unit_test");
+  writer.set_jobs(4);
+  writer.set_wall_time_seconds(1.5);
+  writer.meta().set("base_seed", 2024).set("horizon_us", 2e6);
+  writer.add_point().set("utilization", 0.5).set("mean_reduction_pct", 31.5);
+  writer.add_point().set("utilization", 0.9).set("mean_reduction_pct", 4.0);
+
+  const std::string json = writer.to_json();
+  EXPECT_EQ(json,
+            "{\"bench\":\"unit_test\",\"schema_version\":1,\"jobs\":4,"
+            "\"wall_time_seconds\":1.5,"
+            "\"meta\":{\"base_seed\":2024,\"horizon_us\":2000000},"
+            "\"points\":[{\"utilization\":0.5,\"mean_reduction_pct\":31.5},"
+            "{\"utilization\":0.9,\"mean_reduction_pct\":4}]}\n");
+}
+
+TEST(BenchJsonWriter, WritesToTheConfiguredDirectory) {
+  ASSERT_EQ(setenv("LPFPS_BENCH_JSON_DIR", "/tmp", 1), 0);
+  BenchJsonWriter writer("bench_json_unit");
+  writer.add_point().set("k", 1);
+  const std::string path = writer.write();
+  ASSERT_EQ(unsetenv("LPFPS_BENCH_JSON_DIR"), 0);
+
+  EXPECT_EQ(path, "/tmp/BENCH_bench_json_unit.json");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), writer.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(WallTimer, MeasuresForwardTime) {
+  const WallTimer timer;
+  EXPECT_GE(timer.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace lpfps::io
