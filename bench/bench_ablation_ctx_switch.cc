@@ -7,6 +7,7 @@
 // unbudgeted overhead breaks the schedule.
 #include <cstdio>
 
+#include "audit/harness.h"
 #include "core/engine.h"
 #include "exec/exec_model.h"
 #include "metrics/table.h"
@@ -26,7 +27,7 @@ int main() {
       options.horizon = std::min(w.horizon, 2e6);
       options.context_switch_cost = cost;
       options.throw_on_miss = false;
-      const auto result = core::simulate(
+      const auto result = audit::simulate(
           w.tasks.with_bcet_ratio(0.5), cpu, core::SchedulerPolicy::fps(),
           exec, options);
       table.add_row(

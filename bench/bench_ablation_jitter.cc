@@ -9,6 +9,7 @@
 // at every point.
 #include <cstdio>
 
+#include "audit/harness.h"
 #include "core/engine.h"
 #include "exec/exec_model.h"
 #include "metrics/table.h"
@@ -53,11 +54,11 @@ int main() {
         options.horizon = std::min(w.horizon, 2e6);
         options.seed = static_cast<std::uint64_t>(seed);
         options.release_jitter = jitter;
-        fps_total += core::simulate(tasks, cpu,
+        fps_total += audit::simulate(tasks, cpu,
                                     core::SchedulerPolicy::fps(), exec,
                                     options)
                          .average_power;
-        lpfps_total += core::simulate(tasks, cpu,
+        lpfps_total += audit::simulate(tasks, cpu,
                                       core::SchedulerPolicy::lpfps(),
                                       exec, options)
                            .average_power;

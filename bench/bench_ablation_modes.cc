@@ -5,6 +5,7 @@
 //   LPFPS     : both (the paper's full scheme)
 #include <cstdio>
 
+#include "audit/harness.h"
 #include "core/engine.h"
 #include "exec/exec_model.h"
 #include "metrics/table.h"
@@ -30,7 +31,7 @@ int main() {
       for (int seed = 1; seed <= seeds; ++seed) {
         options.seed = static_cast<std::uint64_t>(seed);
         total +=
-            core::simulate(tasks, cpu, policy, exec, options).average_power;
+            audit::simulate(tasks, cpu, policy, exec, options).average_power;
       }
       return total / seeds;
     };

@@ -8,6 +8,7 @@
 // state against the ladder across the workloads.
 #include <cstdio>
 
+#include "audit/harness.h"
 #include "core/engine.h"
 #include "exec/exec_model.h"
 #include "metrics/table.h"
@@ -28,7 +29,7 @@ int main() {
         core::EngineOptions options;
         options.horizon = std::min(w.horizon, 5e6);
         options.seed = static_cast<std::uint64_t>(seed);
-        total += core::simulate(tasks, cpu, core::SchedulerPolicy::lpfps(),
+        total += audit::simulate(tasks, cpu, core::SchedulerPolicy::lpfps(),
                                 exec, options)
                      .average_power;
       }

@@ -23,6 +23,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "audit/harness.h"
 #include "core/avr.h"
 #include "core/engine.h"
 #include "core/static_slowdown.h"
@@ -69,7 +70,7 @@ int main() {
           core::EngineOptions options;
           options.horizon = horizon;
           options.seed = cell.seed;
-          return core::simulate(tasks, cpu, policy, exec, options)
+          return audit::simulate(tasks, cpu, policy, exec, options)
               .average_power;
         };
 

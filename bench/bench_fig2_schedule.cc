@@ -6,7 +6,9 @@
 //      and the power-down are visible.
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
 
+#include "audit/harness.h"
 #include "core/engine.h"
 #include "sched/kernel.h"
 #include "workloads/example.h"
@@ -48,6 +50,16 @@ int main() {
   std::puts("== Figure 2(a): all tasks at WCET (conventional FPS) ==");
   sched::FixedPriorityKernel kernel(tasks);
   const sched::KernelResult fig2a = kernel.run(200.0);
+  if (audit::enabled()) {
+    // Kernel traces go through the trace-only audit battery (no power
+    // model: the T3/T6/E/C checks need an engine run and are skipped).
+    const audit::AuditReport report =
+        audit::audit_trace(fig2a.trace, tasks, 200.0);
+    if (!report.ok()) {
+      throw std::runtime_error("figure 2(a) kernel trace failed audit: " +
+                               report.to_string());
+    }
+  }
   std::fputs(sim::render_gantt(fig2a.trace, names, 0.0, 200.0, 100).c_str(),
              stdout);
   std::puts("\nSegments:");
@@ -59,7 +71,7 @@ int main() {
   core::EngineOptions options;
   options.horizon = 200.0;
   options.record_trace = true;
-  const core::SimulationResult fig2b = core::simulate(
+  const core::SimulationResult fig2b = audit::simulate(
       tasks, power::ProcessorConfig::arm8_default(),
       core::SchedulerPolicy::lpfps(), std::make_shared<Fig2bExecModel>(),
       options);

@@ -8,7 +8,9 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <stdexcept>
 
+#include "audit/harness.h"
 #include "core/engine.h"
 #include "core/speed_ratio.h"
 #include "sched/kernel.h"
@@ -49,7 +51,15 @@ int main() {
   kernel.set_invocation_hook([&](const sched::QueueSnapshot& snapshot) {
     snapshots.emplace(snapshot.time, snapshot);
   });
-  (void)kernel.run(200.0);
+  const sched::KernelResult kernel_result = kernel.run(200.0);
+  if (audit::enabled()) {
+    const audit::AuditReport report =
+        audit::audit_trace(kernel_result.trace, tasks, 200.0);
+    if (!report.ok()) {
+      throw std::runtime_error("figure 3 kernel trace failed audit: " +
+                               report.to_string());
+    }
+  }
   std::puts("(a) time 0:");
   print_snapshot(snapshots.at(0.0), names);
   std::puts("(b) time 50:");
@@ -86,7 +96,7 @@ int main() {
   core::EngineOptions options;
   options.horizon = 200.0;
   options.record_trace = true;
-  const core::SimulationResult result = core::simulate(
+  const core::SimulationResult result = audit::simulate(
       tasks, power::ProcessorConfig::arm8_default(),
       core::SchedulerPolicy::lpfps(), std::make_shared<HalfTau2>(), options);
   for (const sim::Segment& s : result.trace->segments()) {

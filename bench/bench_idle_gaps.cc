@@ -10,6 +10,7 @@
 // every gap longer than the 0.1 us wake-up.
 #include <cstdio>
 
+#include "audit/harness.h"
 #include "core/engine.h"
 #include "exec/exec_model.h"
 #include "metrics/histogram.h"
@@ -30,7 +31,7 @@ int main() {
     options.horizon = std::min(w.horizon, 5e6);
     options.record_trace = true;
     const auto result =
-        core::simulate(w.tasks.with_bcet_ratio(0.5), cpu,
+        audit::simulate(w.tasks.with_bcet_ratio(0.5), cpu,
                        core::SchedulerPolicy::fps(), exec, options);
 
     metrics::Histogram gaps = metrics::Histogram::log_spaced(1.0, 1e6, 12);

@@ -11,8 +11,13 @@
 //      randomness and the table is bit-identical for any LPFPS_JOBS;
 //   3. reduce in job order, print the table, and emit
 //      BENCH_random_tasksets.json for the perf trajectory.
+//
+// Every simulation is trace-audited (audit::simulate + a shared
+// AuditAggregator); the bench aborts after the table if any invariant
+// was violated, and writes AUDIT_random_tasksets.json for the CI gate.
 #include <cstdio>
 
+#include "audit/harness.h"
 #include "core/engine.h"
 #include "exec/exec_model.h"
 #include "io/bench_json.h"
@@ -64,20 +69,26 @@ int main() {
   struct Powers {
     double fps;
     double lpfps;
+    std::int64_t power_downs;
+    std::int64_t dvs_slowdowns;
   };
+  audit::AuditAggregator agg("random_tasksets");
   const std::vector<Powers> powers = runner::run_batch(
       jobs.size(), [&](std::size_t i) {
         core::EngineOptions options;
         options.horizon = horizon;
         options.seed = jobs[i].seed;  // Same draws for both policies.
         Powers p;
-        p.fps = core::simulate(jobs[i].tasks, cpu,
-                               core::SchedulerPolicy::fps(), exec, options)
+        p.fps = audit::simulate(jobs[i].tasks, cpu,
+                                core::SchedulerPolicy::fps(), exec, options,
+                                &agg)
                     .average_power;
-        p.lpfps = core::simulate(jobs[i].tasks, cpu,
-                                 core::SchedulerPolicy::lpfps(), exec,
-                                 options)
-                      .average_power;
+        const core::SimulationResult lpfps_run =
+            audit::simulate(jobs[i].tasks, cpu, core::SchedulerPolicy::lpfps(),
+                            exec, options, &agg);
+        p.lpfps = lpfps_run.average_power;
+        p.power_downs = lpfps_run.power_downs;
+        p.dvs_slowdowns = lpfps_run.dvs_slowdowns;
         return p;
       });
 
@@ -96,9 +107,13 @@ int main() {
   for (const double u : utilizations) {
     metrics::Summary reduction;
     metrics::Summary lpfps_power;
+    std::int64_t power_downs = 0;
+    std::int64_t dvs_slowdowns = 0;
     for (int set = 0; set < sets_per_point; ++set, ++next) {
       reduction.add(100.0 * (1.0 - powers[next].lpfps / powers[next].fps));
       lpfps_power.add(powers[next].lpfps);
+      power_downs += powers[next].power_downs;
+      dvs_slowdowns += powers[next].dvs_slowdowns;
     }
     table.add_row({metrics::Table::num(u, 1),
                    std::to_string(sets_per_point),
@@ -111,7 +126,9 @@ int main() {
         .set("mean_reduction_pct", reduction.mean())
         .set("min_reduction_pct", reduction.min())
         .set("max_reduction_pct", reduction.max())
-        .set("mean_lpfps_power", lpfps_power.mean());
+        .set("mean_lpfps_power", lpfps_power.mean())
+        .set("lpfps_power_downs", power_downs)
+        .set("lpfps_dvs_slowdowns", dvs_slowdowns);
   }
   std::fputs(table.to_aligned().c_str(), stdout);
   std::puts(
@@ -122,5 +139,11 @@ int main() {
   json.set_jobs(runner::default_job_count());
   json.set_wall_time_seconds(timer.seconds());
   json.write();
+
+  // Deterministic audit summary (sums and maxes only), machine-readable
+  // report, then fail loudly if any run violated an invariant.
+  std::puts(agg.summary_line().c_str());
+  agg.write_report();
+  agg.check();
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <string>
 
+#include "audit/harness.h"
 #include "io/bench_json.h"
 #include "metrics/table.h"
 #include "sched/analysis.h"
@@ -51,5 +52,12 @@ int main() {
 
   json.set_wall_time_seconds(timer.seconds());
   json.write();
+
+  // No simulations here, but the CI audit gate expects every gated bench
+  // to produce an AUDIT report — emit the (trivially clean) one.
+  audit::AuditAggregator agg("table2_tasksets");
+  std::puts(agg.summary_line().c_str());
+  agg.write_report();
+  agg.check();
   return 0;
 }

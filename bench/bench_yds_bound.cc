@@ -7,6 +7,7 @@
 // policy_energy / yds_energy per workload at BCET/WCET = 0.5.
 #include <cstdio>
 
+#include "audit/harness.h"
 #include "core/avr.h"
 #include "core/engine.h"
 #include "core/static_slowdown.h"
@@ -44,7 +45,7 @@ int main() {
     options.seed = 1;
     options.throw_on_miss = false;  // Horizon-crossing jobs are fine.
     auto factor = [&](const core::SchedulerPolicy& policy) {
-      return core::simulate(tasks, cpu, policy, exec, options)
+      return audit::simulate(tasks, cpu, policy, exec, options)
                  .total_energy /
              optimal;
     };

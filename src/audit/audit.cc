@@ -1,0 +1,854 @@
+#include "audit/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "common/float_compare.h"
+#include "power/speed_profile.h"
+
+namespace lpfps::audit {
+
+namespace {
+
+using sim::ProcessorMode;
+using sim::Segment;
+
+std::string fmt(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+/// Work executed over [x, y] inside a segment whose ratio moves linearly
+/// from ratio_begin to ratio_end: the trapezoid under the clipped chord.
+Work clipped_work(const Segment& s, Time x, Time y) {
+  x = std::max(x, s.begin);
+  y = std::min(y, s.end);
+  if (y <= x) return 0.0;
+  const double slope =
+      s.duration() > 0.0 ? (s.ratio_end - s.ratio_begin) / s.duration() : 0.0;
+  const Ratio rx = s.ratio_begin + slope * (x - s.begin);
+  const Ratio ry = s.ratio_begin + slope * (y - s.begin);
+  return (rx + ry) / 2.0 * (y - x);
+}
+
+/// One reconstructed job window of one task: the interval during which
+/// the job may legitimately occupy the processor.
+struct Window {
+  std::int64_t instance = 0;
+  Time release = 0.0;
+  Time end = 0.0;       ///< Completion, or the trace end while in flight.
+  Time deadline = 0.0;  ///< Absolute deadline.
+  bool finished = false;
+};
+
+struct Interval {
+  Time begin = 0.0;
+  Time end = 0.0;
+};
+
+/// Sorts and merges overlapping/adjacent intervals in place.
+std::vector<Interval> merge_intervals(std::vector<Interval> intervals) {
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<Interval> merged;
+  for (const Interval& i : intervals) {
+    if (i.end <= i.begin) continue;
+    if (!merged.empty() && i.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, i.end);
+    } else {
+      merged.push_back(i);
+    }
+  }
+  return merged;
+}
+
+class Auditor {
+ public:
+  Auditor(const sim::Trace& trace, const sched::TaskSet& tasks, Time horizon,
+          const AuditOptions& options, const power::ProcessorConfig* cpu,
+          const core::SimulationResult* result)
+      : trace_(trace),
+        tasks_(tasks),
+        horizon_(horizon),
+        options_(options),
+        cpu_(cpu),
+        result_(result) {}
+
+  AuditReport run() {
+    build_index();
+    check_timeline();
+    check_jobs();
+    if (options_.check_work_conserving) check_work_conservation();
+    if (options_.check_full_speed_at_releases) check_releases();
+    if (cpu_ != nullptr && options_.check_dvs_plans) check_dvs_plans();
+    if (cpu_ != nullptr && result_ != nullptr) {
+      check_energy();
+      check_counters();
+    }
+    return std::move(report_);
+  }
+
+ private:
+  void add(const std::string& code, Time at, std::string message) {
+    if (static_cast<int>(report_.violations.size()) >=
+        options_.max_violations) {
+      return;
+    }
+    report_.violations.push_back({code, at, std::move(message)});
+  }
+
+  const std::vector<Segment>& segments() const { return trace_.segments(); }
+  std::size_t task_count() const { return tasks_.size(); }
+  Time trace_end() const {
+    return segments().empty() ? 0.0 : segments().back().end;
+  }
+
+  // ---- index construction ----------------------------------------------
+
+  void build_index() {
+    windows_.assign(task_count(), {});
+    task_segments_.assign(task_count(), {});
+
+    for (std::size_t i = 0; i < segments().size(); ++i) {
+      const Segment& s = segments()[i];
+      if (s.mode == ProcessorMode::kRunning && s.task >= 0 &&
+          static_cast<std::size_t>(s.task) < task_count()) {
+        task_segments_[static_cast<std::size_t>(s.task)].push_back(i);
+      }
+    }
+
+    // Windows from finished job records; in-flight windows appended in
+    // check_jobs once the per-task record counts are validated.
+    for (const sim::JobRecord& job : trace_.jobs()) {
+      if (job.task < 0 || static_cast<std::size_t>(job.task) >= task_count()) {
+        continue;  // check_jobs reports the bad index.
+      }
+      Window w;
+      w.instance = job.instance;
+      w.release = job.release;
+      w.end = job.finished ? job.completion : trace_end();
+      w.deadline = job.absolute_deadline;
+      w.finished = job.finished;
+      windows_[static_cast<std::size_t>(job.task)].push_back(w);
+    }
+    // One in-flight window per task whose next release precedes the
+    // trace end: the engine starts that job but records it only at
+    // completion.
+    for (std::size_t t = 0; t < task_count(); ++t) {
+      const sched::Task& task = tasks_[static_cast<TaskIndex>(t)];
+      const auto count = static_cast<std::int64_t>(windows_[t].size());
+      const Time release = static_cast<Time>(task.phase) +
+                           static_cast<Time>(count * task.period);
+      if (definitely_less(release, trace_end(), options_.epsilon)) {
+        Window w;
+        w.instance = count;
+        w.release = release;
+        w.end = trace_end();
+        w.deadline = release + static_cast<Time>(task.deadline);
+        w.finished = false;
+        windows_[t].push_back(w);
+      }
+    }
+  }
+
+  /// Trace work executed by `task` over [a, b].
+  Work executed_between(std::size_t task, Time a, Time b) const {
+    Work total = 0.0;
+    const auto& indices = task_segments_[task];
+    // First of the task's segments that ends after `a`.
+    auto it = std::lower_bound(indices.begin(), indices.end(), a,
+                               [this](std::size_t index, Time t) {
+                                 return segments()[index].end <= t;
+                               });
+    for (; it != indices.end(); ++it) {
+      const Segment& s = segments()[*it];
+      if (s.begin >= b) break;
+      total += clipped_work(s, a, b);
+    }
+    return total;
+  }
+
+  /// Effective ratio at instant `t`: the interpolated value, maximized
+  /// with the adjacent boundary ratios when `t` sits on (or within
+  /// epsilon of) a segment boundary, so exact-boundary releases are not
+  /// penalized for landing on either side.
+  Ratio ratio_at(Time t) const {
+    const auto& segs = segments();
+    if (segs.empty()) return 0.0;
+    auto it = std::upper_bound(segs.begin(), segs.end(), t,
+                               [](Time v, const Segment& s) {
+                                 return v < s.begin;
+                               });
+    const std::size_t i = it == segs.begin()
+                              ? 0
+                              : static_cast<std::size_t>(it - segs.begin()) - 1;
+    const Segment& s = segs[i];
+    const double slope =
+        s.duration() > 0.0 ? (s.ratio_end - s.ratio_begin) / s.duration() : 0.0;
+    Ratio r = s.ratio_begin +
+              slope * (std::clamp(t, s.begin, s.end) - s.begin);
+    if (i > 0 && t <= s.begin + options_.epsilon) {
+      r = std::max(r, segs[i - 1].ratio_end);
+    }
+    if (i + 1 < segs.size() && t >= s.end - options_.epsilon) {
+      r = std::max(r, segs[i + 1].ratio_begin);
+    }
+    return r;
+  }
+
+  /// Next nominal release strictly after `t` across all tasks except
+  /// `exclude` (the delay queue's view at a plan instant: the active
+  /// task is not queued).  With no other task, the active task's own
+  /// next period bounds the window, mirroring the engine.
+  Time next_release_after(Time t, std::size_t exclude) const {
+    Time next = std::numeric_limits<Time>::infinity();
+    for (std::size_t u = 0; u < task_count(); ++u) {
+      if (u == exclude && task_count() > 1) continue;
+      const sched::Task& task = tasks_[static_cast<TaskIndex>(u)];
+      const auto period = static_cast<Time>(task.period);
+      const auto phase = static_cast<Time>(task.phase);
+      Time release = phase;
+      if (t >= phase) {
+        release =
+            phase + period * (std::floor((t - phase) / period) + 1.0);
+      }
+      while (release <= t + options_.epsilon) release += period;
+      next = std::min(next, release);
+    }
+    return next;
+  }
+
+  // ---- T: timeline and ratio structure ---------------------------------
+
+  void check_timeline() {
+    const auto& segs = segments();
+    if (segs.empty()) {
+      if (horizon_ > options_.epsilon) {
+        add("T1.empty", 0.0,
+            "trace has no segments but the horizon is " + fmt(horizon_) +
+                " us");
+      }
+      return;
+    }
+    const double reps = options_.ratio_epsilon;
+    const double rho = cpu_ != nullptr ? cpu_->ramp_rate : 0.0;
+    const Ratio floor_ratio =
+        cpu_ != nullptr
+            ? cpu_->frequencies.f_min() / cpu_->frequencies.f_max()
+            : 0.0;
+    const Ratio ceil_ratio = std::max(options_.base_ratio, 0.0);
+
+    if (std::abs(segs.front().begin) > options_.epsilon) {
+      add("T1.start", segs.front().begin,
+          "first segment begins at t=" + fmt(segs.front().begin) +
+              ", expected t=0");
+    }
+    if (!approx_equal(segs.back().end, horizon_, 1e-3)) {
+      add("T1.horizon", segs.back().end,
+          "trace ends at t=" + fmt(segs.back().end) +
+              " but the simulated horizon is " + fmt(horizon_));
+    }
+
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      const Segment& s = segs[i];
+      ++report_.segments_checked;
+
+      if (s.end <= s.begin) {
+        add("T1.order", s.begin,
+            "segment " + std::to_string(i) + " runs backwards or is empty: [" +
+                fmt(s.begin) + ", " + fmt(s.end) + ")");
+        continue;
+      }
+      if (i > 0) {
+        const Time prev_end = segs[i - 1].end;
+        if (std::abs(s.begin - prev_end) > options_.epsilon) {
+          const bool overlap = s.begin < prev_end;
+          add(overlap ? "T1.overlap" : "T1.gap", s.begin,
+              std::string("segment ") + std::to_string(i) +
+                  (overlap ? " overlaps the previous one: "
+                           : " leaves a gap after the previous one: ") +
+                  "previous ends at " + fmt(prev_end) + ", this begins at " +
+                  fmt(s.begin));
+        }
+        const double jump = std::abs(s.ratio_begin - segs[i - 1].ratio_end);
+        if (jump > reps + rho * kTimeEpsilon) {
+          add("T2.discontinuity", s.begin,
+              "speed ratio jumps from " + fmt(segs[i - 1].ratio_end) +
+                  " to " + fmt(s.ratio_begin) + " across the boundary at t=" +
+                  fmt(s.begin));
+        }
+      }
+
+      for (const Ratio r : {s.ratio_begin, s.ratio_end}) {
+        if (r < floor_ratio - reps || r > ceil_ratio + reps || r <= 0.0) {
+          add("T2.range", s.begin,
+              "segment " + std::to_string(i) + " ratio " + fmt(r) +
+                  " outside [" + fmt(std::max(floor_ratio, 1e-12)) + ", " +
+                  fmt(ceil_ratio) + "]");
+          break;
+        }
+      }
+
+      switch (s.mode) {
+        case ProcessorMode::kRunning:
+          if (s.task < 0 ||
+              static_cast<std::size_t>(s.task) >= task_count()) {
+            add("T4.task", s.begin,
+                "running segment " + std::to_string(i) +
+                    " names invalid task index " + std::to_string(s.task));
+          }
+          break;
+        case ProcessorMode::kIdleBusyWait:
+        case ProcessorMode::kPowerDown:
+        case ProcessorMode::kWakeUp:
+          if (std::abs(s.ratio_begin - s.ratio_end) > reps ||
+              std::abs(s.ratio_begin - options_.base_ratio) > reps) {
+            add("T5.mode-ratio", s.begin,
+                std::string(sim::to_string(s.mode)) + " segment " +
+                    std::to_string(i) + " not at the constant base ratio " +
+                    fmt(options_.base_ratio) + ": " + fmt(s.ratio_begin) +
+                    " -> " + fmt(s.ratio_end));
+          }
+          break;
+        case ProcessorMode::kRamping:
+          break;
+      }
+
+      if (cpu_ != nullptr && s.ratio_begin != s.ratio_end) {
+        const Time expected = std::abs(s.ratio_end - s.ratio_begin) / rho;
+        if (!approx_equal(s.duration(), expected,
+                          1e-6 + s.duration() * 1e-9)) {
+          add("T6.slope", s.begin,
+              "ramp segment " + std::to_string(i) + " moves " +
+                  fmt(s.ratio_begin) + " -> " + fmt(s.ratio_end) + " in " +
+                  fmt(s.duration()) + " us; rho=" + fmt(rho) + " needs " +
+                  fmt(expected) + " us");
+        }
+      }
+
+      // T3: a steady slowed running ratio must be an exact frequency
+      // level (the engine quantizes up onto the table).
+      if (cpu_ != nullptr && s.mode == ProcessorMode::kRunning &&
+          !cpu_->frequencies.is_continuous() &&
+          s.ratio_begin == s.ratio_end &&
+          s.ratio_begin < options_.base_ratio - reps) {
+        bool on_grid = false;
+        for (const MegaHertz level : cpu_->frequencies.levels()) {
+          if (std::abs(cpu_->frequencies.ratio_of(level) - s.ratio_begin) <
+              1e-12) {
+            on_grid = true;
+            break;
+          }
+        }
+        if (!on_grid) {
+          add("T3.level", s.begin,
+              "steady slowed ratio " + fmt(s.ratio_begin) +
+                  " is not an available frequency level");
+        }
+      }
+    }
+  }
+
+  // ---- J: job accounting ------------------------------------------------
+
+  void check_jobs() {
+    std::vector<std::int64_t> seen(task_count(), 0);
+    for (const sim::JobRecord& job : trace_.jobs()) {
+      ++report_.jobs_checked;
+      if (job.task < 0 || static_cast<std::size_t>(job.task) >= task_count()) {
+        add("J1.task", job.release,
+            "job record names invalid task index " + std::to_string(job.task));
+        continue;
+      }
+      const auto t = static_cast<std::size_t>(job.task);
+      const sched::Task& task = tasks_[job.task];
+
+      const std::int64_t expected_instance = seen[t]++;
+      if (job.instance != expected_instance) {
+        add("J1.instance", job.release,
+            task.name + " records instance " + std::to_string(job.instance) +
+                " out of order (expected " +
+                std::to_string(expected_instance) + ")");
+      }
+      const Time expected_release =
+          static_cast<Time>(task.phase) +
+          static_cast<Time>(job.instance) * static_cast<Time>(task.period);
+      if (std::abs(job.release - expected_release) > options_.epsilon) {
+        add("J1.release", job.release,
+            task.name + " instance " + std::to_string(job.instance) +
+                " released at " + fmt(job.release) + ", periodic model says " +
+                fmt(expected_release));
+      }
+      if (std::abs(job.absolute_deadline -
+                   (job.release + static_cast<Time>(task.deadline))) >
+          options_.epsilon) {
+        add("J1.deadline", job.release,
+            task.name + " instance " + std::to_string(job.instance) +
+                " deadline " + fmt(job.absolute_deadline) +
+                " != release + D = " +
+                fmt(job.release + static_cast<Time>(task.deadline)));
+      }
+
+      if (!job.finished) continue;  // Unfinished records carry no demand.
+
+      if (definitely_less(job.completion, job.release, options_.epsilon)) {
+        add("J1.completion", job.completion,
+            task.name + " instance " + std::to_string(job.instance) +
+                " completes at " + fmt(job.completion) +
+                " before its release " + fmt(job.release));
+      }
+
+      const bool late = definitely_greater(job.completion,
+                                           job.absolute_deadline,
+                                           options_.epsilon);
+      if (late != job.missed_deadline &&
+          std::abs(job.completion - job.absolute_deadline) >
+              options_.epsilon) {
+        add("J4.flag", job.completion,
+            task.name + " instance " + std::to_string(job.instance) +
+                " completion " + fmt(job.completion) + " vs deadline " +
+                fmt(job.absolute_deadline) +
+                " disagrees with missed_deadline=" +
+                (job.missed_deadline ? "true" : "false"));
+      }
+      if (options_.expect_no_misses && job.missed_deadline) {
+        add("J4.miss", job.completion,
+            task.name + " instance " + std::to_string(job.instance) +
+                " missed its deadline: completed " + fmt(job.completion) +
+                " > " + fmt(job.absolute_deadline) +
+                " under a policy that promised none");
+      }
+
+      if (!(job.executed > 0.0)) {
+        add("J3.empty", job.release,
+            task.name + " instance " + std::to_string(job.instance) +
+                " records non-positive demand " + fmt(job.executed));
+      } else if (options_.check_job_demand &&
+                 job.executed > task.wcet + options_.work_epsilon) {
+        add("J3.overrun", job.completion,
+            task.name + " instance " + std::to_string(job.instance) +
+                " overran its WCET: executed " + fmt(job.executed) +
+                " > C=" + fmt(task.wcet));
+      }
+
+      const Work integral =
+          executed_between(t, job.release, job.completion);
+      if (std::abs(integral - job.executed) >
+          options_.work_epsilon + 1e-9 * job.executed) {
+        add("J2.work", job.completion,
+            task.name + " instance " + std::to_string(job.instance) +
+                ": trace work integral " + fmt(integral) +
+                " != recorded demand " + fmt(job.executed));
+      }
+    }
+
+    // J5: every running segment sits inside one of its task's windows.
+    for (std::size_t t = 0; t < task_count(); ++t) {
+      std::vector<Interval> cover;
+      cover.reserve(windows_[t].size());
+      for (const Window& w : windows_[t]) cover.push_back({w.release, w.end});
+      cover = merge_intervals(std::move(cover));
+      std::size_t c = 0;
+      for (const std::size_t index : task_segments_[t]) {
+        const Segment& s = segments()[index];
+        while (c < cover.size() &&
+               cover[c].end < s.begin + options_.epsilon) {
+          ++c;
+        }
+        if (c >= cover.size() ||
+            s.begin < cover[c].begin - options_.epsilon ||
+            s.end > cover[c].end + options_.epsilon) {
+          add("J5.placement", s.begin,
+              tasks_[static_cast<TaskIndex>(t)].name + " runs in [" +
+                  fmt(s.begin) + ", " + fmt(s.end) +
+                  ") outside any of its job windows");
+        }
+      }
+    }
+  }
+
+  // ---- S: work conservation and release readiness -----------------------
+
+  void check_work_conservation() {
+    std::vector<Interval> pending;
+    for (const auto& task_windows : windows_) {
+      for (const Window& w : task_windows) {
+        pending.push_back({w.release, w.end});
+      }
+    }
+    const std::vector<Interval> busy = merge_intervals(std::move(pending));
+    for (const Segment& s : segments()) {
+      if (s.mode != ProcessorMode::kIdleBusyWait &&
+          s.mode != ProcessorMode::kPowerDown &&
+          s.mode != ProcessorMode::kWakeUp) {
+        continue;
+      }
+      // First pending interval ending after the segment begins.
+      auto it = std::lower_bound(busy.begin(), busy.end(), s.begin,
+                                 [](const Interval& i, Time t) {
+                                   return i.end <= t;
+                                 });
+      if (it == busy.end()) continue;
+      const Time lo = std::max(s.begin, it->begin);
+      const Time hi = std::min(s.end, it->end);
+      if (hi - lo > options_.epsilon) {
+        add("S1.idle-while-pending", lo,
+            std::string(sim::to_string(s.mode)) + " during [" + fmt(lo) +
+                ", " + fmt(hi) + ") while a released job is pending " +
+                "(pending window [" + fmt(it->begin) + ", " + fmt(it->end) +
+                "))");
+      }
+    }
+  }
+
+  void check_releases() {
+    const auto& segs = segments();
+    for (std::size_t t = 0; t < task_count(); ++t) {
+      for (const Window& w : windows_[t]) {
+        const Time r = w.release;
+        if (r <= options_.epsilon ||
+            r >= trace_end() - options_.epsilon) {
+          continue;
+        }
+        // Never asleep across a release: the exact power-down timer
+        // must have fired (wake-up *ends* at or before the release).
+        auto it = std::upper_bound(segs.begin(), segs.end(), r,
+                                   [](Time v, const Segment& s) {
+                                     return v < s.begin;
+                                   });
+        if (it != segs.begin()) {
+          const Segment& s = *(it - 1);
+          const bool interior = r > s.begin + options_.epsilon &&
+                                r < s.end - options_.epsilon;
+          if (interior && (s.mode == ProcessorMode::kPowerDown ||
+                           s.mode == ProcessorMode::kWakeUp)) {
+            add("S2.asleep", r,
+                tasks_[static_cast<TaskIndex>(t)].name + " released at " +
+                    fmt(r) + " while the processor is in " +
+                    sim::to_string(s.mode) + " until " + fmt(s.end));
+            continue;
+          }
+        }
+        const Ratio ratio = ratio_at(r);
+        if (ratio < options_.base_ratio - options_.ratio_epsilon) {
+          add("S2.slow-at-release", r,
+              tasks_[static_cast<TaskIndex>(t)].name + " released at " +
+                  fmt(r) + " with the clock at ratio " + fmt(ratio) +
+                  " < base " + fmt(options_.base_ratio) +
+                  " (a slowdown plan overran an arrival)");
+        }
+      }
+    }
+  }
+
+  // ---- D: DVS slowdown plans --------------------------------------------
+
+  /// The window of `task` covering instant `t`, or nullptr.
+  const Window* window_at(std::size_t task, Time t) const {
+    const Window* best = nullptr;
+    for (const Window& w : windows_[task]) {
+      if (w.release <= t + options_.epsilon &&
+          t <= w.end + options_.epsilon) {
+        best = &w;  // Later windows win (overlap only under misses).
+      }
+    }
+    return best;
+  }
+
+  void check_dvs_plans() {
+    const auto& segs = segments();
+    const double reps = options_.ratio_epsilon;
+    const double rho = cpu_->ramp_rate;
+    const Ratio base = options_.base_ratio;
+
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      const Segment& s = segs[i];
+      // A plan's steady portion: constant slowed ratio under a task.
+      if (s.mode != ProcessorMode::kRunning ||
+          s.ratio_begin != s.ratio_end || s.ratio_begin >= base - reps ||
+          s.task < 0 || static_cast<std::size_t>(s.task) >= task_count()) {
+        continue;
+      }
+      ++report_.plans_checked;
+      const auto task = static_cast<std::size_t>(s.task);
+      const Ratio r = s.ratio_begin;
+      // A near-instant rho makes the engine settle sub-resolution ramps
+      // in place (no ramp segment, a legitimate ratio step instead).
+      const bool instant = (base - r) / rho < kTimeEpsilon;
+
+      // Walk back through the contiguous down-ramp to the plan start
+      // t_c, which must begin at base speed.
+      std::size_t j = i;
+      while (j > 0) {
+        const Segment& prev = segs[j - 1];
+        const bool down_ramp =
+            prev.mode == ProcessorMode::kRunning && prev.task == s.task &&
+            prev.ratio_begin > prev.ratio_end + reps &&
+            std::abs(prev.ratio_end - segs[j].ratio_begin) <= reps;
+        if (!down_ramp) break;
+        --j;
+      }
+      const Time t_c = segs[j].begin;
+      if (std::abs(segs[j].ratio_begin - base) > reps &&
+          !(instant && j == i)) {
+        add("D1.start", t_c,
+            "slowdown to ratio " + fmt(r) + " at t=" + fmt(s.begin) +
+                " does not start from the base ratio (plan head at " +
+                fmt(segs[j].ratio_begin) + ")");
+        continue;
+      }
+
+      const Window* w = window_at(task, t_c);
+      if (w == nullptr) continue;  // J5 already reports stray execution.
+
+      const Time arrival = next_release_after(t_c, task);
+      const Time window_end = std::min(arrival, w->deadline);
+
+      // D1: the plan (steady + up-ramp chain) returns to base speed no
+      // later than the window end.
+      std::size_t k = i;
+      bool reaches_base = segs[k].ratio_end >= base - reps;
+      while (!reaches_base && k + 1 < segs.size()) {
+        const Segment& next = segs[k + 1];
+        if (instant && next.ratio_begin >= base - reps) {
+          reaches_base = true;  // Sub-resolution snap back to base.
+          break;
+        }
+        const bool continues =
+            (next.mode == ProcessorMode::kRamping ||
+             (next.mode == ProcessorMode::kRunning &&
+              next.task == s.task)) &&
+            std::abs(next.ratio_begin - segs[k].ratio_end) <= reps &&
+            next.ratio_end >= next.ratio_begin - reps;
+        if (!continues) break;
+        ++k;
+        reaches_base = segs[k].ratio_end >= base - reps;
+      }
+      if (reaches_base) {
+        if (definitely_greater(segs[k].end, window_end, options_.epsilon)) {
+          add("D1.overrun", segs[k].end,
+              "slowdown plan starting at t=" + fmt(t_c) +
+                  " returns to base at " + fmt(segs[k].end) +
+                  " > min(next arrival " + fmt(arrival) + ", deadline " +
+                  fmt(w->deadline) + ")");
+        }
+      } else if (k + 1 < segs.size()) {
+        add("D1.no-rampup", segs[k].end,
+            "slowdown plan starting at t=" + fmt(t_c) +
+                " never ramps back to the base ratio " + fmt(base));
+      }  // else: the horizon cut the plan; D2 below still applies.
+
+      // D2: plan capacity (paper eq. 1, measured against the base
+      // clock) must cover the job's remaining worst-case work at t_c.
+      const Work done_before = executed_between(task, w->release, t_c);
+      const Work remaining = tasks_[s.task].wcet - done_before;
+      if (remaining <= 0.0) continue;
+      const Time window = window_end - t_c;
+      const Work capacity =
+          r * window + (base - r) * (base - r) / (2.0 * rho);
+      if (capacity + options_.work_epsilon + 1e-6 * remaining < remaining) {
+        add("D2.capacity", t_c,
+            "slowdown to ratio " + fmt(r) + " at t=" + fmt(t_c) +
+                " cannot cover the remaining WCET: capacity " +
+                fmt(capacity) + " over window " + fmt(window) +
+                " us < remaining " + fmt(remaining));
+      }
+    }
+  }
+
+  // ---- E: energy and time re-integration --------------------------------
+
+  void check_energy() {
+    const power::PowerModel model = cpu_->make_power_model();
+    const double rho = cpu_->ramp_rate;
+    std::array<Energy, 5> energy{};
+    std::array<Time, 5> time{};
+    double ratio_integral = 0.0;
+
+    for (const Segment& s : segments()) {
+      const auto m = static_cast<std::size_t>(s.mode);
+      const Time dt = s.duration();
+      if (dt <= 0.0) continue;
+      time[m] += dt;
+      switch (s.mode) {
+        case ProcessorMode::kRunning:
+          energy[m] += s.ratio_begin == s.ratio_end
+                           ? dt * model.run_power(s.ratio_begin)
+                           : model.ramp_energy(s.ratio_begin, s.ratio_end,
+                                               rho, /*executing=*/true);
+          ratio_integral += (s.ratio_begin + s.ratio_end) / 2.0 * dt;
+          break;
+        case ProcessorMode::kIdleBusyWait:
+          energy[m] += dt * model.idle_nop_power(s.ratio_begin);
+          break;
+        case ProcessorMode::kRamping:
+          energy[m] += model.ramp_energy(s.ratio_begin, s.ratio_end, rho,
+                                         /*executing=*/false);
+          break;
+        case ProcessorMode::kWakeUp:
+          energy[m] += dt * 1.0;
+          break;
+        case ProcessorMode::kPowerDown:
+          break;  // Bounded below via the sleep ladder.
+      }
+    }
+
+    static constexpr const char* kModeNames[5] = {
+        "run", "idle-nop", "power-down", "wake-up", "ramping"};
+    for (std::size_t m = 0; m < 5; ++m) {
+      const auto& reported = result_->by_mode[m];
+      if (std::abs(reported.time - time[m]) > 1e-6 + 1e-9 * time[m]) {
+        add("E2.time", 0.0,
+            std::string(kModeNames[m]) + " time: reported " +
+                fmt(reported.time) + " us != trace total " + fmt(time[m]));
+      }
+      if (m == static_cast<std::size_t>(ProcessorMode::kPowerDown)) {
+        double lo_frac = 1.0;
+        double hi_frac = 0.0;
+        for (const power::SleepState& state : cpu_->sleep_ladder()) {
+          lo_frac = std::min(lo_frac, state.power_fraction);
+          hi_frac = std::max(hi_frac, state.power_fraction);
+        }
+        const Energy lo = lo_frac * time[m];
+        const Energy hi = hi_frac * time[m];
+        const double tol =
+            options_.energy_rel_tolerance * (1.0 + std::abs(hi));
+        if (reported.energy < lo - tol || reported.energy > hi + tol) {
+          add("E1.energy", 0.0,
+              "power-down energy " + fmt(reported.energy) +
+                  " outside the sleep-ladder bounds [" + fmt(lo) + ", " +
+                  fmt(hi) + "] for " + fmt(time[m]) + " us asleep");
+        }
+        continue;
+      }
+      const double tol =
+          options_.energy_rel_tolerance * (1.0 + std::abs(energy[m]));
+      if (std::abs(reported.energy - energy[m]) > tol) {
+        add("E1.energy", 0.0,
+            std::string(kModeNames[m]) + " energy: reported " +
+                fmt(reported.energy) + " != re-integrated " +
+                fmt(energy[m]) + " (speed-profile re-integration under " +
+                "the power model)");
+      }
+    }
+
+    Energy mode_sum = 0.0;
+    for (const auto& slot : result_->by_mode) mode_sum += slot.energy;
+    if (std::abs(result_->total_energy - mode_sum) >
+        options_.energy_rel_tolerance * (1.0 + std::abs(mode_sum))) {
+      add("E3.total", 0.0,
+          "total_energy " + fmt(result_->total_energy) +
+              " != sum of per-mode energies " + fmt(mode_sum));
+    }
+    if (result_->simulated_time > 0.0 &&
+        std::abs(result_->average_power * result_->simulated_time -
+                 result_->total_energy) >
+            options_.energy_rel_tolerance *
+                (1.0 + std::abs(result_->total_energy))) {
+      add("E3.average", 0.0,
+          "average_power " + fmt(result_->average_power) +
+              " inconsistent with total_energy / simulated_time");
+    }
+
+    const Time t_run = time[static_cast<std::size_t>(ProcessorMode::kRunning)];
+    if (t_run > 0.0) {
+      const double mean = ratio_integral / t_run;
+      if (std::abs(mean - result_->mean_running_ratio) > 1e-6) {
+        add("E4.mean-ratio", 0.0,
+            "mean_running_ratio " + fmt(result_->mean_running_ratio) +
+                " != trace ratio integral / running time = " + fmt(mean));
+      }
+    }
+  }
+
+  // ---- C: counter cross-checks ------------------------------------------
+
+  void check_counters() {
+    int finished = 0;
+    int missed = 0;
+    for (const sim::JobRecord& job : trace_.jobs()) {
+      if (job.finished) ++finished;
+      if (job.missed_deadline) ++missed;
+    }
+    if (result_->jobs_completed != finished) {
+      add("C1.jobs", 0.0,
+          "jobs_completed=" + std::to_string(result_->jobs_completed) +
+              " but the trace records " + std::to_string(finished) +
+              " finished jobs");
+    }
+    if (result_->deadline_misses != missed) {
+      add("C1.misses", 0.0,
+          "deadline_misses=" + std::to_string(result_->deadline_misses) +
+              " but the trace records " + std::to_string(missed));
+    }
+    int sleeps = 0;
+    for (const Segment& s : segments()) {
+      if (s.mode == ProcessorMode::kPowerDown) ++sleeps;
+    }
+    if (result_->power_downs != sleeps) {
+      add("C2.power-downs", 0.0,
+          "power_downs=" + std::to_string(result_->power_downs) +
+              " but the trace holds " + std::to_string(sleeps) +
+              " power-down segments");
+    }
+    if (options_.check_dvs_plans &&
+        report_.plans_checked > result_->dvs_slowdowns) {
+      add("C3.plans", 0.0,
+          "trace shows " + std::to_string(report_.plans_checked) +
+              " slowdown plans but the engine reported only " +
+              std::to_string(result_->dvs_slowdowns));
+    }
+  }
+
+  const sim::Trace& trace_;
+  const sched::TaskSet& tasks_;
+  const Time horizon_;
+  const AuditOptions& options_;
+  const power::ProcessorConfig* cpu_;
+  const core::SimulationResult* result_;
+
+  AuditReport report_;
+  std::vector<std::vector<Window>> windows_;
+  std::vector<std::vector<std::size_t>> task_segments_;
+};
+
+}  // namespace
+
+std::string AuditReport::to_string() const {
+  std::string out = "audit: " + std::to_string(violations.size()) +
+                    " violation(s) across " +
+                    std::to_string(segments_checked) + " segments, " +
+                    std::to_string(jobs_checked) + " jobs, " +
+                    std::to_string(plans_checked) + " plans";
+  for (const Violation& v : violations) {
+    out += "\n  [" + v.invariant + "] t=" + fmt(v.at) + ": " + v.message;
+  }
+  return out;
+}
+
+AuditReport audit_run(const core::SimulationResult& result,
+                      const sched::TaskSet& tasks,
+                      const power::ProcessorConfig& cpu,
+                      const AuditOptions& options) {
+  if (!result.trace.has_value()) {
+    throw std::logic_error(
+        "audit_run needs a recorded trace; set EngineOptions::record_trace");
+  }
+  Auditor auditor(*result.trace, tasks, result.simulated_time, options, &cpu,
+                  &result);
+  return auditor.run();
+}
+
+AuditReport audit_trace(const sim::Trace& trace, const sched::TaskSet& tasks,
+                        Time horizon, const AuditOptions& options) {
+  Auditor auditor(trace, tasks, horizon, options, nullptr, nullptr);
+  return auditor.run();
+}
+
+}  // namespace lpfps::audit

@@ -1,0 +1,203 @@
+#include "audit/harness.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/bench_json.h"
+
+namespace lpfps::audit {
+
+bool enabled() {
+  const char* value = std::getenv("LPFPS_AUDIT");
+  if (value == nullptr) return true;
+  return std::strcmp(value, "0") != 0 && std::strcmp(value, "off") != 0 &&
+         std::strcmp(value, "false") != 0;
+}
+
+AuditOptions derive_options(const core::SchedulerPolicy& policy,
+                            const core::EngineOptions& options) {
+  AuditOptions audit;
+  audit.base_ratio = policy.static_ratio;
+  audit.expect_no_misses = options.throw_on_miss;
+  // Context-switch overhead inflates job demand past the nominal WCET
+  // by design, so the J3 bound does not apply.
+  audit.check_job_demand = options.context_switch_cost <= 0.0;
+  // Under release jitter the scheduler legally idles while an invisible
+  // (staged) job is pending, plans abort on staged arrivals, and a late
+  // job's nominal release can fall inside a plan.
+  const bool jitter_free = options.release_jitter.empty();
+  audit.check_work_conserving = jitter_free;
+  audit.check_full_speed_at_releases = jitter_free;
+  audit.check_dvs_plans = jitter_free && policy.uses_dvs();
+  return audit;
+}
+
+void CounterTotals::add(const core::SimulationResult& result) {
+  ++runs;
+  jobs_completed += result.jobs_completed;
+  deadline_misses += result.deadline_misses;
+  context_switches += result.context_switches;
+  scheduler_invocations += result.scheduler_invocations;
+  speed_changes += result.speed_changes;
+  power_downs += result.power_downs;
+  dvs_slowdowns += result.dvs_slowdowns;
+  run_queue_high_water =
+      std::max<std::int64_t>(run_queue_high_water, result.run_queue_high_water);
+  delay_queue_high_water = std::max<std::int64_t>(
+      delay_queue_high_water, result.delay_queue_high_water);
+  simulated_time += result.simulated_time;
+  total_energy += result.total_energy;
+}
+
+std::string counters_csv_header() {
+  return "runs,jobs_completed,deadline_misses,context_switches,"
+         "scheduler_invocations,speed_changes,power_downs,dvs_slowdowns,"
+         "run_queue_high_water,delay_queue_high_water,simulated_time,"
+         "total_energy\n";
+}
+
+std::string counters_csv_row(const CounterTotals& totals) {
+  std::ostringstream os;
+  os.precision(12);
+  os << totals.runs << "," << totals.jobs_completed << ","
+     << totals.deadline_misses << "," << totals.context_switches << ","
+     << totals.scheduler_invocations << "," << totals.speed_changes << ","
+     << totals.power_downs << "," << totals.dvs_slowdowns << ","
+     << totals.run_queue_high_water << "," << totals.delay_queue_high_water
+     << "," << totals.simulated_time << "," << totals.total_energy << "\n";
+  return os.str();
+}
+
+AuditAggregator::AuditAggregator(std::string name)
+    : name_(std::move(name)) {}
+
+void AuditAggregator::add(const AuditReport& report,
+                          const core::SimulationResult& result) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.add(result);
+  segments_checked_ += report.segments_checked;
+  jobs_checked_ += report.jobs_checked;
+  plans_checked_ += report.plans_checked;
+  violation_count_ += static_cast<std::int64_t>(report.violations.size());
+  for (const Violation& v : report.violations) {
+    if (samples_.size() >= 32) break;
+    samples_.push_back(v);
+  }
+}
+
+std::int64_t AuditAggregator::runs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.runs;
+}
+
+std::int64_t AuditAggregator::violation_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return violation_count_;
+}
+
+CounterTotals AuditAggregator::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::string AuditAggregator::summary_line() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "audit[" << name_ << "]: " << counters_.runs << " runs, "
+     << segments_checked_ << " segments, " << jobs_checked_ << " jobs, "
+     << plans_checked_ << " plans, " << violation_count_ << " violations";
+  return os.str();
+}
+
+std::string AuditAggregator::write_report() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  io::BenchJsonWriter json(name_, "AUDIT_");
+  json.meta()
+      .set("kind", "audit_report")
+      .set("runs", counters_.runs)
+      .set("segments_checked", segments_checked_)
+      .set("jobs_checked", jobs_checked_)
+      .set("plans_checked", plans_checked_)
+      .set("violations", violation_count_)
+      .set("jobs_completed", counters_.jobs_completed)
+      .set("deadline_misses", counters_.deadline_misses)
+      .set("context_switches", counters_.context_switches)
+      .set("scheduler_invocations", counters_.scheduler_invocations)
+      .set("speed_changes", counters_.speed_changes)
+      .set("power_downs", counters_.power_downs)
+      .set("dvs_slowdowns", counters_.dvs_slowdowns)
+      .set("run_queue_high_water", counters_.run_queue_high_water)
+      .set("delay_queue_high_water", counters_.delay_queue_high_water)
+      .set("simulated_time_us", counters_.simulated_time)
+      .set("total_energy", counters_.total_energy);
+  for (const Violation& v : samples_) {
+    json.add_point()
+        .set("invariant", v.invariant)
+        .set("at_us", v.at)
+        .set("message", v.message);
+  }
+  return json.write();
+}
+
+void AuditAggregator::check() const {
+  std::string detail;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (violation_count_ == 0) return;
+    std::ostringstream os;
+    os << "audit[" << name_ << "] found " << violation_count_
+       << " invariant violation(s) across " << counters_.runs << " runs";
+    for (const Violation& v : samples_) {
+      os << "\n  [" << v.invariant << "] t=" << v.at << ": " << v.message;
+    }
+    detail = os.str();
+  }
+  throw std::runtime_error(detail);
+}
+
+core::SimulationResult simulate(const sched::TaskSet& tasks,
+                                const power::ProcessorConfig& processor,
+                                const core::SchedulerPolicy& policy,
+                                const exec::ExecModelPtr& exec_model,
+                                const core::EngineOptions& options,
+                                AuditAggregator* aggregator) {
+  if (!enabled()) {
+    return core::simulate(tasks, processor, policy, exec_model, options);
+  }
+  core::EngineOptions audited = options;
+  audited.record_trace = true;
+  core::SimulationResult result =
+      core::simulate(tasks, processor, policy, exec_model, audited);
+  const AuditReport report =
+      audit_run(result, tasks, processor, derive_options(policy, options));
+  if (aggregator != nullptr) {
+    aggregator->add(report, result);
+  } else if (!report.ok()) {
+    throw std::runtime_error("trace audit failed for policy '" +
+                             policy.name + "': " + report.to_string());
+  }
+  if (!options.record_trace) result.trace.reset();
+  return result;
+}
+
+double normalized_power(const sched::TaskSet& tasks,
+                        const power::ProcessorConfig& processor,
+                        const core::SchedulerPolicy& policy,
+                        const exec::ExecModelPtr& exec_model,
+                        const core::EngineOptions& options,
+                        AuditAggregator* aggregator) {
+  const core::SimulationResult fps =
+      simulate(tasks, processor, core::SchedulerPolicy::fps(), exec_model,
+               options, aggregator);
+  const core::SimulationResult other =
+      simulate(tasks, processor, policy, exec_model, options, aggregator);
+  if (!(fps.average_power > 0.0)) {
+    throw std::logic_error("normalized_power: FPS baseline drew no power");
+  }
+  return other.average_power / fps.average_power;
+}
+
+}  // namespace lpfps::audit

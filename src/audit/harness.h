@@ -1,0 +1,110 @@
+// Default-on audit wiring for benches and sweeps.
+//
+// audit::simulate is a drop-in for core::simulate that records a trace,
+// runs the full audit_run battery on it, and throws (or feeds a shared
+// AuditAggregator) on any violation — so every bench is a self-verifying
+// experiment.  The auditor is on by default and opt-out via the
+// LPFPS_AUDIT environment variable ("0"/"off"/"false" disables it); with
+// it off, audit::simulate is exactly core::simulate.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+#include "core/engine.h"
+
+namespace lpfps::audit {
+
+/// True unless LPFPS_AUDIT is "0", "off" or "false" (re-read per call so
+/// tests can toggle it).
+bool enabled();
+
+/// Audit options matching how the engine was configured: the policy's
+/// static base ratio, the miss contract, and the checks that release
+/// jitter or context-switch overhead legitimately invalidate.
+AuditOptions derive_options(const core::SchedulerPolicy& policy,
+                            const core::EngineOptions& options);
+
+/// Order-independent counter aggregation across a batch of runs (the
+/// runtime-counter side of the observability layer).
+struct CounterTotals {
+  std::int64_t runs = 0;
+  std::int64_t jobs_completed = 0;
+  std::int64_t deadline_misses = 0;
+  std::int64_t context_switches = 0;
+  std::int64_t scheduler_invocations = 0;
+  std::int64_t speed_changes = 0;
+  std::int64_t power_downs = 0;
+  std::int64_t dvs_slowdowns = 0;
+  std::int64_t run_queue_high_water = 0;    ///< Max across runs.
+  std::int64_t delay_queue_high_water = 0;  ///< Max across runs.
+  Time simulated_time = 0.0;
+  Energy total_energy = 0.0;
+
+  void add(const core::SimulationResult& result);
+};
+
+/// CSV row for a CounterTotals (the audit report's CSV form).
+std::string counters_csv_header();
+std::string counters_csv_row(const CounterTotals& totals);
+
+/// Thread-safe collector for audited batches: accumulates counters and
+/// violations across parallel runs, prints one deterministic summary
+/// line, and writes an AUDIT_<name>.json report next to the BENCH json.
+class AuditAggregator {
+ public:
+  explicit AuditAggregator(std::string name);
+
+  /// Folds one audited run in.  Safe to call from run_batch workers.
+  void add(const AuditReport& report, const core::SimulationResult& result);
+
+  std::int64_t runs() const;
+  std::int64_t violation_count() const;
+  CounterTotals counters() const;
+
+  /// One line, bit-identical for any LPFPS_JOBS (sums and maxes only),
+  /// e.g. "audit[random_tasksets]: 360 runs, ... 0 violations".
+  std::string summary_line() const;
+
+  /// Writes AUDIT_<name>.json (schema in docs/OBSERVABILITY.md) into
+  /// LPFPS_BENCH_JSON_DIR or the working directory; returns the path.
+  std::string write_report() const;
+
+  /// Throws std::runtime_error if any violation was recorded.
+  void check() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::string name_;
+  CounterTotals counters_;
+  std::int64_t segments_checked_ = 0;
+  std::int64_t jobs_checked_ = 0;
+  std::int64_t plans_checked_ = 0;
+  std::int64_t violation_count_ = 0;
+  std::vector<Violation> samples_;  ///< First few violations, for reports.
+};
+
+/// core::simulate + default-on audit.  Forces a recorded trace while the
+/// audit is enabled, audits it, then drops the trace again unless the
+/// caller asked for it.  On a violation: throws std::runtime_error, or
+/// records into `aggregator` when one is supplied (batch mode — the
+/// caller invokes aggregator->check() after the batch).
+core::SimulationResult simulate(const sched::TaskSet& tasks,
+                                const power::ProcessorConfig& processor,
+                                const core::SchedulerPolicy& policy,
+                                const exec::ExecModelPtr& exec_model,
+                                const core::EngineOptions& options,
+                                AuditAggregator* aggregator = nullptr);
+
+/// core::normalized_power with both runs audited.
+double normalized_power(const sched::TaskSet& tasks,
+                        const power::ProcessorConfig& processor,
+                        const core::SchedulerPolicy& policy,
+                        const exec::ExecModelPtr& exec_model,
+                        const core::EngineOptions& options,
+                        AuditAggregator* aggregator = nullptr);
+
+}  // namespace lpfps::audit

@@ -145,8 +145,22 @@ class Simulation {
   int scheduler_invocations_ = 0;
   int speed_changes_ = 0;
   int power_downs_ = 0;
+  int dvs_slowdowns_ = 0;
+  int run_queue_high_water_ = 0;
+  int delay_queue_high_water_ = 0;
   double running_ratio_integral_ = 0.0;
   Time running_time_ = 0.0;
+
+  /// Samples the queue depths for the high-water counters; called at
+  /// every scheduler-invocation exit (the only points where the queues
+  /// change).  The ready depth counts the dispatched task too.
+  void sample_queue_depths() {
+    const int ready = static_cast<int>(run_queue_.size()) +
+                      (active_ != kNoTask ? 1 : 0);
+    run_queue_high_water_ = std::max(run_queue_high_water_, ready);
+    delay_queue_high_water_ = std::max(
+        delay_queue_high_water_, static_cast<int>(delay_queue_.size()));
+  }
 };
 
 void Simulation::start_job(TaskIndex index) {
@@ -226,6 +240,7 @@ void Simulation::try_slowdown() {
   ramp_target_ = quantized;
   reinvoke_after_ramp_ = false;
   ++speed_changes_;
+  ++dvs_slowdowns_;
   plan_active_ = true;
   plan_up_started_ = false;
   plan_rampup_start_ = up_start;
@@ -321,10 +336,12 @@ void Simulation::invoke_scheduler() {
     state_ = CpuState::kRunning;
     shutdown_at_ = kNever;
     if (run_queue_.empty() && policy_.uses_dvs()) try_slowdown();
+    sample_queue_depths();
     return;
   }
 
   state_ = CpuState::kIdle;
+  sample_queue_depths();
   if (delay_queue_.empty()) return;  // No future work at all.
   switch (policy_.idle) {
     case IdleMethod::kBusyWait:
@@ -645,6 +662,9 @@ SimulationResult Simulation::run() {
   result.scheduler_invocations = scheduler_invocations_;
   result.speed_changes = speed_changes_;
   result.power_downs = power_downs_;
+  result.dvs_slowdowns = dvs_slowdowns_;
+  result.run_queue_high_water = run_queue_high_water_;
+  result.delay_queue_high_water = delay_queue_high_water_;
   result.mean_running_ratio =
       running_time_ > 0.0 ? running_ratio_integral_ / running_time_ : 1.0;
   result.per_task = per_task_;

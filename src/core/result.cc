@@ -17,6 +17,9 @@ std::string SimulationResult::summary() const {
      << "context switches  : " << context_switches << "\n"
      << "speed changes     : " << speed_changes << "\n"
      << "power-down entries: " << power_downs << "\n"
+     << "DVS slowdowns     : " << dvs_slowdowns << "\n"
+     << "queue high water  : run " << run_queue_high_water << ", delay "
+     << delay_queue_high_water << "\n"
      << "mean running ratio: " << mean_running_ratio << "\n";
   static constexpr const char* kModeNames[5] = {
       "run", "idle-nop", "power-down", "wake-up", "ramping"};

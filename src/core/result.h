@@ -28,6 +28,12 @@ struct SimulationResult {
   int scheduler_invocations = 0;
   int speed_changes = 0;  ///< Ramp initiations (down or up).
   int power_downs = 0;    ///< Power-down mode entries.
+  int dvs_slowdowns = 0;  ///< DVS slowdown plans activated (L16-L20).
+  /// Deepest the ready set ever got (run queue + active task) — how much
+  /// simultaneous released work the scheduler had to juggle.
+  int run_queue_high_water = 0;
+  /// Deepest the delay queue ever got at a scheduler invocation.
+  int delay_queue_high_water = 0;
 
   /// Time-weighted mean speed ratio while executing task work.
   double mean_running_ratio = 1.0;

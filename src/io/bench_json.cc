@@ -94,8 +94,9 @@ void JsonObject::append_to(std::string& out) const {
   out.push_back('}');
 }
 
-BenchJsonWriter::BenchJsonWriter(std::string bench_name)
-    : name_(std::move(bench_name)) {}
+BenchJsonWriter::BenchJsonWriter(std::string bench_name,
+                                 std::string file_prefix)
+    : name_(std::move(bench_name)), file_prefix_(std::move(file_prefix)) {}
 
 JsonObject& BenchJsonWriter::add_point() {
   points_.emplace_back();
@@ -128,7 +129,7 @@ std::string BenchJsonWriter::write() const {
     path = dir;
     if (!path.empty() && path.back() != '/') path.push_back('/');
   }
-  path += "BENCH_" + name_ + ".json";
+  path += file_prefix_ + name_ + ".json";
 
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {

@@ -59,7 +59,10 @@ class JsonObject {
 /// Accumulates one bench's record and serializes/writes it.
 class BenchJsonWriter {
  public:
-  explicit BenchJsonWriter(std::string bench_name);
+  /// `file_prefix` selects the record family: "BENCH_" (default) for
+  /// bench results, "AUDIT_" for audit reports (see audit/harness.h).
+  explicit BenchJsonWriter(std::string bench_name,
+                           std::string file_prefix = "BENCH_");
 
   /// Bench-wide parameters (base seed, horizon, set counts, ...).
   JsonObject& meta() { return meta_; }
@@ -83,6 +86,7 @@ class BenchJsonWriter {
 
  private:
   std::string name_;
+  std::string file_prefix_;
   double wall_time_seconds_ = 0.0;
   std::int64_t jobs_ = 1;
   JsonObject meta_;

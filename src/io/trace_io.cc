@@ -47,8 +47,9 @@ std::string trace_jobs_csv(const sim::Trace& trace,
 
 std::string result_csv_header() {
   return "policy,simulated_time,total_energy,average_power,jobs_completed,"
-         "deadline_misses,context_switches,speed_changes,power_downs,"
-         "mean_running_ratio\n";
+         "deadline_misses,context_switches,scheduler_invocations,"
+         "speed_changes,power_downs,dvs_slowdowns,run_queue_high_water,"
+         "delay_queue_high_water,mean_running_ratio\n";
 }
 
 std::string result_csv_row(const core::SimulationResult& result) {
@@ -57,8 +58,11 @@ std::string result_csv_row(const core::SimulationResult& result) {
   os << result.policy_name << "," << result.simulated_time << ","
      << result.total_energy << "," << result.average_power << ","
      << result.jobs_completed << "," << result.deadline_misses << ","
-     << result.context_switches << "," << result.speed_changes << ","
-     << result.power_downs << "," << result.mean_running_ratio << "\n";
+     << result.context_switches << "," << result.scheduler_invocations << ","
+     << result.speed_changes << "," << result.power_downs << ","
+     << result.dvs_slowdowns << "," << result.run_queue_high_water << ","
+     << result.delay_queue_high_water << "," << result.mean_running_ratio
+     << "\n";
   return os.str();
 }
 

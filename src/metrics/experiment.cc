@@ -1,5 +1,6 @@
 #include "metrics/experiment.h"
 
+#include "audit/harness.h"
 #include "common/check.h"
 #include "exec/exec_model.h"
 #include "metrics/stats.h"
@@ -60,9 +61,11 @@ std::vector<SweepPoint> run_bcet_sweep(const sched::TaskSet& tasks,
         core::EngineOptions options;
         options.horizon = config.horizon;
         options.seed = job.seed;
-        return core::simulate(*job.tasks, cpu, *job.policy,
-                              job.use_exec_model ? exec_model : nullptr,
-                              options)
+        // Audited by default (LPFPS_AUDIT=0 opts out): every sweep cell
+        // is trace-verified before its power number enters a figure.
+        return audit::simulate(*job.tasks, cpu, *job.policy,
+                               job.use_exec_model ? exec_model : nullptr,
+                               options)
             .average_power;
       });
 

@@ -47,8 +47,11 @@ MulticoreResult simulate_partitioned(const sched::TaskSet& tasks,
         core::EngineOptions core_options = options;
         core_options.seed = runner::derive_seed(options.seed, index);
         const sched::TaskSet subset = core_task_set(tasks, members);
-        return core::simulate(subset, cpu, policy, exec_model,
-                              core_options);
+        // Default-on trace audit: a violation on any core throws the
+        // whole batch (partitioned results are only as trustworthy as
+        // their weakest core).
+        return audit::simulate(subset, cpu, policy, exec_model,
+                               core_options);
       });
 
   MulticoreResult result;
@@ -56,6 +59,7 @@ MulticoreResult simulate_partitioned(const sched::TaskSet& tasks,
     result.total_energy += run.total_energy;
     result.deadline_misses += run.deadline_misses;
     result.jobs_completed += run.jobs_completed;
+    if (run.scheduler_invocations > 0) result.counters.add(run);
     result.per_core.push_back(std::move(run));
   }
   result.mean_core_power =

@@ -18,6 +18,7 @@ void EnergyAccumulator::charge(sim::ProcessorMode mode, Time duration,
   auto& slot = by_mode_[static_cast<std::size_t>(mode)];
   slot.time += duration;
   slot.energy += energy;
+  ++slot.intervals;
 }
 
 void EnergyAccumulator::add_run(Time duration, Ratio ratio) {

@@ -19,6 +19,10 @@ namespace lpfps::power {
 struct ModeTotals {
   Energy energy = 0.0;
   Time time = 0.0;
+  /// Charged intervals folded into this slot — the observability
+  /// layer's per-mode event counter (e.g. how many distinct run bursts
+  /// the accumulator saw, before trace-level merging).
+  std::int64_t intervals = 0;
 };
 
 class EnergyAccumulator {

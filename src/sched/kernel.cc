@@ -1,5 +1,6 @@
 #include "sched/kernel.h"
 
+#include <algorithm>
 #include <limits>
 #include <vector>
 
@@ -88,6 +89,10 @@ KernelResult FixedPriorityKernel::run(Time horizon) {
         ++result.context_switches;
       }
     }
+    const int ready = static_cast<int>(run_queue.size()) +
+                      (active != kNoTask ? 1 : 0);
+    result.run_queue_high_water =
+        std::max(result.run_queue_high_water, ready);
     if (hook_) {
       QueueSnapshot snapshot;
       snapshot.time = now;

@@ -28,6 +28,8 @@ struct KernelResult {
   int context_switches = 0;   ///< Preemptive switches (paper's sense).
   int scheduler_invocations = 0;
   int deadline_misses = 0;
+  /// Deepest the ready set ever got (run queue + running task).
+  int run_queue_high_water = 0;
 };
 
 class FixedPriorityKernel {

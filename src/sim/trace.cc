@@ -48,6 +48,14 @@ void Trace::add_segment(const Segment& segment) {
 
 void Trace::add_job(const JobRecord& job) { jobs_.push_back(job); }
 
+Trace Trace::unchecked(std::vector<Segment> segments,
+                       std::vector<JobRecord> jobs) {
+  Trace trace;
+  trace.segments_ = std::move(segments);
+  trace.jobs_ = std::move(jobs);
+  return trace;
+}
+
 Time Trace::time_in_mode(ProcessorMode mode) const {
   Time total = 0.0;
   for (const Segment& s : segments_) {

@@ -64,6 +64,12 @@ class Trace {
 
   void add_job(const JobRecord& job);
 
+  /// Builds a trace verbatim, bypassing add_segment's contiguity and
+  /// merge rules.  For tests that need deliberately corrupt timelines
+  /// (the audit layer's adversarial cases); never used by simulators.
+  static Trace unchecked(std::vector<Segment> segments,
+                         std::vector<JobRecord> jobs);
+
   const std::vector<Segment>& segments() const { return segments_; }
   const std::vector<JobRecord>& jobs() const { return jobs_; }
 

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace lpfps::io {
@@ -77,6 +78,36 @@ TEST(BenchJsonWriter, WritesToTheConfiguredDirectory) {
   contents << in.rdbuf();
   EXPECT_EQ(contents.str(), writer.to_json());
   std::remove(path.c_str());
+}
+
+TEST(BenchJsonWriter, SupportsTheAuditFilePrefix) {
+  ASSERT_EQ(setenv("LPFPS_BENCH_JSON_DIR", "/tmp", 1), 0);
+  BenchJsonWriter writer("audit_prefix_unit", "AUDIT_");
+  writer.meta().set("kind", "audit_report").set("violations", 0);
+  const std::string path = writer.write();
+  ASSERT_EQ(unsetenv("LPFPS_BENCH_JSON_DIR"), 0);
+
+  EXPECT_EQ(path, "/tmp/AUDIT_audit_prefix_unit.json");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream contents;
+  contents << in.rdbuf();
+  // Same schema as BENCH files (the validators are shared); only the
+  // file prefix differs.
+  EXPECT_NE(contents.str().find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(contents.str().find("\"kind\":\"audit_report\""),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JsonObject, PreservesNanAsNullInPoints) {
+  // Infeasible cells travel as NaN and must serialize as JSON null —
+  // downstream validators key on this, so lock it in.
+  JsonObject object;
+  object.set("static", std::numeric_limits<double>::quiet_NaN());
+  std::string out;
+  object.append_to(out);
+  EXPECT_EQ(out, "{\"static\":null}");
 }
 
 TEST(WallTimer, MeasuresForwardTime) {

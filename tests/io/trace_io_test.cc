@@ -73,5 +73,19 @@ TEST(ResultCsv, HeaderAndRowAgreeOnColumnCount) {
   EXPECT_NE(row.find("LPFPS"), std::string::npos);
 }
 
+TEST(ResultCsv, CarriesTheObservabilityCounters) {
+  const std::string header = result_csv_header();
+  EXPECT_NE(header.find("dvs_slowdowns"), std::string::npos);
+  EXPECT_NE(header.find("run_queue_high_water"), std::string::npos);
+  EXPECT_NE(header.find("delay_queue_high_water"), std::string::npos);
+
+  core::SimulationResult result;
+  result.policy_name = "X";
+  result.dvs_slowdowns = 17;
+  result.run_queue_high_water = 4;
+  result.delay_queue_high_water = 9;
+  EXPECT_NE(result_csv_row(result).find(",17,4,9,"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace lpfps::io
