@@ -1,0 +1,293 @@
+// Kernel-throughput baseline — the perf trajectory's yardstick.
+//
+// Drives every registered workload (Table 2) under every parameterless
+// engine policy plus synthetic 50/100-task UUniFast sets for fixed
+// simulated horizons, and reports raw simulation throughput: scheduler
+// events per wall-clock second and nanoseconds per event.  A third
+// section stresses sim::EventQueue directly with the random
+// push/cancel/pop mix the engine's tentative-completion pattern
+// produces, so queue-level changes are visible in isolation.
+//
+// Emits BENCH_kernel_throughput.json; CI's perf-smoke job diffs the
+// events/sec columns against bench/baseline_kernel_throughput.json and
+// fails on a >25% regression (see docs/PERFORMANCE.md for the
+// tolerance rationale and how to refresh the baseline).
+//
+// Timing methodology: each point is run once to size a repetition count
+// that fills ~kMinWall of wall time, then re-run that many times under
+// one timer — robust against clock granularity without letting the
+// bench crawl in Debug/sanitizer smoke runs, where a single run is
+// slower and the rep count shrinks automatically.  With LPFPS_AUDIT=1
+// each engine point additionally runs once through audit::simulate
+// (untimed) so the throughput numbers stay tied to a verified schedule.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/harness.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "exec/exec_model.h"
+#include "io/bench_json.h"
+#include "sched/analysis.h"
+#include "sim/event_queue.h"
+#include "workloads/generator.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace lpfps;
+
+constexpr double kMinWall = 0.1;  ///< Seconds of timed work per point.
+
+struct Throughput {
+  std::int64_t events_per_run = 0;
+  int reps = 1;
+  double wall_seconds = 0.0;
+
+  std::int64_t total_events() const { return events_per_run * reps; }
+  double events_per_sec() const {
+    return wall_seconds > 0.0 ? total_events() / wall_seconds : 0.0;
+  }
+  double ns_per_event() const {
+    return total_events() > 0 ? wall_seconds * 1e9 / total_events() : 0.0;
+  }
+};
+
+/// Times `run_once` (returning its event count, which must be identical
+/// across calls — simulations are deterministic) with an adaptive
+/// repetition count.
+template <typename Fn>
+Throughput measure(Fn run_once) {
+  Throughput t;
+  const io::WallTimer probe;
+  t.events_per_run = run_once();
+  const double once = probe.seconds();
+  t.reps = once < kMinWall
+               ? static_cast<int>(std::ceil(kMinWall / (once > 1e-6 ? once : 1e-6)))
+               : 1;
+  const io::WallTimer timer;
+  for (int i = 0; i < t.reps; ++i) {
+    const std::int64_t events = run_once();
+    if (events != t.events_per_run) {
+      std::fprintf(stderr, "non-deterministic event count: %lld vs %lld\n",
+                   static_cast<long long>(events),
+                   static_cast<long long>(t.events_per_run));
+      std::abort();
+    }
+  }
+  t.wall_seconds = timer.seconds();
+  return t;
+}
+
+void print_row(const std::string& section, const std::string& name,
+               const std::string& policy, const Throughput& t) {
+  std::printf("%-12s %-16s %-18s %10lld %5d %8.3f %14.0f %10.1f\n",
+              section.c_str(), name.c_str(), policy.c_str(),
+              static_cast<long long>(t.total_events()), t.reps,
+              t.wall_seconds, t.events_per_sec(), t.ns_per_event());
+}
+
+void add_point(io::BenchJsonWriter& json, const std::string& section,
+               const std::string& name, const std::string& policy,
+               const Throughput& t) {
+  json.add_point()
+      .set("section", section)
+      .set("name", name)
+      .set("policy", policy)
+      .set("events", t.total_events())
+      .set("reps", t.reps)
+      .set("wall_seconds", t.wall_seconds)
+      .set("events_per_sec", t.events_per_sec())
+      .set("ns_per_event", t.ns_per_event());
+}
+
+std::vector<core::SchedulerPolicy> bench_policies() {
+  return {
+      core::SchedulerPolicy::fps(),
+      core::SchedulerPolicy::fps_timeout_shutdown(500.0),
+      core::SchedulerPolicy::lpfps(),
+      core::SchedulerPolicy::lpfps_optimal(),
+      core::SchedulerPolicy::lpfps_powerdown_only(),
+      core::SchedulerPolicy::lpfps_dvs_only(),
+  };
+}
+
+/// Pre-drawn randomness for the event-queue stress, generated outside
+/// the timed region so the measurement is queue cost, not mt19937 cost.
+/// One row per op: the op selector, a push time offset, a push priority,
+/// and a raw pick index (reduced modulo the live pool size at use time).
+struct OpTape {
+  std::vector<double> selector;
+  std::vector<double> time_offset;
+  std::vector<std::int32_t> priority;
+  std::vector<std::uint32_t> pick;
+};
+
+OpTape make_op_tape(std::uint64_t seed, int op_budget) {
+  Rng rng(seed);
+  OpTape tape;
+  tape.selector.reserve(static_cast<std::size_t>(op_budget));
+  tape.time_offset.reserve(static_cast<std::size_t>(op_budget));
+  tape.priority.reserve(static_cast<std::size_t>(op_budget));
+  tape.pick.reserve(static_cast<std::size_t>(op_budget));
+  for (int i = 0; i < op_budget; ++i) {
+    tape.selector.push_back(rng.uniform(0.0, 1.0));
+    tape.time_offset.push_back(rng.uniform(0.0, 100.0));
+    tape.priority.push_back(
+        static_cast<std::int32_t>(rng.uniform_int(0, 3)));
+    tape.pick.push_back(static_cast<std::uint32_t>(
+        rng.uniform_int(0, 0x7fffffff)));
+  }
+  return tape;
+}
+
+/// The engine's event pattern against the queue in isolation: pushes of
+/// releases and tentative completions, cancellations of stale
+/// completions, pops in time order, at a *stationary* queue depth —
+/// the engine keeps only a handful of pending events (one release per
+/// task, a tentative completion, a ramp, the end marker), so the
+/// representative regime is a bounded heap, not unbounded growth.  The
+/// mix refills below depth_cap/2 and drains above it, oscillating
+/// around half-full.  Returns the op count (constant for a given tape,
+/// so `measure` can check determinism — the branch taken per step
+/// depends only on the tape and the queue's observable state, which any
+/// correct implementation reproduces identically).
+std::int64_t run_event_queue_mix(const OpTape& tape,
+                                 std::size_t depth_cap) {
+  sim::EventQueue queue;
+  queue.reserve(depth_cap + 1);
+  std::vector<sim::EventId> cancellable;
+  Time now = 0.0;
+  std::int64_t ops = 0;
+  const int op_budget = static_cast<int>(tape.selector.size());
+  for (int i = 0; i < op_budget; ++i) {
+    const double r = tape.selector[static_cast<std::size_t>(i)];
+    if (queue.size() < depth_cap / 2 ||
+        (r < 0.45 && queue.size() < depth_cap)) {
+      sim::Event event;
+      event.time = now + tape.time_offset[static_cast<std::size_t>(i)];
+      event.kind = sim::EventKind::kCompletion;
+      event.payload = static_cast<std::int32_t>(i & 0xff);
+      event.priority = tape.priority[static_cast<std::size_t>(i)];
+      cancellable.push_back(queue.push(event));
+      // The engine holds at most a handful of cancellable ids at a
+      // time; a bounded pool keeps cancel() hitting both live and
+      // already-popped ids, like stale tentative completions do.
+      if (cancellable.size() > 64) {
+        cancellable.erase(cancellable.begin(),
+                          cancellable.begin() + 32);
+      }
+    } else if (r < 0.70 && !cancellable.empty()) {
+      const std::size_t pick =
+          tape.pick[static_cast<std::size_t>(i)] % cancellable.size();
+      queue.cancel(cancellable[pick]);
+      cancellable[pick] = cancellable.back();
+      cancellable.pop_back();
+    } else if (!queue.empty()) {
+      const sim::Event event = queue.pop();
+      if (event.time > now) now = event.time;
+    }
+    ++ops;
+  }
+  while (!queue.empty()) {
+    queue.pop();
+    ++ops;
+  }
+  return ops;
+}
+
+}  // namespace
+
+int main() {
+  const io::WallTimer total;
+  io::BenchJsonWriter json("kernel_throughput");
+  audit::AuditAggregator agg("kernel_throughput");
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+  const std::uint64_t kSeed = 7;
+  const Time kHorizonCap = 1e6;
+  json.meta()
+      .set("seed", kSeed)
+      .set("horizon_cap_us", kHorizonCap)
+      .set("min_wall_seconds", kMinWall)
+      .set("audited", audit::enabled());
+
+  std::printf("%-12s %-16s %-18s %10s %5s %8s %14s %10s\n", "section",
+              "name", "policy", "events", "reps", "wall_s", "events/sec",
+              "ns/event");
+
+  // ---- Section 1: the paper's registered workloads. --------------------
+  for (const workloads::Workload& w : workloads::paper_workloads()) {
+    const sched::TaskSet tasks = w.tasks.with_bcet_ratio(0.5);
+    core::EngineOptions options;
+    options.horizon = std::min(w.horizon, kHorizonCap);
+    options.seed = kSeed;
+    for (const core::SchedulerPolicy& policy : bench_policies()) {
+      if (audit::enabled()) {
+        (void)audit::simulate(tasks, cpu, policy, exec, options, &agg);
+      }
+      const Throughput t = measure([&] {
+        const core::SimulationResult result =
+            core::simulate(tasks, cpu, policy, exec, options);
+        return static_cast<std::int64_t>(result.scheduler_invocations);
+      });
+      print_row("workload", w.name, policy.name, t);
+      add_point(json, "workload", w.name, policy.name, t);
+    }
+  }
+
+  // ---- Section 2: synthetic 50/100-task UUniFast sets. -----------------
+  for (const int task_count : {50, 100}) {
+    workloads::GeneratorConfig config;
+    config.task_count = task_count;
+    config.total_utilization = 0.5;
+    config.bcet_ratio = 0.5;
+    Rng rng(2024);
+    sched::TaskSet tasks = workloads::generate_task_set(config, rng);
+    while (!sched::is_schedulable_rta(tasks)) {
+      tasks = workloads::generate_task_set(config, rng);
+    }
+    core::EngineOptions options;
+    options.horizon = kHorizonCap;
+    options.seed = kSeed;
+    const std::string name = "uunifast-" + std::to_string(task_count);
+    for (const core::SchedulerPolicy& policy :
+         {core::SchedulerPolicy::fps(), core::SchedulerPolicy::lpfps()}) {
+      if (audit::enabled()) {
+        (void)audit::simulate(tasks, cpu, policy, exec, options, &agg);
+      }
+      const Throughput t = measure([&] {
+        const core::SimulationResult result =
+            core::simulate(tasks, cpu, policy, exec, options);
+        return static_cast<std::int64_t>(result.scheduler_invocations);
+      });
+      print_row("synthetic", name, policy.name, t);
+      add_point(json, "synthetic", name, policy.name, t);
+    }
+  }
+
+  // ---- Section 3: the event queue in isolation. ------------------------
+  // Two stationary depth regimes: engine-like (tens of pending events)
+  // and a deep-heap stress.  400k tape ops each.
+  for (const std::size_t depth : {std::size_t{64}, std::size_t{8192}}) {
+    const OpTape tape = make_op_tape(42, 400000);
+    const Throughput t =
+        measure([&tape, depth] { return run_event_queue_mix(tape, depth); });
+    const std::string name = "mix-depth-" + std::to_string(depth);
+    print_row("event_queue", name, "-", t);
+    add_point(json, "event_queue", name, "-", t);
+  }
+
+  if (audit::enabled()) {
+    std::printf("%s\n", agg.summary_line().c_str());
+    agg.write_report();
+    agg.check();
+  }
+  json.set_wall_time_seconds(total.seconds());
+  const std::string path = json.write();
+  if (!path.empty()) std::printf("bench json: %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fail when kernel throughput regresses against the checked-in baseline.
+
+Compares the events/sec of every point in a fresh BENCH_kernel_throughput.json
+against bench/baseline_kernel_throughput.json, keyed by (section, name,
+policy).  A point is a regression when it runs at less than (1 - tolerance)
+of its baseline throughput; the default tolerance of 25% absorbs
+runner-to-runner hardware variance (see docs/PERFORMANCE.md for the
+rationale and for how to refresh the baseline after an intentional change).
+
+Usage: check_perf_regression.py CURRENT BASELINE [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_points(path):
+    with open(path) as fh:
+        record = json.load(fh)
+    points = {}
+    for point in record["points"]:
+        key = (point["section"], point["name"], point["policy"])
+        points[key] = float(point["events_per_sec"])
+    return points
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced bench JSON")
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    args = parser.parse_args()
+
+    current = load_points(args.current)
+    baseline = load_points(args.baseline)
+
+    failures = []
+    for key, base_eps in sorted(baseline.items()):
+        label = "/".join(key)
+        cur_eps = current.get(key)
+        if cur_eps is None:
+            failures.append(f"{label}: missing from current run")
+            continue
+        floor = base_eps * (1.0 - args.tolerance)
+        ratio = cur_eps / base_eps if base_eps > 0 else float("inf")
+        status = "FAIL" if cur_eps < floor else "ok"
+        print(f"{status:4} {label:60} {cur_eps:14.0f} ev/s "
+              f"(baseline {base_eps:14.0f}, x{ratio:.2f})")
+        if cur_eps < floor:
+            failures.append(
+                f"{label}: {cur_eps:.0f} ev/s < {floor:.0f} "
+                f"(baseline {base_eps:.0f} - {args.tolerance:.0%})")
+
+    for key in sorted(set(current) - set(baseline)):
+        print(f"new  {'/'.join(key):60} {current[key]:14.0f} ev/s "
+              "(not in baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} perf regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baseline)} baseline points within "
+          f"{args.tolerance:.0%} tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,7 +56,14 @@ class Simulation {
         accumulator_(&power_model_),
         jobs_(tasks.size()),
         next_instance_(tasks.size(), 0),
-        per_task_(tasks.size()) {}
+        per_task_(tasks.size()) {
+    // Size every per-task buffer up front: each queue holds at most one
+    // entry per task, so after this nothing in the scheduling hot path
+    // allocates.
+    run_queue_.reserve(tasks.size());
+    delay_queue_.reserve(tasks.size());
+    staged_.reserve(tasks.size());
+  }
 
   SimulationResult run();
 
@@ -64,6 +71,7 @@ class Simulation {
   // --- scheduling machinery -------------------------------------------
   void start_job(TaskIndex task);
   void invoke_scheduler();
+  void invoke_scheduler_impl();
   void try_slowdown();
   void enter_power_down();
   void finish_active_job();
@@ -279,6 +287,20 @@ void Simulation::enter_power_down() {
 }
 
 void Simulation::invoke_scheduler() {
+  invoke_scheduler_impl();
+  if (options_.invocation_hook) {
+    sched::QueueSnapshot snapshot;
+    snapshot.time = now_;
+    snapshot.run_queue = run_queue_.entries();
+    snapshot.delay_queue = delay_queue_.entries();
+    snapshot.active_task = active_;
+    snapshot.active_executed =
+        active_ == kNoTask ? 0.0 : job(active_).executed;
+    options_.invocation_hook(snapshot);
+  }
+}
+
+void Simulation::invoke_scheduler_impl() {
   ++scheduler_invocations_;
 
   // L1-L4: restore full (base) speed before any decision.
@@ -493,6 +515,20 @@ SimulationResult Simulation::run() {
   base_ratio_ = policy_.static_ratio;
   ratio_ = base_ratio_;
   ramp_target_ = base_ratio_;
+
+  if (options_.record_trace) {
+    // Reserve from the release pattern over the horizon (the horizon is
+    // normally a whole number of hyperperiods): one job record per
+    // released instance, and a few segments per job (run pieces split by
+    // preemptions plus idle/ramp/power-down gaps between them).
+    std::size_t job_hint = 0;
+    for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks_.size()); ++i) {
+      job_hint += static_cast<std::size_t>(
+                      options_.horizon / static_cast<Time>(task(i).period)) +
+                  1;
+    }
+    trace_.reserve(4 * job_hint + 16, job_hint);
+  }
 
   for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks_.size()); ++i) {
     delay_queue_.insert({i, static_cast<Time>(task(i).phase)});

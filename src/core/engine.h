@@ -39,6 +39,7 @@
 #include "core/result.h"
 #include "exec/exec_model.h"
 #include "power/processor.h"
+#include "sched/queues.h"
 #include "sched/task_set.h"
 
 namespace lpfps::core {
@@ -76,6 +77,12 @@ struct EngineOptions {
   /// *down* to a multiple of the granularity (waking early is safe,
   /// late is not), shaving the tail off every power-down interval.
   Time timer_granularity = 0.0;
+  /// Opt-in observer called with a QueueSnapshot after every scheduler
+  /// invocation (the engine-side twin of FixedPriorityKernel's hook).
+  /// Building a snapshot copies both scheduler queues, so the default —
+  /// no hook — keeps the hot path snapshot-free; install one only for
+  /// inspection, debugging, or queue-shape tests.
+  sched::InvocationHook invocation_hook;
 };
 
 class Engine {

@@ -1,7 +1,6 @@
 #include "io/trace_io.h"
 
-#include <iomanip>
-#include <sstream>
+#include <cstdio>
 
 namespace lpfps::io {
 
@@ -15,34 +14,71 @@ std::string task_label(TaskIndex task,
   return std::to_string(task);
 }
 
+/// Appends a double at 12 significant digits — the printf "%g" rules,
+/// identical to what operator<< with setprecision(12) produced before
+/// the exporters moved to preallocated string buffers (the golden
+/// equivalence hashes pin this).
+void append_g12(std::string& out, double value) {
+  char buffer[32];
+  const int written = std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  out.append(buffer, static_cast<std::size_t>(written));
+}
+
+/// Rough per-row text width used to reserve the output buffers up
+/// front; rows are appended in place, so one reservation covers the
+/// whole export.
+constexpr std::size_t kSegmentRowWidth = 64;
+constexpr std::size_t kJobRowWidth = 96;
+
 }  // namespace
 
 std::string trace_segments_csv(const sim::Trace& trace,
                                const std::vector<std::string>& task_names) {
-  std::ostringstream os;
-  os << "begin,end,mode,task,ratio_begin,ratio_end\n";
-  os << std::setprecision(12);
+  std::string out;
+  out.reserve(48 + kSegmentRowWidth * trace.segments().size());
+  out += "begin,end,mode,task,ratio_begin,ratio_end\n";
   for (const sim::Segment& s : trace.segments()) {
-    os << s.begin << "," << s.end << "," << to_string(s.mode) << ","
-       << task_label(s.task, task_names) << "," << s.ratio_begin << ","
-       << s.ratio_end << "\n";
+    append_g12(out, s.begin);
+    out += ',';
+    append_g12(out, s.end);
+    out += ',';
+    out += to_string(s.mode);
+    out += ',';
+    out += task_label(s.task, task_names);
+    out += ',';
+    append_g12(out, s.ratio_begin);
+    out += ',';
+    append_g12(out, s.ratio_end);
+    out += '\n';
   }
-  return os.str();
+  return out;
 }
 
 std::string trace_jobs_csv(const sim::Trace& trace,
                            const std::vector<std::string>& task_names) {
-  std::ostringstream os;
-  os << "task,instance,release,deadline,completion,response,executed,"
-        "missed\n";
-  os << std::setprecision(12);
+  std::string out;
+  out.reserve(64 + kJobRowWidth * trace.jobs().size());
+  out += "task,instance,release,deadline,completion,response,executed,"
+         "missed\n";
   for (const sim::JobRecord& job : trace.jobs()) {
-    os << task_label(job.task, task_names) << "," << job.instance << ","
-       << job.release << "," << job.absolute_deadline << ","
-       << job.completion << "," << job.response_time() << ","
-       << job.executed << "," << (job.missed_deadline ? 1 : 0) << "\n";
+    out += task_label(job.task, task_names);
+    out += ',';
+    out += std::to_string(job.instance);
+    out += ',';
+    append_g12(out, job.release);
+    out += ',';
+    append_g12(out, job.absolute_deadline);
+    out += ',';
+    append_g12(out, job.completion);
+    out += ',';
+    append_g12(out, job.response_time());
+    out += ',';
+    append_g12(out, job.executed);
+    out += ',';
+    out += job.missed_deadline ? '1' : '0';
+    out += '\n';
   }
-  return os.str();
+  return out;
 }
 
 std::string result_csv_header() {
@@ -53,17 +89,37 @@ std::string result_csv_header() {
 }
 
 std::string result_csv_row(const core::SimulationResult& result) {
-  std::ostringstream os;
-  os << std::setprecision(12);
-  os << result.policy_name << "," << result.simulated_time << ","
-     << result.total_energy << "," << result.average_power << ","
-     << result.jobs_completed << "," << result.deadline_misses << ","
-     << result.context_switches << "," << result.scheduler_invocations << ","
-     << result.speed_changes << "," << result.power_downs << ","
-     << result.dvs_slowdowns << "," << result.run_queue_high_water << ","
-     << result.delay_queue_high_water << "," << result.mean_running_ratio
-     << "\n";
-  return os.str();
+  std::string out;
+  out.reserve(160 + result.policy_name.size());
+  out += result.policy_name;
+  out += ',';
+  append_g12(out, result.simulated_time);
+  out += ',';
+  append_g12(out, result.total_energy);
+  out += ',';
+  append_g12(out, result.average_power);
+  out += ',';
+  out += std::to_string(result.jobs_completed);
+  out += ',';
+  out += std::to_string(result.deadline_misses);
+  out += ',';
+  out += std::to_string(result.context_switches);
+  out += ',';
+  out += std::to_string(result.scheduler_invocations);
+  out += ',';
+  out += std::to_string(result.speed_changes);
+  out += ',';
+  out += std::to_string(result.power_downs);
+  out += ',';
+  out += std::to_string(result.dvs_slowdowns);
+  out += ',';
+  out += std::to_string(result.run_queue_high_water);
+  out += ',';
+  out += std::to_string(result.delay_queue_high_water);
+  out += ',';
+  append_g12(out, result.mean_running_ratio);
+  out += '\n';
+  return out;
 }
 
 }  // namespace lpfps::io

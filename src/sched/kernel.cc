@@ -45,8 +45,22 @@ KernelResult FixedPriorityKernel::run(Time horizon) {
   const auto n = static_cast<TaskIndex>(tasks_.size());
   RunQueue run_queue;
   DelayQueue delay_queue;
+  run_queue.reserve(tasks_.size());
+  delay_queue.reserve(tasks_.size());
   std::vector<JobState> jobs(static_cast<std::size_t>(n));
   std::vector<std::int64_t> next_instance(static_cast<std::size_t>(n), 0);
+
+  {
+    // One job record per released instance; segments alternate between
+    // runs (split by preemptions) and idle gaps.
+    std::size_t job_hint = 0;
+    for (TaskIndex i = 0; i < n; ++i) {
+      job_hint += static_cast<std::size_t>(
+                      horizon / static_cast<Time>(tasks_[i].period)) +
+                  1;
+    }
+    result.trace.reserve(4 * job_hint + 16, job_hint);
+  }
 
   for (TaskIndex i = 0; i < n; ++i) {
     delay_queue.insert({i, static_cast<Time>(tasks_[i].phase)});

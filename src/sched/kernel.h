@@ -20,8 +20,8 @@ namespace lpfps::sched {
 /// 0-based instance number.  Must return a value in [BCET, WCET].
 using ExecTimeProvider = std::function<Work(TaskIndex, std::int64_t)>;
 
-/// Observes the scheduler state right after each scheduler invocation.
-using InvocationHook = std::function<void(const QueueSnapshot&)>;
+// InvocationHook (the opt-in QueueSnapshot observer) lives in
+// sched/queues.h next to the snapshot type it delivers.
 
 struct KernelResult {
   sim::Trace trace;

@@ -11,6 +11,7 @@
 // which is what makes exact power-down and safe DVS possible.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -35,6 +36,16 @@ struct DelayEntry {
 /// sets, which require unique priorities) would break by task index.
 class RunQueue {
  public:
+  RunQueue() = default;
+  RunQueue(RunQueue&&) noexcept = default;
+  RunQueue& operator=(RunQueue&&) noexcept = default;
+  RunQueue(const RunQueue&) = default;
+  RunQueue& operator=(const RunQueue&) = default;
+
+  /// Preallocates for `tasks` entries (at most one per task can wait),
+  /// so steady-state scheduling never grows the buffer.
+  void reserve(std::size_t tasks) { entries_.reserve(tasks); }
+
   void insert(RunEntry entry);
 
   /// Highest-priority waiting task.  Precondition: !empty().
@@ -43,12 +54,12 @@ class RunQueue {
   /// Removes and returns the head.  Precondition: !empty().
   RunEntry pop_head();
 
-  bool empty() const { return entries_.empty(); }
-  std::size_t size() const { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
 
   /// Entries in priority order (head first); used by tests that assert
   /// the paper's Figure 3 / Figure 5 queue snapshots.
-  const std::vector<RunEntry>& entries() const { return entries_; }
+  const std::vector<RunEntry>& entries() const noexcept { return entries_; }
 
  private:
   std::vector<RunEntry> entries_;  // Sorted by (priority, task).
@@ -57,6 +68,15 @@ class RunQueue {
 /// Release-time-ordered queue of sleeping tasks.
 class DelayQueue {
  public:
+  DelayQueue() = default;
+  DelayQueue(DelayQueue&&) noexcept = default;
+  DelayQueue& operator=(DelayQueue&&) noexcept = default;
+  DelayQueue(const DelayQueue&) = default;
+  DelayQueue& operator=(const DelayQueue&) = default;
+
+  /// Preallocates for `tasks` entries (one per sleeping task).
+  void reserve(std::size_t tasks) { entries_.reserve(tasks); }
+
   void insert(DelayEntry entry);
 
   /// Earliest-release entry.  Precondition: !empty().
@@ -68,17 +88,19 @@ class DelayQueue {
   /// Release time of the head, or nullopt when empty.
   std::optional<Time> next_release() const;
 
-  bool empty() const { return entries_.empty(); }
-  std::size_t size() const { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
 
   /// Entries in release order (head first).
-  const std::vector<DelayEntry>& entries() const { return entries_; }
+  const std::vector<DelayEntry>& entries() const noexcept { return entries_; }
 
  private:
   std::vector<DelayEntry> entries_;  // Sorted by (release_time, task).
 };
 
 /// A copy of both queues plus the active task, for inspection hooks.
+/// Snapshots are built only when an observer is installed — the hot
+/// path never copies the queues.
 struct QueueSnapshot {
   Time time = 0.0;
   std::vector<RunEntry> run_queue;
@@ -86,5 +108,10 @@ struct QueueSnapshot {
   TaskIndex active_task = kNoTask;
   Work active_executed = 0.0;  ///< E_i of the active task, if any.
 };
+
+/// Observes the scheduler state right after each scheduler invocation.
+/// Opt-in: installing one re-enables the QueueSnapshot copies that the
+/// snapshot-free default path skips.
+using InvocationHook = std::function<void(const QueueSnapshot&)>;
 
 }  // namespace lpfps::sched

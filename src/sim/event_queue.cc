@@ -30,53 +30,114 @@ std::string describe(const Event& event) {
   return os.str();
 }
 
+void EventQueue::reserve(std::size_t events) {
+  heap_.reserve(events);
+  slots_.reserve(events);
+  free_slots_.reserve(events);
+}
+
+void EventQueue::sift_up(std::size_t index, HeapEntry entry) {
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / 4;
+    if (!earlier(entry, heap_[parent])) break;
+    place(index, heap_[parent]);
+    index = parent;
+  }
+  place(index, entry);
+}
+
+void EventQueue::sift_down(std::size_t index, HeapEntry entry) {
+  const std::size_t count = heap_.size();
+  for (;;) {
+    const std::size_t first_child = 4 * index + 1;
+    if (first_child >= count) break;
+    std::size_t best = first_child;
+    const std::size_t last_child =
+        first_child + 4 < count ? first_child + 4 : count;
+    for (std::size_t child = first_child + 1; child < last_child; ++child) {
+      if (earlier(heap_[child], heap_[best])) best = child;
+    }
+    if (!earlier(heap_[best], entry)) break;
+    place(index, heap_[best]);
+    index = best;
+  }
+  place(index, entry);
+}
+
+void EventQueue::erase_at(std::size_t index) {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (index == heap_.size()) return;  // Erased the final key.
+  // The filler may belong above the hole (the hole's subtree and the
+  // filler's origin are unrelated branches) or below it.
+  if (index > 0 && earlier(last, heap_[(index - 1) / 4])) {
+    sift_up(index, last);
+  } else {
+    sift_down(index, last);
+  }
+}
+
+void EventQueue::retire(std::uint32_t slot) {
+  slots_[slot].live = false;
+  ++slots_[slot].generation;
+  free_slots_.push_back(slot);
+}
+
 EventId EventQueue::push(const Event& event) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{event, id, next_sequence_++});
-  in_heap_.insert(id);
-  ++live_count_;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Slot{});
+  }
+  slots_[slot].event = event;
+  slots_[slot].live = true;
+  // The id is issued against the slot's *current* generation; retire()
+  // bumps it when the entry leaves the heap, so this id goes stale.
+  const EventId id =
+      (static_cast<EventId>(slots_[slot].generation) << 32) |
+      static_cast<EventId>(slot);
+  heap_.push_back(HeapEntry{event.time, next_sequence_++, slot,
+                            event.priority});
+  sift_up(heap_.size() - 1, heap_.back());
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  LPFPS_CHECK(id != 0 && id < next_id_);
-  // Cancelling an id that was already popped (or already cancelled) is a
-  // benign no-op: the engine may race a completion against its own
-  // delivery.
-  if (in_heap_.erase(id) == 0) return false;
-  cancelled_.insert(id);
-  --live_count_;
-  return true;
-}
-
-bool EventQueue::empty() const { return live_count_ == 0; }
-
-void EventQueue::skim() const {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  // An id whose slot was never allocated, or whose generation lies in
+  // the slot's future, was never issued by push(): that is a caller bug,
+  // not a benign race of a completion against its own delivery.
+  LPFPS_CHECK_MSG(slot < slots_.size() &&
+                      generation <= slots_[slot].generation,
+                  "cancel of an EventId that was never issued");
+  if (generation != slots_[slot].generation || !slots_[slot].live) {
+    return false;  // Already popped or cancelled; benign no-op.
   }
+  const std::uint32_t position = slots_[slot].heap_pos;
+  retire(slot);
+  erase_at(position);
+  return true;
 }
 
 Time EventQueue::next_time() const { return peek().time; }
 
 const Event& EventQueue::peek() const {
   LPFPS_CHECK(!empty());
-  skim();
-  LPFPS_CHECK(!heap_.empty());
-  return heap_.top().event;
+  // Eager cancellation: every key in the heap is live, so the head is
+  // always the next deliverable event.
+  return slots_[heap_.front().slot].event;
 }
 
 Event EventQueue::pop() {
   LPFPS_CHECK(!empty());
-  skim();
-  LPFPS_CHECK(!heap_.empty());
-  const Event event = heap_.top().event;
-  in_heap_.erase(heap_.top().id);
-  heap_.pop();
-  --live_count_;
+  const std::uint32_t slot = heap_.front().slot;
+  const Event event = slots_[slot].event;
+  retire(slot);
+  erase_at(0);
   return event;
 }
 

@@ -4,39 +4,63 @@
 // ascending Event::priority, then by insertion order (FIFO), so simulation
 // runs are fully deterministic.
 //
-// Cancellation: push() returns an EventId; cancel() lazily invalidates the
-// entry (it is skipped when it reaches the top).  The scheduler engine uses
-// this for tentative completion events that become stale when the processor
-// speed changes or the active task is preempted.
+// Cancellation: push() returns an EventId; cancel() removes the entry.
+// Ids are slot-table handles — the low 32 bits index a slot, the high 32
+// bits carry that slot's generation — so resolving one is a bounds check
+// plus a generation compare: no hashing, no per-event heap allocation.
+// Each slot tracks its entry's current heap position (updated as keys
+// sift), so cancel() erases its entry *eagerly* in O(log n): the heap
+// never carries dead entries, pop() needs no liveness checks, and sift
+// depth always matches the live event count.  (A lazy-invalidation
+// variant — mark dead, skim at the top — was measured and lost on every
+// depth regime; see docs/PERFORMANCE.md.)  Slots are recycled through a
+// free list, and the generation tag makes stale ids (already popped or
+// cancelled) detectably benign no-ops.  In steady state (after the
+// high-water mark is reached) no path allocates.
+//
+// Layout: the heap itself holds only the 24-byte ordering key (time,
+// sequence, slot, priority); the Event payload lives in the slot table
+// and never moves during sifts.  The heap is 4-ary — half the depth of
+// a binary heap and four children per cache line.
 #pragma once
 
 #include <cstdint>
-#include <optional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/event.h"
 
 namespace lpfps::sim {
 
-/// Identifier of a queued event, usable for cancellation.
+/// Identifier of a queued event, usable for cancellation: slot index in
+/// the low 32 bits, slot generation in the high 32.  Generations start
+/// at 1, so 0 is never a valid id.
 using EventId = std::uint64_t;
 
 class EventQueue {
  public:
+  EventQueue() = default;
+  EventQueue(EventQueue&&) noexcept = default;
+  EventQueue& operator=(EventQueue&&) noexcept = default;
+  EventQueue(const EventQueue&) = default;
+  EventQueue& operator=(const EventQueue&) = default;
+
+  /// Preallocates capacity for `events` simultaneously queued events so
+  /// the hot loop never grows a buffer.
+  void reserve(std::size_t events);
+
+  /// Removes a previously pushed event.  Cancelling an id that was
+  /// already popped or cancelled is a no-op (returns false); an id that
+  /// was never issued throws std::logic_error.
+  bool cancel(EventId id);
+
   /// Enqueues an event and returns its id.
   EventId push(const Event& event);
 
-  /// Invalidates a previously pushed event.  Cancelling an id that was
-  /// already popped or cancelled is a no-op (returns false).
-  bool cancel(EventId id);
-
   /// True if no live events remain.
-  bool empty() const;
+  bool empty() const noexcept { return heap_.empty(); }
 
   /// Number of live (non-cancelled) events.
-  std::size_t size() const { return live_count_; }
+  std::size_t size() const noexcept { return heap_.size(); }
 
   /// Time of the earliest live event.  Precondition: !empty().
   Time next_time() const;
@@ -48,32 +72,51 @@ class EventQueue {
   const Event& peek() const;
 
  private:
-  struct Entry {
+  struct Slot {
     Event event;
-    EventId id;
+    std::uint32_t generation = 1;
+    std::uint32_t heap_pos = 0;  ///< Index of this slot's key in heap_.
+    bool live = false;  ///< Pushed, not yet popped, not cancelled.
+  };
+
+  /// Ordering key only; the Event stays put in its slot while keys sift.
+  struct HeapEntry {
+    Time time;
     std::uint64_t sequence;
+    std::uint32_t slot;
+    std::int32_t priority;
   };
 
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.event.time != b.event.time) return a.event.time > b.event.time;
-      if (a.event.priority != b.event.priority) {
-        return a.event.priority > b.event.priority;
-      }
-      return a.sequence > b.sequence;
-    }
-  };
+  /// Delivery order: (time, priority, sequence) lexicographic.
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.sequence < b.sequence;
+  }
 
-  /// Drops cancelled entries from the top of the heap.
-  void skim() const;
+  /// Writes `entry` at heap index `index` and records the position in
+  /// its slot — every key move goes through here.
+  void place(std::size_t index, const HeapEntry& entry) noexcept {
+    heap_[index] = entry;
+    slots_[entry.slot].heap_pos = static_cast<std::uint32_t>(index);
+  }
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  /// Ids of live (pushed, not yet popped, not cancelled) events.
-  mutable std::unordered_set<EventId> in_heap_;
-  /// Ids cancelled while still physically present in the heap.
-  mutable std::unordered_set<EventId> cancelled_;
-  std::size_t live_count_ = 0;
-  EventId next_id_ = 1;
+  /// 4-ary min-heap primitives over heap_ (earliest at index 0); both
+  /// settle `entry` starting from `index`.
+  void sift_up(std::size_t index, HeapEntry entry);
+  void sift_down(std::size_t index, HeapEntry entry);
+
+  /// Physically removes the entry at heap index `index`, filling the
+  /// hole with the last key.
+  void erase_at(std::size_t index);
+
+  /// Marks `slot` dead and returns it to the free list with a bumped
+  /// generation.  Called exactly when its entry leaves the heap.
+  void retire(std::uint32_t slot);
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_sequence_ = 0;
 };
 

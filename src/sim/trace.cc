@@ -1,6 +1,7 @@
 #include "sim/trace.h"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <map>
 #include <sstream>
@@ -26,6 +27,45 @@ const char* to_string(ProcessorMode mode) {
   return "?";
 }
 
+bool can_coalesce(const Segment& a, const Segment& b) {
+  if (a.mode != b.mode || a.task != b.task) return false;
+  if (a.ratio_end != b.ratio_begin) return false;
+  const bool a_const = a.ratio_begin == a.ratio_end;
+  const bool b_const = b.ratio_begin == b.ratio_end;
+  if (a_const && b_const) return true;
+  if (a_const || b_const) return false;
+  // Both ramping: fold only a continuing ramp (same direction, same
+  // rate).  The engine splits ramps at unrelated decision boundaries
+  // (releases, plan checks); those pieces are collinear by construction,
+  // so a tight slope tolerance suffices and distinct ramp rates (e.g. a
+  // clamped final piece) stay separate.
+  if (!(a.duration() > 0.0) || !(b.duration() > 0.0)) return false;
+  const double sa = (a.ratio_end - a.ratio_begin) / a.duration();
+  const double sb = (b.ratio_end - b.ratio_begin) / b.duration();
+  if ((sa > 0.0) != (sb > 0.0)) return false;
+  return std::abs(sa - sb) <=
+         1e-9 * std::max(1.0, std::max(std::abs(sa), std::abs(sb)));
+}
+
+std::vector<Segment> coalesce_segments(const std::vector<Segment>& segments) {
+  std::vector<Segment> out;
+  out.reserve(segments.size());
+  for (const Segment& s : segments) {
+    if (!out.empty() && can_coalesce(out.back(), s)) {
+      out.back().end = s.end;
+      out.back().ratio_end = s.ratio_end;
+    } else {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+void Trace::reserve(std::size_t segments, std::size_t jobs) {
+  segments_.reserve(segments);
+  jobs_.reserve(jobs);
+}
+
 void Trace::add_segment(const Segment& segment) {
   LPFPS_CHECK_MSG(approx_le(segment.begin, segment.end),
                   "segment runs backwards");
@@ -34,12 +74,9 @@ void Trace::add_segment(const Segment& segment) {
     LPFPS_CHECK_MSG(approx_equal(segments_.back().end, segment.begin),
                     "segments must be contiguous");
     Segment& last = segments_.back();
-    const bool same_const_speed = last.ratio_begin == last.ratio_end &&
-                                  segment.ratio_begin == segment.ratio_end &&
-                                  last.ratio_end == segment.ratio_begin;
-    if (last.mode == segment.mode && last.task == segment.task &&
-        same_const_speed) {
+    if (can_coalesce(last, segment)) {
       last.end = segment.end;
+      last.ratio_end = segment.ratio_end;
       return;
     }
   }

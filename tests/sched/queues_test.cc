@@ -19,6 +19,24 @@ TEST(RunQueue, OrderedByPriority) {
   EXPECT_TRUE(queue.empty());
 }
 
+TEST(RunQueue, ReserveKeepsSemanticsAndCapacity) {
+  RunQueue queue;
+  queue.reserve(8);
+  for (TaskIndex i = 0; i < 8; ++i) queue.insert({i, 8 - i});
+  EXPECT_EQ(queue.size(), 8u);
+  EXPECT_EQ(queue.head().task, 7);  // Lowest priority value wins.
+}
+
+TEST(DelayQueue, ReserveKeepsSemantics) {
+  DelayQueue queue;
+  queue.reserve(4);
+  queue.insert({0, 30.0});
+  queue.insert({1, 10.0});
+  EXPECT_EQ(queue.head().task, 1);
+  ASSERT_TRUE(queue.next_release().has_value());
+  EXPECT_DOUBLE_EQ(*queue.next_release(), 10.0);
+}
+
 TEST(RunQueue, HeadOnEmptyThrows) {
   RunQueue queue;
   EXPECT_THROW(queue.head(), std::logic_error);

@@ -47,6 +47,66 @@ TEST(Trace, DoesNotMergeRampSegments) {
   EXPECT_EQ(trace.segments().size(), 2u);
 }
 
+TEST(Trace, MergesContinuingRampSegments) {
+  // A ramp split by an unrelated decision boundary: same slope (0.02/us),
+  // continuous ratio -> one segment.
+  Trace trace;
+  trace.add_segment(seg(0.0, 5.0, ProcessorMode::kRunning, 0, 0.5, 0.6));
+  trace.add_segment(seg(5.0, 10.0, ProcessorMode::kRunning, 0, 0.6, 0.7));
+  ASSERT_EQ(trace.segments().size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.segments()[0].end, 10.0);
+  EXPECT_DOUBLE_EQ(trace.segments()[0].ratio_begin, 0.5);
+  EXPECT_DOUBLE_EQ(trace.segments()[0].ratio_end, 0.7);
+}
+
+TEST(Trace, DoesNotMergeRampsWithDifferentRates) {
+  Trace trace;
+  trace.add_segment(seg(0.0, 5.0, ProcessorMode::kRunning, 0, 0.5, 0.6));
+  trace.add_segment(seg(5.0, 10.0, ProcessorMode::kRunning, 0, 0.6, 0.9));
+  EXPECT_EQ(trace.segments().size(), 2u);
+}
+
+TEST(Trace, DoesNotMergeOpposingRamps) {
+  Trace trace;
+  trace.add_segment(seg(0.0, 5.0, ProcessorMode::kRamping, kNoTask, 0.5, 0.6));
+  trace.add_segment(seg(5.0, 10.0, ProcessorMode::kRamping, kNoTask, 0.6, 0.5));
+  EXPECT_EQ(trace.segments().size(), 2u);
+}
+
+TEST(Trace, CoalesceSegmentsMatchesRecordTimeMerging) {
+  // The canonicalizer applied to a raw (unmerged) list must land on the
+  // same segments the record-time writer produces — the property the
+  // golden equivalence hashes rely on.
+  const std::vector<Segment> raw = {
+      seg(0.0, 4.0, ProcessorMode::kRunning, 0),
+      seg(4.0, 6.0, ProcessorMode::kRunning, 0),
+      seg(6.0, 8.0, ProcessorMode::kRunning, 0, 1.0, 0.8),
+      seg(8.0, 10.0, ProcessorMode::kRunning, 0, 0.8, 0.6),
+      seg(10.0, 12.0, ProcessorMode::kIdleBusyWait),
+  };
+  Trace trace;
+  for (const Segment& s : raw) trace.add_segment(s);
+  const std::vector<Segment> canonical = coalesce_segments(raw);
+  ASSERT_EQ(canonical.size(), trace.segments().size());
+  for (std::size_t i = 0; i < canonical.size(); ++i) {
+    EXPECT_DOUBLE_EQ(canonical[i].begin, trace.segments()[i].begin);
+    EXPECT_DOUBLE_EQ(canonical[i].end, trace.segments()[i].end);
+    EXPECT_DOUBLE_EQ(canonical[i].ratio_end, trace.segments()[i].ratio_end);
+    EXPECT_EQ(canonical[i].mode, trace.segments()[i].mode);
+  }
+  // Idempotent: a second pass changes nothing.
+  const std::vector<Segment> twice = coalesce_segments(canonical);
+  EXPECT_EQ(twice.size(), canonical.size());
+}
+
+TEST(Trace, ReservePreallocatesWithoutChangingContent) {
+  Trace trace;
+  trace.reserve(100, 10);
+  trace.add_segment(seg(0.0, 5.0, ProcessorMode::kRunning, 0));
+  EXPECT_EQ(trace.segments().size(), 1u);
+  EXPECT_TRUE(trace.jobs().empty());
+}
+
 TEST(Trace, RejectsNonContiguousSegments) {
   Trace trace;
   trace.add_segment(seg(0.0, 5.0, ProcessorMode::kRunning, 0));
