@@ -6,7 +6,10 @@
 // events per wall-clock second and nanoseconds per event.  A third
 // section stresses sim::EventQueue directly with the random
 // push/cancel/pop mix the engine's tentative-completion pattern
-// produces, so queue-level changes are visible in isolation.
+// produces, so queue-level changes are visible in isolation.  A fourth
+// section runs the deterministic (WCET) model over 12 hyperperiods with
+// steady-state cycle detection on and off, so the fast-forward speedup
+// is tracked — and gated — like any other throughput number.
 //
 // Emits BENCH_kernel_throughput.json; CI's perf-smoke job diffs the
 // events/sec columns against bench/baseline_kernel_throughput.json and
@@ -82,17 +85,35 @@ Throughput measure(Fn run_once) {
   return t;
 }
 
+/// Steady-state fast-forward statistics of one representative run; the
+/// same fields SimulationResult carries, captured per bench point so the
+/// JSON record shows whether a point's throughput came from full
+/// simulation or from cycle replay.
+struct CycleStats {
+  std::int64_t cycles_detected = 0;
+  Time fast_forwarded_us = 0.0;
+  std::int64_t fingerprint_checks = 0;
+  double fingerprint_seconds = 0.0;
+
+  static CycleStats of(const core::SimulationResult& result) {
+    return {result.cycles_detected, result.fast_forwarded_time,
+            result.fingerprint_checks, result.fingerprint_seconds};
+  }
+};
+
 void print_row(const std::string& section, const std::string& name,
-               const std::string& policy, const Throughput& t) {
-  std::printf("%-12s %-16s %-18s %10lld %5d %8.3f %14.0f %10.1f\n",
+               const std::string& policy, const Throughput& t,
+               const CycleStats& cycle) {
+  std::printf("%-12s %-16s %-18s %10lld %5d %8.3f %14.0f %10.1f %6lld\n",
               section.c_str(), name.c_str(), policy.c_str(),
               static_cast<long long>(t.total_events()), t.reps,
-              t.wall_seconds, t.events_per_sec(), t.ns_per_event());
+              t.wall_seconds, t.events_per_sec(), t.ns_per_event(),
+              static_cast<long long>(cycle.cycles_detected));
 }
 
 void add_point(io::BenchJsonWriter& json, const std::string& section,
                const std::string& name, const std::string& policy,
-               const Throughput& t) {
+               const Throughput& t, const CycleStats& cycle) {
   json.add_point()
       .set("section", section)
       .set("name", name)
@@ -101,7 +122,11 @@ void add_point(io::BenchJsonWriter& json, const std::string& section,
       .set("reps", t.reps)
       .set("wall_seconds", t.wall_seconds)
       .set("events_per_sec", t.events_per_sec())
-      .set("ns_per_event", t.ns_per_event());
+      .set("ns_per_event", t.ns_per_event())
+      .set("cycles_detected", cycle.cycles_detected)
+      .set("fast_forwarded_us", cycle.fast_forwarded_us)
+      .set("fingerprint_checks", cycle.fingerprint_checks)
+      .set("fingerprint_seconds", cycle.fingerprint_seconds);
 }
 
 std::vector<core::SchedulerPolicy> bench_policies() {
@@ -215,9 +240,9 @@ int main() {
       .set("min_wall_seconds", kMinWall)
       .set("audited", audit::enabled());
 
-  std::printf("%-12s %-16s %-18s %10s %5s %8s %14s %10s\n", "section",
+  std::printf("%-12s %-16s %-18s %10s %5s %8s %14s %10s %6s\n", "section",
               "name", "policy", "events", "reps", "wall_s", "events/sec",
-              "ns/event");
+              "ns/event", "cycles");
 
   // ---- Section 1: the paper's registered workloads. --------------------
   for (const workloads::Workload& w : workloads::paper_workloads()) {
@@ -229,13 +254,15 @@ int main() {
       if (audit::enabled()) {
         (void)audit::simulate(tasks, cpu, policy, exec, options, &agg);
       }
+      CycleStats cycle;
       const Throughput t = measure([&] {
         const core::SimulationResult result =
             core::simulate(tasks, cpu, policy, exec, options);
+        cycle = CycleStats::of(result);
         return static_cast<std::int64_t>(result.scheduler_invocations);
       });
-      print_row("workload", w.name, policy.name, t);
-      add_point(json, "workload", w.name, policy.name, t);
+      print_row("workload", w.name, policy.name, t, cycle);
+      add_point(json, "workload", w.name, policy.name, t, cycle);
     }
   }
 
@@ -259,13 +286,15 @@ int main() {
       if (audit::enabled()) {
         (void)audit::simulate(tasks, cpu, policy, exec, options, &agg);
       }
+      CycleStats cycle;
       const Throughput t = measure([&] {
         const core::SimulationResult result =
             core::simulate(tasks, cpu, policy, exec, options);
+        cycle = CycleStats::of(result);
         return static_cast<std::int64_t>(result.scheduler_invocations);
       });
-      print_row("synthetic", name, policy.name, t);
-      add_point(json, "synthetic", name, policy.name, t);
+      print_row("synthetic", name, policy.name, t, cycle);
+      add_point(json, "synthetic", name, policy.name, t, cycle);
     }
   }
 
@@ -277,8 +306,50 @@ int main() {
     const Throughput t =
         measure([&tape, depth] { return run_event_queue_mix(tape, depth); });
     const std::string name = "mix-depth-" + std::to_string(depth);
-    print_row("event_queue", name, "-", t);
-    add_point(json, "event_queue", name, "-", t);
+    print_row("event_queue", name, "-", t, {});
+    add_point(json, "event_queue", name, "-", t, {});
+  }
+
+  // ---- Section 4: steady-state fast-forward (deterministic model). -----
+  // WCET execution is exactly periodic, so after two simulated
+  // hyperperiods the engine fingerprints a repeat and replays the rest
+  // of the 12-hyperperiod horizon.  events_per_sec here is *effective*
+  // throughput (extrapolated events over replay-path wall time); the
+  // "/off" twin simulates the full horizon, so the pair pins the
+  // speedup and the perf gate catches a silently-disarmed detector.
+  for (const workloads::Workload& w : workloads::paper_workloads()) {
+    const Time hyper = static_cast<Time>(w.tasks.hyperperiod());
+    core::EngineOptions on;
+    on.horizon = 12.0 * hyper;
+    on.seed = kSeed;
+    core::EngineOptions off = on;
+    off.cycle_detection = false;
+    const core::SchedulerPolicy policy = core::SchedulerPolicy::lpfps();
+    if (audit::enabled()) {
+      (void)audit::simulate(w.tasks, cpu, policy, nullptr, on, &agg);
+    }
+    CycleStats cycle;
+    const Throughput fast = measure([&] {
+      const core::SimulationResult result =
+          core::simulate(w.tasks, cpu, policy, nullptr, on);
+      cycle = CycleStats::of(result);
+      return static_cast<std::int64_t>(result.scheduler_invocations);
+    });
+    const Throughput full = measure([&] {
+      const core::SimulationResult result =
+          core::simulate(w.tasks, cpu, policy, nullptr, off);
+      return static_cast<std::int64_t>(result.scheduler_invocations);
+    });
+    print_row("cycle", w.name, policy.name, fast, cycle);
+    add_point(json, "cycle", w.name, policy.name, fast, cycle);
+    print_row("cycle", w.name, policy.name + "/off", full, {});
+    add_point(json, "cycle", w.name, policy.name + "/off", full, {});
+    std::printf("%-12s %-16s speedup x%.1f (%lld cycles replayed)\n",
+                "cycle", w.name.c_str(),
+                full.ns_per_event() > 0.0
+                    ? fast.events_per_sec() / full.events_per_sec()
+                    : 0.0,
+                static_cast<long long>(cycle.cycles_detected));
   }
 
   if (audit::enabled()) {

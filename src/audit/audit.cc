@@ -669,6 +669,7 @@ class Auditor {
     const double rho = cpu_->ramp_rate;
     std::array<Energy, 5> energy{};
     std::array<Time, 5> time{};
+    std::array<std::int64_t, 5> count{};
     double ratio_integral = 0.0;
 
     for (const Segment& s : segments()) {
@@ -676,6 +677,7 @@ class Auditor {
       const Time dt = s.duration();
       if (dt <= 0.0) continue;
       time[m] += dt;
+      ++count[m];
       switch (s.mode) {
         case ProcessorMode::kRunning:
           energy[m] += s.ratio_begin == s.ratio_end
@@ -701,9 +703,18 @@ class Auditor {
 
     static constexpr const char* kModeNames[5] = {
         "run", "idle-nop", "power-down", "wake-up", "ramping"};
+    // The engine accumulates exact segment durations; the trace stores
+    // rounded absolute endpoints, so each re-derived duration can be off
+    // by an ulp of the horizon.  The tolerance must therefore grow with
+    // the per-mode segment count, or week-long (fast-forwardable) runs
+    // flag phantom E2 drift.
+    const Time endpoint_ulp = std::numeric_limits<double>::epsilon() *
+                              std::max(1.0, result_->simulated_time);
     for (std::size_t m = 0; m < 5; ++m) {
       const auto& reported = result_->by_mode[m];
-      if (std::abs(reported.time - time[m]) > 1e-6 + 1e-9 * time[m]) {
+      if (std::abs(reported.time - time[m]) >
+          1e-6 + 1e-9 * time[m] +
+              static_cast<double>(count[m]) * endpoint_ulp) {
         add("E2.time", 0.0,
             std::string(kModeNames[m]) + " time: reported " +
                 fmt(reported.time) + " us != trace total " + fmt(time[m]));

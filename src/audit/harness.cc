@@ -48,6 +48,8 @@ void CounterTotals::add(const core::SimulationResult& result) {
       std::max<std::int64_t>(run_queue_high_water, result.run_queue_high_water);
   delay_queue_high_water = std::max<std::int64_t>(
       delay_queue_high_water, result.delay_queue_high_water);
+  cycles_detected += result.cycles_detected;
+  fast_forwarded_time += result.fast_forwarded_time;
   simulated_time += result.simulated_time;
   total_energy += result.total_energy;
 }
@@ -55,8 +57,8 @@ void CounterTotals::add(const core::SimulationResult& result) {
 std::string counters_csv_header() {
   return "runs,jobs_completed,deadline_misses,context_switches,"
          "scheduler_invocations,speed_changes,power_downs,dvs_slowdowns,"
-         "run_queue_high_water,delay_queue_high_water,simulated_time,"
-         "total_energy\n";
+         "run_queue_high_water,delay_queue_high_water,cycles_detected,"
+         "fast_forwarded_time,simulated_time,total_energy\n";
 }
 
 std::string counters_csv_row(const CounterTotals& totals) {
@@ -67,6 +69,7 @@ std::string counters_csv_row(const CounterTotals& totals) {
      << totals.scheduler_invocations << "," << totals.speed_changes << ","
      << totals.power_downs << "," << totals.dvs_slowdowns << ","
      << totals.run_queue_high_water << "," << totals.delay_queue_high_water
+     << "," << totals.cycles_detected << "," << totals.fast_forwarded_time
      << "," << totals.simulated_time << "," << totals.total_energy << "\n";
   return os.str();
 }
@@ -131,6 +134,8 @@ std::string AuditAggregator::write_report() const {
       .set("dvs_slowdowns", counters_.dvs_slowdowns)
       .set("run_queue_high_water", counters_.run_queue_high_water)
       .set("delay_queue_high_water", counters_.delay_queue_high_water)
+      .set("cycles_detected", counters_.cycles_detected)
+      .set("fast_forwarded_time_us", counters_.fast_forwarded_time)
       .set("simulated_time_us", counters_.simulated_time)
       .set("total_energy", counters_.total_energy);
   for (const Violation& v : samples_) {

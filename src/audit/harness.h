@@ -41,6 +41,11 @@ struct CounterTotals {
   std::int64_t dvs_slowdowns = 0;
   std::int64_t run_queue_high_water = 0;    ///< Max across runs.
   std::int64_t delay_queue_high_water = 0;  ///< Max across runs.
+  /// Steady-state fast-forward totals: how many hyperperiods the batch
+  /// skipped and how much simulated time they covered.  Zero when cycle
+  /// detection is off or never converged.
+  std::int64_t cycles_detected = 0;
+  Time fast_forwarded_time = 0.0;
   Time simulated_time = 0.0;
   Energy total_energy = 0.0;
 

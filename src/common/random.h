@@ -36,6 +36,10 @@ class Rng {
 
   std::mt19937_64& engine() { return engine_; }
 
+  /// Read-only engine access, used to fingerprint (and compare) the
+  /// exact generator state between simulation checkpoints.
+  const std::mt19937_64& engine() const { return engine_; }
+
  private:
   std::mt19937_64 engine_;
 };

@@ -1,9 +1,14 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
+#include <random>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -18,6 +23,61 @@ namespace lpfps::core {
 namespace {
 
 constexpr Time kNever = std::numeric_limits<Time>::infinity();
+
+/// An instant in simulated time, kept as an exact anchor plus a small
+/// offset instead of one accumulated double.
+///
+/// The anchor is always an exactly-representable value (a release time,
+/// a hyperperiod boundary, the horizon — integers in this codebase) and
+/// the offset is the fractional distance the clock has moved since, a
+/// value bounded by one task period.  Durations are computed as
+/// (base difference) + (offset difference): the bases subtract exactly,
+/// so a duration between two instants one hyperperiod later is
+/// *bit-identical* — plain absolute doubles cannot promise that, because
+/// crossing a power-of-two magnitude changes the rounding grid and an
+/// `end - begin` subtraction picks up a different ulp.  This exact
+/// shift-invariance is what lets the steady-state fast-forward replay a
+/// proven cycle and still match a full simulation bit for bit.
+///
+/// Absolute times (trace segments, job completions) materialize with a
+/// single rounding via absolute(); the replay re-materializes from the
+/// same (base + n*H, offset) pair, reproducing the rounding exactly.
+struct TimePoint {
+  Time base = 0.0;    ///< Exact anchor (or +inf for "never").
+  Time offset = 0.0;  ///< Time since the anchor; may be slightly negative
+                      ///< (wake timers fire `latency` before a release).
+
+  Time absolute() const { return base + offset; }
+};
+
+constexpr TimePoint kNeverPoint{kNever, 0.0};
+
+TimePoint at(Time t) { return {t, 0.0}; }
+
+TimePoint after(const TimePoint& p, Time delta) {
+  return {p.base, p.offset + delta};
+}
+
+/// b - a with the anchors cancelling exactly (shift-invariant).
+Time span(const TimePoint& a, const TimePoint& b) {
+  return (b.base - a.base) + (b.offset - a.offset);
+}
+
+bool tp_less(const TimePoint& a, const TimePoint& b) {
+  return span(a, b) > 0.0;
+}
+bool tp_approx_le(const TimePoint& a, const TimePoint& b) {
+  return span(b, a) <= kTimeEpsilon;
+}
+bool tp_approx_ge(const TimePoint& a, const TimePoint& b) {
+  return span(a, b) <= kTimeEpsilon;
+}
+bool tp_definitely_less(const TimePoint& a, const TimePoint& b) {
+  return span(a, b) > kTimeEpsilon;
+}
+bool tp_definitely_greater(const TimePoint& a, const TimePoint& b) {
+  return span(b, a) > kTimeEpsilon;
+}
 
 /// Processor macro-state.  The speed ratio / ramping sub-state is
 /// orthogonal and tracked separately.
@@ -34,6 +94,115 @@ struct JobState {
   Time release = 0.0;
   Work total_work = 0.0;  ///< This instance's actual execution time.
   Work executed = 0.0;    ///< E_i: work consumed so far.
+};
+
+/// LPFPS_CYCLE=0/off/false force-disables steady-state fast-forward
+/// regardless of EngineOptions::cycle_detection (the same convention the
+/// audit layer uses for LPFPS_AUDIT).
+bool cycle_detection_enabled_by_env() {
+  const char* value = std::getenv("LPFPS_CYCLE");
+  if (value == nullptr) return true;
+  return std::strcmp(value, "0") != 0 && std::strcmp(value, "off") != 0 &&
+         std::strcmp(value, "false") != 0;
+}
+
+/// Canonical scheduler state at a hyperperiod boundary, with every
+/// absolute time expressed relative to the boundary so two boundaries
+/// one (or more) hyperperiods apart can compare equal.  Equality is
+/// exact — bitwise on floats — because only a bit-identical state
+/// guarantees bit-identical future evolution; a near-miss simply means
+/// we keep simulating, never that we skip incorrectly.  kNever timers
+/// stay infinite under subtraction, so idle timers compare equal too.
+struct Fingerprint {
+  CpuState state = CpuState::kIdle;
+  TaskIndex active = kNoTask;
+  Ratio ratio = 1.0;
+  Ratio ramp_target = 1.0;
+  bool reinvoke_after_ramp = false;
+  bool plan_active = false;
+  bool plan_up_started = false;
+  /// The clock's own anchor decomposition at the boundary (normally
+  /// (0, 0): phase-0 sets release every task there).  Two boundaries
+  /// with different decompositions would materialize future absolute
+  /// times differently, so they must not compare equal.
+  Time now_base_rel = 0.0;
+  Time now_offset = 0.0;
+  Time plan_rampup_start_rel = 0.0;
+  Time plan_end_rel = 0.0;
+  Time wake_at_rel = 0.0;
+  Time wake_end_rel = 0.0;
+  Time shutdown_at_rel = 0.0;
+  double sleep_power_fraction = 0.0;
+  Time sleep_wake_latency = 0.0;
+  std::vector<sched::RunEntry> run_queue;
+  std::vector<sched::DelayEntry> delay_queue_rel;  ///< release -= boundary.
+  std::vector<std::pair<TaskIndex, Time>> staged_rel;
+
+  /// In-flight job of the active / ready / staged tasks.  Tasks waiting
+  /// in the delay queue carry stale JobState (overwritten by the next
+  /// start_job before any read), so only live jobs participate.
+  struct LiveJob {
+    TaskIndex task = kNoTask;
+    Time release_rel = 0.0;
+    Work total_work = 0.0;
+    Work executed = 0.0;
+    friend bool operator==(const LiveJob&, const LiveJob&) = default;
+  };
+  std::vector<LiveJob> live_jobs;
+
+  /// Upcoming release of each task's *next* instance, relative to the
+  /// boundary (start_job computes the absolute twin).  Implied by the
+  /// delay-queue entries for well-formed states; carried explicitly so a
+  /// next_instance_ divergence can never slip through.
+  std::vector<Time> next_release_rel;
+
+  /// The full generator state.  Deterministic models never touch it, so
+  /// it compares equal; stochastic models advance it monotonically, so
+  /// boundaries can never match (and one mismatch disarms the detector).
+  std::mt19937_64 rng;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+/// One advance_to accumulation of the template cycle, replayed verbatim
+/// per skipped hyperperiod.  Times are kept as TimePoints so the replay
+/// re-materializes absolute trace times with the exact rounding the full
+/// simulation would produce.  `ramp` records which accumulator overload
+/// the simulation actually called (a sub-ulp ramp step can leave
+/// ratio_begin == ratio_end while still being a ramp accumulation).
+struct CycleSegment {
+  TimePoint begin;
+  TimePoint end;
+  Time dt = 0.0;  ///< span(begin, end), the exact duration accumulated.
+  /// Energy the accumulator charged for this segment.  A repeated
+  /// segment's energy is a pure function of (dt, ratios, mode), so the
+  /// replay adds this cached double — the identical value, in the
+  /// identical order — instead of re-evaluating the power model, which
+  /// is what makes fast-forward decisively cheaper than simulation.
+  Energy energy = 0.0;
+  sim::ProcessorMode mode = sim::ProcessorMode::kIdleBusyWait;
+  TaskIndex task = kNoTask;
+  Ratio ratio_begin = 1.0;
+  Ratio ratio_end = 1.0;
+};
+
+/// One job completion inside the template cycle.  The completion instant
+/// rides along as a TimePoint for exact re-materialization.
+struct CycleJob {
+  sim::JobRecord record;
+  TimePoint completion;
+};
+
+/// Integer statistics at a boundary; per-cycle deltas extrapolate
+/// exactly (replay adds `cycles * delta`, no float involved).
+struct CounterSnapshot {
+  int jobs_completed = 0;
+  int deadline_misses = 0;
+  int context_switches = 0;
+  int scheduler_invocations = 0;
+  int speed_changes = 0;
+  int power_downs = 0;
+  int dvs_slowdowns = 0;
 };
 
 /// The full mutable simulation state plus the main loop.  Engine::run
@@ -80,7 +249,22 @@ class Simulation {
   /// Current ramp slope in ratio-units per microsecond (0 when steady).
   double slope() const;
   /// Advances the clock to `next`, integrating energy, work and trace.
-  void advance_to(Time next);
+  void advance_to(const TimePoint& next);
+
+  // --- steady-state cycle detection ------------------------------------
+  /// Arms the detector when the run qualifies (see engine.h).
+  void setup_cycle_detection();
+  /// Fingerprints the state at now_ == next_boundary_; on a match,
+  /// fast-forwards the remaining whole cycles and disarms.
+  void on_cycle_boundary();
+  Fingerprint take_fingerprint() const;
+  CounterSnapshot snapshot_counters() const;
+  /// Replays the recorded template cycle `cycles` times: identical
+  /// accumulator calls for energy/ratio integrals, exact integer deltas
+  /// for counters, time-shifted trace splices, then shifts every pending
+  /// absolute time so the simulation resumes at now_ + cycles * H.
+  void fast_forward(std::int64_t cycles);
+  void disarm_cycle_detection();
 
   const sched::Task& task(TaskIndex index) const { return tasks_[index]; }
   JobState& job(TaskIndex index) {
@@ -104,7 +288,7 @@ class Simulation {
   power::EnergyAccumulator accumulator_;
   sim::Trace trace_;
 
-  Time now_ = 0.0;
+  TimePoint now_;
   CpuState state_ = CpuState::kIdle;
 
   sched::RunQueue run_queue_;
@@ -118,7 +302,7 @@ class Simulation {
   /// visible to the scheduler because of release jitter.
   struct StagedJob {
     TaskIndex task = kNoTask;
-    Time ready = 0.0;
+    TimePoint ready;
   };
   std::vector<StagedJob> staged_;
 
@@ -134,17 +318,17 @@ class Simulation {
   // DVS plan (active only while the active task runs slowed).
   bool plan_active_ = false;
   bool plan_up_started_ = false;
-  Time plan_rampup_start_ = kNever;
-  Time plan_end_ = kNever;
+  TimePoint plan_rampup_start_ = kNeverPoint;
+  TimePoint plan_end_ = kNeverPoint;
 
   // Power-down timers and the sleep state currently occupied.
-  Time wake_at_ = kNever;   ///< Timer expiry (start of wake-up).
-  Time wake_end_ = kNever;  ///< End of the wake-up transition.
+  TimePoint wake_at_ = kNeverPoint;   ///< Timer expiry (start of wake-up).
+  TimePoint wake_end_ = kNeverPoint;  ///< End of the wake-up transition.
   double sleep_power_fraction_ = 0.0;
   Time sleep_wake_latency_ = 0.0;
 
   // Timeout-shutdown policy state.
-  Time shutdown_at_ = kNever;
+  TimePoint shutdown_at_ = kNeverPoint;
 
   // Statistics.
   int jobs_completed_ = 0;
@@ -158,6 +342,23 @@ class Simulation {
   int delay_queue_high_water_ = 0;
   double running_ratio_integral_ = 0.0;
   Time running_time_ = 0.0;
+
+  // Steady-state cycle detection (setup_cycle_detection decides whether
+  // to arm; everything below is inert when cycle_armed_ is false).
+  bool cycle_armed_ = false;
+  bool cycle_recording_ = false;  ///< advance_to appends to the template.
+  bool cycle_has_prev_ = false;
+  Time cycle_length_ = 0.0;       ///< Hyperperiod, exactly representable.
+  Time next_boundary_ = kNever;
+  std::vector<std::int64_t> jobs_per_cycle_;  ///< H / period, per task.
+  Fingerprint prev_fingerprint_;
+  CounterSnapshot prev_counters_;
+  std::vector<CycleSegment> cycle_segments_;  ///< Template cycle.
+  std::vector<CycleJob> cycle_jobs_;  ///< Completions in the cycle.
+  std::int64_t cycles_detected_ = 0;
+  Time fast_forwarded_time_ = 0.0;
+  std::int64_t fingerprint_checks_ = 0;
+  double fingerprint_seconds_ = 0.0;
 
   /// Samples the queue depths for the high-water counters; called at
   /// every scheduler-invocation exit (the only points where the queues
@@ -221,7 +422,7 @@ void Simulation::try_slowdown() {
   // absolute deadline.
   const Time window_end =
       std::min(arrival, state.release + static_cast<Time>(t.deadline));
-  const Time window = window_end - now_;
+  const Time window = span(now_, at(window_end));
   const Work remaining = snap_nonnegative(t.wcet - state.executed);
   // Slack exists only if the remaining worst-case work fits below the
   // base clock inside the window (base_ratio_ == 1 gives the paper's
@@ -242,8 +443,8 @@ void Simulation::try_slowdown() {
   // the slack is too short to exploit and we stay at base speed.  The
   // paper's Figure 7 discussion covers exactly this short-window regime.
   const Time ramp = (base_ratio_ - quantized) / processor_.ramp_rate;
-  const Time up_start = window_end - ramp;
-  if (definitely_greater(now_ + ramp, up_start)) return;
+  const TimePoint up_start{window_end, -ramp};
+  if (tp_definitely_greater(after(now_, ramp), up_start)) return;
 
   ramp_target_ = quantized;
   reinvoke_after_ramp_ = false;
@@ -252,7 +453,7 @@ void Simulation::try_slowdown() {
   plan_active_ = true;
   plan_up_started_ = false;
   plan_rampup_start_ = up_start;
-  plan_end_ = window_end;
+  plan_end_ = at(window_end);
 }
 
 void Simulation::enter_power_down() {
@@ -266,23 +467,24 @@ void Simulation::enter_power_down() {
   // Pick the deepest sleep state whose wake-up fits the known gap
   // (the classic single 5%/10-cycle state unless a hierarchy is
   // configured), then set the timer early by its latency (L14).
-  const auto state = processor_.deepest_state_for_gap(*release - now_);
+  const auto state =
+      processor_.deepest_state_for_gap(span(now_, at(*release)));
   if (!state.has_value()) return;  // Gap too short for any state.
   const Time latency =
       state->wakeup_cycles / processor_.frequencies.f_max();
-  Time timer = *release - latency;  // L14.
+  TimePoint timer{*release, -latency};  // L14.
   if (options_.timer_granularity > 0.0) {
     // Tick-based kernels wake on the grid: round down (early is safe).
-    timer = std::floor(timer / options_.timer_granularity) *
-            options_.timer_granularity;
+    timer = at(std::floor(timer.absolute() / options_.timer_granularity) *
+               options_.timer_granularity);
   }
-  if (!definitely_greater(timer, now_)) return;  // Too close to sleep.
+  if (!tp_definitely_greater(timer, now_)) return;  // Too close to sleep.
   state_ = CpuState::kPowerDown;
   wake_at_ = timer;
-  wake_end_ = kNever;
+  wake_end_ = kNeverPoint;
   sleep_power_fraction_ = state->power_fraction;
   sleep_wake_latency_ = latency;
-  shutdown_at_ = kNever;
+  shutdown_at_ = kNeverPoint;
   ++power_downs_;
 }
 
@@ -290,7 +492,7 @@ void Simulation::invoke_scheduler() {
   invoke_scheduler_impl();
   if (options_.invocation_hook) {
     sched::QueueSnapshot snapshot;
-    snapshot.time = now_;
+    snapshot.time = now_.absolute();
     snapshot.run_queue = run_queue_.entries();
     snapshot.delay_queue = delay_queue_.entries();
     snapshot.active_task = active_;
@@ -316,23 +518,23 @@ void Simulation::invoke_scheduler_impl() {
 
   // L5-L7: release due tasks (via the jitter stage when configured).
   while (!delay_queue_.empty() &&
-         approx_le(delay_queue_.head().release_time, now_)) {
+         tp_approx_le(at(delay_queue_.head().release_time), now_)) {
     const sched::DelayEntry due = delay_queue_.pop_head();
     start_job(due.task);
-    Time ready = job(due.task).release;
+    TimePoint ready = at(job(due.task).release);
     if (!options_.release_jitter.empty()) {
-      ready += rng_.uniform(
+      ready.offset += rng_.uniform(
           0.0,
           options_.release_jitter[static_cast<std::size_t>(due.task)]);
     }
-    if (approx_le(ready, now_)) {
+    if (tp_approx_le(ready, now_)) {
       run_queue_.insert({due.task, task(due.task).priority});
     } else {
       staged_.push_back({due.task, ready});
     }
   }
   for (auto it = staged_.begin(); it != staged_.end();) {
-    if (approx_le(it->ready, now_)) {
+    if (tp_approx_le(it->ready, now_)) {
       run_queue_.insert({it->task, task(it->task).priority});
       it = staged_.erase(it);
     } else {
@@ -356,7 +558,7 @@ void Simulation::invoke_scheduler_impl() {
   // L12-L21: power management when the run queue is empty.
   if (active_ != kNoTask) {
     state_ = CpuState::kRunning;
-    shutdown_at_ = kNever;
+    shutdown_at_ = kNeverPoint;
     if (run_queue_.empty() && policy_.uses_dvs()) try_slowdown();
     sample_queue_depths();
     return;
@@ -372,7 +574,7 @@ void Simulation::invoke_scheduler_impl() {
       enter_power_down();
       break;
     case IdleMethod::kTimeoutShutdown:
-      shutdown_at_ = now_ + policy_.shutdown_timeout;
+      shutdown_at_ = after(now_, policy_.shutdown_timeout);
       break;
   }
 }
@@ -388,23 +590,26 @@ void Simulation::finish_active_job() {
   record.instance = state.instance;
   record.release = state.release;
   record.absolute_deadline = state.release + static_cast<Time>(t.deadline);
-  record.completion = now_;
+  record.completion = now_.absolute();
   record.executed = state.total_work;
   record.finished = true;
   record.missed_deadline =
-      definitely_greater(now_, record.absolute_deadline);
+      tp_definitely_greater(now_, at(record.absolute_deadline));
   if (record.missed_deadline) {
     ++deadline_misses_;
     if (options_.throw_on_miss) {
       throw std::runtime_error(
           "deadline miss: task " + t.name + " instance " +
           std::to_string(state.instance) + " finished at " +
-          std::to_string(now_) + " > deadline " +
+          std::to_string(record.completion) + " > deadline " +
           std::to_string(record.absolute_deadline) + " under policy " +
           policy_.name);
     }
   }
-  if (options_.record_trace) trace_.add_job(record);
+  if (options_.record_trace) {
+    trace_.add_job(record);
+    if (cycle_recording_) cycle_jobs_.push_back({record, now_});
+  }
   ++jobs_completed_;
 
   delay_queue_.insert(
@@ -413,8 +618,263 @@ void Simulation::finish_active_job() {
   state_ = CpuState::kIdle;
   plan_active_ = false;
   plan_up_started_ = false;
-  plan_rampup_start_ = kNever;
-  plan_end_ = kNever;
+  plan_rampup_start_ = kNeverPoint;
+  plan_end_ = kNeverPoint;
+}
+
+void Simulation::setup_cycle_detection() {
+  if (!options_.cycle_detection || !cycle_detection_enabled_by_env()) return;
+  // Jittered arrivals and tick-granular timers are aperiodic relative to
+  // the hyperperiod; declare them ineligible outright so such runs report
+  // cycles_detected == 0 without even paying for fingerprints.
+  for (const Time j : options_.release_jitter) {
+    if (j > 0.0) return;
+  }
+  if (options_.timer_granularity > 0.0) return;
+  // A hook observes every scheduler invocation; skipping cycles would
+  // silently drop the observations it is owed.
+  if (options_.invocation_hook) return;
+  // Trace-driven execution carries opaque per-task replay cursors the
+  // fingerprint cannot see.
+  if (exec_model_ != nullptr && exec_model_->name() == "trace") return;
+  std::int64_t hyper = 0;
+  try {
+    hyper = tasks_.hyperperiod();
+  } catch (const std::overflow_error&) {
+    return;  // Mutually-prime periods: no cycle within 64 bits.
+  }
+  if (hyper <= 0) return;
+  // Everything below trades on exact double arithmetic over boundary
+  // times (k*H, shifts by n*H): keep all of it inside the integer-exact
+  // mantissa range.
+  if (hyper > (std::int64_t{1} << 52)) return;
+  const Time length = static_cast<Time>(hyper);
+  // Detection needs boundaries at H and 2H inside the horizon before it
+  // can ever match; shorter runs would pay fingerprints for nothing.
+  if (2.0 * length > options_.horizon) return;
+  cycle_length_ = length;
+  next_boundary_ = length;
+  jobs_per_cycle_.resize(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    jobs_per_cycle_[i] = hyper / tasks_[static_cast<TaskIndex>(i)].period;
+  }
+  cycle_armed_ = true;
+}
+
+Fingerprint Simulation::take_fingerprint() const {
+  Fingerprint fp;
+  fp.state = state_;
+  fp.active = active_;
+  fp.ratio = ratio_;
+  fp.ramp_target = ramp_target_;
+  fp.reinvoke_after_ramp = reinvoke_after_ramp_;
+  fp.plan_active = plan_active_;
+  fp.plan_up_started = plan_up_started_;
+  fp.now_base_rel = now_.base - next_boundary_;
+  fp.now_offset = now_.offset;
+  fp.plan_rampup_start_rel = span(now_, plan_rampup_start_);
+  fp.plan_end_rel = span(now_, plan_end_);
+  fp.wake_at_rel = span(now_, wake_at_);
+  fp.wake_end_rel = span(now_, wake_end_);
+  fp.shutdown_at_rel = span(now_, shutdown_at_);
+  fp.sleep_power_fraction = sleep_power_fraction_;
+  fp.sleep_wake_latency = sleep_wake_latency_;
+  fp.run_queue = run_queue_.entries();
+  fp.delay_queue_rel = delay_queue_.entries();
+  for (sched::DelayEntry& entry : fp.delay_queue_rel) {
+    entry.release_time = span(now_, at(entry.release_time));
+  }
+  fp.staged_rel.reserve(staged_.size());
+  for (const StagedJob& staged : staged_) {
+    fp.staged_rel.emplace_back(staged.task, span(now_, staged.ready));
+  }
+  const auto add_live = [&](TaskIndex index) {
+    const JobState& state = jobs_[static_cast<std::size_t>(index)];
+    fp.live_jobs.push_back({index, span(now_, at(state.release)),
+                            state.total_work, state.executed});
+  };
+  if (active_ != kNoTask) add_live(active_);
+  for (const sched::RunEntry& entry : run_queue_.entries()) {
+    add_live(entry.task);
+  }
+  for (const StagedJob& staged : staged_) add_live(staged.task);
+  fp.next_release_rel.reserve(tasks_.size());
+  for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks_.size()); ++i) {
+    const sched::Task& t = task(i);
+    fp.next_release_rel.push_back(span(
+        now_,
+        at(static_cast<Time>(t.phase) +
+           static_cast<Time>(next_instance_[static_cast<std::size_t>(i)] *
+                             t.period))));
+  }
+  fp.rng = rng_.engine();
+  return fp;
+}
+
+CounterSnapshot Simulation::snapshot_counters() const {
+  return {jobs_completed_,        deadline_misses_, context_switches_,
+          scheduler_invocations_, speed_changes_,   power_downs_,
+          dvs_slowdowns_};
+}
+
+void Simulation::disarm_cycle_detection() {
+  cycle_armed_ = false;
+  cycle_recording_ = false;
+  cycle_has_prev_ = false;
+  next_boundary_ = kNever;
+  cycle_segments_.clear();
+  cycle_jobs_.clear();
+}
+
+void Simulation::on_cycle_boundary() {
+  const auto started = std::chrono::steady_clock::now();
+  Fingerprint current = take_fingerprint();
+  ++fingerprint_checks_;
+  bool rng_moved = false;
+  bool matched = false;
+  if (cycle_has_prev_) {
+    if (current.rng != prev_fingerprint_.rng) {
+      rng_moved = true;
+    } else {
+      matched = current == prev_fingerprint_;
+    }
+  }
+  fingerprint_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  if (rng_moved) {
+    // The execution model consumes randomness each cycle; a mt19937
+    // state never recurs within any simulatable horizon, so stop
+    // checking.  Stochastic runs thus pay exactly two fingerprints.
+    disarm_cycle_detection();
+    return;
+  }
+  if (matched) {
+    // Two consecutive boundaries are bit-identical: the simulation is a
+    // proven cycle.  Skip every whole hyperperiod that still fits.
+    const Time now_abs = now_.absolute();
+    std::int64_t cycles = static_cast<std::int64_t>(
+        (options_.horizon - now_abs) / cycle_length_);
+    while (now_abs + static_cast<Time>(cycles + 1) * cycle_length_ <=
+           options_.horizon) {
+      ++cycles;
+    }
+    while (cycles > 0 &&
+           now_abs + static_cast<Time>(cycles) * cycle_length_ >
+               options_.horizon) {
+      --cycles;
+    }
+    if (cycles > 0) fast_forward(cycles);
+    // Any tail shorter than a cycle simulates normally; further
+    // fingerprints could never pay off.
+    disarm_cycle_detection();
+    return;
+  }
+  prev_fingerprint_ = std::move(current);
+  cycle_has_prev_ = true;
+  prev_counters_ = snapshot_counters();
+  cycle_segments_.clear();
+  cycle_jobs_.clear();
+  cycle_recording_ = true;
+  next_boundary_ += cycle_length_;
+}
+
+void Simulation::fast_forward(std::int64_t cycles) {
+  LPFPS_CHECK(cycles > 0 && cycle_recording_);
+  // Replay the template through the *identical* accumulator calls the
+  // simulation would have made, once per skipped cycle, so every float
+  // total follows the same addition sequence (and the trace coalescer
+  // sees the same segment stream) as the full run.  Durations come from
+  // the template verbatim — shift-invariant TimePoint arithmetic makes
+  // the full simulation's own cycle-j durations bit-identical to them —
+  // and absolute trace times re-materialize from (base + j*H, offset)
+  // with the exact single rounding the full run would apply.
+  for (std::int64_t j = 1; j <= cycles; ++j) {
+    const Time offset = static_cast<Time>(j) * cycle_length_;
+    for (const CycleSegment& cs : cycle_segments_) {
+      const Time dt = cs.dt;
+      const Ratio rb = cs.ratio_begin;
+      const Ratio re = cs.ratio_end;
+      // The template caches the exact energy each accumulation charged,
+      // so the replay is pure addition — no power-model evaluation.
+      accumulator_.charge_replay(cs.mode, dt, cs.energy);
+      if (cs.mode == sim::ProcessorMode::kRunning) {
+        auto& slot = per_task_[static_cast<std::size_t>(cs.task)];
+        slot.time += dt;
+        slot.energy += cs.energy;
+        running_ratio_integral_ += (rb + re) / 2.0 * dt;
+        running_time_ += dt;
+      }
+      if (options_.record_trace) {
+        sim::Segment segment;
+        segment.begin = (cs.begin.base + offset) + cs.begin.offset;
+        segment.end = (cs.end.base + offset) + cs.end.offset;
+        segment.mode = cs.mode;
+        segment.task = cs.task;
+        segment.ratio_begin = rb;
+        segment.ratio_end = re;
+        trace_.add_segment(segment);
+      }
+    }
+    if (options_.record_trace) {
+      for (const CycleJob& cj : cycle_jobs_) {
+        sim::JobRecord record = cj.record;
+        record.instance +=
+            j * jobs_per_cycle_[static_cast<std::size_t>(record.task)];
+        record.release += offset;
+        record.absolute_deadline += offset;
+        record.completion =
+            (cj.completion.base + offset) + cj.completion.offset;
+        trace_.add_job(record);
+      }
+    }
+  }
+
+  // Integer statistics advance by exact per-cycle deltas.  High-water
+  // marks need nothing: a repeated cycle sets no new maximum.
+  const CounterSnapshot delta = snapshot_counters();
+  jobs_completed_ +=
+      static_cast<int>(cycles * (delta.jobs_completed -
+                                 prev_counters_.jobs_completed));
+  deadline_misses_ +=
+      static_cast<int>(cycles * (delta.deadline_misses -
+                                 prev_counters_.deadline_misses));
+  context_switches_ +=
+      static_cast<int>(cycles * (delta.context_switches -
+                                 prev_counters_.context_switches));
+  scheduler_invocations_ +=
+      static_cast<int>(cycles * (delta.scheduler_invocations -
+                                 prev_counters_.scheduler_invocations));
+  speed_changes_ += static_cast<int>(
+      cycles * (delta.speed_changes - prev_counters_.speed_changes));
+  power_downs_ += static_cast<int>(
+      cycles * (delta.power_downs - prev_counters_.power_downs));
+  dvs_slowdowns_ += static_cast<int>(
+      cycles * (delta.dvs_slowdowns - prev_counters_.dvs_slowdowns));
+
+  // Shift every pending anchor so the state at now_ reappears, verbatim,
+  // at now_ + cycles * H.  Anchors are exact integers (or infinity), so
+  // the additions are exact and every offset survives untouched.  Stale
+  // JobState entries of delay-queue tasks shift too — harmless,
+  // start_job rewrites them before any read.
+  const Time shift = static_cast<Time>(cycles) * cycle_length_;
+  delay_queue_.shift_release_times(shift);
+  for (StagedJob& staged : staged_) staged.ready.base += shift;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    jobs_[i].release += shift;
+    jobs_[i].instance += cycles * jobs_per_cycle_[i];
+    next_instance_[i] += cycles * jobs_per_cycle_[i];
+  }
+  wake_at_.base += shift;
+  wake_end_.base += shift;
+  shutdown_at_.base += shift;
+  plan_rampup_start_.base += shift;
+  plan_end_.base += shift;
+  now_.base += shift;
+
+  cycles_detected_ += cycles;
+  fast_forwarded_time_ += shift;
 }
 
 double Simulation::slope() const {
@@ -423,8 +883,8 @@ double Simulation::slope() const {
   return 0.0;
 }
 
-void Simulation::advance_to(Time next) {
-  const Time dt = next - now_;
+void Simulation::advance_to(const TimePoint& next) {
+  const Time dt = span(now_, next);
   LPFPS_CHECK(dt >= -kTimeEpsilon);
   if (dt <= 0.0) {
     now_ = next;
@@ -441,11 +901,15 @@ void Simulation::advance_to(Time next) {
   }
 
   sim::Segment segment;
-  segment.begin = now_;
-  segment.end = next;
+  segment.begin = now_.absolute();
+  segment.end = next.absolute();
   segment.ratio_begin = ratio_;
   segment.ratio_end = end_ratio;
 
+  // The energy each branch charges into the accumulator; recorded into
+  // the cycle template so the replay can re-add the identical value
+  // without re-evaluating the power model.
+  Energy charged = 0.0;
   switch (state_) {
     case CpuState::kRunning: {
       LPFPS_CHECK(active_ != kNoTask);
@@ -461,6 +925,7 @@ void Simulation::advance_to(Time next) {
         spent = power_model_.ramp_energy(ratio_, end_ratio,
                                          processor_.ramp_rate, true);
       }
+      charged = spent;
       auto& slot = per_task_[static_cast<std::size_t>(active_)];
       slot.time += dt;
       slot.energy += spent;
@@ -473,10 +938,17 @@ void Simulation::advance_to(Time next) {
     case CpuState::kIdle: {
       if (s == 0.0) {
         accumulator_.add_idle_nop(dt, ratio_);
+        if (cycle_recording_) {
+          charged = dt * power_model_.idle_nop_power(ratio_);
+        }
         segment.mode = sim::ProcessorMode::kIdleBusyWait;
       } else {
         accumulator_.add_idle_ramp(dt, ratio_, end_ratio,
                                    processor_.ramp_rate);
+        if (cycle_recording_) {
+          charged = power_model_.ramp_energy(ratio_, end_ratio,
+                                             processor_.ramp_rate, false);
+        }
         segment.mode = sim::ProcessorMode::kRamping;
       }
       break;
@@ -484,17 +956,27 @@ void Simulation::advance_to(Time next) {
     case CpuState::kPowerDown: {
       LPFPS_CHECK(s == 0.0);
       accumulator_.add_power_down(dt, sleep_power_fraction_);
+      charged = dt * sleep_power_fraction_;
       segment.mode = sim::ProcessorMode::kPowerDown;
       break;
     }
     case CpuState::kWakeUp: {
       LPFPS_CHECK(s == 0.0);
       accumulator_.add_wakeup(dt);
+      charged = dt * 1.0;
       segment.mode = sim::ProcessorMode::kWakeUp;
       break;
     }
   }
 
+  if (cycle_recording_) {
+    // Template for the steady-state replay: one entry per accumulation,
+    // including sub-epsilon slivers the trace writer drops (their energy
+    // still counts, so the replay must redo them).
+    cycle_segments_.push_back({now_, next, dt, charged, segment.mode,
+                               segment.task, segment.ratio_begin,
+                               segment.ratio_end});
+  }
   if (options_.record_trace) trace_.add_segment(segment);
   ratio_ = end_ratio;
   now_ = next;
@@ -533,22 +1015,45 @@ SimulationResult Simulation::run() {
   for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks_.size()); ++i) {
     delay_queue_.insert({i, static_cast<Time>(task(i).phase)});
   }
+  setup_cycle_detection();
   invoke_scheduler();
 
-  const Time horizon = options_.horizon;
+  const TimePoint horizon = at(options_.horizon);
   // Livelock detector: the loop must advance time (or change state so a
   // handler clears its condition) every iteration; a stuck boundary
   // would otherwise spin forever.  The threshold is far above any
   // legitimate same-instant handler cascade.
-  Time last_now = -1.0;
+  TimePoint last_now{-1.0, 0.0};
   int stalled_iterations = 0;
-  while (definitely_less(now_, horizon)) {
-    if (now_ == last_now) {
+  while (tp_definitely_less(now_, horizon)) {
+    if (cycle_armed_) {
+      const Time now_abs = now_.absolute();
+      if (now_abs == next_boundary_) {
+        // The clock landed exactly on a hyperperiod boundary (phase-0
+        // task sets release every task there, so the loop always stops
+        // at it) and the boundary's handlers have run: a canonical
+        // sampling point.  on_cycle_boundary may fast-forward now_ to
+        // the last whole cycle before the horizon; re-test the loop
+        // condition before doing anything at the new instant.
+        on_cycle_boundary();
+        continue;
+      }
+      if (now_abs > next_boundary_) {
+        // Overshot (phased releases leave no event on the boundary):
+        // resync to the next multiple and restart the match hunt.
+        while (next_boundary_ <= now_abs) next_boundary_ += cycle_length_;
+        cycle_has_prev_ = false;
+        cycle_recording_ = false;
+        cycle_segments_.clear();
+        cycle_jobs_.clear();
+      }
+    }
+    if (now_.base == last_now.base && now_.offset == last_now.offset) {
       if (++stalled_iterations > 1000) {
         throw std::logic_error(
-            "engine livelock at t=" + std::to_string(now_) + " state=" +
-            std::to_string(static_cast<int>(state_)) + " ratio=" +
-            std::to_string(ratio_) + " target=" +
+            "engine livelock at t=" + std::to_string(now_.absolute()) +
+            " state=" + std::to_string(static_cast<int>(state_)) +
+            " ratio=" + std::to_string(ratio_) + " target=" +
             std::to_string(ramp_target_) + " active=" +
             std::to_string(active_) + " plan=" +
             std::to_string(plan_active_) + " policy=" + policy_.name);
@@ -578,45 +1083,49 @@ SimulationResult Simulation::run() {
     // ---- gather candidate boundaries (all strictly in the future or
     // due exactly now; handlers below clear every condition they fire
     // on, so the loop always progresses).
-    Time next_other = horizon;
+    TimePoint next_other = horizon;
     if (const auto release = delay_queue_.next_release();
         release.has_value()) {
-      next_other = std::min(next_other, *release);
+      const TimePoint candidate = at(*release);
+      if (tp_less(candidate, next_other)) next_other = candidate;
     }
     if (ratio_ != ramp_target_) {
-      next_other = std::min(
-          next_other, now_ + power::ramp_duration(ratio_, ramp_target_,
-                                                  processor_.ramp_rate));
+      const TimePoint candidate =
+          after(now_, power::ramp_duration(ratio_, ramp_target_,
+                                           processor_.ramp_rate));
+      if (tp_less(candidate, next_other)) next_other = candidate;
     }
-    if (plan_active_ && !plan_up_started_) {
-      next_other = std::min(next_other, plan_rampup_start_);
+    if (plan_active_ && !plan_up_started_ &&
+        tp_less(plan_rampup_start_, next_other)) {
+      next_other = plan_rampup_start_;
     }
-    if (state_ == CpuState::kPowerDown) {
-      next_other = std::min(next_other, wake_at_);
+    if (state_ == CpuState::kPowerDown && tp_less(wake_at_, next_other)) {
+      next_other = wake_at_;
     }
-    if (state_ == CpuState::kWakeUp) {
-      next_other = std::min(next_other, wake_end_);
+    if (state_ == CpuState::kWakeUp && tp_less(wake_end_, next_other)) {
+      next_other = wake_end_;
     }
-    if (state_ == CpuState::kIdle && shutdown_at_ != kNever) {
-      next_other = std::min(next_other, shutdown_at_);
+    if (state_ == CpuState::kIdle && shutdown_at_.base != kNever &&
+        tp_less(shutdown_at_, next_other)) {
+      next_other = shutdown_at_;
     }
     for (const StagedJob& staged : staged_) {
-      next_other = std::min(next_other, staged.ready);
+      if (tp_less(staged.ready, next_other)) next_other = staged.ready;
     }
-    LPFPS_CHECK(approx_ge(next_other, now_));
-    next_other = std::max(next_other, now_);
+    LPFPS_CHECK(tp_approx_ge(next_other, now_));
+    if (tp_less(next_other, now_)) next_other = now_;
 
     // ---- completion of the active task, if it lands first.
     bool completes = false;
-    Time next = next_other;
+    TimePoint next = next_other;
     if (state_ == CpuState::kRunning) {
       const JobState& state = job(active_);
       const Work remaining =
           snap_nonnegative(state.total_work - state.executed);
-      const auto tau = power::time_to_complete(ratio_, slope(),
-                                               next_other - now_, remaining);
+      const auto tau = power::time_to_complete(
+          ratio_, slope(), span(now_, next_other), remaining);
       if (tau.has_value()) {
-        next = now_ + *tau;
+        next = after(now_, *tau);
         completes = true;
       }
     }
@@ -635,41 +1144,42 @@ SimulationResult Simulation::run() {
       need_scheduler = true;
     }
     if (plan_active_ && !plan_up_started_ &&
-        approx_le(plan_rampup_start_, now_)) {
+        tp_approx_le(plan_rampup_start_, now_)) {
       plan_up_started_ = true;
       if (ramp_target_ != base_ratio_) {
         ramp_target_ = base_ratio_;
         ++speed_changes_;
       }
     }
-    if (state_ == CpuState::kPowerDown && approx_le(wake_at_, now_)) {
-      wake_at_ = kNever;
+    if (state_ == CpuState::kPowerDown && tp_approx_le(wake_at_, now_)) {
+      wake_at_ = kNeverPoint;
       const Time delay = sleep_wake_latency_;
       if (delay > 0.0) {
         state_ = CpuState::kWakeUp;
-        wake_end_ = now_ + delay;
+        wake_end_ = after(now_, delay);
       } else {
         state_ = CpuState::kIdle;
         need_scheduler = true;
       }
-    } else if (state_ == CpuState::kWakeUp && approx_le(wake_end_, now_)) {
-      wake_end_ = kNever;
+    } else if (state_ == CpuState::kWakeUp &&
+               tp_approx_le(wake_end_, now_)) {
+      wake_end_ = kNeverPoint;
       state_ = CpuState::kIdle;
       need_scheduler = true;
     }
-    if (state_ == CpuState::kIdle && shutdown_at_ != kNever &&
-        approx_le(shutdown_at_, now_)) {
-      shutdown_at_ = kNever;
+    if (state_ == CpuState::kIdle && shutdown_at_.base != kNever &&
+        tp_approx_le(shutdown_at_, now_)) {
+      shutdown_at_ = kNeverPoint;
       enter_power_down();
     }
     if ((state_ == CpuState::kIdle || state_ == CpuState::kRunning) &&
         !delay_queue_.empty() &&
-        approx_le(delay_queue_.head().release_time, now_)) {
+        tp_approx_le(at(delay_queue_.head().release_time), now_)) {
       need_scheduler = true;
     }
     for (const StagedJob& staged : staged_) {
       if ((state_ == CpuState::kIdle || state_ == CpuState::kRunning) &&
-          approx_le(staged.ready, now_)) {
+          tp_approx_le(staged.ready, now_)) {
         need_scheduler = true;
         break;
       }
@@ -678,16 +1188,20 @@ SimulationResult Simulation::run() {
     if (need_scheduler) invoke_scheduler();
   }
 
-  // ---- assemble the result.
+  // ---- assemble the result.  (The tolerance scales with the horizon:
+  // long fast-forwardable runs accumulate ulp-level dt rounding across
+  // millions of segment additions, exactly like a full simulation of
+  // the same span would.)
   LPFPS_CHECK_MSG(
-      approx_equal(accumulator_.total_time(), horizon, 1e-3),
+      approx_equal(accumulator_.total_time(), options_.horizon,
+                   std::max(1e-3, 1e-9 * options_.horizon)),
       "unaccounted simulation time");
 
   SimulationResult result;
   result.policy_name = policy_.name;
-  result.simulated_time = horizon;
+  result.simulated_time = options_.horizon;
   result.total_energy = accumulator_.total_energy();
-  result.average_power = result.total_energy / horizon;
+  result.average_power = result.total_energy / options_.horizon;
   for (std::size_t i = 0; i < result.by_mode.size(); ++i) {
     result.by_mode[i] =
         accumulator_.totals(static_cast<sim::ProcessorMode>(i));
@@ -703,6 +1217,10 @@ SimulationResult Simulation::run() {
   result.delay_queue_high_water = delay_queue_high_water_;
   result.mean_running_ratio =
       running_time_ > 0.0 ? running_ratio_integral_ / running_time_ : 1.0;
+  result.cycles_detected = cycles_detected_;
+  result.fast_forwarded_time = fast_forwarded_time_;
+  result.fingerprint_checks = fingerprint_checks_;
+  result.fingerprint_seconds = fingerprint_seconds_;
   result.per_task = per_task_;
   if (options_.record_trace) {
     trace_.check_invariants();

@@ -83,6 +83,17 @@ struct EngineOptions {
   /// no hook — keeps the hot path snapshot-free; install one only for
   /// inspection, debugging, or queue-shape tests.
   sched::InvocationHook invocation_hook;
+  /// Steady-state fast-forward: fingerprint the full scheduler state at
+  /// each hyperperiod boundary and, once two consecutive boundaries
+  /// match, replay the proven cycle arithmetically instead of
+  /// re-simulating it.  Output (result CSV rows, coalesced traces,
+  /// audits) is bit-identical to the full simulation; only wall-clock
+  /// time changes.  Deterministic execution models (wcet/bcet) converge
+  /// after the first hyperperiod; stochastic models and jittered or
+  /// tick-granular runs never match and pay one fingerprint per
+  /// hyperperiod at most.  The LPFPS_CYCLE environment variable
+  /// (0/off/false) force-disables it without touching call sites.
+  bool cycle_detection = true;
 };
 
 class Engine {

@@ -21,6 +21,10 @@ std::string SimulationResult::summary() const {
      << "queue high water  : run " << run_queue_high_water << ", delay "
      << delay_queue_high_water << "\n"
      << "mean running ratio: " << mean_running_ratio << "\n";
+  if (cycles_detected > 0) {
+    os << "cycles skipped    : " << cycles_detected << " hyperperiods ("
+       << fast_forwarded_time << " us fast-forwarded)\n";
+  }
   static constexpr const char* kModeNames[5] = {
       "run", "idle-nop", "power-down", "wake-up", "ramping"};
   for (std::size_t i = 0; i < by_mode.size(); ++i) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +38,16 @@ struct SimulationResult {
 
   /// Time-weighted mean speed ratio while executing task work.
   double mean_running_ratio = 1.0;
+
+  /// Steady-state fast-forward statistics (EngineOptions::cycle_detection).
+  /// These describe how the result was *obtained*, not what it contains,
+  /// so they are deliberately excluded from io::result_csv_row — a
+  /// fast-forwarded run and its fully simulated twin must stay
+  /// row-for-row identical.
+  std::int64_t cycles_detected = 0;   ///< Whole hyperperiods skipped.
+  Time fast_forwarded_time = 0.0;     ///< Simulated time covered by replay.
+  std::int64_t fingerprint_checks = 0;  ///< Boundary fingerprints taken.
+  double fingerprint_seconds = 0.0;   ///< Wall time spent fingerprinting.
 
   /// Per-task execution energy and processor time, indexed like the
   /// TaskSet (idle/power-down/wake energy is not attributed to tasks).

@@ -52,6 +52,15 @@ class EnergyAccumulator {
   /// Wake-up transition (full power, no useful work).
   void add_wakeup(Time duration);
 
+  /// Re-charges an interval whose energy a previous add_* call already
+  /// computed (the engine's steady-state replay).  Identical guard and
+  /// addition sequence as the original call, without re-evaluating the
+  /// power model — `energy` must be the value that call charged.
+  void charge_replay(sim::ProcessorMode mode, Time duration,
+                     Energy energy) {
+    charge(mode, duration, energy);
+  }
+
   Energy total_energy() const;
   Time total_time() const;
 

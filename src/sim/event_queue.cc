@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/check.h"
@@ -139,6 +140,20 @@ Event EventQueue::pop() {
   retire(slot);
   erase_at(0);
   return event;
+}
+
+std::vector<Event> EventQueue::canonical_events() const {
+  std::vector<HeapEntry> keys = heap_;
+  std::sort(keys.begin(), keys.end(),
+            [](const HeapEntry& a, const HeapEntry& b) {
+              return earlier(a, b);
+            });
+  std::vector<Event> events;
+  events.reserve(keys.size());
+  for (const HeapEntry& key : keys) {
+    events.push_back(slots_[key.slot].event);
+  }
+  return events;
 }
 
 }  // namespace lpfps::sim

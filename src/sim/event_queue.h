@@ -71,6 +71,15 @@ class EventQueue {
   /// Earliest live event without removing it.  Precondition: !empty().
   const Event& peek() const;
 
+  /// Fingerprint accessor: every live event in canonical delivery order
+  /// (time, priority, insertion order), independent of the heap's
+  /// physical layout or the slot table's recycling history.  Two queues
+  /// holding the same pending events compare equal through this view
+  /// even when their internal slot/generation states differ — exactly
+  /// the equivalence a periodic-steady-state fingerprint needs.  O(n
+  /// log n); meant for per-hyperperiod checkpoints, not the hot loop.
+  std::vector<Event> canonical_events() const;
+
  private:
   struct Slot {
     Event event;

@@ -1,5 +1,6 @@
 #include "workloads/registry.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "common/check.h"
@@ -10,18 +11,21 @@
 
 namespace lpfps::workloads {
 
-namespace {
-
-/// Smallest whole number of hyperperiods covering `minimum` microseconds
-/// of simulated time, capped at `maximum` (the cap truncates only the
-/// avionics set, whose 59 ms task inflates the hyperperiod to 236 s).
 Time pick_horizon(const sched::TaskSet& tasks, Time minimum, Time maximum) {
   const auto hyper = static_cast<Time>(tasks.hyperperiod());
-  if (hyper >= maximum) return maximum;
-  Time horizon = hyper;
-  while (horizon < minimum) horizon += hyper;
-  return horizon;
+  // Only when a single hyperperiod cannot fit under the cap do we give
+  // up on whole-cycle alignment.  (An earlier version also bailed when
+  // hyper == maximum exactly, and its accumulation loop could overrun
+  // the cap — both lost the whole-hyperperiod property for horizons
+  // that could have kept it.)
+  if (hyper > maximum) return maximum;
+  Time cycles = std::ceil(minimum / hyper);
+  if (cycles < 1.0) cycles = 1.0;
+  if (cycles * hyper > maximum) cycles = std::floor(maximum / hyper);
+  return cycles * hyper;
 }
+
+namespace {
 
 Workload make(std::string name, std::string description,
               sched::TaskSet tasks) {

@@ -18,6 +18,16 @@ struct Workload {
   Time horizon = 0.0;
 };
 
+/// Picks a simulation horizon of whole hyperperiods: the smallest
+/// multiple covering `minimum` microseconds, shortened to the largest
+/// multiple still under `maximum` when they conflict.  Only when even a
+/// single hyperperiod exceeds `maximum` does it fall back to `maximum`
+/// itself (a partial cycle — the avionics set's 236 s hyperperiod is
+/// the one Table 2 case that needs this).  Whole-hyperperiod horizons
+/// keep energy comparisons unbiased and let the engine's steady-state
+/// fast-forward skip everything after the first repeated cycle.
+Time pick_horizon(const sched::TaskSet& tasks, Time minimum, Time maximum);
+
 /// The paper's four applications in Table 2 order.
 std::vector<Workload> paper_workloads();
 

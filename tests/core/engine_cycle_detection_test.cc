@@ -1,0 +1,249 @@
+// Steady-state cycle detection: the engine fingerprints the scheduler
+// state at each hyperperiod boundary and, once two consecutive
+// boundaries match bit for bit, replays the proven cycle instead of
+// re-simulating it.  These tests pin the contract from engine.h:
+//
+//  - the fast-forwarded run's result CSV row, coalesced trace and job
+//    records are bit-identical to a full simulation (differential test
+//    over every paper workload x parameterless policy x wcet/bcet);
+//  - stochastic execution models, release jitter and timer granularity
+//    never fast-forward and their output is untouched;
+//  - EngineOptions::cycle_detection and LPFPS_CYCLE=0 both opt out;
+//  - the replayed timeline passes the full audit battery.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+#include "audit/harness.h"
+#include "core/engine.h"
+#include "exec/exec_model.h"
+#include "io/trace_io.h"
+#include "power/processor.h"
+#include "sim/trace.h"
+#include "workloads/registry.h"
+
+namespace lpfps {
+namespace {
+
+std::vector<core::SchedulerPolicy> parameterless_policies() {
+  return {core::SchedulerPolicy::fps(), core::SchedulerPolicy::lpfps(),
+          core::SchedulerPolicy::lpfps_optimal(),
+          core::SchedulerPolicy::lpfps_powerdown_only(),
+          core::SchedulerPolicy::lpfps_dvs_only()};
+}
+
+std::string canonical_segments(const core::SimulationResult& result) {
+  const sim::Trace canon = sim::Trace::unchecked(
+      sim::coalesce_segments(result.trace->segments()),
+      result.trace->jobs());
+  return io::trace_segments_csv(canon, {});
+}
+
+std::string jobs_csv(const core::SimulationResult& result) {
+  return io::trace_jobs_csv(*result.trace, {});
+}
+
+TEST(EngineCycleDetection, FastForwardIsBitIdenticalToFullSimulation) {
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  for (const workloads::Workload& w : workloads::paper_workloads()) {
+    const sched::TaskSet tasks = w.tasks.with_bcet_ratio(0.5);
+    const Time hyper = static_cast<Time>(tasks.hyperperiod());
+    core::EngineOptions on;
+    on.horizon = 3.0 * hyper;
+    on.seed = 7;
+    on.record_trace = true;
+    core::EngineOptions off = on;
+    off.cycle_detection = false;
+    for (const core::SchedulerPolicy& policy : parameterless_policies()) {
+      for (const exec::ExecModelPtr& exec :
+           {exec::ExecModelPtr{},
+            exec::ExecModelPtr(std::make_shared<exec::BcetModel>())}) {
+        const std::string label = w.name + "/" + policy.name + "/" +
+                                  (exec ? exec->name() : "wcet");
+        const auto fast = core::simulate(tasks, cpu, policy, exec, on);
+        const auto full = core::simulate(tasks, cpu, policy, exec, off);
+        EXPECT_GT(fast.cycles_detected, 0) << label;
+        EXPECT_EQ(fast.fast_forwarded_time,
+                  static_cast<Time>(fast.cycles_detected) * hyper)
+            << label;
+        EXPECT_EQ(full.cycles_detected, 0) << label;
+        // Bit-identical outputs: the result CSV row (all counters and
+        // float totals at full print precision), the coalesced segment
+        // timeline, and every job record.
+        EXPECT_EQ(io::result_csv_row(fast), io::result_csv_row(full))
+            << label;
+        EXPECT_EQ(canonical_segments(fast), canonical_segments(full))
+            << label;
+        EXPECT_EQ(jobs_csv(fast), jobs_csv(full)) << label;
+      }
+    }
+  }
+}
+
+TEST(EngineCycleDetection, PartialTailCycleResumesSimulation) {
+  // A horizon of 3.5 hyperperiods: detection matches at 2H, replay skips
+  // one whole cycle, and the final half cycle simulates normally.
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  const workloads::Workload w = workloads::workload_by_name("CNC");
+  const Time hyper = static_cast<Time>(w.tasks.hyperperiod());
+  core::EngineOptions on;
+  on.horizon = 3.5 * hyper;
+  on.seed = 7;
+  on.record_trace = true;
+  core::EngineOptions off = on;
+  off.cycle_detection = false;
+  for (const core::SchedulerPolicy& policy : parameterless_policies()) {
+    const auto fast = core::simulate(w.tasks, cpu, policy, nullptr, on);
+    const auto full = core::simulate(w.tasks, cpu, policy, nullptr, off);
+    EXPECT_EQ(fast.cycles_detected, 1) << policy.name;
+    EXPECT_EQ(fast.fast_forwarded_time, hyper) << policy.name;
+    EXPECT_EQ(io::result_csv_row(fast), io::result_csv_row(full))
+        << policy.name;
+    EXPECT_EQ(canonical_segments(fast), canonical_segments(full))
+        << policy.name;
+    EXPECT_EQ(jobs_csv(fast), jobs_csv(full)) << policy.name;
+  }
+}
+
+TEST(EngineCycleDetection, FastForwardedRunPassesAudit) {
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  for (const workloads::Workload& w : workloads::paper_workloads()) {
+    core::EngineOptions options;
+    options.horizon = 3.0 * static_cast<Time>(w.tasks.hyperperiod());
+    options.record_trace = true;
+    for (const core::SchedulerPolicy& policy : parameterless_policies()) {
+      const auto result =
+          core::simulate(w.tasks, cpu, policy, nullptr, options);
+      ASSERT_GT(result.cycles_detected, 0) << w.name << "/" << policy.name;
+      const audit::AuditReport report = audit::audit_run(
+          result, w.tasks, cpu, audit::derive_options(policy, options));
+      EXPECT_TRUE(report.ok())
+          << w.name << "/" << policy.name << ": " << report.to_string();
+    }
+  }
+}
+
+TEST(EngineCycleDetection, StochasticModelsNeverFastForward) {
+  // Stochastic draws advance the RNG every cycle, so two boundaries can
+  // never match; the detector notices the moved generator state at the
+  // second fingerprint and disarms.  Output must equal a detection-off
+  // run exactly (same seed, same path).
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  const workloads::Workload w = workloads::workload_by_name("CNC");
+  const sched::TaskSet tasks = w.tasks.with_bcet_ratio(0.5);
+  core::EngineOptions on;
+  on.horizon = 6.0 * static_cast<Time>(tasks.hyperperiod());
+  on.seed = 11;
+  on.record_trace = true;
+  core::EngineOptions off = on;
+  off.cycle_detection = false;
+  const std::vector<exec::ExecModelPtr> models = {
+      std::make_shared<exec::ClampedGaussianModel>(),
+      std::make_shared<exec::UniformModel>(),
+      std::make_shared<exec::BimodalModel>()};
+  for (const exec::ExecModelPtr& exec : models) {
+    const auto fast = core::simulate(
+        tasks, cpu, core::SchedulerPolicy::lpfps(), exec, on);
+    const auto full = core::simulate(
+        tasks, cpu, core::SchedulerPolicy::lpfps(), exec, off);
+    EXPECT_EQ(fast.cycles_detected, 0) << exec->name();
+    EXPECT_EQ(fast.fast_forwarded_time, 0.0) << exec->name();
+    // At most two fingerprints per run: one to record, one to notice the
+    // RNG moved.
+    EXPECT_LE(fast.fingerprint_checks, 2) << exec->name();
+    EXPECT_GT(fast.fingerprint_checks, 0) << exec->name();
+    EXPECT_EQ(io::result_csv_row(fast), io::result_csv_row(full))
+        << exec->name();
+    EXPECT_EQ(canonical_segments(fast), canonical_segments(full))
+        << exec->name();
+  }
+}
+
+TEST(EngineCycleDetection, JitterAndGranularityAreIneligible) {
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  const workloads::Workload w = workloads::workload_by_name("CNC");
+  core::EngineOptions options;
+  options.horizon = 4.0 * static_cast<Time>(w.tasks.hyperperiod());
+  options.record_trace = true;
+
+  core::EngineOptions jittered = options;
+  jittered.release_jitter = std::vector<Time>(w.tasks.size(), 1.0);
+  const auto jittered_result = core::simulate(
+      w.tasks, cpu, core::SchedulerPolicy::lpfps(), nullptr, jittered);
+  EXPECT_EQ(jittered_result.cycles_detected, 0);
+  EXPECT_EQ(jittered_result.fingerprint_checks, 0);
+
+  core::EngineOptions granular = options;
+  granular.timer_granularity = 0.5;
+  const auto granular_result = core::simulate(
+      w.tasks, cpu, core::SchedulerPolicy::lpfps(), nullptr, granular);
+  EXPECT_EQ(granular_result.cycles_detected, 0);
+  EXPECT_EQ(granular_result.fingerprint_checks, 0);
+
+  // Zero-valued jitter entries are still periodic and stay eligible.
+  core::EngineOptions zero_jitter = options;
+  zero_jitter.release_jitter = std::vector<Time>(w.tasks.size(), 0.0);
+  const auto zero_result = core::simulate(
+      w.tasks, cpu, core::SchedulerPolicy::lpfps(), nullptr, zero_jitter);
+  EXPECT_GT(zero_result.cycles_detected, 0);
+}
+
+TEST(EngineCycleDetection, ShortHorizonNeverFingerprints) {
+  // Detection needs boundaries at H and 2H inside the horizon; anything
+  // shorter must not even pay for one fingerprint.
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  const workloads::Workload w = workloads::workload_by_name("CNC");
+  core::EngineOptions options;
+  options.horizon = 1.5 * static_cast<Time>(w.tasks.hyperperiod());
+  const auto result = core::simulate(
+      w.tasks, cpu, core::SchedulerPolicy::lpfps(), nullptr, options);
+  EXPECT_EQ(result.cycles_detected, 0);
+  EXPECT_EQ(result.fingerprint_checks, 0);
+}
+
+TEST(EngineCycleDetection, OptionAndEnvironmentOptOuts) {
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  const workloads::Workload w = workloads::workload_by_name("CNC");
+  core::EngineOptions options;
+  options.horizon = 4.0 * static_cast<Time>(w.tasks.hyperperiod());
+
+  core::EngineOptions disabled = options;
+  disabled.cycle_detection = false;
+  const auto off = core::simulate(
+      w.tasks, cpu, core::SchedulerPolicy::lpfps(), nullptr, disabled);
+  EXPECT_EQ(off.cycles_detected, 0);
+  EXPECT_EQ(off.fingerprint_checks, 0);
+
+  ASSERT_EQ(setenv("LPFPS_CYCLE", "0", 1), 0);
+  const auto env_off = core::simulate(
+      w.tasks, cpu, core::SchedulerPolicy::lpfps(), nullptr, options);
+  ASSERT_EQ(unsetenv("LPFPS_CYCLE"), 0);
+  EXPECT_EQ(env_off.cycles_detected, 0);
+  EXPECT_EQ(env_off.fingerprint_checks, 0);
+
+  const auto on = core::simulate(
+      w.tasks, cpu, core::SchedulerPolicy::lpfps(), nullptr, options);
+  EXPECT_GT(on.cycles_detected, 0);
+  // All three agree on every reported quantity.
+  EXPECT_EQ(io::result_csv_row(on), io::result_csv_row(off));
+  EXPECT_EQ(io::result_csv_row(on), io::result_csv_row(env_off));
+}
+
+TEST(EngineCycleDetection, SummaryReportsSkippedCycles) {
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  const workloads::Workload w = workloads::workload_by_name("CNC");
+  core::EngineOptions options;
+  options.horizon = 4.0 * static_cast<Time>(w.tasks.hyperperiod());
+  const auto result = core::simulate(
+      w.tasks, cpu, core::SchedulerPolicy::lpfps(), nullptr, options);
+  ASSERT_GT(result.cycles_detected, 0);
+  EXPECT_NE(result.summary().find("cycles skipped"), std::string::npos);
+  EXPECT_GE(result.fingerprint_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace lpfps

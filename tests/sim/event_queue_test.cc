@@ -116,6 +116,30 @@ TEST(EventQueue, StressManyEventsOrdered) {
   }
 }
 
+TEST(EventQueue, CanonicalEventsIsSortedAndNonDestructive) {
+  EventQueue queue;
+  queue.push(at(30.0, EventKind::kCompletion, 2));
+  queue.push(at(10.0, EventKind::kTaskRelease, 0));
+  queue.push(at(20.0, EventKind::kTaskRelease, 1));
+  queue.push(at(10.0, EventKind::kCompletion, 3));
+  const std::vector<Event> events = queue.canonical_events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+  EXPECT_DOUBLE_EQ(events.front().time, 10.0);
+  EXPECT_DOUBLE_EQ(events.back().time, 30.0);
+  // The heap itself is untouched: popping still drains everything in
+  // order after the canonical snapshot.
+  EXPECT_EQ(queue.size(), 4u);
+  Time last = -1.0;
+  while (!queue.empty()) {
+    const Event event = queue.pop();
+    EXPECT_GE(event.time, last);
+    last = event.time;
+  }
+}
+
 TEST(EventDescribe, MentionsKindAndTime) {
   const std::string text = describe(at(12.0, EventKind::kCompletion, 3));
   EXPECT_NE(text.find("completion"), std::string::npos);

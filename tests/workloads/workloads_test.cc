@@ -118,6 +118,27 @@ TEST(Registry, HorizonsAreWholeHyperperiodsWhereTractable) {
   }
 }
 
+TEST(Registry, PickHorizonKeepsWholeHyperperiodsUnderTheCap) {
+  // Single task with period 700 -> hyperperiod 700.
+  const sched::TaskSet tasks({sched::make_task("t", 700, 10.0)});
+
+  // Smallest whole multiple covering the minimum.
+  EXPECT_DOUBLE_EQ(pick_horizon(tasks, 1'000.0, 20'000.0), 1'400.0);
+  EXPECT_DOUBLE_EQ(pick_horizon(tasks, 700.0, 20'000.0), 700.0);
+  EXPECT_DOUBLE_EQ(pick_horizon(tasks, 1.0, 20'000.0), 700.0);
+
+  // Regression: when the ceil-multiple (3 x 700 = 2100) overruns the
+  // cap, fall back to the largest whole multiple under it (1400), not
+  // the raw cap (2000, a partial cycle).
+  EXPECT_DOUBLE_EQ(pick_horizon(tasks, 1'900.0, 2'000.0), 1'400.0);
+
+  // hyper == maximum exactly still yields the whole cycle.
+  EXPECT_DOUBLE_EQ(pick_horizon(tasks, 500.0, 700.0), 700.0);
+
+  // Only when one hyperperiod cannot fit does the cap win.
+  EXPECT_DOUBLE_EQ(pick_horizon(tasks, 100.0, 500.0), 500.0);
+}
+
 TEST(Registry, LookupByName) {
   EXPECT_EQ(workload_by_name("INS").tasks.size(), 6u);
   EXPECT_THROW(workload_by_name("nonsense"), std::out_of_range);
