@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "common/float_compare.h"
@@ -87,6 +88,10 @@ class Auditor {
     if (options_.check_work_conserving) check_work_conservation();
     if (options_.check_full_speed_at_releases) check_releases();
     if (cpu_ != nullptr && options_.check_dvs_plans) check_dvs_plans();
+    if (options_.containment != faults::OverrunAction::kNone ||
+        options_.safe_mode_fallback) {
+      check_faults();
+    }
     if (cpu_ != nullptr && result_ != nullptr) {
       check_energy();
       check_counters();
@@ -132,17 +137,24 @@ class Auditor {
       Window w;
       w.instance = job.instance;
       w.release = job.release;
-      w.end = job.finished ? job.completion : trace_end();
+      // A killed job frees the processor at the kill instant; only a
+      // genuinely in-flight job may occupy the trace tail.
+      w.end = job.finished || job.killed ? job.completion : trace_end();
       w.deadline = job.absolute_deadline;
       w.finished = job.finished;
       windows_[static_cast<std::size_t>(job.task)].push_back(w);
     }
     // One in-flight window per task whose next release precedes the
     // trace end: the engine starts that job but records it only at
-    // completion.
+    // completion.  Under containment the recorded instances may have
+    // gaps (forfeited windows), so the next instance is one past the
+    // largest seen, not the record count.
     for (std::size_t t = 0; t < task_count(); ++t) {
       const sched::Task& task = tasks_[static_cast<TaskIndex>(t)];
-      const auto count = static_cast<std::int64_t>(windows_[t].size());
+      std::int64_t count = 0;
+      for (const Window& w : windows_[t]) {
+        count = std::max(count, w.instance + 1);
+      }
       const Time release = static_cast<Time>(task.phase) +
                            static_cast<Time>(count * task.period);
       if (definitely_less(release, trace_end(), options_.epsilon)) {
@@ -237,7 +249,10 @@ class Auditor {
       return;
     }
     const double reps = options_.ratio_epsilon;
-    const double rho = cpu_ != nullptr ? cpu_->ramp_rate : 0.0;
+    // Physical slope checks measure the clock the hardware actually ran
+    // (a ramp fault slows it); planning checks keep the spec rate.
+    const double rho =
+        cpu_ != nullptr ? cpu_->ramp_rate * options_.ramp_rate_factor : 0.0;
     const Ratio floor_ratio =
         cpu_ != nullptr
             ? cpu_->frequencies.f_min() / cpu_->frequencies.f_max()
@@ -359,6 +374,12 @@ class Auditor {
 
   void check_jobs() {
     std::vector<std::int64_t> seen(task_count(), 0);
+    // Completion instant of each task's most recent record: under
+    // overload (declared misses) or monitor-mode overruns a backlogged
+    // predecessor runs inside its successor's window, and its execution
+    // must not be charged to the successor's work integral.
+    std::vector<Time> prior_done(task_count(),
+                                 -std::numeric_limits<Time>::infinity());
     for (const sim::JobRecord& job : trace_.jobs()) {
       ++report_.jobs_checked;
       if (job.task < 0 || static_cast<std::size_t>(job.task) >= task_count()) {
@@ -369,13 +390,20 @@ class Auditor {
       const auto t = static_cast<std::size_t>(job.task);
       const sched::Task& task = tasks_[job.task];
 
-      const std::int64_t expected_instance = seen[t]++;
-      if (job.instance != expected_instance) {
+      // Fault containment forfeits windows, so instances may legally
+      // skip ahead — but must still increase strictly.
+      const std::int64_t expected_instance = seen[t];
+      const bool ordered = options_.faults_injected
+                               ? job.instance >= expected_instance
+                               : job.instance == expected_instance;
+      if (!ordered) {
         add("J1.instance", job.release,
             task.name + " records instance " + std::to_string(job.instance) +
                 " out of order (expected " +
+                (options_.faults_injected ? ">= " : "") +
                 std::to_string(expected_instance) + ")");
       }
+      seen[t] = std::max(seen[t], job.instance + 1);
       const Time expected_release =
           static_cast<Time>(task.phase) +
           static_cast<Time>(job.instance) * static_cast<Time>(task.period);
@@ -395,7 +423,13 @@ class Auditor {
                 fmt(job.release + static_cast<Time>(task.deadline)));
       }
 
-      if (!job.finished) continue;  // Unfinished records carry no demand.
+      if (!job.finished) {
+        // A killed record occupied the CPU until its kill instant.
+        if (job.killed) {
+          prior_done[t] = std::max(prior_done[t], job.completion);
+        }
+        continue;  // Unfinished records carry no demand.
+      }
 
       if (definitely_less(job.completion, job.release, options_.epsilon)) {
         add("J1.completion", job.completion,
@@ -437,8 +471,8 @@ class Auditor {
                 " > C=" + fmt(task.wcet));
       }
 
-      const Work integral =
-          executed_between(t, job.release, job.completion);
+      const Work integral = executed_between(
+          t, std::max(job.release, prior_done[t]), job.completion);
       if (std::abs(integral - job.executed) >
           options_.work_epsilon + 1e-9 * job.executed) {
         add("J2.work", job.completion,
@@ -446,6 +480,7 @@ class Auditor {
                 ": trace work integral " + fmt(integral) +
                 " != recorded demand " + fmt(job.executed));
       }
+      prior_done[t] = std::max(prior_done[t], job.completion);
     }
 
     // J5: every running segment sits inside one of its task's windows.
@@ -662,11 +697,183 @@ class Auditor {
     }
   }
 
+  // ---- F: fault detection and containment -------------------------------
+
+  /// Instant at which the record's cumulative trace work crosses
+  /// `target`, or nullopt when the trace never accumulates that much.
+  std::optional<Time> work_crossing(std::size_t task,
+                                    const sim::JobRecord& job,
+                                    Work target) const {
+    Work acc = 0.0;
+    const auto& indices = task_segments_[task];
+    auto it = std::lower_bound(indices.begin(), indices.end(), job.release,
+                               [this](std::size_t index, Time t) {
+                                 return segments()[index].end <= t;
+                               });
+    for (; it != indices.end(); ++it) {
+      const Segment& s = segments()[*it];
+      if (s.begin >= job.completion) break;
+      const Time x = std::max(job.release, s.begin);
+      const Time y = std::min(job.completion, s.end);
+      if (y <= x) continue;
+      const Work w = clipped_work(s, x, y);
+      if (acc + w >= target) {
+        const double slope = s.duration() > 0.0
+                                 ? (s.ratio_end - s.ratio_begin) / s.duration()
+                                 : 0.0;
+        const Ratio rx = s.ratio_begin + slope * (x - s.begin);
+        const auto dt =
+            power::time_to_complete(rx, slope, y - x, target - acc);
+        return dt.has_value() ? x + *dt : y;
+      }
+      acc += w;
+    }
+    return std::nullopt;
+  }
+
+  /// F1/F2/F3: budget enforcement and safe-mode fallback.  Assumes zero
+  /// context-switch cost (the engine's budget is WCET + charged
+  /// overhead; with overhead the derived crossing instants would lead
+  /// the real detections).
+  void check_faults() {
+    const Work wtol = options_.work_epsilon;
+    std::int64_t killed_records = 0;
+    std::vector<Time> detections;  ///< Derived anomaly-detection instants.
+
+    for (const sim::JobRecord& job : trace_.jobs()) {
+      if (job.task < 0 || static_cast<std::size_t>(job.task) >= task_count()) {
+        continue;  // check_jobs reports the bad index.
+      }
+      const auto t = static_cast<std::size_t>(job.task);
+      const sched::Task& task = tasks_[job.task];
+      const auto wcet = static_cast<Work>(task.wcet);
+
+      if (job.killed) {
+        ++killed_records;
+        if (job.finished) {
+          add("F3.finished", job.completion,
+              task.name + " instance " + std::to_string(job.instance) +
+                  " is marked both killed and finished");
+        }
+        // A kill fires exactly at budget exhaustion: executed == C.
+        if (std::abs(job.executed - wcet) > wtol + 1e-9 * wcet) {
+          add("F3.budget", job.completion,
+              task.name + " instance " + std::to_string(job.instance) +
+                  " killed with executed " + fmt(job.executed) +
+                  " != its budget C=" + fmt(wcet));
+        }
+        detections.push_back(job.completion);
+        continue;
+      }
+
+      switch (options_.containment) {
+        case faults::OverrunAction::kKill:
+          // Surviving (non-killed) jobs stayed within one budget.
+          if (job.executed > wcet + wtol) {
+            add("F1.budget", job.completion,
+                task.name + " instance " + std::to_string(job.instance) +
+                    " executed " + fmt(job.executed) + " > budget C=" +
+                    fmt(wcet) + " without being killed");
+          }
+          break;
+        case faults::OverrunAction::kThrottle: {
+          if (!job.finished) break;
+          // Each period window the job spans replenishes one budget of
+          // C, so total demand is capped at (windows spanned) * C.
+          const auto period = static_cast<double>(task.period);
+          const double spanned = std::max(
+              1.0,
+              std::ceil((job.completion - job.release) / period - 1e-9));
+          if (job.executed > spanned * wcet + wtol) {
+            add("F1.budget", job.completion,
+                task.name + " instance " + std::to_string(job.instance) +
+                    " executed " + fmt(job.executed) + " > " +
+                    fmt(spanned) + " budget window(s) * C=" + fmt(wcet));
+          }
+          if (job.executed > wcet + wtol) {
+            if (const auto at = work_crossing(t, job, wcet)) {
+              detections.push_back(*at);
+            }
+          }
+          break;
+        }
+        case faults::OverrunAction::kNone:
+          // Monitor-only: the overrun instant is still a detection.
+          if (job.finished && job.executed > wcet + wtol) {
+            if (const auto at = work_crossing(t, job, wcet)) {
+              detections.push_back(*at);
+            }
+          }
+          break;
+      }
+    }
+
+    // F2: from each detection instant the clock must never decrease and
+    // any steady running stretch must sit at base, until the processor
+    // next goes non-running (safe mode legally ends at the idle instant).
+    if (options_.safe_mode_fallback) {
+      const double reps = options_.ratio_epsilon;
+      const auto& segs = segments();
+      for (const Time at : detections) {
+        auto it = std::lower_bound(segs.begin(), segs.end(),
+                                   at - options_.epsilon,
+                                   [](const Segment& s, Time v) {
+                                     return s.begin < v;
+                                   });
+        for (; it != segs.end(); ++it) {
+          const Segment& s = *it;
+          if (s.mode != ProcessorMode::kRunning &&
+              s.mode != ProcessorMode::kRamping) {
+            break;
+          }
+          if (s.ratio_end < s.ratio_begin - reps) {
+            add("F2.decrease", s.begin,
+                "clock slows from " + fmt(s.ratio_begin) + " to " +
+                    fmt(s.ratio_end) + " after the anomaly detected at t=" +
+                    fmt(at) + " (safe mode must hold full speed)");
+            break;
+          }
+          if (s.mode == ProcessorMode::kRunning &&
+              s.ratio_begin == s.ratio_end &&
+              s.ratio_begin < options_.base_ratio - reps) {
+            add("F2.slow", s.begin,
+                "steady ratio " + fmt(s.ratio_begin) + " < base " +
+                    fmt(options_.base_ratio) +
+                    " after the anomaly detected at t=" + fmt(at) +
+                    " (safe mode must hold full speed)");
+            break;
+          }
+        }
+      }
+    }
+
+    if (result_ != nullptr) {
+      if (options_.containment == faults::OverrunAction::kKill &&
+          result_->jobs_killed != killed_records) {
+        add("F3.count", 0.0,
+            "jobs_killed=" + std::to_string(result_->jobs_killed) +
+                " but the trace records " + std::to_string(killed_records) +
+                " killed jobs");
+      }
+      if (options_.safe_mode_fallback) {
+        const std::int64_t detected = result_->overruns_detected +
+                                      result_->ramp_faults_detected +
+                                      result_->late_wakeups_detected;
+        if (detected > 0 && result_->safe_mode_entries == 0) {
+          add("F2.entry", 0.0,
+              std::to_string(detected) +
+                  " anomalies detected but safe_mode_entries=0 (fallback " +
+                  "armed yet never engaged)");
+        }
+      }
+    }
+  }
+
   // ---- E: energy and time re-integration --------------------------------
 
   void check_energy() {
     const power::PowerModel model = cpu_->make_power_model();
-    const double rho = cpu_->ramp_rate;
+    const double rho = cpu_->ramp_rate * options_.ramp_rate_factor;
     std::array<Energy, 5> energy{};
     std::array<Time, 5> time{};
     std::array<std::int64_t, 5> count{};

@@ -33,6 +33,13 @@
 //   C1  counters    jobs_completed / deadline_misses match the records
 //   C2  counters    power_downs matches the power-down segment count
 //   C3  counters    observed plans <= reported dvs_slowdowns
+//   F1  budgets     under containment, no enforcement window executes
+//                   past WCET + epsilon (docs/ROBUSTNESS.md)
+//   F2  safe mode   after a detected overrun the clock never decreases
+//                   and stays at base until the processor next idles;
+//                   detections imply safe_mode_entries > 0
+//   F3  kills       killed records are unfinished with executed ~= WCET,
+//                   and their count matches jobs_killed
 #pragma once
 
 #include <string>
@@ -40,6 +47,7 @@
 
 #include "common/units.h"
 #include "core/result.h"
+#include "faults/faults.h"
 #include "power/processor.h"
 #include "sched/task_set.h"
 #include "sim/trace.h"
@@ -85,6 +93,27 @@ struct AuditOptions {
   bool check_full_speed_at_releases = true;
   /// D1/D2: disable under release jitter (staged arrivals abort plans).
   bool check_dvs_plans = true;
+
+  /// Fault-aware auditing (docs/ROBUSTNESS.md).  Set when the run had a
+  /// non-empty faults::FaultPlan: relaxes J1 (instances may skip ahead
+  /// when containment forfeits windows) and J3 (overruns are the point)
+  /// while keeping every structural check armed.
+  bool faults_injected = false;
+  /// The run's containment action.  kThrottle/kKill arm F1 (budget
+  /// ceiling per enforcement window) and, for kKill, F3 (kill-record
+  /// shape and counter agreement).
+  faults::OverrunAction containment = faults::OverrunAction::kNone;
+  /// The run's safe-mode flag.  Arms F2: from each derived overrun
+  /// instant the clock must be non-decreasing and at base until the
+  /// next non-running segment, and detections must be accompanied by
+  /// safe-mode entries.
+  bool safe_mode_fallback = false;
+  /// Effective ramp-rate multiplier of an injected DVS ramp fault
+  /// (faults::RampFault::rho_factor).  T6 slope and E1 ramp-energy
+  /// re-integration use rho * ramp_rate_factor; planning checks (D1/D2)
+  /// must instead be disabled by the caller, as plans are built against
+  /// the spec rho.
+  double ramp_rate_factor = 1.0;
 };
 
 struct AuditReport {

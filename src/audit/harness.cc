@@ -29,9 +29,39 @@ AuditOptions derive_options(const core::SchedulerPolicy& policy,
   // (staged) job is pending, plans abort on staged arrivals, and a late
   // job's nominal release can fall inside a plan.
   const bool jitter_free = options.release_jitter.empty();
-  audit.check_work_conserving = jitter_free;
-  audit.check_full_speed_at_releases = jitter_free;
-  audit.check_dvs_plans = jitter_free && policy.uses_dvs();
+
+  // Fault wiring (docs/ROBUSTNESS.md): arm the F checks and relax the
+  // invariants each fault model legitimately breaks.
+  const bool overruns = options.faults.overruns_enabled();
+  const bool ramp_fault = options.faults.ramp.enabled();
+  const bool wakeup_fault = options.faults.wakeup.enabled();
+  const faults::OverrunAction action = options.containment.on_overrun;
+  audit.faults_injected = options.faults.any();
+  audit.containment = action;
+  audit.safe_mode_fallback = options.containment.safe_mode_fallback;
+  if (ramp_fault) audit.ramp_rate_factor = options.faults.ramp.rho_factor;
+
+  // J3: a kill caps every surviving job at its budget, so the WCET bound
+  // still holds; monitoring and throttling let demand exceed it.
+  if (overruns && action != faults::OverrunAction::kKill) {
+    audit.check_job_demand = false;
+  }
+  // S1: a throttled job is pending-but-suspended (deliberately
+  // non-work-conserving); a late wakeup sleeps across a release; a kill
+  // or throttle may forfeit windows the nominal pending model still
+  // counts.
+  audit.check_work_conserving =
+      jitter_free && !wakeup_fault &&
+      !(overruns && action != faults::OverrunAction::kNone);
+  // S2: a slow ramp breaks the full-speed-at-release promise until
+  // detection; a late wakeup is asleep at the release by construction;
+  // throttle can displace releases past their windows.
+  audit.check_full_speed_at_releases =
+      jitter_free && !ramp_fault && !wakeup_fault &&
+      action != faults::OverrunAction::kThrottle;
+  // D1/D2: plans are built against the spec rho, which a ramp fault
+  // makes physically unattainable.
+  audit.check_dvs_plans = jitter_free && policy.uses_dvs() && !ramp_fault;
   return audit;
 }
 
@@ -52,13 +82,22 @@ void CounterTotals::add(const core::SimulationResult& result) {
   fast_forwarded_time += result.fast_forwarded_time;
   simulated_time += result.simulated_time;
   total_energy += result.total_energy;
+  overruns_detected += result.overruns_detected;
+  ramp_faults_detected += result.ramp_faults_detected;
+  late_wakeups_detected += result.late_wakeups_detected;
+  jobs_killed += result.jobs_killed;
+  jobs_throttled += result.jobs_throttled;
+  jobs_skipped += result.jobs_skipped;
+  safe_mode_entries += result.safe_mode_entries;
 }
 
 std::string counters_csv_header() {
   return "runs,jobs_completed,deadline_misses,context_switches,"
          "scheduler_invocations,speed_changes,power_downs,dvs_slowdowns,"
          "run_queue_high_water,delay_queue_high_water,cycles_detected,"
-         "fast_forwarded_time,simulated_time,total_energy\n";
+         "fast_forwarded_time,simulated_time,total_energy,"
+         "overruns_detected,ramp_faults_detected,late_wakeups_detected,"
+         "jobs_killed,jobs_throttled,jobs_skipped,safe_mode_entries\n";
 }
 
 std::string counters_csv_row(const CounterTotals& totals) {
@@ -70,7 +109,11 @@ std::string counters_csv_row(const CounterTotals& totals) {
      << totals.power_downs << "," << totals.dvs_slowdowns << ","
      << totals.run_queue_high_water << "," << totals.delay_queue_high_water
      << "," << totals.cycles_detected << "," << totals.fast_forwarded_time
-     << "," << totals.simulated_time << "," << totals.total_energy << "\n";
+     << "," << totals.simulated_time << "," << totals.total_energy << ","
+     << totals.overruns_detected << "," << totals.ramp_faults_detected << ","
+     << totals.late_wakeups_detected << "," << totals.jobs_killed << ","
+     << totals.jobs_throttled << "," << totals.jobs_skipped << ","
+     << totals.safe_mode_entries << "\n";
   return os.str();
 }
 
@@ -137,7 +180,14 @@ std::string AuditAggregator::write_report() const {
       .set("cycles_detected", counters_.cycles_detected)
       .set("fast_forwarded_time_us", counters_.fast_forwarded_time)
       .set("simulated_time_us", counters_.simulated_time)
-      .set("total_energy", counters_.total_energy);
+      .set("total_energy", counters_.total_energy)
+      .set("overruns_detected", counters_.overruns_detected)
+      .set("ramp_faults_detected", counters_.ramp_faults_detected)
+      .set("late_wakeups_detected", counters_.late_wakeups_detected)
+      .set("jobs_killed", counters_.jobs_killed)
+      .set("jobs_throttled", counters_.jobs_throttled)
+      .set("jobs_skipped", counters_.jobs_skipped)
+      .set("safe_mode_entries", counters_.safe_mode_entries);
   for (const Violation& v : samples_) {
     json.add_point()
         .set("invariant", v.invariant)

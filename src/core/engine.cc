@@ -6,8 +6,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <random>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -94,6 +96,13 @@ struct JobState {
   Time release = 0.0;
   Work total_work = 0.0;  ///< This instance's actual execution time.
   Work executed = 0.0;    ///< E_i: work consumed so far.
+  // Budget-enforcement bookkeeping; inert (and never read) unless
+  // faults or containment are configured.
+  Time window_release = 0.0;  ///< Release of the enforcement window.
+  Work budget_used = 0.0;     ///< Work consumed against the window budget.
+  Work overhead = 0.0;        ///< Context-switch work past the nominal WCET.
+  bool over_budget = false;   ///< Exhaustion latch: one firing per window.
+  bool throttled = false;     ///< Suspended; the next start_job resumes it.
 };
 
 /// LPFPS_CYCLE=0/off/false force-disables steady-state fast-forward
@@ -232,6 +241,28 @@ class Simulation {
     run_queue_.reserve(tasks.size());
     delay_queue_.reserve(tasks.size());
     staged_.reserve(tasks.size());
+    detection_enabled_ =
+        options.faults.any() || options.containment.enabled();
+    faults_injected_ = options.faults.any();
+    overruns_possible_ = options.faults.overruns_enabled();
+    ramp_fault_armed_ = options.faults.ramp.enabled();
+    // The physical ramp slope.  With no ramp fault this is the exact
+    // same double as the spec value, keeping fault-free runs
+    // bit-identical; under a fault the scheduler keeps planning with the
+    // spec rho while the hardware moves at this one.
+    effective_ramp_rate_ =
+        ramp_fault_armed_
+            ? processor.ramp_rate * options.faults.ramp.rho_factor
+            : processor.ramp_rate;
+    if (overruns_possible_) {
+      std::vector<std::string> names;
+      names.reserve(tasks.size());
+      for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks.size()); ++i) {
+        names.push_back(tasks[i].name);
+      }
+      faulty_model_ = std::make_shared<exec::FaultyExecModel>(
+          exec_model, options.faults.overruns, std::move(names));
+    }
   }
 
   SimulationResult run();
@@ -244,6 +275,25 @@ class Simulation {
   void try_slowdown();
   void enter_power_down();
   void finish_active_job();
+
+  // --- fault detection and containment ---------------------------------
+  /// The active job just exhausted its WCET budget: count the overrun,
+  /// enter safe mode, apply the configured containment action.
+  void on_budget_exhausted();
+  /// Aborts the active job at its budget (OverrunAction::kKill).
+  void kill_active_job();
+  /// Suspends the active job to its next period window, where its
+  /// budget replenishes (OverrunAction::kThrottle).
+  void throttle_active_job();
+  /// Re-inserts a contained task into the delay queue at its next
+  /// enforcement-window boundary, forfeiting windows already overrun.
+  void requeue_contained_task(TaskIndex index);
+  /// Latches safe mode: cancel the DVS plan, ramp to base, and decline
+  /// slowdowns/power-downs until the next idle instant.
+  void enter_safe_mode();
+  /// Compares the clock against the plan's commanded spec trajectory at
+  /// the instant a plan ends; a measurable lag is a DVS ramp fault.
+  void maybe_detect_ramp_fault();
 
   // --- time advancement ------------------------------------------------
   /// Current ramp slope in ratio-units per microsecond (0 when steady).
@@ -330,6 +380,25 @@ class Simulation {
   // Timeout-shutdown policy state.
   TimePoint shutdown_at_ = kNeverPoint;
 
+  // Fault injection / containment (resolved once in the constructor;
+  // all of it inert — and bit-identity preserving — when neither
+  // options_.faults nor options_.containment is configured).
+  bool detection_enabled_ = false;  ///< Any fault or containment active.
+  bool faults_injected_ = false;    ///< FaultPlan actually perturbs the run.
+  bool overruns_possible_ = false;  ///< Execution model may exceed WCET.
+  bool ramp_fault_armed_ = false;
+  double effective_ramp_rate_ = 0.0;  ///< Physical rho (== spec if healthy).
+  exec::ExecModelPtr faulty_model_;   ///< Overrun wrapper, else null.
+  bool safe_mode_ = false;
+  TimePoint wake_programmed_ = kNeverPoint;  ///< Spec wake instant (L14).
+  int overruns_detected_ = 0;
+  int ramp_faults_detected_ = 0;
+  int late_wakeups_detected_ = 0;
+  int jobs_killed_ = 0;
+  int jobs_throttled_ = 0;
+  int jobs_skipped_ = 0;
+  int safe_mode_entries_ = 0;
+
   // Statistics.
   int jobs_completed_ = 0;
   int deadline_misses_ = 0;
@@ -376,17 +445,40 @@ void Simulation::start_job(TaskIndex index) {
   JobState& state = job(index);
   auto& instance = next_instance_[static_cast<std::size_t>(index)];
   const sched::Task& t = task(index);
+  if (state.throttled) {
+    // Resuming a throttled job: it keeps its identity (instance,
+    // release, deadline) and residual demand; only the enforcement
+    // window is new, with a freshly replenished budget.
+    state.throttled = false;
+    state.window_release = static_cast<Time>(t.phase) +
+                           static_cast<Time>(instance * t.period);
+    ++instance;
+    state.budget_used = 0.0;
+    state.overhead = 0.0;
+    state.over_budget = false;
+    return;
+  }
   state.instance = instance++;
   state.release = static_cast<Time>(t.phase) +
                   static_cast<Time>(state.instance * t.period);
+  state.window_release = state.release;
   state.executed = 0.0;
-  if (exec_model_ != nullptr) {
-    state.total_work = exec_model_->sample(t, rng_);
+  state.budget_used = 0.0;
+  state.overhead = 0.0;
+  state.over_budget = false;
+  state.throttled = false;
+  const exec::ExecutionTimeModel* model =
+      faulty_model_ != nullptr ? faulty_model_.get() : exec_model_.get();
+  if (model != nullptr) {
+    state.total_work = model->sample(t, rng_);
     // Running longer than the WCET would void every guarantee; running
     // shorter than the nominal BCET is harmless (BCET only parameterizes
-    // execution-time models) and scenario models exploit it.
+    // execution-time models) and scenario models exploit it.  Injected
+    // overruns violate the upper bound by design — that is the lie the
+    // containment machinery exists to absorb.
     LPFPS_CHECK_MSG(state.total_work > 0.0 &&
-                        state.total_work <= t.wcet + kTimeEpsilon,
+                        (overruns_possible_ ||
+                         state.total_work <= t.wcet + kTimeEpsilon),
                     t.name);
   } else {
     state.total_work = t.wcet;
@@ -398,9 +490,10 @@ Time Simulation::next_arrival_for_active() const {
     return *release;
   }
   // Single-task system: the processor is free until the task's own next
-  // period begins.
+  // period begins (the enforcement window's end, which coincides with
+  // the release for uncontained jobs).
   const JobState& state = jobs_[static_cast<std::size_t>(active_)];
-  return state.release + static_cast<Time>(task(active_).period);
+  return state.window_release + static_cast<Time>(task(active_).period);
 }
 
 void Simulation::try_slowdown() {
@@ -414,8 +507,16 @@ void Simulation::try_slowdown() {
 
   // Context-switch overhead can push a job's demand past its nominal
   // WCET; the WCET-based slack computation below would then lie, so
-  // leave such jobs at base speed.
-  if (state.total_work > t.wcet + kTimeEpsilon) return;
+  // leave such jobs at base speed.  Under injected overruns the
+  // scheduler is no longer omniscient — it knows only E_i against the
+  // declared budget C_i (plus tracked kernel overhead), so the test
+  // becomes: a job at or past its budget signals an overrun in
+  // progress, not slack.
+  if (overruns_possible_) {
+    if (state.executed >= t.wcet + state.overhead - kTimeEpsilon) return;
+  } else if (state.total_work > t.wcet + kTimeEpsilon) {
+    return;
+  }
 
   const Time arrival = next_arrival_for_active();
   // Safety cap (see engine.h): never stretch past the active task's own
@@ -459,6 +560,11 @@ void Simulation::try_slowdown() {
 void Simulation::enter_power_down() {
   LPFPS_CHECK(state_ == CpuState::kIdle && active_ == kNoTask);
   LPFPS_CHECK(approx_equal(ratio_, base_ratio_, 1e-12));
+  // Safe mode runs plain FPS: no power-down until the episode ends at
+  // the next idle instant.  The idle branch clears the flag before the
+  // idle-policy switch, so this guard is belt-and-braces for the
+  // timeout-shutdown path.
+  if (safe_mode_) return;
   // An imminent jitter-delayed arrival forbids sleeping: the timer's
   // "exact knowledge" premise does not hold.
   if (!staged_.empty()) return;
@@ -481,6 +587,13 @@ void Simulation::enter_power_down() {
   if (!tp_definitely_greater(timer, now_)) return;  // Too close to sleep.
   state_ = CpuState::kPowerDown;
   wake_at_ = timer;
+  wake_programmed_ = timer;
+  if (options_.faults.wakeup.enabled() &&
+      rng_.uniform(0.0, 1.0) < options_.faults.wakeup.probability) {
+    // The timer hardware fires late; wake_programmed_ keeps the spec
+    // instant detection compares against when the wake finally lands.
+    wake_at_ = after(timer, rng_.uniform(0.0, options_.faults.wakeup.max_delay));
+  }
   wake_end_ = kNeverPoint;
   sleep_power_fraction_ = state->power_fraction;
   sleep_wake_latency_ = latency;
@@ -551,21 +664,29 @@ void Simulation::invoke_scheduler_impl() {
     active_ = run_queue_.pop_head().task;
     ++context_switches_;
     // Kernel save/restore overhead executes ahead of the incoming job's
-    // own work, at the prevailing clock.
+    // own work, at the prevailing clock.  The budget tracks it too: the
+    // overhead is the kernel's own doing, not the job lying.
     job(active_).total_work += options_.context_switch_cost;
+    job(active_).overhead += options_.context_switch_cost;
   }
 
   // L12-L21: power management when the run queue is empty.
   if (active_ != kNoTask) {
     state_ = CpuState::kRunning;
     shutdown_at_ = kNeverPoint;
-    if (run_queue_.empty() && policy_.uses_dvs()) try_slowdown();
+    if (run_queue_.empty() && policy_.uses_dvs() && !safe_mode_) {
+      try_slowdown();
+    }
     sample_queue_depths();
     return;
   }
 
   state_ = CpuState::kIdle;
   sample_queue_depths();
+  // An idle instant ends any safe-mode episode: the anomaly's backlog
+  // has drained, so DVS and power-down become trustworthy again —
+  // including at this very instant (the switch below may sleep).
+  safe_mode_ = false;
   if (delay_queue_.empty()) return;  // No future work at all.
   switch (policy_.idle) {
     case IdleMethod::kBusyWait:
@@ -613,7 +734,56 @@ void Simulation::finish_active_job() {
   ++jobs_completed_;
 
   delay_queue_.insert(
-      {active_, state.release + static_cast<Time>(t.period)});
+      {active_, state.window_release + static_cast<Time>(t.period)});
+  active_ = kNoTask;
+  state_ = CpuState::kIdle;
+  maybe_detect_ramp_fault();
+  plan_active_ = false;
+  plan_up_started_ = false;
+  plan_rampup_start_ = kNeverPoint;
+  plan_end_ = kNeverPoint;
+}
+
+void Simulation::on_budget_exhausted() {
+  LPFPS_CHECK(state_ == CpuState::kRunning && active_ != kNoTask);
+  JobState& state = job(active_);
+  state.over_budget = true;
+  ++overruns_detected_;
+  enter_safe_mode();
+  switch (options_.containment.on_overrun) {
+    case faults::OverrunAction::kNone:
+      // Monitor only: the overrunning job keeps the CPU (at base speed
+      // once the safe-mode ramp lands) until its true demand drains.
+      break;
+    case faults::OverrunAction::kThrottle:
+      throttle_active_job();
+      break;
+    case faults::OverrunAction::kKill:
+      kill_active_job();
+      break;
+  }
+}
+
+void Simulation::kill_active_job() {
+  const sched::Task& t = task(active_);
+  JobState& state = job(active_);
+  ++jobs_killed_;
+  if (options_.record_trace) {
+    sim::JobRecord record;
+    record.task = active_;
+    record.instance = state.instance;
+    record.release = state.release;
+    record.absolute_deadline =
+        state.release + static_cast<Time>(t.deadline);
+    record.completion = now_.absolute();
+    record.executed = state.executed;
+    record.finished = false;
+    record.killed = true;
+    // An abort is not a late completion; the instance is shed, so the
+    // miss flag (and counter) stay untouched.
+    trace_.add_job(record);
+  }
+  requeue_contained_task(active_);
   active_ = kNoTask;
   state_ = CpuState::kIdle;
   plan_active_ = false;
@@ -622,8 +792,78 @@ void Simulation::finish_active_job() {
   plan_end_ = kNeverPoint;
 }
 
+void Simulation::throttle_active_job() {
+  JobState& state = job(active_);
+  ++jobs_throttled_;
+  state.throttled = true;
+  requeue_contained_task(active_);
+  active_ = kNoTask;
+  state_ = CpuState::kIdle;
+  plan_active_ = false;
+  plan_up_started_ = false;
+  plan_rampup_start_ = kNeverPoint;
+  plan_end_ = kNeverPoint;
+}
+
+void Simulation::requeue_contained_task(TaskIndex index) {
+  const sched::Task& t = task(index);
+  auto& instance = next_instance_[static_cast<std::size_t>(index)];
+  Time next_release = static_cast<Time>(t.phase) +
+                      static_cast<Time>(instance * t.period);
+  // Enforcement windows the overrun already consumed are forfeited
+  // (skippable-instance semantics): releasing them retroactively could
+  // only cascade lateness.  With a schedulable declared demand the
+  // budget exhausts before the window ends, so nothing is skipped.
+  while (tp_definitely_greater(now_, at(next_release))) {
+    ++instance;
+    ++jobs_skipped_;
+    next_release = static_cast<Time>(t.phase) +
+                   static_cast<Time>(instance * t.period);
+  }
+  delay_queue_.insert({index, next_release});
+}
+
+void Simulation::enter_safe_mode() {
+  if (!options_.containment.safe_mode_fallback || safe_mode_) return;
+  safe_mode_ = true;
+  ++safe_mode_entries_;
+  // Fail toward plain FPS: abandon any slowdown plan, head straight
+  // back to base speed, and (via the safe_mode_ gates) decline new
+  // slowdowns, power-downs and shutdown timers until the next idle
+  // instant.
+  plan_active_ = false;
+  plan_up_started_ = false;
+  plan_rampup_start_ = kNeverPoint;
+  plan_end_ = kNeverPoint;
+  shutdown_at_ = kNeverPoint;
+  if (ramp_target_ != base_ratio_) {
+    ramp_target_ = base_ratio_;
+    ++speed_changes_;
+  }
+}
+
+void Simulation::maybe_detect_ramp_fault() {
+  if (!ramp_fault_armed_ || !plan_active_ || !plan_up_started_) return;
+  if (ratio_ >= base_ratio_ - 1e-12) return;  // The ramp landed on time.
+  // The just-in-time plan commands ratio(t) = base - rho_spec *
+  // (plan_end - t) during its up-ramp (and base thereafter); a clock
+  // measurably below that trajectory means the physical regulator is
+  // slower than its spec.
+  const Ratio expected =
+      base_ratio_ -
+      processor_.ramp_rate * std::max(0.0, span(now_, plan_end_));
+  if (ratio_ < expected - 1e-9) {
+    ++ramp_faults_detected_;
+    enter_safe_mode();
+  }
+}
+
 void Simulation::setup_cycle_detection() {
   if (!options_.cycle_detection || !cycle_detection_enabled_by_env()) return;
+  // Fault injection and containment carry state (budget windows, the
+  // safe-mode latch, perturbed timers) the fingerprint does not
+  // capture; declare such runs ineligible outright.
+  if (detection_enabled_) return;
   // Jittered arrivals and tick-granular timers are aperiodic relative to
   // the hyperperiod; declare them ineligible outright so such runs report
   // cycles_detected == 0 without even paying for fingerprints.
@@ -863,6 +1103,7 @@ void Simulation::fast_forward(std::int64_t cycles) {
   for (StagedJob& staged : staged_) staged.ready.base += shift;
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
     jobs_[i].release += shift;
+    jobs_[i].window_release += shift;
     jobs_[i].instance += cycles * jobs_per_cycle_[i];
     next_instance_[i] += cycles * jobs_per_cycle_[i];
   }
@@ -878,8 +1119,8 @@ void Simulation::fast_forward(std::int64_t cycles) {
 }
 
 double Simulation::slope() const {
-  if (ratio_ < ramp_target_) return processor_.ramp_rate;
-  if (ratio_ > ramp_target_) return -processor_.ramp_rate;
+  if (ratio_ < ramp_target_) return effective_ramp_rate_;
+  if (ratio_ > ramp_target_) return -effective_ramp_rate_;
   return 0.0;
 }
 
@@ -915,15 +1156,16 @@ void Simulation::advance_to(const TimePoint& next) {
       LPFPS_CHECK(active_ != kNoTask);
       const Work done = power::work_done(ratio_, s, dt);
       job(active_).executed += done;
+      if (detection_enabled_) job(active_).budget_used += done;
       Energy spent = 0.0;
       if (s == 0.0) {
         accumulator_.add_run(dt, ratio_);
         spent = dt * power_model_.run_power(ratio_);
       } else {
         accumulator_.add_run_ramp(dt, ratio_, end_ratio,
-                                  processor_.ramp_rate);
+                                  effective_ramp_rate_);
         spent = power_model_.ramp_energy(ratio_, end_ratio,
-                                         processor_.ramp_rate, true);
+                                         effective_ramp_rate_, true);
       }
       charged = spent;
       auto& slot = per_task_[static_cast<std::size_t>(active_)];
@@ -944,10 +1186,10 @@ void Simulation::advance_to(const TimePoint& next) {
         segment.mode = sim::ProcessorMode::kIdleBusyWait;
       } else {
         accumulator_.add_idle_ramp(dt, ratio_, end_ratio,
-                                   processor_.ramp_rate);
+                                   effective_ramp_rate_);
         if (cycle_recording_) {
           charged = power_model_.ramp_energy(ratio_, end_ratio,
-                                             processor_.ramp_rate, false);
+                                             effective_ramp_rate_, false);
         }
         segment.mode = sim::ProcessorMode::kRamping;
       }
@@ -990,6 +1232,8 @@ SimulationResult Simulation::run() {
                   "release_jitter must have one entry per task");
   for (const Time j : options_.release_jitter) LPFPS_CHECK(j >= 0.0);
   LPFPS_CHECK(options_.timer_granularity >= 0.0);
+  options_.faults.validate(tasks_.size());
+  options_.containment.validate();
   tasks_.validate();
   processor_.validate();
   policy_.validate();
@@ -1064,7 +1308,7 @@ SimulationResult Simulation::run() {
     }
     // ---- settle sub-resolution transitions before anything else.
     if (ratio_ != ramp_target_ &&
-        power::ramp_duration(ratio_, ramp_target_, processor_.ramp_rate) <
+        power::ramp_duration(ratio_, ramp_target_, effective_ramp_rate_) <
             kTimeEpsilon) {
       // The residual transition is below the time resolution (either
       // float debris from a split ramp, or a near-instant ramp rate):
@@ -1084,15 +1328,28 @@ SimulationResult Simulation::run() {
     // due exactly now; handlers below clear every condition they fire
     // on, so the loop always progresses).
     TimePoint next_other = horizon;
+    // Injected faults can break the fault-free invariant that the clock
+    // is back at base speed (and the CPU awake) before any release is
+    // due: a slow ramp regulator or a safe-mode redirect leaves the
+    // L1-L4 ramp-up in flight across a release, and a late wake timer
+    // leaves the CPU asleep through one.  The scheduler defers those
+    // releases (reinvoke_after_ramp_ / the wake handler serves them),
+    // so they must not pin the loop at the current instant — nor may an
+    // already-overslept release become a candidate in the past.
+    const bool ramp_locked = reinvoke_after_ramp_ && ratio_ != ramp_target_;
+    const bool releases_blocked =
+        faults_injected_ &&
+        (ramp_locked || state_ == CpuState::kPowerDown ||
+         state_ == CpuState::kWakeUp);
     if (const auto release = delay_queue_.next_release();
-        release.has_value()) {
+        release.has_value() && !releases_blocked) {
       const TimePoint candidate = at(*release);
       if (tp_less(candidate, next_other)) next_other = candidate;
     }
     if (ratio_ != ramp_target_) {
       const TimePoint candidate =
           after(now_, power::ramp_duration(ratio_, ramp_target_,
-                                           processor_.ramp_rate));
+                                           effective_ramp_rate_));
       if (tp_less(candidate, next_other)) next_other = candidate;
     }
     if (plan_active_ && !plan_up_started_ &&
@@ -1109,14 +1366,18 @@ SimulationResult Simulation::run() {
         tp_less(shutdown_at_, next_other)) {
       next_other = shutdown_at_;
     }
-    for (const StagedJob& staged : staged_) {
-      if (tp_less(staged.ready, next_other)) next_other = staged.ready;
+    if (!(faults_injected_ && ramp_locked)) {
+      for (const StagedJob& staged : staged_) {
+        if (tp_less(staged.ready, next_other)) next_other = staged.ready;
+      }
     }
     LPFPS_CHECK(tp_approx_ge(next_other, now_));
     if (tp_less(next_other, now_)) next_other = now_;
 
-    // ---- completion of the active task, if it lands first.
+    // ---- completion of the active task, if it lands first; under
+    // detection, budget exhaustion competes on the same work clock.
     bool completes = false;
+    bool budget_exhausts = false;
     TimePoint next = next_other;
     if (state_ == CpuState::kRunning) {
       const JobState& state = job(active_);
@@ -1128,6 +1389,33 @@ SimulationResult Simulation::run() {
         next = after(now_, *tau);
         completes = true;
       }
+      if (detection_enabled_ && !state.over_budget) {
+        const Work budget_left = snap_nonnegative(
+            (task(active_).wcet + state.overhead) - state.budget_used);
+        const Time budget_window = span(now_, next);
+        const auto tau_budget = power::time_to_complete(
+            ratio_, slope(), budget_window, budget_left);
+        // The completion wins ties and sub-epsilon photo finishes: a
+        // job finishing at its exact budget is in contract, and
+        // time_to_complete clips near-boundary crossings onto the
+        // window end (so an in-contract job's budget crossing can land
+        // one ulp *before* its own completion).  Without a completion
+        // in sight any in-window crossing is an overrun, including one
+        // tying the window end exactly (a kill coinciding with a
+        // release must fire before the released job runs); that is
+        // safe for containment-without-faults bit-identity because an
+        // in-contract job's crossing never precedes its completion, so
+        // completes=false implies the true crossing also lies beyond
+        // the window.
+        const bool exhausts_first =
+            tau_budget.has_value() &&
+            (completes ? definitely_less(*tau_budget, *tau) : true);
+        if (exhausts_first) {
+          next = after(now_, *tau_budget);
+          completes = false;
+          budget_exhausts = true;
+        }
+      }
     }
 
     advance_to(next);
@@ -1138,6 +1426,10 @@ SimulationResult Simulation::run() {
     if (ratio_ == ramp_target_ && reinvoke_after_ramp_) {
       reinvoke_after_ramp_ = false;
       need_scheduler = true;  // L1-L4's deferred re-entry.
+    }
+    if (budget_exhausts) {
+      on_budget_exhausted();
+      need_scheduler = true;
     }
     if (completes) {
       finish_active_job();
@@ -1151,7 +1443,30 @@ SimulationResult Simulation::run() {
         ++speed_changes_;
       }
     }
+    if (ramp_fault_armed_ && plan_active_ && plan_up_started_ &&
+        ratio_ == base_ratio_ && ratio_ == ramp_target_) {
+      // The plan's return ramp has (finally) reached base speed.  Under
+      // a DVS ramp fault the physical slope is shallower than the spec
+      // rho the just-in-time plan was computed with, so the clock can
+      // still be below base at plan_end_ — the observable anomaly.
+      if (tp_definitely_greater(now_, plan_end_)) {
+        ++ramp_faults_detected_;
+        enter_safe_mode();
+      }
+      plan_active_ = false;
+      plan_up_started_ = false;
+      plan_rampup_start_ = kNeverPoint;
+      plan_end_ = kNeverPoint;
+    }
     if (state_ == CpuState::kPowerDown && tp_approx_le(wake_at_, now_)) {
+      if (detection_enabled_ &&
+          span(wake_programmed_, now_) > kTimeEpsilon) {
+        // The timer fired measurably after its programmed instant; the
+        // gap the power-down was sized for is already compromised.
+        ++late_wakeups_detected_;
+        enter_safe_mode();
+      }
+      wake_programmed_ = kNeverPoint;
       wake_at_ = kNeverPoint;
       const Time delay = sleep_wake_latency_;
       if (delay > 0.0) {
@@ -1217,6 +1532,13 @@ SimulationResult Simulation::run() {
   result.delay_queue_high_water = delay_queue_high_water_;
   result.mean_running_ratio =
       running_time_ > 0.0 ? running_ratio_integral_ / running_time_ : 1.0;
+  result.overruns_detected = overruns_detected_;
+  result.ramp_faults_detected = ramp_faults_detected_;
+  result.late_wakeups_detected = late_wakeups_detected_;
+  result.jobs_killed = jobs_killed_;
+  result.jobs_throttled = jobs_throttled_;
+  result.jobs_skipped = jobs_skipped_;
+  result.safe_mode_entries = safe_mode_entries_;
   result.cycles_detected = cycles_detected_;
   result.fast_forwarded_time = fast_forwarded_time_;
   result.fingerprint_checks = fingerprint_checks_;

@@ -38,6 +38,7 @@
 #include "core/policy.h"
 #include "core/result.h"
 #include "exec/exec_model.h"
+#include "faults/faults.h"
 #include "power/processor.h"
 #include "sched/queues.h"
 #include "sched/task_set.h"
@@ -94,6 +95,24 @@ struct EngineOptions {
   /// hyperperiod at most.  The LPFPS_CYCLE environment variable
   /// (0/off/false) force-disables it without touching call sites.
   bool cycle_detection = true;
+  /// Fault injection (docs/ROBUSTNESS.md).  Overrun specs wrap the
+  /// execution-time model in exec::FaultyExecModel internally — this
+  /// plan is the single configuration point; do not pre-wrap the model
+  /// yourself.  Ramp and wakeup faults perturb the engine's physical
+  /// layer while every scheduling computation keeps using the spec
+  /// values.  A default-constructed (empty) plan leaves the engine
+  /// bit-identical to a fault-free build; fault runs are ineligible for
+  /// steady-state cycle detection.
+  faults::FaultPlan faults;
+  /// Detection and containment: budget enforcement at WCET exhaustion
+  /// (throttle/kill) and the safe-mode fallback that runs plain FPS
+  /// from the first detected anomaly until the next idle instant.
+  /// Enabling containment without faults changes nothing observable
+  /// (in-contract jobs never exhaust their budget), which the
+  /// differential test in tests/core/engine_fault_injection_test.cc
+  /// pins bit-for-bit.  kThrottle and kKill displace overrun windows,
+  /// so pair them with throw_on_miss=false when probing overload.
+  faults::ContainmentPolicy containment;
 };
 
 class Engine {

@@ -21,6 +21,16 @@ std::string SimulationResult::summary() const {
      << "queue high water  : run " << run_queue_high_water << ", delay "
      << delay_queue_high_water << "\n"
      << "mean running ratio: " << mean_running_ratio << "\n";
+  if (overruns_detected > 0 || ramp_faults_detected > 0 ||
+      late_wakeups_detected > 0 || safe_mode_entries > 0) {
+    os << "faults detected   : " << overruns_detected << " overruns, "
+       << ramp_faults_detected << " ramp faults, " << late_wakeups_detected
+       << " late wakeups\n"
+       << "containment       : " << jobs_killed << " killed, "
+       << jobs_throttled << " throttled, " << jobs_skipped
+       << " releases skipped, " << safe_mode_entries
+       << " safe-mode entries\n";
+  }
   if (cycles_detected > 0) {
     os << "cycles skipped    : " << cycles_detected << " hyperperiods ("
        << fast_forwarded_time << " us fast-forwarded)\n";

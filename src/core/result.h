@@ -39,6 +39,18 @@ struct SimulationResult {
   /// Time-weighted mean speed ratio while executing task work.
   double mean_running_ratio = 1.0;
 
+  /// Fault detection / containment counters (EngineOptions::faults and
+  /// ::containment; all zero when neither is configured).  Excluded
+  /// from io::result_csv_row — the pre-fault row format is golden-hashed
+  /// — and exported via io::result_fault_csv_row / bench JSON instead.
+  int overruns_detected = 0;      ///< WCET-budget exhaustions observed.
+  int ramp_faults_detected = 0;   ///< Plans that returned to base late.
+  int late_wakeups_detected = 0;  ///< Wake timers that fired late.
+  int jobs_killed = 0;            ///< Jobs aborted at their budget.
+  int jobs_throttled = 0;         ///< Jobs suspended to their next window.
+  int jobs_skipped = 0;           ///< Releases displaced by kill/throttle.
+  int safe_mode_entries = 0;      ///< Safe-mode episodes entered.
+
   /// Steady-state fast-forward statistics (EngineOptions::cycle_detection).
   /// These describe how the result was *obtained*, not what it contains,
   /// so they are deliberately excluded from io::result_csv_row — a

@@ -122,4 +122,32 @@ std::string result_csv_row(const core::SimulationResult& result) {
   return out;
 }
 
+std::string result_fault_csv_header() {
+  return "policy,overruns_detected,ramp_faults_detected,"
+         "late_wakeups_detected,jobs_killed,jobs_throttled,jobs_skipped,"
+         "safe_mode_entries\n";
+}
+
+std::string result_fault_csv_row(const core::SimulationResult& result) {
+  std::string out;
+  out.reserve(64 + result.policy_name.size());
+  out += result.policy_name;
+  out += ',';
+  out += std::to_string(result.overruns_detected);
+  out += ',';
+  out += std::to_string(result.ramp_faults_detected);
+  out += ',';
+  out += std::to_string(result.late_wakeups_detected);
+  out += ',';
+  out += std::to_string(result.jobs_killed);
+  out += ',';
+  out += std::to_string(result.jobs_throttled);
+  out += ',';
+  out += std::to_string(result.jobs_skipped);
+  out += ',';
+  out += std::to_string(result.safe_mode_entries);
+  out += '\n';
+  return out;
+}
+
 }  // namespace lpfps::io

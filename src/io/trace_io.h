@@ -22,4 +22,12 @@ std::string trace_jobs_csv(const sim::Trace& trace,
 std::string result_csv_header();
 std::string result_csv_row(const core::SimulationResult& result);
 
+/// Fault detection / containment counters as a CSV row (plus header).
+/// Kept separate from result_csv_row — that format predates the fault
+/// layer and is golden-hashed — so fault sweeps concatenate the two:
+/// result_csv_row(r) with the trailing newline swapped for a comma, or
+/// simply a second file keyed by the same run.
+std::string result_fault_csv_header();
+std::string result_fault_csv_row(const core::SimulationResult& result);
+
 }  // namespace lpfps::io

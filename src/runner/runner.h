@@ -36,6 +36,7 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -136,6 +137,43 @@ auto run_batch(std::size_t job_count, Fn&& fn, std::size_t threads = 0)
     results.push_back(std::move(*slot));
   }
   return results;
+}
+
+/// Outcome of one fault-isolated job: the result, or the error text of
+/// the exception that killed it.
+template <typename T>
+struct JobOutcome {
+  std::optional<T> result;
+  std::string error;  ///< Empty iff the job succeeded.
+
+  bool ok() const { return result.has_value(); }
+};
+
+/// `run_batch` with per-job fault isolation: a throwing job is captured
+/// into its JobOutcome's `error` instead of aborting the batch, so one
+/// faulted configuration in a sweep cannot take down the healthy
+/// results around it.  Determinism contract unchanged — job i's outcome
+/// (including its error text) is independent of thread count.  Use the
+/// plain `run_batch` when any failure should fail the whole experiment
+/// (its propagate-first-exception default).
+template <typename Fn>
+auto run_batch_isolated(std::size_t job_count, Fn&& fn,
+                        std::size_t threads = 0)
+    -> std::vector<JobOutcome<std::invoke_result_t<Fn&, std::size_t>>> {
+  using Result = std::invoke_result_t<Fn&, std::size_t>;
+  auto guarded = [&fn](std::size_t i) {
+    JobOutcome<Result> outcome;
+    try {
+      outcome.result.emplace(fn(i));
+    } catch (const std::exception& e) {
+      outcome.error = e.what();
+      if (outcome.error.empty()) outcome.error = "exception";
+    } catch (...) {
+      outcome.error = "unknown exception";
+    }
+    return outcome;
+  };
+  return run_batch(job_count, guarded, threads);
 }
 
 }  // namespace lpfps::runner

@@ -17,6 +17,11 @@ struct JobState {
   Time release = 0.0;
   Work total_work = 0.0;     ///< Actual execution time of this instance.
   Work executed = 0.0;       ///< E_i so far.
+  // Budget enforcement (inert unless containment is armed).
+  Time window_release = 0.0; ///< Release of the enforcement window.
+  Work budget_used = 0.0;    ///< Work consumed against the window budget.
+  bool over_budget = false;  ///< Exhaustion latch: one firing per window.
+  bool throttled = false;    ///< Suspended; the next start_job resumes it.
 };
 
 }  // namespace
@@ -36,6 +41,12 @@ void FixedPriorityKernel::set_exec_time_provider(ExecTimeProvider provider) {
 
 void FixedPriorityKernel::set_invocation_hook(InvocationHook hook) {
   hook_ = std::move(hook);
+}
+
+void FixedPriorityKernel::set_overrun_containment(
+    faults::OverrunAction action) {
+  containment_armed_ = true;
+  overrun_action_ = action;
 }
 
 KernelResult FixedPriorityKernel::run(Time horizon) {
@@ -72,16 +83,49 @@ KernelResult FixedPriorityKernel::run(Time horizon) {
   auto start_job = [&](TaskIndex task) {
     JobState& job = jobs[static_cast<std::size_t>(task)];
     auto& instance = next_instance[static_cast<std::size_t>(task)];
+    if (job.throttled) {
+      // Resuming a throttled job: same instance, release and residual
+      // demand; only the enforcement window (and its budget) is new.
+      job.throttled = false;
+      job.window_release =
+          static_cast<Time>(tasks_[task].phase) +
+          static_cast<Time>(instance * tasks_[task].period);
+      ++instance;
+      job.budget_used = 0.0;
+      job.over_budget = false;
+      return;
+    }
     job.instance = instance++;
     job.release = static_cast<Time>(tasks_[task].phase) +
                   static_cast<Time>(job.instance * tasks_[task].period);
+    job.window_release = job.release;
     job.total_work = exec_time_(task, job.instance);
     // Longer than WCET voids the analysis; shorter than the nominal BCET
-    // is allowed (scenario providers use it).
+    // is allowed (scenario providers use it).  With containment armed
+    // the overrun is the point: budget enforcement absorbs it.
     LPFPS_CHECK_MSG(job.total_work > 0.0 &&
-                        job.total_work <= tasks_[task].wcet + kTimeEpsilon,
+                        (containment_armed_ ||
+                         job.total_work <= tasks_[task].wcet + kTimeEpsilon),
                     tasks_[task].name);
     job.executed = 0.0;
+    job.budget_used = 0.0;
+    job.over_budget = false;
+  };
+
+  // Re-inserts a contained task at its next enforcement-window boundary,
+  // forfeiting windows the overrun already consumed.
+  auto requeue_contained = [&](TaskIndex task) {
+    auto& instance = next_instance[static_cast<std::size_t>(task)];
+    Time next_release =
+        static_cast<Time>(tasks_[task].phase) +
+        static_cast<Time>(instance * tasks_[task].period);
+    while (definitely_greater(now, next_release)) {
+      ++instance;
+      ++result.jobs_skipped;
+      next_release = static_cast<Time>(tasks_[task].phase) +
+                     static_cast<Time>(instance * tasks_[task].period);
+    }
+    delay_queue.insert({task, next_release});
   };
 
   // The scheduler invocation of Figure 4 lines L5-L11 (no power logic).
@@ -131,12 +175,26 @@ KernelResult FixedPriorityKernel::run(Time horizon) {
       next = std::min(next, *release);
     }
     bool completion_first = false;
+    bool budget_first = false;
     if (active != kNoTask) {
       const JobState& job = jobs[static_cast<std::size_t>(active)];
       const Time completion = now + (job.total_work - job.executed);
       if (approx_le(completion, next)) {
         next = std::min(next, completion);
         completion_first = true;
+      }
+      if (containment_armed_ && !job.over_budget) {
+        // Full speed: work and time share one clock.  Strictly-before
+        // only — a job finishing exactly at its budget is in contract,
+        // so completion wins the tie.
+        const Time exhaust =
+            now + (tasks_[active].wcet - job.budget_used);
+        if (definitely_less(exhaust, completion) &&
+            approx_le(exhaust, next)) {
+          next = std::min(next, exhaust);
+          completion_first = false;
+          budget_first = true;
+        }
       }
     }
     LPFPS_CHECK(approx_ge(next, now));
@@ -150,12 +208,48 @@ KernelResult FixedPriorityKernel::run(Time horizon) {
         segment.mode = sim::ProcessorMode::kRunning;
         segment.task = active;
         jobs[static_cast<std::size_t>(active)].executed += next - now;
+        jobs[static_cast<std::size_t>(active)].budget_used += next - now;
       } else {
         segment.mode = sim::ProcessorMode::kIdleBusyWait;
       }
       result.trace.add_segment(segment);
     }
     now = next;
+
+    if (budget_first && active != kNoTask) {
+      JobState& job = jobs[static_cast<std::size_t>(active)];
+      job.over_budget = true;
+      ++result.overruns_detected;
+      switch (overrun_action_) {
+        case faults::OverrunAction::kNone:
+          // Monitor only: the job keeps the CPU past its budget.
+          break;
+        case faults::OverrunAction::kThrottle:
+          ++result.jobs_throttled;
+          job.throttled = true;
+          requeue_contained(active);
+          active = kNoTask;
+          break;
+        case faults::OverrunAction::kKill: {
+          const Task& task = tasks_[active];
+          sim::JobRecord record;
+          record.task = active;
+          record.instance = job.instance;
+          record.release = job.release;
+          record.absolute_deadline =
+              job.release + static_cast<Time>(task.deadline);
+          record.completion = now;
+          record.executed = job.executed;
+          record.finished = false;
+          record.killed = true;
+          result.trace.add_job(record);
+          ++result.jobs_killed;
+          requeue_contained(active);
+          active = kNoTask;
+          break;
+        }
+      }
+    }
 
     if (completion_first && active != kNoTask) {
       JobState& job = jobs[static_cast<std::size_t>(active)];
@@ -174,7 +268,7 @@ KernelResult FixedPriorityKernel::run(Time horizon) {
       if (record.missed_deadline) ++result.deadline_misses;
       result.trace.add_job(record);
       delay_queue.insert(
-          {active, job.release + static_cast<Time>(task.period)});
+          {active, job.window_release + static_cast<Time>(task.period)});
       active = kNoTask;
     }
 

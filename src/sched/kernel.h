@@ -10,6 +10,7 @@
 
 #include <functional>
 
+#include "faults/faults.h"
 #include "sched/queues.h"
 #include "sched/task_set.h"
 #include "sim/trace.h"
@@ -30,6 +31,12 @@ struct KernelResult {
   int deadline_misses = 0;
   /// Deepest the ready set ever got (run queue + running task).
   int run_queue_high_water = 0;
+  // Budget-enforcement counters; non-zero only after
+  // set_overrun_containment with an out-of-contract provider.
+  int overruns_detected = 0;  ///< WCET-budget exhaustions observed.
+  int jobs_killed = 0;
+  int jobs_throttled = 0;
+  int jobs_skipped = 0;       ///< Releases displaced by kill/throttle.
 };
 
 class FixedPriorityKernel {
@@ -43,6 +50,15 @@ class FixedPriorityKernel {
   /// Installs an observer called after every scheduler invocation.
   void set_invocation_hook(InvocationHook hook);
 
+  /// Arms WCET-budget enforcement: the provider contract relaxes to
+  /// allow out-of-range execution times, and a job reaching its budget
+  /// triggers `action` — count only (kNone), suspend to the next period
+  /// window with a replenished budget (kThrottle), or abort with the
+  /// remaining work discarded (kKill).  Mirrors the containment
+  /// semantics of core::Engine (docs/ROBUSTNESS.md) so the two
+  /// simulators stay cross-checkable under faults.
+  void set_overrun_containment(faults::OverrunAction action);
+
   /// Simulates [0, horizon) and returns the schedule.  Jobs still running
   /// at the horizon are recorded unfinished (not counted as misses unless
   /// their deadline already passed).
@@ -52,6 +68,8 @@ class FixedPriorityKernel {
   TaskSet tasks_;
   ExecTimeProvider exec_time_;
   InvocationHook hook_;
+  bool containment_armed_ = false;
+  faults::OverrunAction overrun_action_ = faults::OverrunAction::kNone;
 };
 
 }  // namespace lpfps::sched

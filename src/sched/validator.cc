@@ -28,6 +28,7 @@ class Validator {
 
   ValidationReport run() {
     tasks_.validate();
+    if (reject_incompatible_trace()) return std::move(report_);
     collect_jobs();
     check_segment_structure();     // S1
     check_run_inside_windows();    // S2
@@ -48,6 +49,65 @@ class Validator {
 
   const std::string& name(TaskIndex task) const {
     return tasks_[task].name;
+  }
+
+  /// The validator's window model assumes exact periodic releases and
+  /// in-contract demand.  Jittered or fault-injected traces break that
+  /// structurally; detect them here and emit exactly one precise
+  /// rejection instead of a cascade of misleading S2-S5 violations.
+  /// Returns true when the trace was rejected.
+  bool reject_incompatible_trace() {
+    for (const Time jitter : options_.release_jitter) {
+      if (jitter > 0.0) {
+        violation(
+            "trace rejected: the run declares non-zero release jitter, "
+            "which this validator's exact-periodic window model cannot "
+            "represent; use audit::audit_run (its jitter relaxations are "
+            "explicit) or validate a jitter-free run");
+        return true;
+      }
+    }
+    for (const sim::JobRecord& record : trace_.jobs()) {
+      if (record.task < 0 ||
+          static_cast<std::size_t>(record.task) >= tasks_.size()) {
+        continue;  // collect_jobs reports the bad index.
+      }
+      const Task& t = tasks_[record.task];
+      if (record.killed) {
+        violation("trace rejected: " + name(record.task) + " instance " +
+                  std::to_string(record.instance) +
+                  " is a killed job record (fault containment); the "
+                  "validator assumes every record runs to completion — "
+                  "use audit::audit_run with its containment options");
+        return true;
+      }
+      const double nominal =
+          static_cast<double>(t.phase) +
+          static_cast<double>(record.instance) *
+              static_cast<double>(t.period);
+      if (std::fabs(record.release - nominal) > options_.epsilon) {
+        violation("trace rejected: " + name(record.task) + " instance " +
+                  std::to_string(record.instance) + " released at " +
+                  std::to_string(record.release) +
+                  " but the exact periodic model requires phase + k*T = " +
+                  std::to_string(nominal) +
+                  "; jittered traces need audit::audit_run");
+        return true;
+      }
+      if (record.finished &&
+          record.executed >
+              static_cast<double>(t.wcet) + options_.epsilon * 10.0) {
+        violation("trace rejected: " + name(record.task) + " instance " +
+                  std::to_string(record.instance) + " executed " +
+                  std::to_string(record.executed) + " > WCET " +
+                  std::to_string(static_cast<double>(t.wcet)) +
+                  " (an injected overrun or charged overhead); the "
+                  "validator's demand model assumes in-contract jobs — "
+                  "use audit::audit_run with check_job_demand relaxed");
+        return true;
+      }
+    }
+    return false;
   }
 
   void collect_jobs() {

@@ -19,6 +19,15 @@
 //
 // Requires a trace recorded with job records (EngineOptions::
 // record_trace) over a task set with unique priorities and D <= T.
+//
+// The window model assumes *exact* periodic releases and in-contract
+// demand.  Traces produced under release jitter or fault injection
+// (overruns, kills) break that assumption structurally, so the
+// validator detects them up front — declared jitter, off-nominal
+// releases, killed records, past-WCET demand — and rejects with one
+// precise diagnostic instead of reporting a cascade of bogus S2-S5
+// violations.  Use audit::audit_run for those traces: its option set
+// models jitter and fault relaxations explicitly.
 #pragma once
 
 #include <string>
@@ -45,6 +54,12 @@ struct ValidatorOptions {
   /// this library; disable for externally produced non-work-conserving
   /// schedules.
   bool require_work_conserving = true;
+  /// Declared per-task release jitter of the run that produced the
+  /// trace (mirror EngineOptions::release_jitter here).  Any non-zero
+  /// entry makes the validator reject the trace up front — its window
+  /// model has no jitter notion — naming the declaration instead of
+  /// misattributing the drift to schedule bugs.
+  std::vector<Time> release_jitter;
 };
 
 ValidationReport validate_schedule(const sim::Trace& trace,

@@ -49,6 +49,11 @@ struct JobRecord {
   Work executed = 0.0;          ///< Work actually consumed (<= WCET).
   bool finished = false;
   bool missed_deadline = false;
+  /// Aborted by budget-enforcement containment (faults::OverrunAction::
+  /// kKill): `completion` is the kill instant, `finished` stays false,
+  /// and the remaining work was discarded.  Never set outside fault
+  /// runs, so io::trace_jobs_csv (golden-hashed) need not change.
+  bool killed = false;
 
   Time response_time() const { return completion - release; }
 };

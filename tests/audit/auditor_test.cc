@@ -242,6 +242,159 @@ TEST(Auditor, StopsCollectingAtMaxViolations) {
   EXPECT_EQ(report.violations.size(), 1u);
 }
 
+// ---- F-codes: budget enforcement and safe-mode fallback -------------
+
+/// Options arming the fault battery the way harness::derive_options
+/// does for a contained run.
+AuditOptions fault_options(faults::OverrunAction containment,
+                           bool safe_mode = false) {
+  AuditOptions options;
+  options.faults_injected = true;
+  options.containment = containment;
+  options.safe_mode_fallback = safe_mode;
+  options.expect_no_misses = false;
+  options.check_job_demand = false;
+  return options;
+}
+
+TEST(Auditor, CatchesKilledRecordMarkedFinished) {
+  auto jobs = clean_jobs();
+  jobs[0].killed = true;  // Killed *and* finished: contradictory.
+  const sim::Trace trace =
+      sim::Trace::unchecked(clean_segments(), std::move(jobs));
+  const AuditReport report = audit_trace(
+      trace, solo_tasks(), 200.0, fault_options(faults::OverrunAction::kKill));
+  EXPECT_TRUE(has_code(report, "F3.finished")) << report.to_string();
+}
+
+TEST(Auditor, CatchesKillFiredOffBudget) {
+  // A kill that did not happen at budget exhaustion (executed != C)
+  // means enforcement aborted an in-contract job or fired late.
+  auto jobs = clean_jobs();
+  jobs[0].killed = true;
+  jobs[0].finished = false;
+  jobs[0].executed = 30.0;  // Budget is C = 50.
+  const sim::Trace trace =
+      sim::Trace::unchecked(clean_segments(), std::move(jobs));
+  const AuditReport report = audit_trace(
+      trace, solo_tasks(), 200.0, fault_options(faults::OverrunAction::kKill));
+  EXPECT_TRUE(has_code(report, "F3.budget")) << report.to_string();
+  const std::string message = message_of(report, "F3.budget");
+  EXPECT_NE(message.find("30"), std::string::npos) << message;
+  EXPECT_NE(message.find("50"), std::string::npos) << message;
+}
+
+TEST(Auditor, CatchesSurvivorPastBudgetUnderKill) {
+  // With kKill armed, a record that ran past C without being killed
+  // proves enforcement leaked.
+  auto segments = clean_segments();
+  segments[0].end = 60.0;    // tau runs [0, 60): 60 > C = 50.
+  segments[1].begin = 60.0;
+  auto jobs = clean_jobs();
+  jobs[0].completion = 60.0;
+  jobs[0].executed = 60.0;
+  const sim::Trace trace =
+      sim::Trace::unchecked(std::move(segments), std::move(jobs));
+  const AuditReport report = audit_trace(
+      trace, solo_tasks(), 200.0, fault_options(faults::OverrunAction::kKill));
+  EXPECT_TRUE(has_code(report, "F1.budget")) << report.to_string();
+}
+
+TEST(Auditor, CatchesThrottledDemandPastItsReplenishedBudgets) {
+  // A throttled job spanning one enforcement window holds one budget of
+  // C; 60 units of demand against C = 50 exceeds it.
+  auto segments = clean_segments();
+  segments[0].end = 60.0;
+  segments[1].begin = 60.0;
+  auto jobs = clean_jobs();
+  jobs[0].completion = 60.0;  // Spans a single 100-unit window.
+  jobs[0].executed = 60.0;
+  const sim::Trace trace =
+      sim::Trace::unchecked(std::move(segments), std::move(jobs));
+  const AuditReport report =
+      audit_trace(trace, solo_tasks(), 200.0,
+                  fault_options(faults::OverrunAction::kThrottle));
+  EXPECT_TRUE(has_code(report, "F1.budget")) << report.to_string();
+}
+
+TEST(Auditor, CatchesClockSlowingAfterADetectedOverrun) {
+  // Monitor mode + safe-mode fallback: the first job overruns its
+  // budget at t = 50, after which the clock must hold base speed until
+  // the processor next leaves the running modes.  A steady segment at
+  // 0.6 violates that (F2.slow); a decelerating one violates the
+  // non-decrease rule (F2.decrease).
+  const auto make_trace = [](Ratio rb, Ratio re) {
+    std::vector<Segment> segments = {
+        seg(0.0, 50.0, ProcessorMode::kRunning, 0),
+        seg(50.0, 80.0, ProcessorMode::kRunning, 0, rb, re),
+        seg(80.0, 100.0, ProcessorMode::kIdleBusyWait),
+        seg(100.0, 150.0, ProcessorMode::kRunning, 0),
+        seg(150.0, 200.0, ProcessorMode::kIdleBusyWait)};
+    const double executed = 50.0 + (rb + re) / 2.0 * 30.0;
+    std::vector<JobRecord> jobs = {job(0, 0, 0.0, 100.0, 80.0, executed),
+                                   job(0, 1, 100.0, 200.0, 150.0, 50.0)};
+    return sim::Trace::unchecked(std::move(segments), std::move(jobs));
+  };
+  const AuditOptions options =
+      fault_options(faults::OverrunAction::kNone, /*safe_mode=*/true);
+
+  const AuditReport slow =
+      audit_trace(make_trace(0.6, 0.6), solo_tasks(), 200.0, options);
+  EXPECT_TRUE(has_code(slow, "F2.slow")) << slow.to_string();
+
+  const AuditReport decrease =
+      audit_trace(make_trace(1.0, 0.7), solo_tasks(), 200.0, options);
+  EXPECT_TRUE(has_code(decrease, "F2.decrease")) << decrease.to_string();
+}
+
+TEST(Auditor, CatchesKillCounterDisagreeingWithTheTrace) {
+  // A real kill run whose jobs_killed counter is then doctored.
+  const sched::TaskSet tasks = solo_tasks();
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  core::EngineOptions options;
+  options.horizon = 1000.0;
+  options.record_trace = true;
+  options.throw_on_miss = false;
+  options.faults.overruns = {{1.0, 0.5}};
+  options.containment.on_overrun = faults::OverrunAction::kKill;
+  core::SimulationResult result = core::simulate(
+      tasks, cpu, core::SchedulerPolicy::lpfps(), nullptr, options);
+  ASSERT_GT(result.jobs_killed, 0);
+
+  AuditOptions audit = fault_options(faults::OverrunAction::kKill);
+  ASSERT_TRUE(audit_run(result, tasks, cpu, audit).ok());
+
+  result.jobs_killed += 1;
+  const AuditReport report = audit_run(result, tasks, cpu, audit);
+  EXPECT_TRUE(has_code(report, "F3.count")) << report.to_string();
+}
+
+TEST(Auditor, CatchesDetectionsWithoutASafeModeEntry) {
+  // Safe mode armed and anomalies detected, yet safe_mode_entries = 0:
+  // the fallback never engaged.
+  const sched::TaskSet tasks = solo_tasks();
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  core::EngineOptions options;
+  options.horizon = 1000.0;
+  options.record_trace = true;
+  options.throw_on_miss = false;
+  options.faults.overruns = {{1.0, 0.5}};
+  options.containment.on_overrun = faults::OverrunAction::kKill;
+  options.containment.safe_mode_fallback = true;
+  core::SimulationResult result = core::simulate(
+      tasks, cpu, core::SchedulerPolicy::lpfps(), nullptr, options);
+  ASSERT_GT(result.overruns_detected, 0);
+  ASSERT_GT(result.safe_mode_entries, 0);
+
+  AuditOptions audit =
+      fault_options(faults::OverrunAction::kKill, /*safe_mode=*/true);
+  ASSERT_TRUE(audit_run(result, tasks, cpu, audit).ok());
+
+  result.safe_mode_entries = 0;
+  const AuditReport report = audit_run(result, tasks, cpu, audit);
+  EXPECT_TRUE(has_code(report, "F2.entry")) << report.to_string();
+}
+
 TEST(Auditor, RequiresARecordedTrace) {
   const sched::TaskSet tasks = solo_tasks();
   const auto cpu = power::ProcessorConfig::arm8_default();

@@ -1,0 +1,260 @@
+// Fault injection and containment: the engine must stay bit-identical
+// with the fault layer disarmed, contain injected overruns under
+// kill/throttle, detect ramp and wakeup faults, and fail toward plain
+// FPS under the safe-mode fallback — all while the trace auditor's
+// fault-aware battery stays clean.
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+#include "audit/harness.h"
+#include "io/trace_io.h"
+#include "workloads/example.h"
+
+namespace lpfps::core {
+namespace {
+
+power::ProcessorConfig cpu() { return power::ProcessorConfig::arm8_default(); }
+
+EngineOptions traced_options(Time horizon) {
+  EngineOptions opts;
+  opts.horizon = horizon;
+  opts.record_trace = true;
+  return opts;
+}
+
+sched::TaskSet example(double bcet_ratio = 1.0) {
+  return lpfps::workloads::example_table1().with_bcet_ratio(bcet_ratio);
+}
+
+std::vector<std::string> names(const sched::TaskSet& tasks) {
+  std::vector<std::string> out;
+  for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks.size()); ++i) {
+    out.push_back(tasks[i].name);
+  }
+  return out;
+}
+
+/// Audits `result` with the option derivation benches use and expects a
+/// clean report.
+void expect_audit_clean(const SimulationResult& result,
+                        const sched::TaskSet& tasks,
+                        const SchedulerPolicy& policy,
+                        const EngineOptions& options) {
+  const audit::AuditReport report = audit::audit_run(
+      result, tasks, cpu(), audit::derive_options(policy, options));
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(FaultBitIdentity, ArmedContainmentWithoutFaultsChangesNothing) {
+  // The acceptance bar: enabling detection + containment with an empty
+  // FaultPlan must leave every exported byte identical — in-contract
+  // jobs never exhaust their budget, so the machinery stays invisible.
+  const sched::TaskSet tasks = example(0.4);
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+  for (const SchedulerPolicy& policy :
+       {SchedulerPolicy::fps(), SchedulerPolicy::lpfps()}) {
+    const EngineOptions plain = traced_options(4000.0);
+    EngineOptions armed = plain;
+    armed.containment.on_overrun = faults::OverrunAction::kKill;
+    armed.containment.safe_mode_fallback = true;
+
+    const SimulationResult a = simulate(tasks, cpu(), policy, exec, plain);
+    const SimulationResult b = simulate(tasks, cpu(), policy, exec, armed);
+
+    EXPECT_EQ(io::result_csv_row(a), io::result_csv_row(b)) << policy.name;
+    EXPECT_EQ(io::trace_segments_csv(*a.trace, names(tasks)),
+              io::trace_segments_csv(*b.trace, names(tasks)))
+        << policy.name;
+    EXPECT_EQ(io::trace_jobs_csv(*a.trace, names(tasks)),
+              io::trace_jobs_csv(*b.trace, names(tasks)))
+        << policy.name;
+    EXPECT_EQ(b.overruns_detected, 0);
+    EXPECT_EQ(b.jobs_killed, 0);
+    EXPECT_EQ(b.safe_mode_entries, 0);
+  }
+}
+
+TEST(FaultKill, CertainOverrunsAreKilledAtBudgetWithZeroMisses) {
+  // Every job overruns to 1.5 C; kill caps the executed demand at C, so
+  // the faulted run is dominated by the all-WCET run — which is
+  // schedulable for Table 1 — and no deadline is ever missed.
+  const sched::TaskSet tasks = example();
+  const SchedulerPolicy policy = SchedulerPolicy::lpfps();
+  EngineOptions opts = traced_options(4000.0);
+  opts.throw_on_miss = false;
+  opts.faults.overruns = {{1.0, 0.5}};
+  opts.containment.on_overrun = faults::OverrunAction::kKill;
+  opts.containment.safe_mode_fallback = true;
+
+  const SimulationResult result =
+      simulate(tasks, cpu(), policy, nullptr, opts);
+
+  EXPECT_GT(result.overruns_detected, 0);
+  EXPECT_EQ(result.jobs_killed, result.overruns_detected);
+  EXPECT_GT(result.safe_mode_entries, 0);
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_EQ(result.jobs_completed, 0);  // p=1: every job is shed.
+  EXPECT_EQ(result.jobs_throttled, 0);
+
+  ASSERT_TRUE(result.trace.has_value());
+  for (const sim::JobRecord& job : result.trace->jobs()) {
+    EXPECT_TRUE(job.killed);
+    EXPECT_FALSE(job.finished);
+    EXPECT_FALSE(job.missed_deadline);
+    const Work wcet = tasks[job.task].wcet;
+    EXPECT_NEAR(job.executed, wcet, 1e-6) << tasks[job.task].name;
+  }
+  expect_audit_clean(result, tasks, policy, opts);
+}
+
+TEST(FaultThrottle, OverrunsResumeWithReplenishedBudgets) {
+  // 1.6 C of demand against a 1.0 C budget: each job is suspended at
+  // its budget and finishes in its second window (a deliberate
+  // weakly-hard degradation — late completions count as misses).
+  const sched::TaskSet tasks = example();
+  const SchedulerPolicy policy = SchedulerPolicy::lpfps();
+  EngineOptions opts = traced_options(4000.0);
+  opts.throw_on_miss = false;
+  opts.faults.overruns = {{1.0, 0.6}};
+  opts.containment.on_overrun = faults::OverrunAction::kThrottle;
+  opts.containment.safe_mode_fallback = true;
+
+  const SimulationResult result =
+      simulate(tasks, cpu(), policy, nullptr, opts);
+
+  EXPECT_GT(result.jobs_throttled, 0);
+  EXPECT_EQ(result.overruns_detected, result.jobs_throttled);
+  EXPECT_EQ(result.jobs_killed, 0);
+  EXPECT_GT(result.safe_mode_entries, 0);
+
+  ASSERT_TRUE(result.trace.has_value());
+  int finished = 0;
+  for (const sim::JobRecord& job : result.trace->jobs()) {
+    if (!job.finished) continue;
+    ++finished;
+    const sched::Task& t = tasks[job.task];
+    // The full faulted demand ran: nothing was shed, only deferred.
+    EXPECT_NEAR(job.executed, 1.6 * t.wcet, 1e-6) << t.name;
+    // Budget ceiling: at most one replenishment per period window.
+    const double windows = std::ceil(
+        (job.completion - job.release) / static_cast<double>(t.period));
+    EXPECT_LE(job.executed, windows * t.wcet + 1e-6) << t.name;
+  }
+  EXPECT_GT(finished, 0);
+  EXPECT_EQ(result.jobs_completed, finished);
+  expect_audit_clean(result, tasks, policy, opts);
+}
+
+TEST(FaultMonitor, SafeModeEngagesOnDetectionWithoutDisplacingJobs) {
+  // kNone + safe mode: overruns are detected and the engine runs full
+  // speed until idle, but no job is killed, throttled or skipped.
+  const sched::TaskSet tasks = example(0.4);
+  const SchedulerPolicy policy = SchedulerPolicy::lpfps();
+  EngineOptions opts = traced_options(8000.0);
+  opts.throw_on_miss = false;
+  opts.seed = 7;
+  opts.faults.overruns = {{0.3, 0.3}};
+  opts.containment.on_overrun = faults::OverrunAction::kNone;
+  opts.containment.safe_mode_fallback = true;
+
+  const SimulationResult result = simulate(
+      tasks, cpu(), policy, std::make_shared<exec::ClampedGaussianModel>(),
+      opts);
+
+  EXPECT_GT(result.overruns_detected, 0);
+  EXPECT_GT(result.safe_mode_entries, 0);
+  EXPECT_EQ(result.jobs_killed, 0);
+  EXPECT_EQ(result.jobs_throttled, 0);
+  EXPECT_EQ(result.jobs_skipped, 0);
+  expect_audit_clean(result, tasks, policy, opts);
+}
+
+TEST(FaultRamp, SlowRegulatorMakesPlansLateAndIsDetected) {
+  // Physics at half the spec rho.  With WCET demand the slowdown plans
+  // run just-in-time, so the slow regulator leaves the clock measurably
+  // below the commanded trajectory when the plan ends — which the
+  // engine must flag and answer with safe mode.
+  const sched::TaskSet tasks = example();
+  const SchedulerPolicy policy = SchedulerPolicy::lpfps();
+  EngineOptions opts = traced_options(8000.0);
+  opts.throw_on_miss = false;
+  opts.faults.ramp.rho_factor = 0.5;
+  opts.containment.safe_mode_fallback = true;
+
+  const SimulationResult result =
+      simulate(tasks, cpu(), policy, nullptr, opts);
+
+  EXPECT_GT(result.dvs_slowdowns, 0);
+  EXPECT_GT(result.ramp_faults_detected, 0);
+  EXPECT_GT(result.safe_mode_entries, 0);
+  expect_audit_clean(result, tasks, policy, opts);
+}
+
+TEST(FaultWakeup, LateTimerIsDetectedAtTheWakeInstant) {
+  const sched::TaskSet tasks = example(0.4);
+  const SchedulerPolicy policy = SchedulerPolicy::lpfps();
+  EngineOptions opts = traced_options(8000.0);
+  opts.throw_on_miss = false;
+  opts.faults.wakeup = {1.0, 5.0};
+  opts.containment.safe_mode_fallback = true;
+
+  const SimulationResult result = simulate(
+      tasks, cpu(), policy, std::make_shared<exec::ClampedGaussianModel>(),
+      opts);
+
+  EXPECT_GT(result.power_downs, 0);
+  EXPECT_GT(result.late_wakeups_detected, 0);
+  EXPECT_GT(result.safe_mode_entries, 0);
+  expect_audit_clean(result, tasks, policy, opts);
+}
+
+TEST(FaultCycles, FaultAndContainmentRunsNeverFastForward) {
+  // Budget windows, the safe-mode latch and perturbed timers live
+  // outside the cycle fingerprint, so such runs must stay ineligible.
+  const sched::TaskSet tasks = example();
+  EngineOptions opts = traced_options(40'000.0);
+  opts.throw_on_miss = false;
+  opts.faults.overruns = {{0.05, 0.2}};
+  opts.containment.on_overrun = faults::OverrunAction::kKill;
+  const SimulationResult faulted =
+      simulate(tasks, cpu(), SchedulerPolicy::lpfps(), nullptr, opts);
+  EXPECT_EQ(faulted.cycles_detected, 0);
+
+  EngineOptions armed_only = traced_options(40'000.0);
+  armed_only.containment.on_overrun = faults::OverrunAction::kThrottle;
+  const SimulationResult armed =
+      simulate(tasks, cpu(), SchedulerPolicy::lpfps(), nullptr, armed_only);
+  EXPECT_EQ(armed.cycles_detected, 0);
+
+  // Bit-identity still holds against the fast-forwarding plain twin.
+  const SimulationResult plain = simulate(
+      tasks, cpu(), SchedulerPolicy::lpfps(), nullptr,
+      traced_options(40'000.0));
+  EXPECT_EQ(io::result_csv_row(plain), io::result_csv_row(armed));
+}
+
+TEST(FaultValidation, MismatchedOverrunVectorIsRejected) {
+  const sched::TaskSet tasks = example();  // Three tasks.
+  EngineOptions opts = traced_options(400.0);
+  opts.faults.overruns = {{0.5, 0.5}, {0.5, 0.5}};  // Two specs.
+  EXPECT_THROW(
+      simulate(tasks, cpu(), SchedulerPolicy::lpfps(), nullptr, opts),
+      std::logic_error);
+
+  EngineOptions bad = traced_options(400.0);
+  bad.faults.overruns = {{1.5, 0.5}};  // Probability out of domain.
+  EXPECT_THROW(
+      simulate(tasks, cpu(), SchedulerPolicy::lpfps(), nullptr, bad),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace lpfps::core

@@ -1,0 +1,118 @@
+// Overload accounting with throw_on_miss=false: misses are charged at
+// the instant a late job *completes* (never at the horizon for jobs
+// still in flight), backlog drains within each hyperperiod when total
+// demand fits, and the counters agree with the recorded trace.
+//
+// The workload is hand-traceable under plain FPS at full speed:
+//   T1: P = D = 10, C = 6     (higher priority under RM)
+//   T2: P = 15, D = 9, C = 5.5
+// Utilization 0.6 + 0.3667 = 0.9667; hyperperiod 30 carries
+// 3*6 + 2*5.5 = 29 units of demand, so the processor idles in [29, 30)
+// and every hyperperiod repeats the same pattern:
+//   [0,6)    T1 job 0                completes  6   (on time)
+//   [6,10)   T2 job 0 (4 of 5.5 run)
+//   [10,16)  T1 job 1 preempts       completes 16   (on time)
+//   [16,17.5) T2 job 0               completes 17.5 (deadline 9: MISS)
+//   [17.5,20) T2 job 1 (2.5 of 5.5)
+//   [20,26)  T1 job 2                completes 26   (on time)
+//   [26,29)  T2 job 1                completes 29   (deadline 24: MISS)
+//   [29,30)  idle
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audit/audit.h"
+#include "audit/harness.h"
+#include "sched/priority.h"
+
+namespace lpfps::core {
+namespace {
+
+sched::TaskSet overloaded_pair() {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("t1", 10, 6.0));
+  tasks.add(sched::make_task("t2", 15, 9, 5.5, 5.5));
+  sched::assign_rate_monotonic(tasks);
+  return tasks;
+}
+
+SimulationResult run(Time horizon) {
+  EngineOptions opts;
+  opts.horizon = horizon;
+  opts.throw_on_miss = false;
+  opts.record_trace = true;
+  return simulate(overloaded_pair(), power::ProcessorConfig::arm8_default(),
+                  SchedulerPolicy::fps(), nullptr, opts);
+}
+
+TEST(MissAccounting, InFlightLateJobIsNotCountedAtTheHorizon) {
+  // At t = 9.5, T2 job 0 is past its deadline (9) but still running —
+  // no completion yet, so no miss is charged.
+  const SimulationResult result = run(9.5);
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_EQ(result.jobs_completed, 1);  // Only T1 job 0.
+  // The in-flight T2 job leaves no record at all — a miss can only ever
+  // be charged at a completion instant.
+  ASSERT_TRUE(result.trace.has_value());
+  ASSERT_EQ(result.trace->jobs().size(), 1u);
+  EXPECT_TRUE(result.trace->jobs().front().finished);
+  EXPECT_FALSE(result.trace->jobs().front().missed_deadline);
+}
+
+TEST(MissAccounting, MissChargedWhenTheLateJobCompletes) {
+  // Horizon 18 covers T2 job 0's late completion at 17.5.
+  const SimulationResult result = run(18.0);
+  EXPECT_EQ(result.deadline_misses, 1);
+  EXPECT_EQ(result.jobs_completed, 3);  // T1 x2 + T2 job 0.
+}
+
+TEST(MissAccounting, BacklogDrainsEveryHyperperiodAndCountersMatchTrace) {
+  const int hyperperiods = 10;
+  const SimulationResult result = run(30.0 * hyperperiods);
+  EXPECT_EQ(result.jobs_completed, 5 * hyperperiods);
+  EXPECT_EQ(result.deadline_misses, 2 * hyperperiods);
+
+  ASSERT_TRUE(result.trace.has_value());
+  int finished = 0;
+  int missed = 0;
+  for (const sim::JobRecord& job : result.trace->jobs()) {
+    if (!job.finished) continue;
+    ++finished;
+    if (job.missed_deadline) ++missed;
+    // Every job runs its full demand: overload defers work, never
+    // sheds it.
+    const double wcet = job.task == 0 ? 6.0 : 5.5;
+    EXPECT_NEAR(job.executed, wcet, 1e-9);
+  }
+  EXPECT_EQ(finished, result.jobs_completed);
+  EXPECT_EQ(missed, result.deadline_misses);
+
+  // The backlog really drains: T2's k-th hyperperiod copies complete at
+  // 17.5 + 30j and 29 + 30j, never drifting across the boundary.
+  for (const sim::JobRecord& job : result.trace->jobs()) {
+    if (job.task != 1 || !job.finished) continue;
+    const double local = std::fmod(job.completion, 30.0);
+    EXPECT_TRUE(std::fabs(local - 17.5) < 1e-6 ||
+                std::fabs(local - 29.0) < 1e-6)
+        << "t2 completion at " << job.completion;
+  }
+
+  // The fault-aware audit battery accepts the overloaded trace as long
+  // as misses are declared expected.
+  const EngineOptions opts = [] {
+    EngineOptions o;
+    o.horizon = 300.0;
+    o.throw_on_miss = false;
+    o.record_trace = true;
+    return o;
+  }();
+  const audit::AuditReport report = audit::audit_run(
+      result, overloaded_pair(), power::ProcessorConfig::arm8_default(),
+      audit::derive_options(SchedulerPolicy::fps(), opts));
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace lpfps::core

@@ -158,5 +158,67 @@ TEST(RunBatch, SupportsMoveOnlyResults) {
   }
 }
 
+TEST(RunBatchIsolated, CapturesAThrowingJobWithoutAbortingTheBatch) {
+  // Satellite contract: one faulted configuration in a sweep must not
+  // take down the healthy results around it.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const auto outcomes = run_batch_isolated(
+        8,
+        [](std::size_t i) -> int {
+          if (i == 3) throw std::runtime_error("job 3 blew up");
+          return static_cast<int>(i * 10);
+        },
+        threads);
+    ASSERT_EQ(outcomes.size(), 8u);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (i == 3) {
+        EXPECT_FALSE(outcomes[i].ok());
+        EXPECT_FALSE(outcomes[i].result.has_value());
+        EXPECT_EQ(outcomes[i].error, "job 3 blew up");
+      } else {
+        EXPECT_TRUE(outcomes[i].ok()) << outcomes[i].error;
+        EXPECT_EQ(*outcomes[i].result, static_cast<int>(i * 10));
+        EXPECT_TRUE(outcomes[i].error.empty());
+      }
+    }
+  }
+}
+
+TEST(RunBatchIsolated, NonStandardExceptionsGetAPlaceholderMessage) {
+  const auto outcomes = run_batch_isolated(
+      2,
+      [](std::size_t i) -> int {
+        if (i == 0) throw 42;  // Not derived from std::exception.
+        return 1;
+      },
+      1);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_FALSE(outcomes[0].ok());
+  EXPECT_EQ(outcomes[0].error, "unknown exception");
+  EXPECT_TRUE(outcomes[1].ok());
+}
+
+TEST(RunBatchIsolated, OutcomesAreThreadCountInvariant) {
+  // The determinism contract extends to error text: job i's outcome is
+  // a pure function of i, never of scheduling order.
+  const auto job = [](std::size_t i) -> double {
+    if (i % 5 == 2) {
+      throw std::runtime_error("seeded failure " + std::to_string(i));
+    }
+    Rng rng(derive_seed(11, i));
+    return rng.uniform(0.0, 1.0);
+  };
+  const auto serial = run_batch_isolated(25, job, 1);
+  const auto parallel = run_batch_isolated(25, job, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].ok(), parallel[i].ok()) << "job " << i;
+    EXPECT_EQ(serial[i].error, parallel[i].error) << "job " << i;
+    if (serial[i].ok()) {
+      EXPECT_EQ(*serial[i].result, *parallel[i].result) << "job " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lpfps::runner

@@ -157,6 +157,84 @@ TEST(Validator, DetectsForgedReleaseTime) {
   EXPECT_FALSE(report.ok());
 }
 
+// ---- incompatible traces: one precise rejection, not a cascade ------
+
+/// The rejection contract: exactly one violation, naming the rejection
+/// and pointing at the audit layer as the right tool.
+void expect_single_rejection(const ValidationReport& report) {
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.violations.size(), 1u) << report.to_string();
+  EXPECT_NE(report.violations[0].find("trace rejected"), std::string::npos)
+      << report.violations[0];
+  EXPECT_NE(report.violations[0].find("audit"), std::string::npos)
+      << report.violations[0];
+}
+
+TEST(Validator, RejectsRunsWithDeclaredReleaseJitter) {
+  const TaskSet tasks = lpfps::workloads::example_table1();
+  core::EngineOptions options;
+  options.horizon = 400.0;
+  options.record_trace = true;
+  options.release_jitter = {2.0, 2.0, 2.0};
+  const auto result = core::simulate(
+      tasks, power::ProcessorConfig::arm8_default(),
+      core::SchedulerPolicy::fps(), nullptr, options);
+  ValidatorOptions vopts;
+  vopts.release_jitter = options.release_jitter;
+  expect_single_rejection(
+      validate_schedule(*result.trace, tasks, vopts));
+}
+
+TEST(Validator, RejectsTracesWithKilledRecords) {
+  const TaskSet tasks = lpfps::workloads::example_table1();
+  core::EngineOptions options;
+  options.horizon = 400.0;
+  options.record_trace = true;
+  options.throw_on_miss = false;
+  options.faults.overruns = {{1.0, 0.5}};
+  options.containment.on_overrun = faults::OverrunAction::kKill;
+  const auto result = core::simulate(
+      tasks, power::ProcessorConfig::arm8_default(),
+      core::SchedulerPolicy::fps(), nullptr, options);
+  ASSERT_GT(result.jobs_killed, 0);
+  expect_single_rejection(validate_schedule(*result.trace, tasks));
+}
+
+TEST(Validator, RejectsJitteredReleasesEvenWhenUndeclared) {
+  // A trace whose releases drift off the phase + k*T grid is rejected
+  // up front even without ValidatorOptions::release_jitter being set.
+  const TaskSet tasks = lpfps::workloads::example_table1();
+  const sim::Trace original = valid_trace(tasks);
+  sim::Trace tampered;
+  for (const sim::Segment& s : original.segments()) {
+    tampered.add_segment(s);
+  }
+  for (sim::JobRecord job : original.jobs()) {
+    job.release += 3.0;
+    job.completion += 3.0;
+    tampered.add_job(job);
+  }
+  expect_single_rejection(validate_schedule(tampered, tasks));
+}
+
+TEST(Validator, RejectsPastWcetDemandInsteadOfMisattributingIt) {
+  const TaskSet tasks = lpfps::workloads::example_table1();
+  const sim::Trace original = valid_trace(tasks);
+  sim::Trace tampered;
+  for (const sim::Segment& s : original.segments()) {
+    tampered.add_segment(s);
+  }
+  bool first = true;
+  for (sim::JobRecord job : original.jobs()) {
+    if (first) {
+      job.executed = tasks[job.task].wcet * 1.5;  // Injected overrun.
+      first = false;
+    }
+    tampered.add_job(job);
+  }
+  expect_single_rejection(validate_schedule(tampered, tasks));
+}
+
 TEST(Validator, ReportCapsViolationCount) {
   const TaskSet tasks = lpfps::workloads::example_table1();
   const sim::Trace original = valid_trace(tasks);
