@@ -25,6 +25,11 @@
 // (audit::simulate + shared AuditAggregator, F-codes included); the
 // bench aborts after the table on any violation and writes
 // AUDIT_fault_sweep.json for the gate.
+//
+// With LPFPS_FLEET set (docs/FLEET.md) the sweep runs through the
+// batched fleet engine instead of run_batch; by the fleet's
+// bit-identity contract the table, JSON points, and audit summary are
+// byte-identical either way.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -32,6 +37,7 @@
 #include "audit/harness.h"
 #include "core/engine.h"
 #include "exec/exec_model.h"
+#include "fleet/fleet.h"
 #include "io/bench_json.h"
 #include "metrics/table.h"
 #include "runner/runner.h"
@@ -109,23 +115,38 @@ int main() {
     jobs[i].seed = runner::derive_seed(kBaseSeed, i);
   }
 
+  const auto job_options = [&](const Job& job) {
+    const Config& config = configs[job.config];
+    core::EngineOptions options;
+    options.horizon = job.horizon;
+    options.seed = job.seed;
+    options.throw_on_miss = false;
+    if (job.magnitude > 0.0) {
+      options.faults.overruns = {{kProbability, job.magnitude}};
+    }
+    options.containment.on_overrun = config.action;
+    options.containment.safe_mode_fallback = config.safe_mode;
+    return options;
+  };
+
   audit::AuditAggregator agg("fault_sweep");
-  const std::vector<core::SimulationResult> results = runner::run_batch(
-      jobs.size(), [&](std::size_t i) {
-        const Job& job = jobs[i];
-        const Config& config = configs[job.config];
-        core::EngineOptions options;
-        options.horizon = job.horizon;
-        options.seed = job.seed;
-        options.throw_on_miss = false;
-        if (job.magnitude > 0.0) {
-          options.faults.overruns = {{kProbability, job.magnitude}};
-        }
-        options.containment.on_overrun = config.action;
-        options.containment.safe_mode_fallback = config.safe_mode;
-        return audit::simulate(job.tasks, cpu, config.policy, exec, options,
-                               &agg);
-      });
+  std::vector<core::SimulationResult> results;
+  if (fleet::enabled()) {
+    std::vector<fleet::SimSpec> specs;
+    specs.reserve(jobs.size());
+    for (const Job& job : jobs) {
+      specs.push_back(
+          {job.tasks, cpu, configs[job.config].policy, exec, job_options(job)});
+    }
+    results =
+        audit::simulate_fleet(std::move(specs), fleet::FleetOptions{}, &agg);
+  } else {
+    results = runner::run_batch(jobs.size(), [&](std::size_t i) {
+      const Job& job = jobs[i];
+      return audit::simulate(job.tasks, cpu, configs[job.config].policy, exec,
+                             job_options(job), &agg);
+    });
+  }
 
   std::puts("== Fault sweep: WCET overruns vs containment ==");
   std::printf("overrun probability %.2f, BCET/WCET = %.1f; magnitude m "

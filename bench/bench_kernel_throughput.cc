@@ -9,12 +9,21 @@
 // produces, so queue-level changes are visible in isolation.  A fourth
 // section runs the deterministic (WCET) model over 12 hyperperiods with
 // steady-state cycle detection on and off, so the fast-forward speedup
-// is tracked — and gated — like any other throughput number.
+// is tracked — and gated — like any other throughput number.  A fifth
+// section measures the batched fleet engine (docs/FLEET.md): aggregate
+// events/sec across a pool of small UUniFast sims at batch widths
+// 1/64/256/1024, where width 1 is the serial core::simulate-per-spec
+// status quo — the scaling claim the fleet is gated on.
 //
 // Emits BENCH_kernel_throughput.json; CI's perf-smoke job diffs the
 // events/sec columns against bench/baseline_kernel_throughput.json and
 // fails on a >25% regression (see docs/PERFORMANCE.md for the
 // tolerance rationale and how to refresh the baseline).
+//
+// With LPFPS_FLEET set, the synthetic UUniFast section additionally
+// routes its measured runs through a single-lane fleet engine instead
+// of core::simulate (bit-identical results; the measured cost gains the
+// fleet's dispatch overhead, which this bench exists to observe).
 //
 // Timing methodology: each point is run once to size a repetition count
 // that fills ~kMinWall of wall time, then re-run that many times under
@@ -33,7 +42,9 @@
 #include "common/random.h"
 #include "core/engine.h"
 #include "exec/exec_model.h"
+#include "fleet/fleet.h"
 #include "io/bench_json.h"
+#include "runner/runner.h"
 #include "sched/analysis.h"
 #include "sim/event_queue.h"
 #include "workloads/generator.h"
@@ -288,8 +299,16 @@ int main() {
       }
       CycleStats cycle;
       const Throughput t = measure([&] {
-        const core::SimulationResult result =
-            core::simulate(tasks, cpu, policy, exec, options);
+        core::SimulationResult result;
+        if (fleet::enabled()) {
+          // Routed through a single-lane fleet batch (bit-identical).
+          std::vector<fleet::SimSpec> specs;
+          specs.push_back({tasks, cpu, policy, exec, options});
+          result = std::move(
+              fleet::run_fleet(std::move(specs), fleet::FleetOptions{})[0]);
+        } else {
+          result = core::simulate(tasks, cpu, policy, exec, options);
+        }
         cycle = CycleStats::of(result);
         return static_cast<std::int64_t>(result.scheduler_invocations);
       });
@@ -350,6 +369,73 @@ int main() {
                     ? fast.events_per_sec() / full.events_per_sec()
                     : 0.0,
                 static_cast<long long>(cycle.cycles_detected));
+  }
+
+  // ---- Section 5: batched fleet aggregate (docs/FLEET.md). -------------
+  // A pool of small RM-feasible 5-task UUniFast sims — the sweep regime
+  // where per-sim fixed cost (engine copies, buffer allocation) rivals
+  // the event work — run at increasing batch widths.  Width 1 is the
+  // serial status quo (core::simulate per spec, fresh engine and
+  // buffers each time); widths >= 2 advance a lane pool in lockstep,
+  // paying construction once and rebinding lanes thereafter.  Results
+  // are bit-identical at every width, so events/run is constant and the
+  // events/sec column isolates the dispatch overhead the fleet
+  // amortizes.  The width-256 point carries the >= 2x scaling claim and
+  // is perf-gated like every other row.
+  {
+    const std::size_t kFleetSims = 1024;
+    std::vector<fleet::SimSpec> specs;
+    specs.reserve(kFleetSims);
+    Rng fleet_rng(2024);
+    workloads::GeneratorConfig config;
+    config.task_count = 5;
+    config.total_utilization = 0.5;
+    config.bcet_ratio = 0.5;
+    config.period_min = 10'000;
+    config.period_max = 320'000;
+    config.period_granularity = 10'000;
+    while (specs.size() < kFleetSims) {
+      sched::TaskSet tasks = workloads::generate_task_set(config, fleet_rng);
+      if (!sched::is_schedulable_rta(tasks)) continue;
+      core::EngineOptions options;
+      options.horizon = 10'000;
+      options.seed = runner::derive_seed(kSeed, specs.size());
+      const core::SchedulerPolicy policy = specs.size() % 2 == 0
+                                               ? core::SchedulerPolicy::fps()
+                                               : core::SchedulerPolicy::lpfps();
+      specs.push_back({std::move(tasks), cpu, policy, exec, options});
+    }
+    if (audit::enabled()) {
+      // One untimed audited pass over the pool ties the throughput
+      // numbers to verified schedules, like every other section.
+      (void)audit::simulate_fleet(specs, fleet::FleetOptions{}, &agg);
+    }
+    double width1_events_per_sec = 0.0;
+    double width256_events_per_sec = 0.0;
+    for (const std::size_t width :
+         {std::size_t{1}, std::size_t{64}, std::size_t{256},
+          std::size_t{1024}}) {
+      fleet::FleetEngine engine(fleet::FleetOptions{width, 0.0});
+      for (const fleet::SimSpec& spec : specs) engine.add(spec);
+      const Throughput t = measure([&engine] {
+        std::int64_t events = 0;
+        for (const core::SimulationResult& result : engine.run_all()) {
+          events += result.scheduler_invocations;
+        }
+        return events;
+      });
+      const std::string name = "width-" + std::to_string(width);
+      print_row("fleet", name, "fps+lpfps", t, {});
+      add_point(json, "fleet", name, "fps+lpfps", t, {});
+      if (width == 1) width1_events_per_sec = t.events_per_sec();
+      if (width == 256) width256_events_per_sec = t.events_per_sec();
+    }
+    std::printf("%-12s %-16s batch speedup x%.2f (width 256 vs 1, %zu sims)\n",
+                "fleet", "scaling",
+                width1_events_per_sec > 0.0
+                    ? width256_events_per_sec / width1_events_per_sec
+                    : 0.0,
+                kFleetSims);
   }
 
   if (audit::enabled()) {

@@ -15,11 +15,17 @@
 // Every simulation is trace-audited (audit::simulate + a shared
 // AuditAggregator); the bench aborts after the table if any invariant
 // was violated, and writes AUDIT_random_tasksets.json for the CI gate.
+//
+// With LPFPS_FLEET set (docs/FLEET.md) step 2 runs through the batched
+// fleet engine instead of one-thread-per-sim run_batch; the fleet's
+// bit-identity contract makes the table, JSON points, and audit summary
+// byte-identical either way (CI diffs the two).
 #include <cstdio>
 
 #include "audit/harness.h"
 #include "core/engine.h"
 #include "exec/exec_model.h"
+#include "fleet/fleet.h"
 #include "io/bench_json.h"
 #include "metrics/stats.h"
 #include "metrics/table.h"
@@ -73,24 +79,48 @@ int main() {
     std::int64_t dvs_slowdowns;
   };
   audit::AuditAggregator agg("random_tasksets");
-  const std::vector<Powers> powers = runner::run_batch(
-      jobs.size(), [&](std::size_t i) {
-        core::EngineOptions options;
-        options.horizon = horizon;
-        options.seed = jobs[i].seed;  // Same draws for both policies.
-        Powers p;
-        p.fps = audit::simulate(jobs[i].tasks, cpu,
-                                core::SchedulerPolicy::fps(), exec, options,
-                                &agg)
-                    .average_power;
-        const core::SimulationResult lpfps_run =
-            audit::simulate(jobs[i].tasks, cpu, core::SchedulerPolicy::lpfps(),
-                            exec, options, &agg);
-        p.lpfps = lpfps_run.average_power;
-        p.power_downs = lpfps_run.power_downs;
-        p.dvs_slowdowns = lpfps_run.dvs_slowdowns;
-        return p;
-      });
+  std::vector<Powers> powers;
+  if (fleet::enabled()) {
+    // Fleet path: both policy runs of every set become lanes of one
+    // batched engine (fps at 2i, lpfps at 2i+1, sharing the set's seed
+    // so both policies see the same execution-time draws).
+    std::vector<fleet::SimSpec> specs;
+    specs.reserve(jobs.size() * 2);
+    for (const Job& job : jobs) {
+      core::EngineOptions options;
+      options.horizon = horizon;
+      options.seed = job.seed;  // Same draws for both policies.
+      specs.push_back(
+          {job.tasks, cpu, core::SchedulerPolicy::fps(), exec, options});
+      specs.push_back(
+          {job.tasks, cpu, core::SchedulerPolicy::lpfps(), exec, options});
+    }
+    const std::vector<core::SimulationResult> results =
+        audit::simulate_fleet(std::move(specs), fleet::FleetOptions{}, &agg);
+    powers.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const core::SimulationResult& lpfps_run = results[2 * i + 1];
+      powers.push_back({results[2 * i].average_power, lpfps_run.average_power,
+                        lpfps_run.power_downs, lpfps_run.dvs_slowdowns});
+    }
+  } else {
+    powers = runner::run_batch(jobs.size(), [&](std::size_t i) {
+      core::EngineOptions options;
+      options.horizon = horizon;
+      options.seed = jobs[i].seed;  // Same draws for both policies.
+      Powers p;
+      p.fps = audit::simulate(jobs[i].tasks, cpu, core::SchedulerPolicy::fps(),
+                              exec, options, &agg)
+                  .average_power;
+      const core::SimulationResult lpfps_run =
+          audit::simulate(jobs[i].tasks, cpu, core::SchedulerPolicy::lpfps(),
+                          exec, options, &agg);
+      p.lpfps = lpfps_run.average_power;
+      p.power_downs = lpfps_run.power_downs;
+      p.dvs_slowdowns = lpfps_run.dvs_slowdowns;
+      return p;
+    });
+  }
 
   std::puts("== A6: random task sets (5 tasks, BCET/WCET = 0.5) ==");
   metrics::Table table({"utilization", "sets", "mean reduction %",

@@ -8,7 +8,13 @@ of its baseline throughput; the default tolerance of 25% absorbs
 runner-to-runner hardware variance (see docs/PERFORMANCE.md for the
 rationale and for how to refresh the baseline after an intentional change).
 
+A section listed via --require-section must contribute at least one
+point to BOTH files; otherwise the check fails.  This keeps a bench
+section honest: if it silently stops emitting points (or the baseline
+was refreshed without it), the gate trips instead of shrinking.
+
 Usage: check_perf_regression.py CURRENT BASELINE [--tolerance 0.25]
+           [--require-section NAME]...
 """
 
 import argparse
@@ -17,10 +23,23 @@ import sys
 
 
 def load_points(path):
+    """Maps (section, name, policy) -> events/sec, with errors that name
+    the offending file and key instead of a bare KeyError traceback."""
     with open(path) as fh:
-        record = json.load(fh)
+        try:
+            record = json.load(fh)
+        except json.JSONDecodeError as err:
+            sys.exit(f"error: {path}: not valid JSON: {err}")
+    if not isinstance(record, dict) or "points" not in record:
+        sys.exit(f"error: {path}: no 'points' array (not a bench JSON?)")
     points = {}
-    for point in record["points"]:
+    for index, point in enumerate(record["points"]):
+        missing = [field for field in
+                   ("section", "name", "policy", "events_per_sec")
+                   if field not in point]
+        if missing:
+            sys.exit(f"error: {path}: points[{index}] lacks "
+                     f"{', '.join(missing)}")
         key = (point["section"], point["name"], point["policy"])
         points[key] = float(point["events_per_sec"])
     return points
@@ -32,12 +51,22 @@ def main():
     parser.add_argument("baseline", help="checked-in baseline JSON")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--require-section", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless this section has points in both "
+                             "files (repeatable)")
     args = parser.parse_args()
 
     current = load_points(args.current)
     baseline = load_points(args.baseline)
 
     failures = []
+    for section in args.require_section:
+        for role, points, path in (("current", current, args.current),
+                                   ("baseline", baseline, args.baseline)):
+            if not any(key[0] == section for key in points):
+                failures.append(f"required section '{section}' has no "
+                                f"points in {role} file {path}")
     for key, base_eps in sorted(baseline.items()):
         label = "/".join(key)
         cur_eps = current.get(key)

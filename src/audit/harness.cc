@@ -238,6 +238,39 @@ core::SimulationResult simulate(const sched::TaskSet& tasks,
   return result;
 }
 
+std::vector<core::SimulationResult> simulate_fleet(
+    std::vector<fleet::SimSpec> specs,
+    const fleet::FleetOptions& fleet_options, AuditAggregator* aggregator) {
+  if (!enabled()) {
+    return fleet::run_fleet(std::move(specs), fleet_options);
+  }
+  // The engine borrows nothing from `specs` (SimSpec is self-owning),
+  // but the audit needs each spec after the run — so add copies and
+  // keep the originals for audit_run.
+  std::vector<bool> wanted_trace(specs.size());
+  fleet::FleetEngine engine(fleet_options);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    wanted_trace[i] = specs[i].options.record_trace;
+    specs[i].options.record_trace = true;
+    engine.add(specs[i]);
+  }
+  std::vector<core::SimulationResult> results = engine.run_all();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const fleet::SimSpec& spec = specs[i];
+    const AuditReport report =
+        audit_run(results[i], spec.tasks, spec.processor,
+                  derive_options(spec.policy, spec.options));
+    if (aggregator != nullptr) {
+      aggregator->add(report, results[i]);
+    } else if (!report.ok()) {
+      throw std::runtime_error("trace audit failed for policy '" +
+                               spec.policy.name + "': " + report.to_string());
+    }
+    if (!wanted_trace[i]) results[i].trace.reset();
+  }
+  return results;
+}
+
 double normalized_power(const sched::TaskSet& tasks,
                         const power::ProcessorConfig& processor,
                         const core::SchedulerPolicy& policy,

@@ -15,6 +15,7 @@
 
 #include "audit/audit.h"
 #include "core/engine.h"
+#include "fleet/fleet.h"
 
 namespace lpfps::audit {
 
@@ -112,6 +113,18 @@ core::SimulationResult simulate(const sched::TaskSet& tasks,
                                 const exec::ExecModelPtr& exec_model,
                                 const core::EngineOptions& options,
                                 AuditAggregator* aggregator = nullptr);
+
+/// Fleet twin of audit::simulate — the fleet-aware aggregation hook.
+/// Runs every spec through one fleet::FleetEngine, forcing recorded
+/// traces while the audit is enabled, audits each sim's trace against
+/// its own spec, and drops traces the spec did not ask for.  Results
+/// come back in spec order (bit-identical to per-spec audit::simulate
+/// calls, by the fleet's bit-identity contract).  On a violation:
+/// throws, or records into `aggregator` when supplied.  With the audit
+/// disabled this is exactly fleet::run_fleet.
+std::vector<core::SimulationResult> simulate_fleet(
+    std::vector<fleet::SimSpec> specs, const fleet::FleetOptions& fleet_options,
+    AuditAggregator* aggregator = nullptr);
 
 /// core::normalized_power with both runs audited.
 double normalized_power(const sched::TaskSet& tasks,

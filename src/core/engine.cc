@@ -1,1557 +1,16 @@
 #include "core/engine.h"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <cstdlib>
-#include <cstring>
-#include <limits>
-#include <memory>
-#include <random>
-#include <stdexcept>
-#include <string>
 #include <utility>
-#include <vector>
 
 #include "common/check.h"
-#include "common/float_compare.h"
-#include "core/speed_ratio.h"
-#include "power/energy.h"
-#include "power/speed_profile.h"
-#include "sched/queues.h"
+#include "core/sim_state.h"
 
 namespace lpfps::core {
 
-namespace {
-
-constexpr Time kNever = std::numeric_limits<Time>::infinity();
-
-/// An instant in simulated time, kept as an exact anchor plus a small
-/// offset instead of one accumulated double.
-///
-/// The anchor is always an exactly-representable value (a release time,
-/// a hyperperiod boundary, the horizon — integers in this codebase) and
-/// the offset is the fractional distance the clock has moved since, a
-/// value bounded by one task period.  Durations are computed as
-/// (base difference) + (offset difference): the bases subtract exactly,
-/// so a duration between two instants one hyperperiod later is
-/// *bit-identical* — plain absolute doubles cannot promise that, because
-/// crossing a power-of-two magnitude changes the rounding grid and an
-/// `end - begin` subtraction picks up a different ulp.  This exact
-/// shift-invariance is what lets the steady-state fast-forward replay a
-/// proven cycle and still match a full simulation bit for bit.
-///
-/// Absolute times (trace segments, job completions) materialize with a
-/// single rounding via absolute(); the replay re-materializes from the
-/// same (base + n*H, offset) pair, reproducing the rounding exactly.
-struct TimePoint {
-  Time base = 0.0;    ///< Exact anchor (or +inf for "never").
-  Time offset = 0.0;  ///< Time since the anchor; may be slightly negative
-                      ///< (wake timers fire `latency` before a release).
-
-  Time absolute() const { return base + offset; }
-};
-
-constexpr TimePoint kNeverPoint{kNever, 0.0};
-
-TimePoint at(Time t) { return {t, 0.0}; }
-
-TimePoint after(const TimePoint& p, Time delta) {
-  return {p.base, p.offset + delta};
-}
-
-/// b - a with the anchors cancelling exactly (shift-invariant).
-Time span(const TimePoint& a, const TimePoint& b) {
-  return (b.base - a.base) + (b.offset - a.offset);
-}
-
-bool tp_less(const TimePoint& a, const TimePoint& b) {
-  return span(a, b) > 0.0;
-}
-bool tp_approx_le(const TimePoint& a, const TimePoint& b) {
-  return span(b, a) <= kTimeEpsilon;
-}
-bool tp_approx_ge(const TimePoint& a, const TimePoint& b) {
-  return span(a, b) <= kTimeEpsilon;
-}
-bool tp_definitely_less(const TimePoint& a, const TimePoint& b) {
-  return span(a, b) > kTimeEpsilon;
-}
-bool tp_definitely_greater(const TimePoint& a, const TimePoint& b) {
-  return span(b, a) > kTimeEpsilon;
-}
-
-/// Processor macro-state.  The speed ratio / ramping sub-state is
-/// orthogonal and tracked separately.
-enum class CpuState : std::uint8_t {
-  kIdle,       ///< No active task; busy-waiting NOPs.
-  kRunning,    ///< Executing the active task.
-  kPowerDown,  ///< Power-down mode, timer armed.
-  kWakeUp,     ///< Returning from power-down (full power, no work).
-};
-
-/// Per-task in-flight job bookkeeping (E_i of the paper).
-struct JobState {
-  std::int64_t instance = 0;
-  Time release = 0.0;
-  Work total_work = 0.0;  ///< This instance's actual execution time.
-  Work executed = 0.0;    ///< E_i: work consumed so far.
-  // Budget-enforcement bookkeeping; inert (and never read) unless
-  // faults or containment are configured.
-  Time window_release = 0.0;  ///< Release of the enforcement window.
-  Work budget_used = 0.0;     ///< Work consumed against the window budget.
-  Work overhead = 0.0;        ///< Context-switch work past the nominal WCET.
-  bool over_budget = false;   ///< Exhaustion latch: one firing per window.
-  bool throttled = false;     ///< Suspended; the next start_job resumes it.
-};
-
-/// LPFPS_CYCLE=0/off/false force-disables steady-state fast-forward
-/// regardless of EngineOptions::cycle_detection (the same convention the
-/// audit layer uses for LPFPS_AUDIT).
-bool cycle_detection_enabled_by_env() {
-  const char* value = std::getenv("LPFPS_CYCLE");
-  if (value == nullptr) return true;
-  return std::strcmp(value, "0") != 0 && std::strcmp(value, "off") != 0 &&
-         std::strcmp(value, "false") != 0;
-}
-
-/// Canonical scheduler state at a hyperperiod boundary, with every
-/// absolute time expressed relative to the boundary so two boundaries
-/// one (or more) hyperperiods apart can compare equal.  Equality is
-/// exact — bitwise on floats — because only a bit-identical state
-/// guarantees bit-identical future evolution; a near-miss simply means
-/// we keep simulating, never that we skip incorrectly.  kNever timers
-/// stay infinite under subtraction, so idle timers compare equal too.
-struct Fingerprint {
-  CpuState state = CpuState::kIdle;
-  TaskIndex active = kNoTask;
-  Ratio ratio = 1.0;
-  Ratio ramp_target = 1.0;
-  bool reinvoke_after_ramp = false;
-  bool plan_active = false;
-  bool plan_up_started = false;
-  /// The clock's own anchor decomposition at the boundary (normally
-  /// (0, 0): phase-0 sets release every task there).  Two boundaries
-  /// with different decompositions would materialize future absolute
-  /// times differently, so they must not compare equal.
-  Time now_base_rel = 0.0;
-  Time now_offset = 0.0;
-  Time plan_rampup_start_rel = 0.0;
-  Time plan_end_rel = 0.0;
-  Time wake_at_rel = 0.0;
-  Time wake_end_rel = 0.0;
-  Time shutdown_at_rel = 0.0;
-  double sleep_power_fraction = 0.0;
-  Time sleep_wake_latency = 0.0;
-  std::vector<sched::RunEntry> run_queue;
-  std::vector<sched::DelayEntry> delay_queue_rel;  ///< release -= boundary.
-  std::vector<std::pair<TaskIndex, Time>> staged_rel;
-
-  /// In-flight job of the active / ready / staged tasks.  Tasks waiting
-  /// in the delay queue carry stale JobState (overwritten by the next
-  /// start_job before any read), so only live jobs participate.
-  struct LiveJob {
-    TaskIndex task = kNoTask;
-    Time release_rel = 0.0;
-    Work total_work = 0.0;
-    Work executed = 0.0;
-    friend bool operator==(const LiveJob&, const LiveJob&) = default;
-  };
-  std::vector<LiveJob> live_jobs;
-
-  /// Upcoming release of each task's *next* instance, relative to the
-  /// boundary (start_job computes the absolute twin).  Implied by the
-  /// delay-queue entries for well-formed states; carried explicitly so a
-  /// next_instance_ divergence can never slip through.
-  std::vector<Time> next_release_rel;
-
-  /// The full generator state.  Deterministic models never touch it, so
-  /// it compares equal; stochastic models advance it monotonically, so
-  /// boundaries can never match (and one mismatch disarms the detector).
-  std::mt19937_64 rng;
-
-  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
-};
-
-/// One advance_to accumulation of the template cycle, replayed verbatim
-/// per skipped hyperperiod.  Times are kept as TimePoints so the replay
-/// re-materializes absolute trace times with the exact rounding the full
-/// simulation would produce.  `ramp` records which accumulator overload
-/// the simulation actually called (a sub-ulp ramp step can leave
-/// ratio_begin == ratio_end while still being a ramp accumulation).
-struct CycleSegment {
-  TimePoint begin;
-  TimePoint end;
-  Time dt = 0.0;  ///< span(begin, end), the exact duration accumulated.
-  /// Energy the accumulator charged for this segment.  A repeated
-  /// segment's energy is a pure function of (dt, ratios, mode), so the
-  /// replay adds this cached double — the identical value, in the
-  /// identical order — instead of re-evaluating the power model, which
-  /// is what makes fast-forward decisively cheaper than simulation.
-  Energy energy = 0.0;
-  sim::ProcessorMode mode = sim::ProcessorMode::kIdleBusyWait;
-  TaskIndex task = kNoTask;
-  Ratio ratio_begin = 1.0;
-  Ratio ratio_end = 1.0;
-};
-
-/// One job completion inside the template cycle.  The completion instant
-/// rides along as a TimePoint for exact re-materialization.
-struct CycleJob {
-  sim::JobRecord record;
-  TimePoint completion;
-};
-
-/// Integer statistics at a boundary; per-cycle deltas extrapolate
-/// exactly (replay adds `cycles * delta`, no float involved).
-struct CounterSnapshot {
-  int jobs_completed = 0;
-  int deadline_misses = 0;
-  int context_switches = 0;
-  int scheduler_invocations = 0;
-  int speed_changes = 0;
-  int power_downs = 0;
-  int dvs_slowdowns = 0;
-};
-
-/// The full mutable simulation state plus the main loop.  Engine::run
-/// builds one of these per call, so Engine itself stays const and
-/// reusable across sweeps.
-class Simulation {
- public:
-  Simulation(const sched::TaskSet& tasks,
-             const power::ProcessorConfig& processor,
-             const SchedulerPolicy& policy,
-             const exec::ExecModelPtr& exec_model,
-             const EngineOptions& options)
-      : tasks_(tasks),
-        processor_(processor),
-        policy_(policy),
-        exec_model_(exec_model),
-        options_(options),
-        rng_(options.seed),
-        power_model_(processor.make_power_model()),
-        accumulator_(&power_model_),
-        jobs_(tasks.size()),
-        next_instance_(tasks.size(), 0),
-        per_task_(tasks.size()) {
-    // Size every per-task buffer up front: each queue holds at most one
-    // entry per task, so after this nothing in the scheduling hot path
-    // allocates.
-    run_queue_.reserve(tasks.size());
-    delay_queue_.reserve(tasks.size());
-    staged_.reserve(tasks.size());
-    detection_enabled_ =
-        options.faults.any() || options.containment.enabled();
-    faults_injected_ = options.faults.any();
-    overruns_possible_ = options.faults.overruns_enabled();
-    ramp_fault_armed_ = options.faults.ramp.enabled();
-    // The physical ramp slope.  With no ramp fault this is the exact
-    // same double as the spec value, keeping fault-free runs
-    // bit-identical; under a fault the scheduler keeps planning with the
-    // spec rho while the hardware moves at this one.
-    effective_ramp_rate_ =
-        ramp_fault_armed_
-            ? processor.ramp_rate * options.faults.ramp.rho_factor
-            : processor.ramp_rate;
-    if (overruns_possible_) {
-      std::vector<std::string> names;
-      names.reserve(tasks.size());
-      for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks.size()); ++i) {
-        names.push_back(tasks[i].name);
-      }
-      faulty_model_ = std::make_shared<exec::FaultyExecModel>(
-          exec_model, options.faults.overruns, std::move(names));
-    }
-  }
-
-  SimulationResult run();
-
- private:
-  // --- scheduling machinery -------------------------------------------
-  void start_job(TaskIndex task);
-  void invoke_scheduler();
-  void invoke_scheduler_impl();
-  void try_slowdown();
-  void enter_power_down();
-  void finish_active_job();
-
-  // --- fault detection and containment ---------------------------------
-  /// The active job just exhausted its WCET budget: count the overrun,
-  /// enter safe mode, apply the configured containment action.
-  void on_budget_exhausted();
-  /// Aborts the active job at its budget (OverrunAction::kKill).
-  void kill_active_job();
-  /// Suspends the active job to its next period window, where its
-  /// budget replenishes (OverrunAction::kThrottle).
-  void throttle_active_job();
-  /// Re-inserts a contained task into the delay queue at its next
-  /// enforcement-window boundary, forfeiting windows already overrun.
-  void requeue_contained_task(TaskIndex index);
-  /// Latches safe mode: cancel the DVS plan, ramp to base, and decline
-  /// slowdowns/power-downs until the next idle instant.
-  void enter_safe_mode();
-  /// Compares the clock against the plan's commanded spec trajectory at
-  /// the instant a plan ends; a measurable lag is a DVS ramp fault.
-  void maybe_detect_ramp_fault();
-
-  // --- time advancement ------------------------------------------------
-  /// Current ramp slope in ratio-units per microsecond (0 when steady).
-  double slope() const;
-  /// Advances the clock to `next`, integrating energy, work and trace.
-  void advance_to(const TimePoint& next);
-
-  // --- steady-state cycle detection ------------------------------------
-  /// Arms the detector when the run qualifies (see engine.h).
-  void setup_cycle_detection();
-  /// Fingerprints the state at now_ == next_boundary_; on a match,
-  /// fast-forwards the remaining whole cycles and disarms.
-  void on_cycle_boundary();
-  Fingerprint take_fingerprint() const;
-  CounterSnapshot snapshot_counters() const;
-  /// Replays the recorded template cycle `cycles` times: identical
-  /// accumulator calls for energy/ratio integrals, exact integer deltas
-  /// for counters, time-shifted trace splices, then shifts every pending
-  /// absolute time so the simulation resumes at now_ + cycles * H.
-  void fast_forward(std::int64_t cycles);
-  void disarm_cycle_detection();
-
-  const sched::Task& task(TaskIndex index) const { return tasks_[index]; }
-  JobState& job(TaskIndex index) {
-    return jobs_[static_cast<std::size_t>(index)];
-  }
-
-  /// Next release the active task must be ready for: head of the delay
-  /// queue, or (single-task systems) its own next period.
-  Time next_arrival_for_active() const;
-
-  // --- immutable inputs -------------------------------------------------
-  const sched::TaskSet& tasks_;
-  const power::ProcessorConfig& processor_;
-  const SchedulerPolicy& policy_;
-  const exec::ExecModelPtr& exec_model_;
-  const EngineOptions& options_;
-
-  // --- mutable state ----------------------------------------------------
-  Rng rng_;
-  power::PowerModel power_model_;
-  power::EnergyAccumulator accumulator_;
-  sim::Trace trace_;
-
-  TimePoint now_;
-  CpuState state_ = CpuState::kIdle;
-
-  sched::RunQueue run_queue_;
-  sched::DelayQueue delay_queue_;
-  std::vector<JobState> jobs_;
-  std::vector<std::int64_t> next_instance_;
-  std::vector<power::ModeTotals> per_task_;
-  TaskIndex active_ = kNoTask;
-
-  /// Jobs released (instance started, execution time drawn) but not yet
-  /// visible to the scheduler because of release jitter.
-  struct StagedJob {
-    TaskIndex task = kNoTask;
-    TimePoint ready;
-  };
-  std::vector<StagedJob> staged_;
-
-  // Speed sub-state: ratio_ moves toward ramp_target_ at ramp_rate.
-  // "Full speed" for the scheduler is base_ratio_: 1.0 normally, or the
-  // policy's constant clock under static slowdown.
-  Ratio base_ratio_ = 1.0;
-  Ratio ratio_ = 1.0;
-  Ratio ramp_target_ = 1.0;
-  /// L1-L4 semantics: re-enter the scheduler when the ramp completes.
-  bool reinvoke_after_ramp_ = false;
-
-  // DVS plan (active only while the active task runs slowed).
-  bool plan_active_ = false;
-  bool plan_up_started_ = false;
-  TimePoint plan_rampup_start_ = kNeverPoint;
-  TimePoint plan_end_ = kNeverPoint;
-
-  // Power-down timers and the sleep state currently occupied.
-  TimePoint wake_at_ = kNeverPoint;   ///< Timer expiry (start of wake-up).
-  TimePoint wake_end_ = kNeverPoint;  ///< End of the wake-up transition.
-  double sleep_power_fraction_ = 0.0;
-  Time sleep_wake_latency_ = 0.0;
-
-  // Timeout-shutdown policy state.
-  TimePoint shutdown_at_ = kNeverPoint;
-
-  // Fault injection / containment (resolved once in the constructor;
-  // all of it inert — and bit-identity preserving — when neither
-  // options_.faults nor options_.containment is configured).
-  bool detection_enabled_ = false;  ///< Any fault or containment active.
-  bool faults_injected_ = false;    ///< FaultPlan actually perturbs the run.
-  bool overruns_possible_ = false;  ///< Execution model may exceed WCET.
-  bool ramp_fault_armed_ = false;
-  double effective_ramp_rate_ = 0.0;  ///< Physical rho (== spec if healthy).
-  exec::ExecModelPtr faulty_model_;   ///< Overrun wrapper, else null.
-  bool safe_mode_ = false;
-  TimePoint wake_programmed_ = kNeverPoint;  ///< Spec wake instant (L14).
-  int overruns_detected_ = 0;
-  int ramp_faults_detected_ = 0;
-  int late_wakeups_detected_ = 0;
-  int jobs_killed_ = 0;
-  int jobs_throttled_ = 0;
-  int jobs_skipped_ = 0;
-  int safe_mode_entries_ = 0;
-
-  // Statistics.
-  int jobs_completed_ = 0;
-  int deadline_misses_ = 0;
-  int context_switches_ = 0;
-  int scheduler_invocations_ = 0;
-  int speed_changes_ = 0;
-  int power_downs_ = 0;
-  int dvs_slowdowns_ = 0;
-  int run_queue_high_water_ = 0;
-  int delay_queue_high_water_ = 0;
-  double running_ratio_integral_ = 0.0;
-  Time running_time_ = 0.0;
-
-  // Steady-state cycle detection (setup_cycle_detection decides whether
-  // to arm; everything below is inert when cycle_armed_ is false).
-  bool cycle_armed_ = false;
-  bool cycle_recording_ = false;  ///< advance_to appends to the template.
-  bool cycle_has_prev_ = false;
-  Time cycle_length_ = 0.0;       ///< Hyperperiod, exactly representable.
-  Time next_boundary_ = kNever;
-  std::vector<std::int64_t> jobs_per_cycle_;  ///< H / period, per task.
-  Fingerprint prev_fingerprint_;
-  CounterSnapshot prev_counters_;
-  std::vector<CycleSegment> cycle_segments_;  ///< Template cycle.
-  std::vector<CycleJob> cycle_jobs_;  ///< Completions in the cycle.
-  std::int64_t cycles_detected_ = 0;
-  Time fast_forwarded_time_ = 0.0;
-  std::int64_t fingerprint_checks_ = 0;
-  double fingerprint_seconds_ = 0.0;
-
-  /// Samples the queue depths for the high-water counters; called at
-  /// every scheduler-invocation exit (the only points where the queues
-  /// change).  The ready depth counts the dispatched task too.
-  void sample_queue_depths() {
-    const int ready = static_cast<int>(run_queue_.size()) +
-                      (active_ != kNoTask ? 1 : 0);
-    run_queue_high_water_ = std::max(run_queue_high_water_, ready);
-    delay_queue_high_water_ = std::max(
-        delay_queue_high_water_, static_cast<int>(delay_queue_.size()));
-  }
-};
-
-void Simulation::start_job(TaskIndex index) {
-  JobState& state = job(index);
-  auto& instance = next_instance_[static_cast<std::size_t>(index)];
-  const sched::Task& t = task(index);
-  if (state.throttled) {
-    // Resuming a throttled job: it keeps its identity (instance,
-    // release, deadline) and residual demand; only the enforcement
-    // window is new, with a freshly replenished budget.
-    state.throttled = false;
-    state.window_release = static_cast<Time>(t.phase) +
-                           static_cast<Time>(instance * t.period);
-    ++instance;
-    state.budget_used = 0.0;
-    state.overhead = 0.0;
-    state.over_budget = false;
-    return;
-  }
-  state.instance = instance++;
-  state.release = static_cast<Time>(t.phase) +
-                  static_cast<Time>(state.instance * t.period);
-  state.window_release = state.release;
-  state.executed = 0.0;
-  state.budget_used = 0.0;
-  state.overhead = 0.0;
-  state.over_budget = false;
-  state.throttled = false;
-  const exec::ExecutionTimeModel* model =
-      faulty_model_ != nullptr ? faulty_model_.get() : exec_model_.get();
-  if (model != nullptr) {
-    state.total_work = model->sample(t, rng_);
-    // Running longer than the WCET would void every guarantee; running
-    // shorter than the nominal BCET is harmless (BCET only parameterizes
-    // execution-time models) and scenario models exploit it.  Injected
-    // overruns violate the upper bound by design — that is the lie the
-    // containment machinery exists to absorb.
-    LPFPS_CHECK_MSG(state.total_work > 0.0 &&
-                        (overruns_possible_ ||
-                         state.total_work <= t.wcet + kTimeEpsilon),
-                    t.name);
-  } else {
-    state.total_work = t.wcet;
-  }
-}
-
-Time Simulation::next_arrival_for_active() const {
-  if (const auto release = delay_queue_.next_release(); release.has_value()) {
-    return *release;
-  }
-  // Single-task system: the processor is free until the task's own next
-  // period begins (the enforcement window's end, which coincides with
-  // the release for uncontained jobs).
-  const JobState& state = jobs_[static_cast<std::size_t>(active_)];
-  return state.window_release + static_cast<Time>(task(active_).period);
-}
-
-void Simulation::try_slowdown() {
-  LPFPS_CHECK(active_ != kNoTask);
-  LPFPS_CHECK(approx_equal(ratio_, base_ratio_, 1e-12));
-  // A released-but-jitter-delayed job can become visible at any moment;
-  // the exact-knowledge premise of the slowdown does not hold.
-  if (!staged_.empty()) return;
-  const sched::Task& t = task(active_);
-  const JobState& state = job(active_);
-
-  // Context-switch overhead can push a job's demand past its nominal
-  // WCET; the WCET-based slack computation below would then lie, so
-  // leave such jobs at base speed.  Under injected overruns the
-  // scheduler is no longer omniscient — it knows only E_i against the
-  // declared budget C_i (plus tracked kernel overhead), so the test
-  // becomes: a job at or past its budget signals an overrun in
-  // progress, not slack.
-  if (overruns_possible_) {
-    if (state.executed >= t.wcet + state.overhead - kTimeEpsilon) return;
-  } else if (state.total_work > t.wcet + kTimeEpsilon) {
-    return;
-  }
-
-  const Time arrival = next_arrival_for_active();
-  // Safety cap (see engine.h): never stretch past the active task's own
-  // absolute deadline.
-  const Time window_end =
-      std::min(arrival, state.release + static_cast<Time>(t.deadline));
-  const Time window = span(now_, at(window_end));
-  const Work remaining = snap_nonnegative(t.wcet - state.executed);
-  // Slack exists only if the remaining worst-case work fits below the
-  // base clock inside the window (base_ratio_ == 1 gives the paper's
-  // Theorem 1 hypotheses; the hybrid policy measures slack against its
-  // static base speed instead).
-  if (!(window > 0.0 && remaining < base_ratio_ * window)) return;
-
-  const Ratio desired =
-      policy_.dvs == RatioMethod::kOptimal
-          ? optimal_ratio_to_target(remaining, window,
-                                    processor_.ramp_rate, base_ratio_)
-          : heuristic_ratio(remaining, window);
-  const Ratio quantized = processor_.frequencies.quantize_up(desired);
-  if (quantized >= base_ratio_ - 1e-12) return;
-
-  // Both the down-ramp (now) and the just-in-time up-ramp (before
-  // window_end) must fit into the window without overlapping; otherwise
-  // the slack is too short to exploit and we stay at base speed.  The
-  // paper's Figure 7 discussion covers exactly this short-window regime.
-  const Time ramp = (base_ratio_ - quantized) / processor_.ramp_rate;
-  const TimePoint up_start{window_end, -ramp};
-  if (tp_definitely_greater(after(now_, ramp), up_start)) return;
-
-  ramp_target_ = quantized;
-  reinvoke_after_ramp_ = false;
-  ++speed_changes_;
-  ++dvs_slowdowns_;
-  plan_active_ = true;
-  plan_up_started_ = false;
-  plan_rampup_start_ = up_start;
-  plan_end_ = at(window_end);
-}
-
-void Simulation::enter_power_down() {
-  LPFPS_CHECK(state_ == CpuState::kIdle && active_ == kNoTask);
-  LPFPS_CHECK(approx_equal(ratio_, base_ratio_, 1e-12));
-  // Safe mode runs plain FPS: no power-down until the episode ends at
-  // the next idle instant.  The idle branch clears the flag before the
-  // idle-policy switch, so this guard is belt-and-braces for the
-  // timeout-shutdown path.
-  if (safe_mode_) return;
-  // An imminent jitter-delayed arrival forbids sleeping: the timer's
-  // "exact knowledge" premise does not hold.
-  if (!staged_.empty()) return;
-  const auto release = delay_queue_.next_release();
-  if (!release.has_value()) return;  // Everything in flight is staged.
-  // Pick the deepest sleep state whose wake-up fits the known gap
-  // (the classic single 5%/10-cycle state unless a hierarchy is
-  // configured), then set the timer early by its latency (L14).
-  const auto state =
-      processor_.deepest_state_for_gap(span(now_, at(*release)));
-  if (!state.has_value()) return;  // Gap too short for any state.
-  const Time latency =
-      state->wakeup_cycles / processor_.frequencies.f_max();
-  TimePoint timer{*release, -latency};  // L14.
-  if (options_.timer_granularity > 0.0) {
-    // Tick-based kernels wake on the grid: round down (early is safe).
-    timer = at(std::floor(timer.absolute() / options_.timer_granularity) *
-               options_.timer_granularity);
-  }
-  if (!tp_definitely_greater(timer, now_)) return;  // Too close to sleep.
-  state_ = CpuState::kPowerDown;
-  wake_at_ = timer;
-  wake_programmed_ = timer;
-  if (options_.faults.wakeup.enabled() &&
-      rng_.uniform(0.0, 1.0) < options_.faults.wakeup.probability) {
-    // The timer hardware fires late; wake_programmed_ keeps the spec
-    // instant detection compares against when the wake finally lands.
-    wake_at_ = after(timer, rng_.uniform(0.0, options_.faults.wakeup.max_delay));
-  }
-  wake_end_ = kNeverPoint;
-  sleep_power_fraction_ = state->power_fraction;
-  sleep_wake_latency_ = latency;
-  shutdown_at_ = kNeverPoint;
-  ++power_downs_;
-}
-
-void Simulation::invoke_scheduler() {
-  invoke_scheduler_impl();
-  if (options_.invocation_hook) {
-    sched::QueueSnapshot snapshot;
-    snapshot.time = now_.absolute();
-    snapshot.run_queue = run_queue_.entries();
-    snapshot.delay_queue = delay_queue_.entries();
-    snapshot.active_task = active_;
-    snapshot.active_executed =
-        active_ == kNoTask ? 0.0 : job(active_).executed;
-    options_.invocation_hook(snapshot);
-  }
-}
-
-void Simulation::invoke_scheduler_impl() {
-  ++scheduler_invocations_;
-
-  // L1-L4: restore full (base) speed before any decision.
-  if (ratio_ < base_ratio_ - 1e-12 || ramp_target_ < base_ratio_ - 1e-12) {
-    if (!(ramp_target_ == base_ratio_ && ratio_ < ramp_target_)) {
-      // Not already ramping up: redirect toward full speed.
-      ramp_target_ = base_ratio_;
-      ++speed_changes_;
-    }
-    reinvoke_after_ramp_ = true;
-    return;
-  }
-
-  // L5-L7: release due tasks (via the jitter stage when configured).
-  while (!delay_queue_.empty() &&
-         tp_approx_le(at(delay_queue_.head().release_time), now_)) {
-    const sched::DelayEntry due = delay_queue_.pop_head();
-    start_job(due.task);
-    TimePoint ready = at(job(due.task).release);
-    if (!options_.release_jitter.empty()) {
-      ready.offset += rng_.uniform(
-          0.0,
-          options_.release_jitter[static_cast<std::size_t>(due.task)]);
-    }
-    if (tp_approx_le(ready, now_)) {
-      run_queue_.insert({due.task, task(due.task).priority});
-    } else {
-      staged_.push_back({due.task, ready});
-    }
-  }
-  for (auto it = staged_.begin(); it != staged_.end();) {
-    if (tp_approx_le(it->ready, now_)) {
-      run_queue_.insert({it->task, task(it->task).priority});
-      it = staged_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-
-  // L8-L11: dispatch / preempt.
-  if (active_ == kNoTask) {
-    if (!run_queue_.empty()) active_ = run_queue_.pop_head().task;
-  } else if (!run_queue_.empty() &&
-             run_queue_.head().priority < task(active_).priority) {
-    run_queue_.insert({active_, task(active_).priority});
-    active_ = run_queue_.pop_head().task;
-    ++context_switches_;
-    // Kernel save/restore overhead executes ahead of the incoming job's
-    // own work, at the prevailing clock.  The budget tracks it too: the
-    // overhead is the kernel's own doing, not the job lying.
-    job(active_).total_work += options_.context_switch_cost;
-    job(active_).overhead += options_.context_switch_cost;
-  }
-
-  // L12-L21: power management when the run queue is empty.
-  if (active_ != kNoTask) {
-    state_ = CpuState::kRunning;
-    shutdown_at_ = kNeverPoint;
-    if (run_queue_.empty() && policy_.uses_dvs() && !safe_mode_) {
-      try_slowdown();
-    }
-    sample_queue_depths();
-    return;
-  }
-
-  state_ = CpuState::kIdle;
-  sample_queue_depths();
-  // An idle instant ends any safe-mode episode: the anomaly's backlog
-  // has drained, so DVS and power-down become trustworthy again —
-  // including at this very instant (the switch below may sleep).
-  safe_mode_ = false;
-  if (delay_queue_.empty()) return;  // No future work at all.
-  switch (policy_.idle) {
-    case IdleMethod::kBusyWait:
-      break;
-    case IdleMethod::kExactPowerDown:
-      enter_power_down();
-      break;
-    case IdleMethod::kTimeoutShutdown:
-      shutdown_at_ = after(now_, policy_.shutdown_timeout);
-      break;
-  }
-}
-
-void Simulation::finish_active_job() {
-  LPFPS_CHECK(active_ != kNoTask);
-  const sched::Task& t = task(active_);
-  JobState& state = job(active_);
-  LPFPS_CHECK(approx_ge(state.executed, state.total_work));
-
-  sim::JobRecord record;
-  record.task = active_;
-  record.instance = state.instance;
-  record.release = state.release;
-  record.absolute_deadline = state.release + static_cast<Time>(t.deadline);
-  record.completion = now_.absolute();
-  record.executed = state.total_work;
-  record.finished = true;
-  record.missed_deadline =
-      tp_definitely_greater(now_, at(record.absolute_deadline));
-  if (record.missed_deadline) {
-    ++deadline_misses_;
-    if (options_.throw_on_miss) {
-      throw std::runtime_error(
-          "deadline miss: task " + t.name + " instance " +
-          std::to_string(state.instance) + " finished at " +
-          std::to_string(record.completion) + " > deadline " +
-          std::to_string(record.absolute_deadline) + " under policy " +
-          policy_.name);
-    }
-  }
-  if (options_.record_trace) {
-    trace_.add_job(record);
-    if (cycle_recording_) cycle_jobs_.push_back({record, now_});
-  }
-  ++jobs_completed_;
-
-  delay_queue_.insert(
-      {active_, state.window_release + static_cast<Time>(t.period)});
-  active_ = kNoTask;
-  state_ = CpuState::kIdle;
-  maybe_detect_ramp_fault();
-  plan_active_ = false;
-  plan_up_started_ = false;
-  plan_rampup_start_ = kNeverPoint;
-  plan_end_ = kNeverPoint;
-}
-
-void Simulation::on_budget_exhausted() {
-  LPFPS_CHECK(state_ == CpuState::kRunning && active_ != kNoTask);
-  JobState& state = job(active_);
-  state.over_budget = true;
-  ++overruns_detected_;
-  enter_safe_mode();
-  switch (options_.containment.on_overrun) {
-    case faults::OverrunAction::kNone:
-      // Monitor only: the overrunning job keeps the CPU (at base speed
-      // once the safe-mode ramp lands) until its true demand drains.
-      break;
-    case faults::OverrunAction::kThrottle:
-      throttle_active_job();
-      break;
-    case faults::OverrunAction::kKill:
-      kill_active_job();
-      break;
-  }
-}
-
-void Simulation::kill_active_job() {
-  const sched::Task& t = task(active_);
-  JobState& state = job(active_);
-  ++jobs_killed_;
-  if (options_.record_trace) {
-    sim::JobRecord record;
-    record.task = active_;
-    record.instance = state.instance;
-    record.release = state.release;
-    record.absolute_deadline =
-        state.release + static_cast<Time>(t.deadline);
-    record.completion = now_.absolute();
-    record.executed = state.executed;
-    record.finished = false;
-    record.killed = true;
-    // An abort is not a late completion; the instance is shed, so the
-    // miss flag (and counter) stay untouched.
-    trace_.add_job(record);
-  }
-  requeue_contained_task(active_);
-  active_ = kNoTask;
-  state_ = CpuState::kIdle;
-  plan_active_ = false;
-  plan_up_started_ = false;
-  plan_rampup_start_ = kNeverPoint;
-  plan_end_ = kNeverPoint;
-}
-
-void Simulation::throttle_active_job() {
-  JobState& state = job(active_);
-  ++jobs_throttled_;
-  state.throttled = true;
-  requeue_contained_task(active_);
-  active_ = kNoTask;
-  state_ = CpuState::kIdle;
-  plan_active_ = false;
-  plan_up_started_ = false;
-  plan_rampup_start_ = kNeverPoint;
-  plan_end_ = kNeverPoint;
-}
-
-void Simulation::requeue_contained_task(TaskIndex index) {
-  const sched::Task& t = task(index);
-  auto& instance = next_instance_[static_cast<std::size_t>(index)];
-  Time next_release = static_cast<Time>(t.phase) +
-                      static_cast<Time>(instance * t.period);
-  // Enforcement windows the overrun already consumed are forfeited
-  // (skippable-instance semantics): releasing them retroactively could
-  // only cascade lateness.  With a schedulable declared demand the
-  // budget exhausts before the window ends, so nothing is skipped.
-  while (tp_definitely_greater(now_, at(next_release))) {
-    ++instance;
-    ++jobs_skipped_;
-    next_release = static_cast<Time>(t.phase) +
-                   static_cast<Time>(instance * t.period);
-  }
-  delay_queue_.insert({index, next_release});
-}
-
-void Simulation::enter_safe_mode() {
-  if (!options_.containment.safe_mode_fallback || safe_mode_) return;
-  safe_mode_ = true;
-  ++safe_mode_entries_;
-  // Fail toward plain FPS: abandon any slowdown plan, head straight
-  // back to base speed, and (via the safe_mode_ gates) decline new
-  // slowdowns, power-downs and shutdown timers until the next idle
-  // instant.
-  plan_active_ = false;
-  plan_up_started_ = false;
-  plan_rampup_start_ = kNeverPoint;
-  plan_end_ = kNeverPoint;
-  shutdown_at_ = kNeverPoint;
-  if (ramp_target_ != base_ratio_) {
-    ramp_target_ = base_ratio_;
-    ++speed_changes_;
-  }
-}
-
-void Simulation::maybe_detect_ramp_fault() {
-  if (!ramp_fault_armed_ || !plan_active_ || !plan_up_started_) return;
-  if (ratio_ >= base_ratio_ - 1e-12) return;  // The ramp landed on time.
-  // The just-in-time plan commands ratio(t) = base - rho_spec *
-  // (plan_end - t) during its up-ramp (and base thereafter); a clock
-  // measurably below that trajectory means the physical regulator is
-  // slower than its spec.
-  const Ratio expected =
-      base_ratio_ -
-      processor_.ramp_rate * std::max(0.0, span(now_, plan_end_));
-  if (ratio_ < expected - 1e-9) {
-    ++ramp_faults_detected_;
-    enter_safe_mode();
-  }
-}
-
-void Simulation::setup_cycle_detection() {
-  if (!options_.cycle_detection || !cycle_detection_enabled_by_env()) return;
-  // Fault injection and containment carry state (budget windows, the
-  // safe-mode latch, perturbed timers) the fingerprint does not
-  // capture; declare such runs ineligible outright.
-  if (detection_enabled_) return;
-  // Jittered arrivals and tick-granular timers are aperiodic relative to
-  // the hyperperiod; declare them ineligible outright so such runs report
-  // cycles_detected == 0 without even paying for fingerprints.
-  for (const Time j : options_.release_jitter) {
-    if (j > 0.0) return;
-  }
-  if (options_.timer_granularity > 0.0) return;
-  // A hook observes every scheduler invocation; skipping cycles would
-  // silently drop the observations it is owed.
-  if (options_.invocation_hook) return;
-  // Trace-driven execution carries opaque per-task replay cursors the
-  // fingerprint cannot see.
-  if (exec_model_ != nullptr && exec_model_->name() == "trace") return;
-  std::int64_t hyper = 0;
-  try {
-    hyper = tasks_.hyperperiod();
-  } catch (const std::overflow_error&) {
-    return;  // Mutually-prime periods: no cycle within 64 bits.
-  }
-  if (hyper <= 0) return;
-  // Everything below trades on exact double arithmetic over boundary
-  // times (k*H, shifts by n*H): keep all of it inside the integer-exact
-  // mantissa range.
-  if (hyper > (std::int64_t{1} << 52)) return;
-  const Time length = static_cast<Time>(hyper);
-  // Detection needs boundaries at H and 2H inside the horizon before it
-  // can ever match; shorter runs would pay fingerprints for nothing.
-  if (2.0 * length > options_.horizon) return;
-  cycle_length_ = length;
-  next_boundary_ = length;
-  jobs_per_cycle_.resize(tasks_.size());
-  for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    jobs_per_cycle_[i] = hyper / tasks_[static_cast<TaskIndex>(i)].period;
-  }
-  cycle_armed_ = true;
-}
-
-Fingerprint Simulation::take_fingerprint() const {
-  Fingerprint fp;
-  fp.state = state_;
-  fp.active = active_;
-  fp.ratio = ratio_;
-  fp.ramp_target = ramp_target_;
-  fp.reinvoke_after_ramp = reinvoke_after_ramp_;
-  fp.plan_active = plan_active_;
-  fp.plan_up_started = plan_up_started_;
-  fp.now_base_rel = now_.base - next_boundary_;
-  fp.now_offset = now_.offset;
-  fp.plan_rampup_start_rel = span(now_, plan_rampup_start_);
-  fp.plan_end_rel = span(now_, plan_end_);
-  fp.wake_at_rel = span(now_, wake_at_);
-  fp.wake_end_rel = span(now_, wake_end_);
-  fp.shutdown_at_rel = span(now_, shutdown_at_);
-  fp.sleep_power_fraction = sleep_power_fraction_;
-  fp.sleep_wake_latency = sleep_wake_latency_;
-  fp.run_queue = run_queue_.entries();
-  fp.delay_queue_rel = delay_queue_.entries();
-  for (sched::DelayEntry& entry : fp.delay_queue_rel) {
-    entry.release_time = span(now_, at(entry.release_time));
-  }
-  fp.staged_rel.reserve(staged_.size());
-  for (const StagedJob& staged : staged_) {
-    fp.staged_rel.emplace_back(staged.task, span(now_, staged.ready));
-  }
-  const auto add_live = [&](TaskIndex index) {
-    const JobState& state = jobs_[static_cast<std::size_t>(index)];
-    fp.live_jobs.push_back({index, span(now_, at(state.release)),
-                            state.total_work, state.executed});
-  };
-  if (active_ != kNoTask) add_live(active_);
-  for (const sched::RunEntry& entry : run_queue_.entries()) {
-    add_live(entry.task);
-  }
-  for (const StagedJob& staged : staged_) add_live(staged.task);
-  fp.next_release_rel.reserve(tasks_.size());
-  for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks_.size()); ++i) {
-    const sched::Task& t = task(i);
-    fp.next_release_rel.push_back(span(
-        now_,
-        at(static_cast<Time>(t.phase) +
-           static_cast<Time>(next_instance_[static_cast<std::size_t>(i)] *
-                             t.period))));
-  }
-  fp.rng = rng_.engine();
-  return fp;
-}
-
-CounterSnapshot Simulation::snapshot_counters() const {
-  return {jobs_completed_,        deadline_misses_, context_switches_,
-          scheduler_invocations_, speed_changes_,   power_downs_,
-          dvs_slowdowns_};
-}
-
-void Simulation::disarm_cycle_detection() {
-  cycle_armed_ = false;
-  cycle_recording_ = false;
-  cycle_has_prev_ = false;
-  next_boundary_ = kNever;
-  cycle_segments_.clear();
-  cycle_jobs_.clear();
-}
-
-void Simulation::on_cycle_boundary() {
-  const auto started = std::chrono::steady_clock::now();
-  Fingerprint current = take_fingerprint();
-  ++fingerprint_checks_;
-  bool rng_moved = false;
-  bool matched = false;
-  if (cycle_has_prev_) {
-    if (current.rng != prev_fingerprint_.rng) {
-      rng_moved = true;
-    } else {
-      matched = current == prev_fingerprint_;
-    }
-  }
-  fingerprint_seconds_ +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    started)
-          .count();
-  if (rng_moved) {
-    // The execution model consumes randomness each cycle; a mt19937
-    // state never recurs within any simulatable horizon, so stop
-    // checking.  Stochastic runs thus pay exactly two fingerprints.
-    disarm_cycle_detection();
-    return;
-  }
-  if (matched) {
-    // Two consecutive boundaries are bit-identical: the simulation is a
-    // proven cycle.  Skip every whole hyperperiod that still fits.
-    const Time now_abs = now_.absolute();
-    std::int64_t cycles = static_cast<std::int64_t>(
-        (options_.horizon - now_abs) / cycle_length_);
-    while (now_abs + static_cast<Time>(cycles + 1) * cycle_length_ <=
-           options_.horizon) {
-      ++cycles;
-    }
-    while (cycles > 0 &&
-           now_abs + static_cast<Time>(cycles) * cycle_length_ >
-               options_.horizon) {
-      --cycles;
-    }
-    if (cycles > 0) fast_forward(cycles);
-    // Any tail shorter than a cycle simulates normally; further
-    // fingerprints could never pay off.
-    disarm_cycle_detection();
-    return;
-  }
-  prev_fingerprint_ = std::move(current);
-  cycle_has_prev_ = true;
-  prev_counters_ = snapshot_counters();
-  cycle_segments_.clear();
-  cycle_jobs_.clear();
-  cycle_recording_ = true;
-  next_boundary_ += cycle_length_;
-}
-
-void Simulation::fast_forward(std::int64_t cycles) {
-  LPFPS_CHECK(cycles > 0 && cycle_recording_);
-  // Replay the template through the *identical* accumulator calls the
-  // simulation would have made, once per skipped cycle, so every float
-  // total follows the same addition sequence (and the trace coalescer
-  // sees the same segment stream) as the full run.  Durations come from
-  // the template verbatim — shift-invariant TimePoint arithmetic makes
-  // the full simulation's own cycle-j durations bit-identical to them —
-  // and absolute trace times re-materialize from (base + j*H, offset)
-  // with the exact single rounding the full run would apply.
-  for (std::int64_t j = 1; j <= cycles; ++j) {
-    const Time offset = static_cast<Time>(j) * cycle_length_;
-    for (const CycleSegment& cs : cycle_segments_) {
-      const Time dt = cs.dt;
-      const Ratio rb = cs.ratio_begin;
-      const Ratio re = cs.ratio_end;
-      // The template caches the exact energy each accumulation charged,
-      // so the replay is pure addition — no power-model evaluation.
-      accumulator_.charge_replay(cs.mode, dt, cs.energy);
-      if (cs.mode == sim::ProcessorMode::kRunning) {
-        auto& slot = per_task_[static_cast<std::size_t>(cs.task)];
-        slot.time += dt;
-        slot.energy += cs.energy;
-        running_ratio_integral_ += (rb + re) / 2.0 * dt;
-        running_time_ += dt;
-      }
-      if (options_.record_trace) {
-        sim::Segment segment;
-        segment.begin = (cs.begin.base + offset) + cs.begin.offset;
-        segment.end = (cs.end.base + offset) + cs.end.offset;
-        segment.mode = cs.mode;
-        segment.task = cs.task;
-        segment.ratio_begin = rb;
-        segment.ratio_end = re;
-        trace_.add_segment(segment);
-      }
-    }
-    if (options_.record_trace) {
-      for (const CycleJob& cj : cycle_jobs_) {
-        sim::JobRecord record = cj.record;
-        record.instance +=
-            j * jobs_per_cycle_[static_cast<std::size_t>(record.task)];
-        record.release += offset;
-        record.absolute_deadline += offset;
-        record.completion =
-            (cj.completion.base + offset) + cj.completion.offset;
-        trace_.add_job(record);
-      }
-    }
-  }
-
-  // Integer statistics advance by exact per-cycle deltas.  High-water
-  // marks need nothing: a repeated cycle sets no new maximum.
-  const CounterSnapshot delta = snapshot_counters();
-  jobs_completed_ +=
-      static_cast<int>(cycles * (delta.jobs_completed -
-                                 prev_counters_.jobs_completed));
-  deadline_misses_ +=
-      static_cast<int>(cycles * (delta.deadline_misses -
-                                 prev_counters_.deadline_misses));
-  context_switches_ +=
-      static_cast<int>(cycles * (delta.context_switches -
-                                 prev_counters_.context_switches));
-  scheduler_invocations_ +=
-      static_cast<int>(cycles * (delta.scheduler_invocations -
-                                 prev_counters_.scheduler_invocations));
-  speed_changes_ += static_cast<int>(
-      cycles * (delta.speed_changes - prev_counters_.speed_changes));
-  power_downs_ += static_cast<int>(
-      cycles * (delta.power_downs - prev_counters_.power_downs));
-  dvs_slowdowns_ += static_cast<int>(
-      cycles * (delta.dvs_slowdowns - prev_counters_.dvs_slowdowns));
-
-  // Shift every pending anchor so the state at now_ reappears, verbatim,
-  // at now_ + cycles * H.  Anchors are exact integers (or infinity), so
-  // the additions are exact and every offset survives untouched.  Stale
-  // JobState entries of delay-queue tasks shift too — harmless,
-  // start_job rewrites them before any read.
-  const Time shift = static_cast<Time>(cycles) * cycle_length_;
-  delay_queue_.shift_release_times(shift);
-  for (StagedJob& staged : staged_) staged.ready.base += shift;
-  for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    jobs_[i].release += shift;
-    jobs_[i].window_release += shift;
-    jobs_[i].instance += cycles * jobs_per_cycle_[i];
-    next_instance_[i] += cycles * jobs_per_cycle_[i];
-  }
-  wake_at_.base += shift;
-  wake_end_.base += shift;
-  shutdown_at_.base += shift;
-  plan_rampup_start_.base += shift;
-  plan_end_.base += shift;
-  now_.base += shift;
-
-  cycles_detected_ += cycles;
-  fast_forwarded_time_ += shift;
-}
-
-double Simulation::slope() const {
-  if (ratio_ < ramp_target_) return effective_ramp_rate_;
-  if (ratio_ > ramp_target_) return -effective_ramp_rate_;
-  return 0.0;
-}
-
-void Simulation::advance_to(const TimePoint& next) {
-  const Time dt = span(now_, next);
-  LPFPS_CHECK(dt >= -kTimeEpsilon);
-  if (dt <= 0.0) {
-    now_ = next;
-    return;
-  }
-
-  const double s = slope();
-  Ratio end_ratio = ratio_ + s * dt;
-  // Clamp onto the target to kill rounding drift at ramp boundaries.
-  if ((s > 0.0 && end_ratio > ramp_target_) ||
-      (s < 0.0 && end_ratio < ramp_target_) ||
-      approx_equal(end_ratio, ramp_target_, 1e-9)) {
-    end_ratio = ramp_target_;
-  }
-
-  sim::Segment segment;
-  segment.begin = now_.absolute();
-  segment.end = next.absolute();
-  segment.ratio_begin = ratio_;
-  segment.ratio_end = end_ratio;
-
-  // The energy each branch charges into the accumulator; recorded into
-  // the cycle template so the replay can re-add the identical value
-  // without re-evaluating the power model.
-  Energy charged = 0.0;
-  switch (state_) {
-    case CpuState::kRunning: {
-      LPFPS_CHECK(active_ != kNoTask);
-      const Work done = power::work_done(ratio_, s, dt);
-      job(active_).executed += done;
-      if (detection_enabled_) job(active_).budget_used += done;
-      Energy spent = 0.0;
-      if (s == 0.0) {
-        accumulator_.add_run(dt, ratio_);
-        spent = dt * power_model_.run_power(ratio_);
-      } else {
-        accumulator_.add_run_ramp(dt, ratio_, end_ratio,
-                                  effective_ramp_rate_);
-        spent = power_model_.ramp_energy(ratio_, end_ratio,
-                                         effective_ramp_rate_, true);
-      }
-      charged = spent;
-      auto& slot = per_task_[static_cast<std::size_t>(active_)];
-      slot.time += dt;
-      slot.energy += spent;
-      running_ratio_integral_ += (ratio_ + end_ratio) / 2.0 * dt;
-      running_time_ += dt;
-      segment.mode = sim::ProcessorMode::kRunning;
-      segment.task = active_;
-      break;
-    }
-    case CpuState::kIdle: {
-      if (s == 0.0) {
-        accumulator_.add_idle_nop(dt, ratio_);
-        if (cycle_recording_) {
-          charged = dt * power_model_.idle_nop_power(ratio_);
-        }
-        segment.mode = sim::ProcessorMode::kIdleBusyWait;
-      } else {
-        accumulator_.add_idle_ramp(dt, ratio_, end_ratio,
-                                   effective_ramp_rate_);
-        if (cycle_recording_) {
-          charged = power_model_.ramp_energy(ratio_, end_ratio,
-                                             effective_ramp_rate_, false);
-        }
-        segment.mode = sim::ProcessorMode::kRamping;
-      }
-      break;
-    }
-    case CpuState::kPowerDown: {
-      LPFPS_CHECK(s == 0.0);
-      accumulator_.add_power_down(dt, sleep_power_fraction_);
-      charged = dt * sleep_power_fraction_;
-      segment.mode = sim::ProcessorMode::kPowerDown;
-      break;
-    }
-    case CpuState::kWakeUp: {
-      LPFPS_CHECK(s == 0.0);
-      accumulator_.add_wakeup(dt);
-      charged = dt * 1.0;
-      segment.mode = sim::ProcessorMode::kWakeUp;
-      break;
-    }
-  }
-
-  if (cycle_recording_) {
-    // Template for the steady-state replay: one entry per accumulation,
-    // including sub-epsilon slivers the trace writer drops (their energy
-    // still counts, so the replay must redo them).
-    cycle_segments_.push_back({now_, next, dt, charged, segment.mode,
-                               segment.task, segment.ratio_begin,
-                               segment.ratio_end});
-  }
-  if (options_.record_trace) trace_.add_segment(segment);
-  ratio_ = end_ratio;
-  now_ = next;
-}
-
-SimulationResult Simulation::run() {
-  LPFPS_CHECK(options_.horizon > 0.0);
-  LPFPS_CHECK(options_.context_switch_cost >= 0.0);
-  LPFPS_CHECK_MSG(options_.release_jitter.empty() ||
-                      options_.release_jitter.size() == tasks_.size(),
-                  "release_jitter must have one entry per task");
-  for (const Time j : options_.release_jitter) LPFPS_CHECK(j >= 0.0);
-  LPFPS_CHECK(options_.timer_granularity >= 0.0);
-  options_.faults.validate(tasks_.size());
-  options_.containment.validate();
-  tasks_.validate();
-  processor_.validate();
-  policy_.validate();
-
-  base_ratio_ = policy_.static_ratio;
-  ratio_ = base_ratio_;
-  ramp_target_ = base_ratio_;
-
-  if (options_.record_trace) {
-    // Reserve from the release pattern over the horizon (the horizon is
-    // normally a whole number of hyperperiods): one job record per
-    // released instance, and a few segments per job (run pieces split by
-    // preemptions plus idle/ramp/power-down gaps between them).
-    std::size_t job_hint = 0;
-    for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks_.size()); ++i) {
-      job_hint += static_cast<std::size_t>(
-                      options_.horizon / static_cast<Time>(task(i).period)) +
-                  1;
-    }
-    trace_.reserve(4 * job_hint + 16, job_hint);
-  }
-
-  for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks_.size()); ++i) {
-    delay_queue_.insert({i, static_cast<Time>(task(i).phase)});
-  }
-  setup_cycle_detection();
-  invoke_scheduler();
-
-  const TimePoint horizon = at(options_.horizon);
-  // Livelock detector: the loop must advance time (or change state so a
-  // handler clears its condition) every iteration; a stuck boundary
-  // would otherwise spin forever.  The threshold is far above any
-  // legitimate same-instant handler cascade.
-  TimePoint last_now{-1.0, 0.0};
-  int stalled_iterations = 0;
-  while (tp_definitely_less(now_, horizon)) {
-    if (cycle_armed_) {
-      const Time now_abs = now_.absolute();
-      if (now_abs == next_boundary_) {
-        // The clock landed exactly on a hyperperiod boundary (phase-0
-        // task sets release every task there, so the loop always stops
-        // at it) and the boundary's handlers have run: a canonical
-        // sampling point.  on_cycle_boundary may fast-forward now_ to
-        // the last whole cycle before the horizon; re-test the loop
-        // condition before doing anything at the new instant.
-        on_cycle_boundary();
-        continue;
-      }
-      if (now_abs > next_boundary_) {
-        // Overshot (phased releases leave no event on the boundary):
-        // resync to the next multiple and restart the match hunt.
-        while (next_boundary_ <= now_abs) next_boundary_ += cycle_length_;
-        cycle_has_prev_ = false;
-        cycle_recording_ = false;
-        cycle_segments_.clear();
-        cycle_jobs_.clear();
-      }
-    }
-    if (now_.base == last_now.base && now_.offset == last_now.offset) {
-      if (++stalled_iterations > 1000) {
-        throw std::logic_error(
-            "engine livelock at t=" + std::to_string(now_.absolute()) +
-            " state=" + std::to_string(static_cast<int>(state_)) +
-            " ratio=" + std::to_string(ratio_) + " target=" +
-            std::to_string(ramp_target_) + " active=" +
-            std::to_string(active_) + " plan=" +
-            std::to_string(plan_active_) + " policy=" + policy_.name);
-      }
-    } else {
-      stalled_iterations = 0;
-      last_now = now_;
-    }
-    // ---- settle sub-resolution transitions before anything else.
-    if (ratio_ != ramp_target_ &&
-        power::ramp_duration(ratio_, ramp_target_, effective_ramp_rate_) <
-            kTimeEpsilon) {
-      // The residual transition is below the time resolution (either
-      // float debris from a split ramp, or a near-instant ramp rate):
-      // completing it now costs nothing measurable and prevents a
-      // sub-ulp boundary that time arithmetic could never reach.
-      ratio_ = ramp_target_;
-    }
-    if (ratio_ == ramp_target_ && reinvoke_after_ramp_) {
-      // L1-L4's deferred re-entry must run *before* time advances past
-      // this instant, or the power-management decision it defers (e.g.
-      // entering power-down) would be skipped for the whole idle gap.
-      reinvoke_after_ramp_ = false;
-      invoke_scheduler();
-    }
-
-    // ---- gather candidate boundaries (all strictly in the future or
-    // due exactly now; handlers below clear every condition they fire
-    // on, so the loop always progresses).
-    TimePoint next_other = horizon;
-    // Injected faults can break the fault-free invariant that the clock
-    // is back at base speed (and the CPU awake) before any release is
-    // due: a slow ramp regulator or a safe-mode redirect leaves the
-    // L1-L4 ramp-up in flight across a release, and a late wake timer
-    // leaves the CPU asleep through one.  The scheduler defers those
-    // releases (reinvoke_after_ramp_ / the wake handler serves them),
-    // so they must not pin the loop at the current instant — nor may an
-    // already-overslept release become a candidate in the past.
-    const bool ramp_locked = reinvoke_after_ramp_ && ratio_ != ramp_target_;
-    const bool releases_blocked =
-        faults_injected_ &&
-        (ramp_locked || state_ == CpuState::kPowerDown ||
-         state_ == CpuState::kWakeUp);
-    if (const auto release = delay_queue_.next_release();
-        release.has_value() && !releases_blocked) {
-      const TimePoint candidate = at(*release);
-      if (tp_less(candidate, next_other)) next_other = candidate;
-    }
-    if (ratio_ != ramp_target_) {
-      const TimePoint candidate =
-          after(now_, power::ramp_duration(ratio_, ramp_target_,
-                                           effective_ramp_rate_));
-      if (tp_less(candidate, next_other)) next_other = candidate;
-    }
-    if (plan_active_ && !plan_up_started_ &&
-        tp_less(plan_rampup_start_, next_other)) {
-      next_other = plan_rampup_start_;
-    }
-    if (state_ == CpuState::kPowerDown && tp_less(wake_at_, next_other)) {
-      next_other = wake_at_;
-    }
-    if (state_ == CpuState::kWakeUp && tp_less(wake_end_, next_other)) {
-      next_other = wake_end_;
-    }
-    if (state_ == CpuState::kIdle && shutdown_at_.base != kNever &&
-        tp_less(shutdown_at_, next_other)) {
-      next_other = shutdown_at_;
-    }
-    if (!(faults_injected_ && ramp_locked)) {
-      for (const StagedJob& staged : staged_) {
-        if (tp_less(staged.ready, next_other)) next_other = staged.ready;
-      }
-    }
-    LPFPS_CHECK(tp_approx_ge(next_other, now_));
-    if (tp_less(next_other, now_)) next_other = now_;
-
-    // ---- completion of the active task, if it lands first; under
-    // detection, budget exhaustion competes on the same work clock.
-    bool completes = false;
-    bool budget_exhausts = false;
-    TimePoint next = next_other;
-    if (state_ == CpuState::kRunning) {
-      const JobState& state = job(active_);
-      const Work remaining =
-          snap_nonnegative(state.total_work - state.executed);
-      const auto tau = power::time_to_complete(
-          ratio_, slope(), span(now_, next_other), remaining);
-      if (tau.has_value()) {
-        next = after(now_, *tau);
-        completes = true;
-      }
-      if (detection_enabled_ && !state.over_budget) {
-        const Work budget_left = snap_nonnegative(
-            (task(active_).wcet + state.overhead) - state.budget_used);
-        const Time budget_window = span(now_, next);
-        const auto tau_budget = power::time_to_complete(
-            ratio_, slope(), budget_window, budget_left);
-        // The completion wins ties and sub-epsilon photo finishes: a
-        // job finishing at its exact budget is in contract, and
-        // time_to_complete clips near-boundary crossings onto the
-        // window end (so an in-contract job's budget crossing can land
-        // one ulp *before* its own completion).  Without a completion
-        // in sight any in-window crossing is an overrun, including one
-        // tying the window end exactly (a kill coinciding with a
-        // release must fire before the released job runs); that is
-        // safe for containment-without-faults bit-identity because an
-        // in-contract job's crossing never precedes its completion, so
-        // completes=false implies the true crossing also lies beyond
-        // the window.
-        const bool exhausts_first =
-            tau_budget.has_value() &&
-            (completes ? definitely_less(*tau_budget, *tau) : true);
-        if (exhausts_first) {
-          next = after(now_, *tau_budget);
-          completes = false;
-          budget_exhausts = true;
-        }
-      }
-    }
-
-    advance_to(next);
-
-    // ---- fire handlers for every condition now due.
-    bool need_scheduler = false;
-
-    if (ratio_ == ramp_target_ && reinvoke_after_ramp_) {
-      reinvoke_after_ramp_ = false;
-      need_scheduler = true;  // L1-L4's deferred re-entry.
-    }
-    if (budget_exhausts) {
-      on_budget_exhausted();
-      need_scheduler = true;
-    }
-    if (completes) {
-      finish_active_job();
-      need_scheduler = true;
-    }
-    if (plan_active_ && !plan_up_started_ &&
-        tp_approx_le(plan_rampup_start_, now_)) {
-      plan_up_started_ = true;
-      if (ramp_target_ != base_ratio_) {
-        ramp_target_ = base_ratio_;
-        ++speed_changes_;
-      }
-    }
-    if (ramp_fault_armed_ && plan_active_ && plan_up_started_ &&
-        ratio_ == base_ratio_ && ratio_ == ramp_target_) {
-      // The plan's return ramp has (finally) reached base speed.  Under
-      // a DVS ramp fault the physical slope is shallower than the spec
-      // rho the just-in-time plan was computed with, so the clock can
-      // still be below base at plan_end_ — the observable anomaly.
-      if (tp_definitely_greater(now_, plan_end_)) {
-        ++ramp_faults_detected_;
-        enter_safe_mode();
-      }
-      plan_active_ = false;
-      plan_up_started_ = false;
-      plan_rampup_start_ = kNeverPoint;
-      plan_end_ = kNeverPoint;
-    }
-    if (state_ == CpuState::kPowerDown && tp_approx_le(wake_at_, now_)) {
-      if (detection_enabled_ &&
-          span(wake_programmed_, now_) > kTimeEpsilon) {
-        // The timer fired measurably after its programmed instant; the
-        // gap the power-down was sized for is already compromised.
-        ++late_wakeups_detected_;
-        enter_safe_mode();
-      }
-      wake_programmed_ = kNeverPoint;
-      wake_at_ = kNeverPoint;
-      const Time delay = sleep_wake_latency_;
-      if (delay > 0.0) {
-        state_ = CpuState::kWakeUp;
-        wake_end_ = after(now_, delay);
-      } else {
-        state_ = CpuState::kIdle;
-        need_scheduler = true;
-      }
-    } else if (state_ == CpuState::kWakeUp &&
-               tp_approx_le(wake_end_, now_)) {
-      wake_end_ = kNeverPoint;
-      state_ = CpuState::kIdle;
-      need_scheduler = true;
-    }
-    if (state_ == CpuState::kIdle && shutdown_at_.base != kNever &&
-        tp_approx_le(shutdown_at_, now_)) {
-      shutdown_at_ = kNeverPoint;
-      enter_power_down();
-    }
-    if ((state_ == CpuState::kIdle || state_ == CpuState::kRunning) &&
-        !delay_queue_.empty() &&
-        tp_approx_le(at(delay_queue_.head().release_time), now_)) {
-      need_scheduler = true;
-    }
-    for (const StagedJob& staged : staged_) {
-      if ((state_ == CpuState::kIdle || state_ == CpuState::kRunning) &&
-          tp_approx_le(staged.ready, now_)) {
-        need_scheduler = true;
-        break;
-      }
-    }
-
-    if (need_scheduler) invoke_scheduler();
-  }
-
-  // ---- assemble the result.  (The tolerance scales with the horizon:
-  // long fast-forwardable runs accumulate ulp-level dt rounding across
-  // millions of segment additions, exactly like a full simulation of
-  // the same span would.)
-  LPFPS_CHECK_MSG(
-      approx_equal(accumulator_.total_time(), options_.horizon,
-                   std::max(1e-3, 1e-9 * options_.horizon)),
-      "unaccounted simulation time");
-
-  SimulationResult result;
-  result.policy_name = policy_.name;
-  result.simulated_time = options_.horizon;
-  result.total_energy = accumulator_.total_energy();
-  result.average_power = result.total_energy / options_.horizon;
-  for (std::size_t i = 0; i < result.by_mode.size(); ++i) {
-    result.by_mode[i] =
-        accumulator_.totals(static_cast<sim::ProcessorMode>(i));
-  }
-  result.jobs_completed = jobs_completed_;
-  result.deadline_misses = deadline_misses_;
-  result.context_switches = context_switches_;
-  result.scheduler_invocations = scheduler_invocations_;
-  result.speed_changes = speed_changes_;
-  result.power_downs = power_downs_;
-  result.dvs_slowdowns = dvs_slowdowns_;
-  result.run_queue_high_water = run_queue_high_water_;
-  result.delay_queue_high_water = delay_queue_high_water_;
-  result.mean_running_ratio =
-      running_time_ > 0.0 ? running_ratio_integral_ / running_time_ : 1.0;
-  result.overruns_detected = overruns_detected_;
-  result.ramp_faults_detected = ramp_faults_detected_;
-  result.late_wakeups_detected = late_wakeups_detected_;
-  result.jobs_killed = jobs_killed_;
-  result.jobs_throttled = jobs_throttled_;
-  result.jobs_skipped = jobs_skipped_;
-  result.safe_mode_entries = safe_mode_entries_;
-  result.cycles_detected = cycles_detected_;
-  result.fast_forwarded_time = fast_forwarded_time_;
-  result.fingerprint_checks = fingerprint_checks_;
-  result.fingerprint_seconds = fingerprint_seconds_;
-  result.per_task = per_task_;
-  if (options_.record_trace) {
-    trace_.check_invariants();
-    result.trace = std::move(trace_);
-  }
-  return result;
-}
-
-}  // namespace
+// The engine main loop lives in core::SimState (sim_state.cc): the loop
+// was opened up into begin/step/finish so the fleet engine can
+// interleave many simulations, and Engine::run delegates to the very
+// same code — one implementation, two drivers, bit-identical results.
 
 Engine::Engine(sched::TaskSet tasks, power::ProcessorConfig processor,
                SchedulerPolicy policy, exec::ExecModelPtr exec_model)
@@ -1566,7 +25,7 @@ Engine::Engine(sched::TaskSet tasks, power::ProcessorConfig processor,
 }
 
 SimulationResult Engine::run(const EngineOptions& options) const {
-  Simulation simulation(tasks_, processor_, policy_, exec_model_, options);
+  SimState simulation(tasks_, processor_, policy_, exec_model_, options);
   return simulation.run();
 }
 

@@ -1,0 +1,238 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "core/sim_state.h"
+
+namespace lpfps::fleet {
+
+namespace {
+
+/// Error text for an exception_ptr, matching run_batch_isolated's
+/// wording so fleet and runner outcomes read identically.
+std::string describe(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    std::string text = e.what();
+    return text.empty() ? "exception" : text;
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
+
+bool enabled() {
+  const char* value = std::getenv("LPFPS_FLEET");
+  if (value == nullptr) return false;
+  return std::strcmp(value, "") != 0 && std::strcmp(value, "0") != 0 &&
+         std::strcmp(value, "off") != 0 && std::strcmp(value, "false") != 0;
+}
+
+FleetEngine::FleetEngine(FleetOptions options) : options_(options) {}
+
+FleetEngine::~FleetEngine() = default;
+
+std::size_t FleetEngine::add(SimSpec spec) {
+  specs_.push_back(std::move(spec));
+  const SimSpec& stored = specs_.back();
+  std::int64_t hyper = 0;
+  std::exception_ptr error;
+  try {
+    const core::SimState::SpecPrep prep =
+        core::SimState::prepare(stored.tasks, stored.processor, stored.policy,
+                                stored.exec_model, stored.options);
+    hyper = prep.cycle_eligible ? prep.hyperperiod : 0;
+  } catch (...) {
+    error = std::current_exception();
+  }
+  prep_hyperperiod_.push_back(hyper);
+  prep_errors_.push_back(std::move(error));
+  prep_rng_.push_back(Rng::warmed_engine(stored.options.seed));
+  return specs_.size() - 1;
+}
+
+void FleetEngine::run_batch_serial(std::size_t first, std::size_t last) {
+  // The unbatched reference: exactly the call today's sweep loops make
+  // per simulation, fixed setup cost (Engine copies, fresh buffers)
+  // included.  This is what batch width 1 measures against.
+  for (std::size_t i = first; i < last; ++i) {
+    const SimSpec& spec = specs_[i];
+    try {
+      core::SimulationResult result =
+          core::simulate(spec.tasks, spec.processor, spec.policy,
+                         spec.exec_model, spec.options);
+      stats_.events += result.scheduler_invocations;
+      outcomes_[i].result.emplace(std::move(result));
+    } catch (...) {
+      errors_[i] = std::current_exception();
+      outcomes_[i].error = describe(errors_[i]);
+    }
+  }
+}
+
+void FleetEngine::run_batch_lockstep(std::size_t first, std::size_t last) {
+  const std::size_t width = last - first;
+
+  // Bind the batch onto the lane pool: construct lanes on first use,
+  // rebind (buffer-reusing reset) thereafter, and refresh the SoA
+  // mirrors from each lane's post-begin state.
+  if (lanes_.size() < width) lanes_.resize(width);
+  lane_clock_.assign(width, 0.0);
+  lane_done_.assign(width, 0);
+  lane_mode_.assign(width, 0);
+  lane_ratio_.assign(width, 1.0);
+  lane_energy_.assign(width, 0.0);
+  lane_events_.assign(width, 0);
+
+  Time min_horizon = std::numeric_limits<Time>::infinity();
+  for (std::size_t i = 0; i < width; ++i) {
+    const SimSpec& spec = specs_[first + i];
+    min_horizon = std::min(min_horizon, spec.options.horizon);
+    if (prep_errors_[first + i]) {
+      // The spec failed validation at add() time; begin() would throw
+      // the identical error, so report it without binding a lane.
+      errors_[first + i] = prep_errors_[first + i];
+      outcomes_[first + i].error = describe(errors_[first + i]);
+      lane_done_[i] = 1;
+      continue;
+    }
+    core::SimState::SpecPrep prep;
+    prep.hyperperiod = prep_hyperperiod_[first + i];
+    prep.cycle_eligible = prep.hyperperiod != 0;
+    try {
+      if (lanes_[i] == nullptr) {
+        lanes_[i] = std::make_unique<core::SimState>(
+            spec.tasks, spec.processor, spec.policy, spec.exec_model,
+            spec.options, &prep_rng_[first + i]);
+        ++stats_.lane_constructions;
+      } else {
+        lanes_[i]->reset(spec.tasks, spec.processor, spec.policy,
+                         spec.exec_model, spec.options,
+                         &prep_rng_[first + i]);
+        ++stats_.lane_rebinds;
+      }
+      lanes_[i]->begin(&prep);
+      lane_clock_[i] = lanes_[i]->clock();
+      lane_mode_[i] = static_cast<std::uint8_t>(lanes_[i]->mode_now());
+      lane_ratio_[i] = lanes_[i]->ratio_now();
+      lane_energy_[i] = lanes_[i]->energy_now();
+      lane_events_[i] = lanes_[i]->invocations();
+    } catch (...) {
+      errors_[first + i] = std::current_exception();
+      outcomes_[first + i].error = describe(errors_[first + i]);
+      lane_done_[i] = 1;
+    }
+  }
+
+  // Window length for each lockstep round (see FleetOptions::stride).
+  Time stride = options_.stride;
+  if (!(stride > 0.0)) stride = std::max(min_horizon / 16.0, 1.0);
+
+  // Lockstep advance: reduce for the frontier (the earliest lane
+  // clock), then advance every lane inside [frontier, frontier+stride]
+  // past the window.  Lanes are independent, so this interleaving
+  // cannot change any per-lane value — it only keeps the working set
+  // of concurrently-hot lanes bounded and the reduction O(width).
+  while (true) {
+    Time frontier = std::numeric_limits<Time>::infinity();
+    for (std::size_t i = 0; i < width; ++i) {
+      if (!lane_done_[i] && lane_clock_[i] < frontier) {
+        frontier = lane_clock_[i];
+      }
+    }
+    if (frontier == std::numeric_limits<Time>::infinity()) break;
+    ++stats_.rounds;
+    const Time limit = frontier + stride;
+
+    for (std::size_t i = 0; i < width; ++i) {
+      if (lane_done_[i] || lane_clock_[i] > limit) continue;
+      core::SimState& lane = *lanes_[i];
+      try {
+        while (!lane.finished() && lane.clock() <= limit) {
+          lane.step();
+          ++stats_.steps;
+        }
+        if (lane.finished()) {
+          core::SimulationResult result = lane.finish();
+          stats_.events += result.scheduler_invocations;
+          outcomes_[first + i].result.emplace(std::move(result));
+          lane_done_[i] = 1;
+        }
+        lane_clock_[i] = lane.clock();
+        lane_mode_[i] = static_cast<std::uint8_t>(lane.mode_now());
+        lane_ratio_[i] = lane.ratio_now();
+        lane_energy_[i] = lane.energy_now();
+        lane_events_[i] = lane.invocations();
+      } catch (...) {
+        // The lane's sim threw (deadline miss, livelock guard, ...):
+        // capture and retire the lane.  Its SimState is left mid-run —
+        // harmless, the next batch reset()s it from scratch.
+        errors_[first + i] = std::current_exception();
+        outcomes_[first + i].error = describe(errors_[first + i]);
+        lane_done_[i] = 1;
+      }
+    }
+  }
+}
+
+std::vector<runner::JobOutcome<core::SimulationResult>>
+FleetEngine::run_outcomes() {
+  stats_ = FleetStats{};
+  stats_.sims = specs_.size();
+  outcomes_.clear();
+  outcomes_.resize(specs_.size());
+  errors_.assign(specs_.size(), nullptr);
+
+  const std::size_t width = std::max<std::size_t>(options_.batch_width, 1);
+  for (std::size_t first = 0; first < specs_.size(); first += width) {
+    const std::size_t last = std::min(specs_.size(), first + width);
+    ++stats_.batches;
+    if (width <= 1) {
+      run_batch_serial(first, last);
+    } else {
+      run_batch_lockstep(first, last);
+    }
+  }
+  return std::move(outcomes_);
+}
+
+std::vector<core::SimulationResult> FleetEngine::run_all() {
+  std::vector<runner::JobOutcome<core::SimulationResult>> outcomes =
+      run_outcomes();
+  // run_batch semantics: surface the lowest-index failure, preserving
+  // the original exception type.
+  for (const std::exception_ptr& error : errors_) {
+    if (error) std::rethrow_exception(error);
+  }
+  std::vector<core::SimulationResult> results;
+  results.reserve(outcomes.size());
+  for (runner::JobOutcome<core::SimulationResult>& outcome : outcomes) {
+    LPFPS_CHECK(outcome.ok());
+    results.push_back(std::move(*outcome.result));
+  }
+  return results;
+}
+
+std::vector<core::SimulationResult> run_fleet(std::vector<SimSpec> specs,
+                                              const FleetOptions& options) {
+  FleetEngine engine(options);
+  for (SimSpec& spec : specs) engine.add(std::move(spec));
+  return engine.run_all();
+}
+
+std::vector<runner::JobOutcome<core::SimulationResult>> run_fleet_isolated(
+    std::vector<SimSpec> specs, const FleetOptions& options) {
+  FleetEngine engine(options);
+  for (SimSpec& spec : specs) engine.add(std::move(spec));
+  return engine.run_outcomes();
+}
+
+}  // namespace lpfps::fleet
