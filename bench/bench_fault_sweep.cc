@@ -101,9 +101,10 @@ int main() {
     std::uint64_t seed;
   };
   std::vector<Job> jobs;
+  const Time horizon_cap = 1e6 * io::horizon_scale();
   for (const workloads::Workload& w : workloads::paper_workloads()) {
     const sched::TaskSet tasks = w.tasks.with_bcet_ratio(kBcetRatio);
-    const Time horizon = std::min(w.horizon, 1e6);
+    const Time horizon = std::min(w.horizon, horizon_cap);
     for (const double m : magnitudes) {
       const bool feasible = fps_faulted_schedulable(w.tasks, m);
       for (std::size_t c = 0; c < configs.size(); ++c) {
@@ -161,7 +162,7 @@ int main() {
       .set("base_seed", kBaseSeed)
       .set("overrun_probability", kProbability)
       .set("bcet_ratio", kBcetRatio)
-      .set("horizon_cap_us", 1e6);
+      .set("horizon_cap_us", horizon_cap);
 
   // Index of the fault-free (m = 0) twin of each point, for the energy
   // overhead column: jobs are emitted magnitude-major per workload with

@@ -40,7 +40,7 @@ int main() {
   const auto exec = std::make_shared<exec::ClampedGaussianModel>();
   const int sets_per_point = 20;
   const std::uint64_t kBaseSeed = 2024;
-  const Time horizon = 2e6;
+  const Time horizon = 2e6 * io::horizon_scale();
   const std::vector<double> utilizations = {0.1, 0.2, 0.3, 0.4, 0.5,
                                             0.6, 0.7, 0.8, 0.9};
 

@@ -1,12 +1,21 @@
 #!/usr/bin/env python3
-"""Fail when kernel throughput regresses against the checked-in baseline.
+"""Fail when a benchmark regresses against its checked-in baseline.
 
-Compares the events/sec of every point in a fresh BENCH_kernel_throughput.json
-against bench/baseline_kernel_throughput.json, keyed by (section, name,
-policy).  A point is a regression when it runs at less than (1 - tolerance)
-of its baseline throughput; the default tolerance of 25% absorbs
-runner-to-runner hardware variance (see docs/PERFORMANCE.md for the
-rationale and for how to refresh the baseline after an intentional change).
+Compares every point in a fresh BENCH_*.json against its baseline
+(bench/baseline_kernel_throughput.json, bench/baseline_admission.json),
+keyed by (section, name, policy).  Two gated quantities per point:
+
+  events_per_sec   higher is better; a point regresses when it runs at
+                   less than (1 - tolerance) of its baseline rate.
+  latency_p99_us   lower is better; gated only when BOTH files carry the
+                   field for the point (kernel points don't — the check
+                   stays backward compatible).  A point regresses when
+                   its p99 grows past (1 + latency-tolerance) of
+                   baseline.
+
+The default tolerances of 25% absorb runner-to-runner hardware variance
+(see docs/PERFORMANCE.md for the rationale and for how to refresh a
+baseline after an intentional change).
 
 A section listed via --require-section must contribute at least one
 point to BOTH files; otherwise the check fails.  This keeps a bench
@@ -14,7 +23,7 @@ section honest: if it silently stops emitting points (or the baseline
 was refreshed without it), the gate trips instead of shrinking.
 
 Usage: check_perf_regression.py CURRENT BASELINE [--tolerance 0.25]
-           [--require-section NAME]...
+           [--latency-tolerance 0.25] [--require-section NAME]...
 """
 
 import argparse
@@ -23,8 +32,9 @@ import sys
 
 
 def load_points(path):
-    """Maps (section, name, policy) -> events/sec, with errors that name
-    the offending file and key instead of a bare KeyError traceback."""
+    """Maps (section, name, policy) -> {eps, p99}, with errors that name
+    the offending file and key instead of a bare KeyError traceback.
+    p99 is None for points without a latency_p99_us field."""
     with open(path) as fh:
         try:
             record = json.load(fh)
@@ -41,7 +51,9 @@ def load_points(path):
             sys.exit(f"error: {path}: points[{index}] lacks "
                      f"{', '.join(missing)}")
         key = (point["section"], point["name"], point["policy"])
-        points[key] = float(point["events_per_sec"])
+        p99 = point.get("latency_p99_us")
+        points[key] = {"eps": float(point["events_per_sec"]),
+                       "p99": float(p99) if p99 is not None else None}
     return points
 
 
@@ -51,6 +63,9 @@ def main():
     parser.add_argument("baseline", help="checked-in baseline JSON")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--latency-tolerance", type=float, default=0.25,
+                        help="allowed fractional p99 latency growth "
+                             "(default 0.25)")
     parser.add_argument("--require-section", action="append", default=[],
                         metavar="NAME",
                         help="fail unless this section has points in both "
@@ -67,24 +82,38 @@ def main():
             if not any(key[0] == section for key in points):
                 failures.append(f"required section '{section}' has no "
                                 f"points in {role} file {path}")
-    for key, base_eps in sorted(baseline.items()):
+    for key, base in sorted(baseline.items()):
         label = "/".join(key)
-        cur_eps = current.get(key)
-        if cur_eps is None:
+        cur = current.get(key)
+        if cur is None:
             failures.append(f"{label}: missing from current run")
             continue
+        base_eps, cur_eps = base["eps"], cur["eps"]
         floor = base_eps * (1.0 - args.tolerance)
         ratio = cur_eps / base_eps if base_eps > 0 else float("inf")
-        status = "FAIL" if cur_eps < floor else "ok"
+        slow = cur_eps < floor
+        p99_note = ""
+        lagging = False
+        if base["p99"] is not None and cur["p99"] is not None:
+            ceiling = base["p99"] * (1.0 + args.latency_tolerance)
+            lagging = cur["p99"] > ceiling
+            p99_note = (f", p99 {cur['p99']:.1f}us vs "
+                        f"{base['p99']:.1f}us")
+            if lagging:
+                failures.append(
+                    f"{label}: p99 {cur['p99']:.1f}us > {ceiling:.1f}us "
+                    f"(baseline {base['p99']:.1f}us + "
+                    f"{args.latency_tolerance:.0%})")
+        status = "FAIL" if (slow or lagging) else "ok"
         print(f"{status:4} {label:60} {cur_eps:14.0f} ev/s "
-              f"(baseline {base_eps:14.0f}, x{ratio:.2f})")
-        if cur_eps < floor:
+              f"(baseline {base_eps:14.0f}, x{ratio:.2f}{p99_note})")
+        if slow:
             failures.append(
                 f"{label}: {cur_eps:.0f} ev/s < {floor:.0f} "
                 f"(baseline {base_eps:.0f} - {args.tolerance:.0%})")
 
     for key in sorted(set(current) - set(baseline)):
-        print(f"new  {'/'.join(key):60} {current[key]:14.0f} ev/s "
+        print(f"new  {'/'.join(key):60} {current[key]['eps']:14.0f} ev/s "
               "(not in baseline)")
 
     if failures:

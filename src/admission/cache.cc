@@ -1,0 +1,55 @@
+#include "admission/cache.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace lpfps::admission {
+
+AdmissionCache::AdmissionCache(std::size_t capacity) : capacity_(capacity) {}
+
+const CacheEntry* AdmissionCache::find(std::uint64_t digest,
+                                       std::string_view key) {
+  auto it = map_.find(digest);
+  if (it == map_.end()) {
+    saturating_increment(counters_.misses);
+    return nullptr;
+  }
+  if (it->second.key != key) {
+    // Same 64-bit digest, different task set: never serve it.
+    saturating_increment(counters_.collisions);
+    saturating_increment(counters_.misses);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  saturating_increment(counters_.hits);
+  return &it->second.entry;
+}
+
+void AdmissionCache::insert(std::uint64_t digest, std::string key,
+                            CacheEntry entry) {
+  if (capacity_ == 0) return;
+  auto it = map_.find(digest);
+  if (it != map_.end()) {
+    // Replace in place (digest collision overwrites: the canonical key
+    // travels with the entry, so a stale occupant can only turn later
+    // lookups of the old set into counted misses, never wrong answers).
+    it->second.key = std::move(key);
+    it->second.entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    saturating_increment(counters_.insertions);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    LPFPS_CHECK(!lru_.empty());
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    saturating_increment(counters_.evictions);
+  }
+  lru_.push_front(digest);
+  map_.emplace(digest,
+               Node{std::move(key), std::move(entry), lru_.begin()});
+  saturating_increment(counters_.insertions);
+}
+
+}  // namespace lpfps::admission

@@ -1,0 +1,100 @@
+// Memoization of schedulability decisions, keyed on task-set
+// fingerprints.
+//
+// Churn workloads revisit task sets: a rejected add is retried, a
+// removed task is re-added, an overloaded set oscillates around the
+// admission boundary.  Every revisit would otherwise pay a full
+// analysis; this cache returns the previously computed decision —
+// schedulability, minimum safe level, and the exact response-time
+// vector (bit-identical by the incremental-RTA contract, so adopting a
+// cached vector is indistinguishable from recomputing it).
+//
+// Keys reuse the FNV fingerprinting machinery the engine's
+// state-identity checks standardized in core/fingerprint.h.  A 64-bit
+// digest indexes the table; because digests can collide, every entry
+// also stores the canonical key bytes (the schedulability-relevant
+// task parameters) and a lookup only hits after an exact byte compare
+// — a collision is counted and treated as a miss, never served.
+//
+// All counters saturate instead of wrapping (saturating_increment):
+// a service that runs for months must not let a wrapped counter
+// corrupt rate arithmetic downstream.  Counters are accounting, not
+// results — they flow into bench JSON and AUDIT meta, and are excluded
+// from io::admission_csv_row like the engine's cycle counters.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+
+namespace lpfps::admission {
+
+/// Bumps a saturating counter: sticks at max instead of wrapping.
+inline void saturating_increment(std::uint64_t& counter) {
+  if (counter != std::numeric_limits<std::uint64_t>::max()) ++counter;
+}
+
+/// `counter + amount`, saturating at max.
+inline void saturating_add(std::uint64_t& counter, std::uint64_t amount) {
+  const std::uint64_t room =
+      std::numeric_limits<std::uint64_t>::max() - counter;
+  counter += amount < room ? amount : room;
+}
+
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t collisions = 0;  ///< Digest matched, canonical bytes did not.
+};
+
+/// The memoized outcome of analyzing one candidate set.
+struct CacheEntry {
+  bool schedulable = false;
+  int min_level = -1;  ///< -1 when unschedulable.
+  std::vector<std::optional<Time>> response_times;
+};
+
+/// Deterministic bounded LRU: same lookup/insert sequence, same hits,
+/// evictions, and counter values — on any thread count, because each
+/// service owns its cache exclusively.
+class AdmissionCache {
+ public:
+  /// `capacity == 0` disables storage (every lookup misses).
+  explicit AdmissionCache(std::size_t capacity);
+
+  /// Returns the entry for `digest` if present *and* the stored
+  /// canonical key equals `key` byte-for-byte; refreshes LRU recency.
+  /// Counts a hit, a miss, or a collision-plus-miss.
+  const CacheEntry* find(std::uint64_t digest, std::string_view key);
+
+  /// Inserts (or replaces) the entry, evicting the least-recently-used
+  /// digest when at capacity.
+  void insert(std::uint64_t digest, std::string key, CacheEntry entry);
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const CacheCounters& counters() const { return counters_; }
+
+ private:
+  struct Node {
+    std::string key;
+    CacheEntry entry;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+
+  std::size_t capacity_ = 0;
+  std::unordered_map<std::uint64_t, Node> map_;
+  std::list<std::uint64_t> lru_;  ///< Front = most recently used.
+  CacheCounters counters_;
+};
+
+}  // namespace lpfps::admission

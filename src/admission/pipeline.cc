@@ -1,0 +1,45 @@
+#include "admission/pipeline.h"
+
+#include "core/fingerprint.h"
+#include "io/admission_io.h"
+#include "runner/runner.h"
+
+namespace lpfps::admission {
+
+SessionResult run_session(const SessionSpec& spec) {
+  const ChurnStream stream = make_churn_stream(spec.churn, spec.seed);
+  AdmissionService service(stream.initial, spec.service);
+
+  SessionResult result;
+  std::uint64_t digest = core::kFnvOffsetBasis;
+  for (const ChurnOp& op : stream.ops) {
+    const std::optional<Request> request = resolve(op, service.tasks());
+    if (!request.has_value()) {
+      ++result.skipped;
+      continue;
+    }
+    const Decision decision = service.handle(*request);
+    ++result.requests;
+    if (decision.admitted) {
+      ++result.admitted;
+    } else {
+      ++result.rejected;
+    }
+    digest = core::fnv1a(io::admission_csv_row(decision), digest);
+  }
+  result.decision_digest = digest;
+  result.final_fingerprint = service.fingerprint();
+  result.stats = service.stats();
+  result.cache = service.cache_counters();
+  result.rta = service.rta_stats();
+  return result;
+}
+
+std::vector<SessionResult> run_sessions(
+    const std::vector<SessionSpec>& specs, std::size_t threads) {
+  return runner::run_batch(
+      specs.size(),
+      [&specs](std::size_t i) { return run_session(specs[i]); }, threads);
+}
+
+}  // namespace lpfps::admission

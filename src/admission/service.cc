@@ -1,0 +1,421 @@
+#include "admission/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "common/float_compare.h"
+#include "core/fingerprint.h"
+
+namespace lpfps::admission {
+namespace {
+
+void append_bytes(std::string& key, const void* data, std::size_t size) {
+  key.append(static_cast<const char*>(data), size);
+}
+
+// One task's contribution to the canonical key: period, deadline, WCET
+// bit pattern, priority.  Name, BCET, and phase are excluded — they
+// cannot affect any RTA or minimum-frequency answer.
+void append_task_key(std::string& key, const sched::Task& t) {
+  append_bytes(key, &t.period, sizeof(t.period));
+  append_bytes(key, &t.deadline, sizeof(t.deadline));
+  std::uint64_t wcet_bits = 0;
+  static_assert(sizeof(wcet_bits) == sizeof(t.wcet));
+  std::memcpy(&wcet_bits, &t.wcet, sizeof(wcet_bits));
+  append_bytes(key, &wcet_bits, sizeof(wcet_bits));
+  const std::int32_t priority = t.priority;
+  append_bytes(key, &priority, sizeof(priority));
+}
+
+constexpr std::size_t kTaskKeyBytes = 8 + 8 + 8 + 4;
+
+}  // namespace
+
+void ServiceConfig::validate() const {
+  scaling.validate();
+  LPFPS_CHECK_MSG(!table.is_continuous(),
+                  "admission requires a discrete frequency table");
+  LPFPS_CHECK_MSG(!table.levels().empty(),
+                  "admission: frequency table has no levels");
+  LPFPS_CHECK_MSG(table.levels().back() == table.f_max(),
+                  "admission: top level must be f_max");
+}
+
+AdmissionService::AdmissionService(sched::TaskSet initial,
+                                   ServiceConfig config)
+    : config_(std::move(config)),
+      rta_(std::move(initial),
+           config_.incremental ? sched::IncrementalRta::Mode::kIncremental
+                               : sched::IncrementalRta::Mode::kFromScratch),
+      cache_(config_.use_cache ? config_.cache_capacity : 0) {
+  config_.validate();
+  LPFPS_CHECK_MSG(rta_.schedulable(),
+                  "admission: initial set must be schedulable at f_max");
+}
+
+std::string AdmissionService::canonical_key(const sched::TaskSet& tasks) {
+  std::string key;
+  key.reserve(8 + tasks.size() * kTaskKeyBytes);
+  const std::uint64_t count = tasks.size();
+  append_bytes(key, &count, sizeof(count));
+  for (const sched::Task& t : tasks.tasks()) append_task_key(key, t);
+  return key;
+}
+
+std::string AdmissionService::candidate_key(const Request& request) const {
+  // Byte-identical to canonical_key() of the materialized candidate:
+  // TaskSet::add appends, remove erases in place, replace swaps in
+  // place, so the candidate's index order is derivable from the current
+  // set plus the request without copying n tasks per request.
+  const std::vector<sched::Task>& current = rta_.tasks().tasks();
+  std::uint64_t count = current.size();
+  if (request.kind == RequestKind::kAdd) ++count;
+  if (request.kind == RequestKind::kRemove) --count;
+  std::string key;
+  key.reserve(8 + count * kTaskKeyBytes);
+  append_bytes(key, &count, sizeof(count));
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    const bool at_index = static_cast<TaskIndex>(i) == request.index;
+    if (request.kind == RequestKind::kRemove && at_index) continue;
+    if (request.kind == RequestKind::kMutate && at_index) {
+      append_task_key(key, request.task);
+    } else {
+      append_task_key(key, current[i]);
+    }
+  }
+  if (request.kind == RequestKind::kAdd) append_task_key(key, request.task);
+  return key;
+}
+
+std::uint64_t AdmissionService::fingerprint() const {
+  return core::fnv1a(canonical_key(rta_.tasks()));
+}
+
+bool AdmissionService::feasible_at_level(
+    int level, const std::vector<std::optional<Time>>* seeds) {
+  saturating_increment(stats_.levels_probed);
+  const MegaHertz f =
+      config_.table.levels()[static_cast<std::size_t>(level)];
+  const double stretch = config_.scaling.stretch(config_.table.ratio_of(f));
+  const std::vector<sched::Task>& tasks = rta_.tasks().tasks();
+  const std::size_t n = tasks.size();
+  // Allocation-free mirror of wcet::scaled_task_set followed by
+  // response_time_from_seed on every task: the same products,
+  // comparisons, and summation order, so the boolean is bitwise what
+  // the materialized reference path (the service_test brute-force
+  // oracle) computes.
+  scaled_wcet_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled_wcet_[i] = tasks[i].wcet * stretch;
+    if (scaled_wcet_[i] > static_cast<double>(tasks[i].deadline)) {
+      return false;  // A stretched WCET overran D.
+    }
+  }
+  // An earlier feasible probe's converged responses seed this probe
+  // when it ran at the same or a higher level: less stretch there means
+  // a least fixed point at or below this level's, so resuming from it
+  // cannot overshoot — it just starts the iteration much closer.
+  const bool reuse_probe =
+      seeds != nullptr && probe_level_ >= level && probe_r_.size() == n;
+  const bool record_probe = seeds != nullptr;
+  if (record_probe) probe_scratch_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const sched::Task& task = tasks[i];
+    // A convergent response time at f_max is a valid seed at any lower
+    // level: stretching every WCET by the same factor >= 1 only raises
+    // the least fixed point, and any seed at or below it converges to
+    // it exactly (analysis.h).  The from-scratch arm passes no seeds
+    // and starts at the scaled C_i, like response_time_from_seed does.
+    double r = scaled_wcet_[i];
+    if (seeds != nullptr && (*seeds)[i].has_value()) {
+      r = std::max(*(*seeds)[i], r);
+    }
+    if (reuse_probe) r = std::max(probe_r_[i], r);
+    bool converged = false;
+    for (int iter = 0; iter < 100000; ++iter) {
+      double next = scaled_wcet_[i];
+      for (std::size_t j = 0; j < n; ++j) {
+        if (tasks[j].priority >= task.priority) continue;
+        const double jobs = std::ceil(
+            (r - kTimeEpsilon) / static_cast<double>(tasks[j].period));
+        next += std::max(1.0, jobs) * scaled_wcet_[j];
+      }
+      if (next == r) {  // Exact fixed point (see analysis.h).
+        converged = true;
+        break;
+      }
+      if (next > static_cast<double>(task.deadline) + kTimeEpsilon) break;
+      r = next;
+    }
+    if (!converged) return false;
+    if (definitely_greater(r, static_cast<double>(task.deadline))) {
+      return false;
+    }
+    if (record_probe) probe_scratch_[i] = r;
+  }
+  if (record_probe) {
+    // A fully feasible probe becomes the new seed source: every later
+    // probe in this search runs at or below this level.
+    probe_r_.swap(probe_scratch_);
+    probe_level_ = level;
+  }
+  return true;
+}
+
+int AdmissionService::predicted_level(int hint) const {
+  // At the feasibility boundary, response times sit near their
+  // deadlines, and to first order they scale with total utilization
+  // times the WCET stretch — so stretch(r_min) * U is roughly invariant
+  // across small churn.  Calibrate the product on the previous answer
+  // and solve stretch(r) = k / U for the level at the current
+  // utilization.  The prediction usually lands within a level or two
+  // of the new boundary, which makes the probe count independent of
+  // how far one request moved it.  It is only a probe target: the
+  // search below proves minimality regardless of where this points.
+  const double u = rta_.tasks().utilization();
+  if (u <= 0.0 || last_util_ <= 0.0) return hint;
+  const double beta = config_.scaling.memory_bound_fraction;
+  if (1.0 - beta <= 1e-12) return hint;  // Stretch is flat in the level.
+  const std::vector<MegaHertz>& levels = config_.table.levels();
+  const double prev_ratio =
+      config_.table.ratio_of(levels[static_cast<std::size_t>(hint)]);
+  const double k = config_.scaling.stretch(prev_ratio) * last_util_;
+  const double s = std::max(1.0, k / u);
+  const double ratio = 1.0 / (1.0 + (s - 1.0) / (1.0 - beta));
+  const double f_target = ratio * config_.table.f_max();
+  const auto it =
+      std::lower_bound(levels.begin(), levels.end(), f_target - 1e-9);
+  return static_cast<int>(it - levels.begin());
+}
+
+int AdmissionService::min_feasible_level(SearchBound bound) {
+  const int top = static_cast<int>(config_.table.levels().size()) - 1;
+  const std::vector<std::optional<Time>>* seeds =
+      config_.incremental ? &rta_.response_times() : nullptr;
+  probe_level_ = -1;  // Probe-seed reuse is per search: the set changed.
+  const int hint = last_min_level_ < 0 ? -1 : std::min(last_min_level_, top);
+  // Sound bracket for the minimum.  The top level is feasible without a
+  // probe (stretch(1) == 1.0 exactly, so it is the f_max set the caller
+  // just admitted); `bound` tightens the bracket further: kNotBelowHint
+  // keeps every level below the previous answer infeasible, and
+  // kNotAboveHint keeps every level at or above it feasible.
+  int blo = 0;
+  int bhi = top;
+  if (config_.incremental && hint >= 0) {
+    if (bound == SearchBound::kNotBelowHint) {
+      blo = hint;
+    } else if (bound == SearchBound::kNotAboveHint) {
+      bhi = hint;
+    }
+  }
+  const auto feasible = [&](int level) {
+    return level >= bhi || feasible_at_level(level, seeds);
+  };
+  // Binary search for the lowest feasible level in [lo, hi], where
+  // feasible(hi) is already established.
+  const auto binary_min = [&](int lo, int hi) {
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (feasible(mid)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  };
+  if (!config_.incremental || hint < 0) {
+    // Reference arm (and the first-ever answer): no usable previous
+    // answer — binary-search the whole table from C_i probe seeds.
+    return binary_min(blo, bhi);
+  }
+  if (blo == bhi) return blo;
+  // Incremental arm: probe the predicted boundary, settle the common
+  // "prediction exact" case with a second probe, and otherwise gallop
+  // toward the boundary (O(log e) probes for a prediction off by e
+  // levels).  Every return below is justified by level monotonicity
+  // alone — feasible(p) with infeasible(p - 1) pins the minimum — so
+  // any probe schedule lands on the same answer and the arms stay
+  // bit-identical in every decision field.
+  const int p = std::clamp(predicted_level(hint), blo, bhi);
+  if (feasible(p)) {
+    if (p == blo || !feasible(p - 1)) return p;
+    // Overshot: the minimum is below p - 1.  Gallop down.
+    int lo = blo;
+    int hi = p - 1;
+    if (hi == blo) return blo;  // feasible(p - 1) already pinned it.
+    for (int step = 2;; step *= 2) {
+      const int probe = p - step;
+      if (probe <= blo) {
+        if (feasible(blo)) return blo;
+        lo = blo + 1;
+        break;
+      }
+      if (feasible(probe)) {
+        hi = probe;
+      } else {
+        lo = probe + 1;
+        break;
+      }
+    }
+    return binary_min(lo, hi);
+  }
+  // Undershot: the minimum is above p.  Gallop up.
+  int lo = p + 1;
+  int hi = bhi;
+  for (int step = 1;; step *= 2) {
+    const int probe = p + step;
+    if (probe >= bhi) break;  // bhi is feasible without a probe.
+    if (feasible(probe)) {
+      hi = probe;
+      break;
+    }
+    lo = probe + 1;
+  }
+  return binary_min(lo, hi);
+}
+
+Decision AdmissionService::handle(const Request& request) {
+  saturating_increment(stats_.requests);
+  Decision d;
+  d.kind = request.kind;
+
+  std::string key = candidate_key(request);
+  const std::uint64_t digest = core::fnv1a(key);
+  d.fingerprint = digest;
+
+  // A priority clash can never be scheduled under unique-priority FPS;
+  // reject without analysis (and without poisoning the cache —
+  // IncrementalRta refuses duplicate priorities outright).
+  bool clash = false;
+  if (request.kind != RequestKind::kRemove) {
+    const std::vector<sched::Task>& current = rta_.tasks().tasks();
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      if (request.kind == RequestKind::kMutate &&
+          static_cast<TaskIndex>(i) == request.index) {
+        continue;
+      }
+      if (current[i].priority == request.task.priority) {
+        clash = true;
+        break;
+      }
+    }
+  }
+
+  bool schedulable = false;
+  int min_level = -1;
+  if (!clash) {
+    const CacheEntry* hit =
+        config_.use_cache ? cache_.find(digest, key) : nullptr;
+    if (hit != nullptr) {
+      d.cache_hit = true;
+      schedulable = hit->schedulable;
+      min_level = hit->min_level;
+      if (schedulable) {
+        // Adopt the memoized state: the stored response vector is what
+        // analyzing the candidate produces (bit-identity contract), so
+        // the service state is indistinguishable from a recomputation.
+        sched::TaskSet candidate = rta_.tasks();
+        switch (request.kind) {
+          case RequestKind::kAdd:
+            candidate.add(request.task);
+            break;
+          case RequestKind::kRemove:
+            candidate.remove(request.index);
+            break;
+          case RequestKind::kMutate:
+            candidate.replace(request.index, request.task);
+            break;
+        }
+        rta_.reset(std::move(candidate), hit->response_times);
+      }
+    } else {
+      // The rollback snapshot is one response vector plus (for mutate)
+      // one task: a rejected add is undone by popping the appended
+      // task, a rejected mutate by swapping the old task back, and
+      // removals are never rejected — so no full TaskSet copy is needed
+      // anywhere on this path.
+      std::vector<std::optional<Time>> before_r = rta_.response_times();
+      sched::Task previous;
+      SearchBound bound = SearchBound::kUnbounded;
+      const sched::IncrementalRta::Stats rta_before = rta_.stats();
+      switch (request.kind) {
+        case RequestKind::kAdd:
+          bound = SearchBound::kNotBelowHint;
+          rta_.add_task(request.task);
+          break;
+        case RequestKind::kRemove:
+          bound = SearchBound::kNotAboveHint;
+          rta_.remove_task(request.index);
+          break;
+        case RequestKind::kMutate: {
+          previous = rta_.tasks()[request.index];
+          // Same priority with WCET up / period down / deadline down
+          // can only tighten every task's constraint (interference
+          // grows, own slack shrinks); the mirror image can only relax
+          // them.  Anything else gives no direction.
+          if (request.task.priority == previous.priority) {
+            if (request.task.wcet >= previous.wcet &&
+                request.task.period <= previous.period &&
+                request.task.deadline <= previous.deadline) {
+              bound = SearchBound::kNotBelowHint;
+            } else if (request.task.wcet <= previous.wcet &&
+                       request.task.period >= previous.period &&
+                       request.task.deadline >= previous.deadline) {
+              bound = SearchBound::kNotAboveHint;
+            }
+          }
+          rta_.mutate_task(request.index, request.task);
+          break;
+        }
+      }
+      schedulable = rta_.schedulable();
+      d.tasks_reanalyzed =
+          rta_.stats().tasks_reanalyzed - rta_before.tasks_reanalyzed;
+      d.tasks_seeded = rta_.stats().tasks_seeded - rta_before.tasks_seeded;
+      if (schedulable) {
+        const std::uint64_t probes_before = stats_.levels_probed;
+        min_level = min_feasible_level(bound);
+        d.levels_probed = static_cast<std::int64_t>(stats_.levels_probed -
+                                                    probes_before);
+      }
+      if (config_.use_cache) {
+        cache_.insert(digest, std::move(key),
+                      CacheEntry{schedulable, min_level,
+                                 rta_.response_times()});
+      }
+      if (!schedulable) {
+        // Shrinking interference cannot create a deadline miss, so a
+        // rejection here is always an add or a mutate.
+        LPFPS_CHECK(request.kind != RequestKind::kRemove);
+        if (request.kind == RequestKind::kAdd) {
+          rta_.undo_add(std::move(before_r));
+        } else {
+          rta_.undo_mutate(request.index, std::move(previous),
+                           std::move(before_r));
+        }
+      }
+    }
+  }
+
+  d.admitted = schedulable;
+  if (schedulable) {
+    d.min_level = min_level;
+    d.min_safe_mhz =
+        config_.table.levels()[static_cast<std::size_t>(min_level)];
+    d.min_safe_ratio = config_.table.ratio_of(d.min_safe_mhz);
+    last_min_level_ = min_level;
+    last_util_ = rta_.tasks().utilization();
+    saturating_increment(stats_.admitted);
+  } else {
+    saturating_increment(stats_.rejected);
+  }
+  d.task_count = static_cast<std::int64_t>(rta_.tasks().size());
+  d.utilization = rta_.tasks().utilization();
+  return d;
+}
+
+}  // namespace lpfps::admission

@@ -1,0 +1,164 @@
+// The admission-control service: schedulability as a long-lived query
+// engine.
+//
+// A deployed LPFPS system does not analyze one task set once — modes
+// change, tasks install and retire, measured WCETs are revised.  The
+// service holds the current task set as mutable state and answers a
+// stream of add / remove / parameter-change requests, each with an
+// admit/reject decision and, for the admitted set, the minimum clock
+// frequency at which every deadline still holds under the (possibly
+// non-ideal) WCET scaling model.
+//
+// Three layers make the query loop fast without changing any answer:
+//
+//   1. incremental RTA (sched/incremental_rta.h) — response-time
+//      fixed points are reused across mutations and resumed as seeds,
+//      bit-identical to from-scratch analysis by the exact-fixed-point
+//      contract;
+//   2. a fingerprint-keyed memoization cache (admission/cache.h) —
+//      revisited candidate sets replay their stored decision and
+//      response-time vector, verified byte-exact against the canonical
+//      key before being served;
+//   3. a direction-aware minimum-frequency search — feasibility is
+//      monotone in the frequency level AND in the request (adding or
+//      tightening a task can only raise the minimum level, removing or
+//      relaxing one can only lower it), so the incremental service
+//      probes the previous answer first and gallops outward, with every
+//      probe's fixed-point iteration seeded from the f_max response
+//      times; the reference service binary-searches all levels from
+//      C_i seeds.  Both land on the same minimal feasible level.
+//
+// The invariant after every request: the current set is schedulable at
+// f_max.  Admitting a request means the post-change set keeps that
+// invariant; rejecting rolls the service back to the pre-request state
+// (removals are always admitted — shrinking interference cannot create
+// a deadline miss).  Decision fields are bit-identical across
+// {incremental, from-scratch} x {cache on, off} — the differential
+// test's contract — while accounting fields tell the arms apart.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "admission/cache.h"
+#include "admission/types.h"
+#include "power/frequency.h"
+#include "sched/incremental_rta.h"
+#include "wcet/scaling.h"
+
+namespace lpfps::admission {
+
+struct ServiceConfig {
+  /// Discrete frequency levels the minimum-safe answer is drawn from.
+  /// Continuous tables are rejected (no levels to search).
+  power::FrequencyTable table = power::FrequencyTable::arm8_like();
+  /// WCET-vs-frequency behavior; ideal() reproduces the 1/f assumption.
+  wcet::FrequencyScalingModel scaling = wcet::FrequencyScalingModel::ideal();
+  /// False = reference arm: every mutation reanalyzes every task from
+  /// scratch and every frequency search binary-searches all levels.
+  bool incremental = true;
+  bool use_cache = true;
+  std::size_t cache_capacity = 4096;
+
+  /// Throws unless the table is discrete and the scaling model valid.
+  void validate() const;
+};
+
+/// Cumulative service accounting (saturating, like CacheCounters).
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t levels_probed = 0;  ///< feasible_at_level evaluations.
+};
+
+class AdmissionService {
+ public:
+  /// `initial` must be schedulable at f_max (the empty set is).
+  explicit AdmissionService(sched::TaskSet initial, ServiceConfig config);
+
+  /// Decides one request; applies it iff admitted.
+  Decision handle(const Request& request);
+
+  const sched::TaskSet& tasks() const { return rta_.tasks(); }
+  const std::vector<std::optional<Time>>& response_times() const {
+    return rta_.response_times();
+  }
+  const ServiceConfig& config() const { return config_; }
+
+  /// FNV digest of the current set's canonical (RTA-relevant) bytes.
+  std::uint64_t fingerprint() const;
+
+  const ServiceStats& stats() const { return stats_; }
+  const CacheCounters& cache_counters() const { return cache_.counters(); }
+  const sched::IncrementalRta::Stats& rta_stats() const {
+    return rta_.stats();
+  }
+
+  /// The canonical cache-key bytes of a task set: period, deadline,
+  /// WCET bit pattern, and priority per task in index order.  Name,
+  /// BCET, and phase are excluded — they cannot affect any RTA or
+  /// minimum-frequency answer.  Exposed for tests.
+  static std::string canonical_key(const sched::TaskSet& tasks);
+
+ private:
+  /// Which way the request can have moved the minimum feasible level
+  /// relative to the previous answer (monotonicity of feasibility in
+  /// interference).
+  enum class SearchBound {
+    kNotBelowHint,  ///< Add / tightening mutate: min can only rise.
+    kNotAboveHint,  ///< Remove / relaxing mutate: min can only fall.
+    kUnbounded,     ///< Mixed mutate: no direction known.
+  };
+
+  /// The candidate set's canonical key, built directly from the current
+  /// set plus the request — byte-identical to canonical_key() of the
+  /// materialized candidate, without copying the set.
+  std::string candidate_key(const Request& request) const;
+
+  /// True iff every current task, stretched to `level`'s ratio, meets
+  /// its deadline.  Allocation-free mirror of scaled_task_set +
+  /// response_time_from_seed (bitwise the same booleans); `seeds`, when
+  /// non-null, resumes each task's iteration from its f_max response
+  /// time (a valid seed at any level — stretching WCETs only raises the
+  /// least fixed point), further tightened by the converged responses
+  /// of an earlier feasible probe this search when that probe ran at a
+  /// level >= `level` (less stretch there means a smaller fixed point,
+  /// so those responses never overshoot here).  Counts one
+  /// levels_probed.
+  bool feasible_at_level(int level,
+                         const std::vector<std::optional<Time>>* seeds);
+
+  /// Lowest feasible level for the current set (known feasible at the
+  /// top level).  Full binary search with C_i probe seeds (reference
+  /// arm, and the first-ever answer); otherwise: predict the boundary
+  /// from the utilization change, probe the prediction, and gallop out
+  /// from it within the `bound`-implied bracket, with seeded probes.
+  /// Identical result by monotonicity of feasibility in the level.
+  int min_feasible_level(SearchBound bound);
+
+  /// First-order boundary prediction: stretch(r_min) * U is roughly
+  /// invariant across small churn, so calibrate it on the previous
+  /// answer (`hint`, `last_util_`) and solve for the level at the
+  /// current utilization.  A heuristic probe target only — never a
+  /// correctness input.
+  int predicted_level(int hint) const;
+
+  ServiceConfig config_;
+  sched::IncrementalRta rta_;
+  AdmissionCache cache_;
+  ServiceStats stats_;
+  int last_min_level_ = -1;   ///< Search hint; -1 = no previous answer.
+  double last_util_ = 0.0;    ///< Utilization at the previous answer.
+  std::vector<double> scaled_wcet_;  ///< Probe scratch buffer.
+  /// Within-search probe-seed reuse: the converged per-task responses
+  /// of the lowest feasible probe so far (valid seeds for any probe at
+  /// or below probe_level_; reset by min_feasible_level per search).
+  std::vector<double> probe_r_;
+  std::vector<double> probe_scratch_;
+  int probe_level_ = -1;
+};
+
+}  // namespace lpfps::admission

@@ -1,0 +1,157 @@
+#include "admission/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "runner/runner.h"
+#include "sched/analysis.h"
+#include "sched/task.h"
+#include "workloads/generator.h"
+
+namespace lpfps::admission {
+
+namespace {
+
+/// Log-uniform period on the config's grid (the generator's convention).
+std::int64_t draw_period(const ChurnConfig& config, Rng& rng) {
+  const double lo = std::log(static_cast<double>(config.period_min));
+  const double hi = std::log(static_cast<double>(config.period_max));
+  const double p = std::exp(rng.uniform(lo, hi));
+  const std::int64_t g = config.period_granularity;
+  std::int64_t period = static_cast<std::int64_t>(std::llround(p / g)) * g;
+  return std::clamp(period, config.period_min, config.period_max);
+}
+
+ChurnOp draw_op(const ChurnConfig& config, Rng& rng) {
+  ChurnOp op;
+  const double roll = rng.uniform(0.0, 1.0);
+  if (roll < config.add_fraction) {
+    op.kind = RequestKind::kAdd;
+  } else if (roll < config.add_fraction + config.remove_fraction) {
+    op.kind = RequestKind::kRemove;
+  } else {
+    op.kind = RequestKind::kMutate;
+  }
+  // Draw every field for every kind so a given op index always consumes
+  // the same number of Rng values — the stream stays stable if a
+  // config's mix changes between runs of the same seed.
+  op.pick = static_cast<std::uint64_t>(rng.uniform_int(0, 1'000'000'000));
+  op.period = draw_period(config, rng);
+  const double u = rng.uniform(config.task_utilization_min,
+                               config.task_utilization_max);
+  op.wcet = std::max(1.0, u * static_cast<double>(op.period));
+  const double dr = rng.uniform(config.deadline_ratio_min, 1.0);
+  op.deadline =
+      std::max(static_cast<std::int64_t>(std::ceil(op.wcet)),
+               static_cast<std::int64_t>(dr * static_cast<double>(op.period)));
+  op.deadline = std::min(op.deadline, op.period);
+  op.bcet_ratio = config.bcet_ratio;
+  op.priority_hint =
+      static_cast<sched::Priority>(rng.uniform_int(0, config.priority_space - 1));
+  if (config.deadline_monotonic_hints) {
+    // Deterministic transform of already-drawn values (no extra Rng
+    // consumption): map the deadline's position on the log-period grid
+    // to a priority band, shorter deadline = higher priority.
+    const double lo = std::log(static_cast<double>(config.period_min));
+    const double hi = std::log(static_cast<double>(config.period_max));
+    const double pos =
+        hi > lo ? (std::log(static_cast<double>(op.deadline)) - lo) / (hi - lo)
+                : 0.0;
+    op.priority_hint = std::clamp(
+        static_cast<sched::Priority>(pos * config.priority_space), 0,
+        config.priority_space - 1);
+  }
+  op.change_priority =
+      rng.uniform(0.0, 1.0) < config.mutate_priority_fraction;
+  return op;
+}
+
+/// Smallest priority >= hint not used by any task except `except`.
+sched::Priority probe_priority(const sched::TaskSet& current,
+                               sched::Priority hint, TaskIndex except) {
+  sched::Priority p = hint;
+  for (bool taken = true; taken; ++p) {
+    taken = false;
+    for (TaskIndex i = 0; i < static_cast<TaskIndex>(current.size()); ++i) {
+      if (i == except) continue;
+      if (current[i].priority == p) {
+        taken = true;
+        break;
+      }
+    }
+    if (!taken) return p;
+  }
+  return p;  // Unreachable; the probe always finds a free value.
+}
+
+sched::Task op_task(const ChurnOp& op, sched::Priority priority) {
+  sched::Task task = sched::make_task(
+      "churn", op.period, op.deadline, op.wcet,
+      std::max(1e-9, op.wcet * op.bcet_ratio), /*phase=*/0);
+  task.priority = priority;
+  return task;
+}
+
+}  // namespace
+
+ChurnStream make_churn_stream(const ChurnConfig& config,
+                              std::uint64_t seed) {
+  LPFPS_CHECK(config.requests >= 0);
+  LPFPS_CHECK(config.initial_tasks >= 0);
+  ChurnStream stream;
+
+  workloads::GeneratorConfig gen;
+  gen.task_count = config.initial_tasks;
+  gen.total_utilization = config.initial_utilization;
+  gen.period_min = config.period_min;
+  gen.period_max = config.period_max;
+  gen.period_granularity = config.period_granularity;
+  gen.bcet_ratio = config.bcet_ratio;
+  if (config.initial_tasks > 0) {
+    Rng init_rng(runner::derive_seed(seed, 0));
+    do {
+      stream.initial = workloads::generate_task_set(gen, init_rng);
+    } while (!sched::is_schedulable_rta(stream.initial));
+  }
+
+  stream.ops.reserve(static_cast<std::size_t>(config.requests));
+  for (int i = 0; i < config.requests; ++i) {
+    Rng op_rng(runner::derive_seed(seed, static_cast<std::uint64_t>(i) + 1));
+    stream.ops.push_back(draw_op(config, op_rng));
+  }
+  return stream;
+}
+
+std::optional<Request> resolve(const ChurnOp& op,
+                               const sched::TaskSet& current) {
+  Request request;
+  request.kind = op.kind;
+  switch (op.kind) {
+    case RequestKind::kAdd:
+      request.task = op_task(op, probe_priority(current, op.priority_hint,
+                                                kNoTask));
+      return request;
+    case RequestKind::kRemove:
+      if (current.empty()) return std::nullopt;
+      request.index =
+          static_cast<TaskIndex>(op.pick % current.size());
+      return request;
+    case RequestKind::kMutate: {
+      if (current.empty()) return std::nullopt;
+      request.index = static_cast<TaskIndex>(op.pick % current.size());
+      const sched::Priority priority =
+          op.change_priority
+              ? probe_priority(current, op.priority_hint, request.index)
+              : current[request.index].priority;
+      request.task = op_task(op, priority);
+      return request;
+    }
+  }
+  return std::nullopt;  // Unreachable.
+}
+
+}  // namespace lpfps::admission

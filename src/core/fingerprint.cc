@@ -1,0 +1,29 @@
+#include "core/fingerprint.h"
+
+namespace lpfps::core {
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t size,
+                          std::uint64_t hash) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a(std::string_view text, std::uint64_t hash) {
+  return fnv1a_bytes(text.data(), text.size(), hash);
+}
+
+std::string hex64(std::uint64_t digest) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[digest & 0xf];
+    digest >>= 4;
+  }
+  return out;
+}
+
+}  // namespace lpfps::core

@@ -1,0 +1,58 @@
+#include "io/admission_io.h"
+
+#include <cstdio>
+
+#include "core/fingerprint.h"
+
+namespace lpfps::io {
+
+namespace {
+
+void append_g17(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+const char* kind_name(admission::RequestKind kind) {
+  switch (kind) {
+    case admission::RequestKind::kAdd:
+      return "add";
+    case admission::RequestKind::kRemove:
+      return "remove";
+    case admission::RequestKind::kMutate:
+      return "mutate";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string admission_csv_header() {
+  return "kind,admitted,min_level,min_safe_mhz,min_safe_ratio,fingerprint,"
+         "task_count,utilization\n";
+}
+
+std::string admission_csv_row(const admission::Decision& d) {
+  std::string out;
+  out.reserve(96);
+  out += kind_name(d.kind);
+  out += ',';
+  out += d.admitted ? '1' : '0';
+  out += ',';
+  out += std::to_string(d.min_level);
+  out += ',';
+  append_g17(out, d.min_safe_mhz);
+  out += ',';
+  append_g17(out, d.min_safe_ratio);
+  out += ',';
+  out += core::hex64(d.fingerprint);
+  out += ',';
+  out += std::to_string(d.task_count);
+  out += ',';
+  append_g17(out, d.utilization);
+  out += '\n';
+  return out;
+}
+
+}  // namespace lpfps::io

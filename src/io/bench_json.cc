@@ -98,6 +98,21 @@ BenchJsonWriter::BenchJsonWriter(std::string bench_name,
                                  std::string file_prefix)
     : name_(std::move(bench_name)), file_prefix_(std::move(file_prefix)) {}
 
+double horizon_scale() {
+  const char* raw = std::getenv("LPFPS_HORIZON_SCALE");
+  if (raw == nullptr || raw[0] == '\0') return 1.0;
+  char* end = nullptr;
+  const double scale = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || !std::isfinite(scale) || scale <= 0.0) {
+    std::fprintf(stderr,
+                 "bench_json: ignoring LPFPS_HORIZON_SCALE=%s "
+                 "(not a positive number)\n",
+                 raw);
+    return 1.0;
+  }
+  return scale;
+}
+
 JsonObject& BenchJsonWriter::add_point() {
   points_.emplace_back();
   return points_.back();

@@ -93,6 +93,14 @@ class BenchJsonWriter {
   std::vector<JsonObject> points_;
 };
 
+/// Multiplier for bench simulation horizons, read once from the
+/// LPFPS_HORIZON_SCALE environment variable (default 1.0).  The nightly
+/// workflow sets it to 4 so scheduled runs cover 4x the simulated time
+/// of a per-commit CI pass without forking the bench configs; values
+/// that fail to parse or are not strictly positive fall back to 1.0
+/// with a note on stderr.
+double horizon_scale();
+
 /// Steady-clock stopwatch for bench wall times.
 class WallTimer {
  public:

@@ -57,6 +57,32 @@ std::vector<std::optional<Time>> response_times(const TaskSet& tasks) {
   return out;
 }
 
+std::optional<Time> response_time_from_seed(const TaskSet& tasks,
+                                            TaskIndex index, Time seed) {
+  const Task& task = tasks[index];
+  LPFPS_CHECK_MSG(task.deadline <= task.period,
+                  "RTA requires constrained deadlines (D <= T)");
+  // Any seed at or below the least fixed point converges to it; the
+  // iteration starts no lower than C_i (the from-scratch seed), which
+  // also absorbs seeds made stale by an own-WCET increase.
+  double r = std::max(seed, static_cast<double>(task.wcet));
+  for (int iter = 0; iter < 100000; ++iter) {
+    double next = task.wcet;
+    for (const Task& other : tasks.tasks()) {
+      if (other.priority >= task.priority) continue;
+      const double jobs =
+          std::ceil((r - kTimeEpsilon) / static_cast<double>(other.period));
+      next += std::max(1.0, jobs) * other.wcet;
+    }
+    if (next == r) return r;  // Exact fixed point (see header).
+    if (next > static_cast<double>(task.deadline) + kTimeEpsilon) {
+      return std::nullopt;
+    }
+    r = next;
+  }
+  return std::nullopt;  // Did not converge within the iteration budget.
+}
+
 bool is_schedulable_rta(const TaskSet& tasks) {
   for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks.size()); ++i) {
     const auto r = response_time(tasks, i);

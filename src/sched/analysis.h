@@ -33,6 +33,29 @@ std::optional<Time> response_time(const TaskSet& tasks, TaskIndex index);
 /// Response times for all tasks (nullopt entries where divergent).
 std::vector<std::optional<Time>> response_times(const TaskSet& tasks);
 
+/// Response time of task `index` iterated from an explicit seed and
+/// terminated only on an *exact* (bitwise) fixed point — the primitive
+/// the incremental analysis (sched/incremental_rta.h) is built on.
+///
+/// Exactness: each iterate is C_i + sum_j n_j * C_j where the n_j are
+/// integer job counts, so the iterate's double value is a pure function
+/// of the count vector; the counts are non-decreasing along the
+/// iteration and bounded, hence eventually constant, at which point
+/// next == r holds bitwise.  Because the convergent value depends only
+/// on the final count vector (summed in task-index order), *any* seed
+/// below the least fixed point converges to the bit-identical result:
+/// seeding from C_i (from scratch) and seeding from a previous response
+/// time after interference grew (incremental) agree to the last ulp.
+///
+/// Preconditions (checked where cheap): D_i <= T_i; seed <= the least
+/// fixed point — holds for seed == C_i and for seed == the exact
+/// response time under a subset of the current interference (seeds
+/// below C_i are clamped up to C_i, the from-scratch start).
+/// Unlike response_time() this does not re-validate the whole set per
+/// call; the admission service validates once per mutation instead.
+std::optional<Time> response_time_from_seed(const TaskSet& tasks,
+                                            TaskIndex index, Time seed);
+
 /// Exact fixed-priority schedulability: every task's response time exists
 /// and is <= its deadline.
 bool is_schedulable_rta(const TaskSet& tasks);

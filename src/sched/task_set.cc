@@ -18,6 +18,17 @@ TaskIndex TaskSet::add(Task task) {
   return static_cast<TaskIndex>(tasks_.size() - 1);
 }
 
+void TaskSet::remove(TaskIndex index) {
+  LPFPS_CHECK(index >= 0 && static_cast<std::size_t>(index) < tasks_.size());
+  tasks_.erase(tasks_.begin() + index);
+}
+
+void TaskSet::replace(TaskIndex index, Task task) {
+  LPFPS_CHECK(index >= 0 && static_cast<std::size_t>(index) < tasks_.size());
+  task.validate();
+  tasks_[static_cast<std::size_t>(index)] = std::move(task);
+}
+
 const Task& TaskSet::operator[](TaskIndex index) const {
   LPFPS_CHECK(index >= 0 && static_cast<std::size_t>(index) < tasks_.size());
   return tasks_[static_cast<std::size_t>(index)];

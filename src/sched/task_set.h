@@ -18,6 +18,14 @@ class TaskSet {
   /// Appends a task (validated).  Returns its index.
   TaskIndex add(Task task);
 
+  /// Removes the task at `index`; tasks above it shift down one slot.
+  /// (The admission service's churn primitive — callers holding indices
+  /// must re-resolve them after a removal.)
+  void remove(TaskIndex index);
+
+  /// Replaces the task at `index` with `task` (validated).
+  void replace(TaskIndex index, Task task);
+
   const Task& operator[](TaskIndex index) const;
   Task& at(TaskIndex index);
 

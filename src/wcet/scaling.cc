@@ -1,0 +1,53 @@
+#include "wcet/scaling.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace lpfps::wcet {
+
+double FrequencyScalingModel::stretch(Ratio ratio) const {
+  LPFPS_CHECK(ratio > 0.0 && ratio <= 1.0);
+  // Written so the correction term vanishes exactly at ratio == 1:
+  // 1/1 - 1 == 0 bitwise, hence stretch(1) == 1.0 bitwise.
+  return 1.0 + (1.0 - memory_bound_fraction) * (1.0 / ratio - 1.0);
+}
+
+std::optional<Ratio> FrequencyScalingModel::min_ratio_for_budget(
+    Work wcet_at_fmax, Work budget) const {
+  LPFPS_CHECK(wcet_at_fmax > 0.0);
+  LPFPS_CHECK(budget > 0.0);
+  validate();
+  if (wcet_at_fmax > budget) return std::nullopt;  // Infeasible even at f_max.
+  const double beta = memory_bound_fraction;
+  const double compute = (1.0 - beta) * wcet_at_fmax;
+  if (compute <= 0.0) return Ratio{1e-12};  // Fully memory-bound: any clock.
+  // C(r) <= B  <=>  1/r <= 1 + (B - C) / compute.
+  const double inv_r = 1.0 + (budget - wcet_at_fmax) / compute;
+  return Ratio{1.0 / inv_r};
+}
+
+void FrequencyScalingModel::validate() const {
+  LPFPS_CHECK_MSG(
+      memory_bound_fraction >= 0.0 && memory_bound_fraction <= 1.0,
+      "memory_bound_fraction must be in [0, 1]");
+}
+
+std::optional<sched::TaskSet> scaled_task_set(
+    const sched::TaskSet& tasks, const FrequencyScalingModel& model,
+    Ratio ratio) {
+  model.validate();
+  const double stretch = model.stretch(ratio);
+  std::vector<sched::Task> scaled;
+  scaled.reserve(tasks.size());
+  for (const sched::Task& t : tasks.tasks()) {
+    sched::Task s = t;
+    s.wcet = t.wcet * stretch;
+    if (s.wcet > static_cast<double>(s.deadline)) return std::nullopt;
+    s.bcet = std::min(t.bcet * stretch, s.wcet);
+    scaled.push_back(std::move(s));
+  }
+  return sched::TaskSet(std::move(scaled));
+}
+
+}  // namespace lpfps::wcet

@@ -1,0 +1,71 @@
+// Non-ideal WCET-vs-frequency scaling.
+//
+// The classic DVS assumption — execution time scales as 1/f — is only
+// true for compute-bound code.  Memory-bound code waits on a memory
+// subsystem whose latency does not follow the core clock, so slowing
+// the core stretches execution *less* than 1/f: Fabritius et al.,
+// "Experimental Software Schedulability Estimation For Varied Processor
+// Frequencies" (PAPERS.md), measure exactly this and show that assuming
+// ideal scaling makes frequency-dependent schedulability estimates
+// optimistic at high f (WCET over-estimated when scaling down) and,
+// symmetrically, makes "minimum safe frequency" answers *unsafe* when a
+// task's WCET was measured at a low reference frequency.
+//
+// We model a task's full-speed WCET C as a compute fraction (1 - beta)
+// that scales with the clock and a memory-bound fraction beta that does
+// not:
+//
+//   C(r) = C * (1 + (1 - beta) * (1/r - 1)),   r = f / f_max in (0, 1]
+//
+// so C(1) == C exactly (bitwise: the correction term is exactly zero at
+// r == 1, which the admission service's bit-identity contract relies
+// on), beta == 0 recovers the ideal 1/r stretch, and beta == 1 is a
+// fully memory-bound task whose WCET ignores the clock entirely.  BCETs
+// scale by the same factor, preserving BCET <= WCET.
+#pragma once
+
+#include <optional>
+
+#include "common/units.h"
+#include "sched/task_set.h"
+
+namespace lpfps::wcet {
+
+struct FrequencyScalingModel {
+  /// Fraction of the full-speed WCET that does not scale with the
+  /// clock (memory stalls, fixed-latency peripherals).  0 = ideal DVS.
+  double memory_bound_fraction = 0.0;
+
+  /// The ideal-scaling model (the paper's implicit assumption).
+  static FrequencyScalingModel ideal() { return {0.0}; }
+
+  /// Multiplier applied to a full-speed execution time at clock ratio
+  /// `ratio`: 1 + (1 - beta) * (1/ratio - 1).  Exactly 1.0 at ratio 1.
+  double stretch(Ratio ratio) const;
+
+  /// WCET at clock ratio `ratio` given the full-speed WCET.
+  Work scaled_wcet(Work wcet_at_fmax, Ratio ratio) const {
+    return wcet_at_fmax * stretch(ratio);
+  }
+
+  /// Smallest clock ratio at which a task with full-speed WCET
+  /// `wcet_at_fmax` still fits in `budget` time units, or nullopt if no
+  /// ratio in (0, 1] does.  Inverse of scaled_wcet; used by tests and
+  /// by callers that want a continuous answer before quantizing.
+  std::optional<Ratio> min_ratio_for_budget(Work wcet_at_fmax,
+                                            Work budget) const;
+
+  /// Throws unless memory_bound_fraction is in [0, 1].
+  void validate() const;
+};
+
+/// The task set as the processor sees it at clock ratio `ratio`: every
+/// WCET/BCET stretched by the model, periods/deadlines/priorities
+/// unchanged.  Returns nullopt when any stretched WCET exceeds its
+/// deadline — the set is trivially unschedulable at that ratio and a
+/// TaskSet with WCET > D would not validate.
+std::optional<sched::TaskSet> scaled_task_set(
+    const sched::TaskSet& tasks, const FrequencyScalingModel& model,
+    Ratio ratio);
+
+}  // namespace lpfps::wcet

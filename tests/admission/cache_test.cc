@@ -1,0 +1,127 @@
+// admission/cache.h — LRU behavior, collision safety, and the
+// saturating counters that keep month-long services from wrapping.
+#include "admission/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace lpfps::admission {
+namespace {
+
+CacheEntry entry(bool schedulable, int level) {
+  CacheEntry e;
+  e.schedulable = schedulable;
+  e.min_level = level;
+  e.response_times = {Time{1.0}, std::nullopt};
+  return e;
+}
+
+TEST(SaturatingCounter, IncrementsSaturateAtMax) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t c = kMax - 2;
+  saturating_increment(c);
+  EXPECT_EQ(c, kMax - 1);
+  saturating_increment(c);
+  EXPECT_EQ(c, kMax);
+  saturating_increment(c);  // Must stick, not wrap to 0.
+  EXPECT_EQ(c, kMax);
+
+  std::uint64_t d = kMax - 10;
+  saturating_add(d, 7);
+  EXPECT_EQ(d, kMax - 3);
+  saturating_add(d, 1000);
+  EXPECT_EQ(d, kMax);
+  saturating_add(d, 1);
+  EXPECT_EQ(d, kMax);
+}
+
+TEST(AdmissionCache, MissThenHit) {
+  AdmissionCache cache(4);
+  EXPECT_EQ(cache.find(42, "key-a"), nullptr);
+  EXPECT_EQ(cache.counters().misses, 1u);
+
+  cache.insert(42, "key-a", entry(true, 3));
+  const CacheEntry* hit = cache.find(42, "key-a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->schedulable);
+  EXPECT_EQ(hit->min_level, 3);
+  ASSERT_EQ(hit->response_times.size(), 2u);
+  EXPECT_EQ(hit->response_times[0], Time{1.0});
+  EXPECT_FALSE(hit->response_times[1].has_value());
+  EXPECT_EQ(cache.counters().hits, 1u);
+  EXPECT_EQ(cache.counters().insertions, 1u);
+}
+
+TEST(AdmissionCache, CollisionIsCountedAndNeverServed) {
+  AdmissionCache cache(4);
+  cache.insert(42, "key-a", entry(true, 3));
+  // Same digest, different canonical bytes: must be a miss.
+  EXPECT_EQ(cache.find(42, "key-b"), nullptr);
+  EXPECT_EQ(cache.counters().collisions, 1u);
+  EXPECT_EQ(cache.counters().misses, 1u);
+  EXPECT_EQ(cache.counters().hits, 0u);
+}
+
+TEST(AdmissionCache, LruEvictionOrder) {
+  AdmissionCache cache(2);
+  cache.insert(1, "k1", entry(true, 0));
+  cache.insert(2, "k2", entry(true, 1));
+  // Touch k1 so k2 becomes the LRU victim.
+  ASSERT_NE(cache.find(1, "k1"), nullptr);
+  cache.insert(3, "k3", entry(true, 2));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  EXPECT_NE(cache.find(1, "k1"), nullptr);  // Survived.
+  EXPECT_EQ(cache.find(2, "k2"), nullptr);  // Evicted.
+  EXPECT_NE(cache.find(3, "k3"), nullptr);
+}
+
+TEST(AdmissionCache, ReinsertRefreshesInPlace) {
+  AdmissionCache cache(2);
+  cache.insert(1, "k1", entry(true, 0));
+  cache.insert(1, "k1", entry(false, -1));  // Replace, no growth.
+  EXPECT_EQ(cache.size(), 1u);
+  const CacheEntry* hit = cache.find(1, "k1");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_FALSE(hit->schedulable);
+  EXPECT_EQ(cache.counters().insertions, 2u);
+  EXPECT_EQ(cache.counters().evictions, 0u);
+}
+
+TEST(AdmissionCache, ZeroCapacityDisablesStorage) {
+  AdmissionCache cache(0);
+  cache.insert(1, "k1", entry(true, 0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(1, "k1"), nullptr);
+  EXPECT_EQ(cache.counters().misses, 1u);
+}
+
+TEST(AdmissionCache, DeterministicReplay) {
+  // The exact counter trajectory is part of the determinism contract:
+  // two identical op sequences end in identical counters.
+  const auto run = [] {
+    AdmissionCache cache(3);
+    for (int round = 0; round < 5; ++round) {
+      for (std::uint64_t d = 0; d < 6; ++d) {
+        std::string key = "k0";
+        key[1] = static_cast<char>('0' + d);
+        if (cache.find(d, key) == nullptr) {
+          cache.insert(d, key, entry(true, static_cast<int>(d)));
+        }
+      }
+    }
+    return cache.counters();
+  };
+  const CacheCounters a = run();
+  const CacheCounters b = run();
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.insertions, b.insertions);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.collisions, b.collisions);
+}
+
+}  // namespace
+}  // namespace lpfps::admission

@@ -1,0 +1,253 @@
+// admission/service.h — admit/reject semantics, rollback, and the
+// minimum-safe-frequency answer checked against brute force.
+#include "admission/service.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "admission/workload.h"
+#include "common/float_compare.h"
+#include "power/frequency.h"
+#include "sched/analysis.h"
+#include "sched/task.h"
+#include "wcet/scaling.h"
+
+namespace lpfps::admission {
+namespace {
+
+sched::Task task(const char* name, std::int64_t period, Work wcet,
+                 sched::Priority priority) {
+  sched::Task t = sched::make_task(name, period, wcet);
+  t.priority = priority;
+  return t;
+}
+
+Request add(sched::Task t) {
+  Request r;
+  r.kind = RequestKind::kAdd;
+  r.task = std::move(t);
+  return r;
+}
+
+Request remove(TaskIndex index) {
+  Request r;
+  r.kind = RequestKind::kRemove;
+  r.index = index;
+  return r;
+}
+
+Request mutate(TaskIndex index, sched::Task t) {
+  Request r;
+  r.kind = RequestKind::kMutate;
+  r.index = index;
+  r.task = std::move(t);
+  return r;
+}
+
+ServiceConfig small_table_config() {
+  ServiceConfig config;
+  config.table = power::FrequencyTable::from_levels({25, 50, 75, 100});
+  return config;
+}
+
+/// Reference answer: scan levels from the bottom, first feasible wins.
+int brute_force_min_level(const sched::TaskSet& tasks,
+                          const ServiceConfig& config) {
+  const auto& levels = config.table.levels();
+  for (int level = 0; level < static_cast<int>(levels.size()); ++level) {
+    const auto scaled = wcet::scaled_task_set(
+        tasks, config.scaling,
+        config.table.ratio_of(levels[static_cast<std::size_t>(level)]));
+    if (!scaled.has_value()) continue;
+    bool feasible = true;
+    for (TaskIndex i = 0; i < static_cast<TaskIndex>(scaled->size()); ++i) {
+      const auto r = sched::response_time_from_seed(*scaled, i,
+                                                    (*scaled)[i].wcet);
+      if (!r.has_value() ||
+          definitely_greater(*r, static_cast<double>((*scaled)[i].deadline))) {
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible) return level;
+  }
+  return static_cast<int>(levels.size()) - 1;
+}
+
+TEST(AdmissionService, AdmitsFeasibleAddAndReportsMinFrequency) {
+  AdmissionService service(sched::TaskSet{}, small_table_config());
+  const Decision d = service.handle(add(task("a", 100, 10.0, 0)));
+  EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.kind, RequestKind::kAdd);
+  EXPECT_EQ(d.task_count, 1);
+  // U = 0.1: even 25 MHz (ideal stretch 4x -> WCET 40 <= D 100) works.
+  EXPECT_EQ(d.min_level, 0);
+  EXPECT_DOUBLE_EQ(d.min_safe_mhz, 25.0);
+  EXPECT_DOUBLE_EQ(d.min_safe_ratio, 0.25);
+  EXPECT_EQ(service.fingerprint(), d.fingerprint);
+}
+
+TEST(AdmissionService, RejectRollsBackEveryObservableState) {
+  AdmissionService service(sched::TaskSet{}, small_table_config());
+  service.handle(add(task("a", 100, 60.0, 0)));
+  const std::uint64_t fp_before = service.fingerprint();
+  const auto r_before = service.response_times();
+
+  // 60/100 + 50/100 > 1: unschedulable even at f_max.
+  const Decision d = service.handle(add(task("b", 100, 50.0, 1)));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.min_level, -1);
+  EXPECT_DOUBLE_EQ(d.min_safe_mhz, 0.0);
+  EXPECT_EQ(d.task_count, 1);  // Still just "a".
+  EXPECT_NE(d.fingerprint, fp_before);  // The *candidate's* fingerprint.
+  EXPECT_EQ(service.fingerprint(), fp_before);
+  EXPECT_EQ(service.tasks().size(), 1u);
+  ASSERT_EQ(service.response_times().size(), r_before.size());
+  EXPECT_EQ(service.response_times()[0], r_before[0]);
+  EXPECT_EQ(service.stats().rejected, 1u);
+}
+
+TEST(AdmissionService, RemovalsAreAlwaysAdmitted) {
+  AdmissionService service(sched::TaskSet{}, small_table_config());
+  service.handle(add(task("a", 100, 40.0, 0)));
+  service.handle(add(task("b", 200, 80.0, 1)));
+  const Decision d = service.handle(remove(0));
+  EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.kind, RequestKind::kRemove);
+  EXPECT_EQ(d.task_count, 1);
+  EXPECT_EQ(service.tasks()[0].name, "b");
+}
+
+TEST(AdmissionService, PriorityClashIsRejectedWithoutAnalysis) {
+  AdmissionService service(sched::TaskSet{}, small_table_config());
+  service.handle(add(task("a", 100, 10.0, 0)));
+  const Decision d = service.handle(add(task("b", 200, 10.0, 0)));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.tasks_reanalyzed, 0);
+  EXPECT_EQ(service.tasks().size(), 1u);
+}
+
+TEST(AdmissionService, MutateAdmitsAndRejects) {
+  AdmissionService service(sched::TaskSet{}, small_table_config());
+  service.handle(add(task("a", 100, 40.0, 0)));
+  // Growing to 90 still fits (R = 90 <= 100)...
+  EXPECT_TRUE(service.handle(mutate(0, task("a", 100, 90.0, 0))).admitted);
+  EXPECT_DOUBLE_EQ(service.tasks()[0].wcet, 90.0);
+  // ...but a second task then cannot.
+  EXPECT_FALSE(service.handle(add(task("b", 100, 20.0, 1))).admitted);
+  // Shrinking back always admits.
+  EXPECT_TRUE(service.handle(mutate(0, task("a", 100, 10.0, 0))).admitted);
+}
+
+TEST(AdmissionService, MinLevelMatchesBruteForceOverChurn) {
+  // Both search strategies (hinted walk and binary search), against the
+  // linear-scan reference, across a random churn run on the full
+  // ARM8-like 93-level table.
+  for (const bool incremental : {true, false}) {
+    ServiceConfig config;
+    config.incremental = incremental;
+    config.scaling = wcet::FrequencyScalingModel{0.3};
+    ChurnConfig churn;
+    churn.requests = 80;
+    const ChurnStream stream = make_churn_stream(churn, 2026);
+    AdmissionService service(stream.initial, config);
+    int checked = 0;
+    for (const ChurnOp& op : stream.ops) {
+      const auto request = resolve(op, service.tasks());
+      if (!request.has_value()) continue;
+      const Decision d = service.handle(*request);
+      if (!d.admitted) continue;
+      ASSERT_EQ(d.min_level, brute_force_min_level(service.tasks(), config))
+          << "incremental=" << incremental;
+      ++checked;
+    }
+    EXPECT_GT(checked, 20) << "churn run admitted too few requests";
+  }
+}
+
+TEST(AdmissionService, MemoryBoundTasksNeedLowerFrequency) {
+  // beta > 0 stretches WCET less when slowing down, so the minimum safe
+  // level can only be <= the ideal model's.
+  ServiceConfig ideal = small_table_config();
+  ServiceConfig memory_bound = small_table_config();
+  memory_bound.scaling = wcet::FrequencyScalingModel{0.8};
+
+  AdmissionService a(sched::TaskSet{}, ideal);
+  AdmissionService b(sched::TaskSet{}, memory_bound);
+  const Decision da = a.handle(add(task("t", 100, 60.0, 0)));
+  const Decision db = b.handle(add(task("t", 100, 60.0, 0)));
+  ASSERT_TRUE(da.admitted);
+  ASSERT_TRUE(db.admitted);
+  // Ideal: 75 MHz stretches 60 -> 80 <= 100, 50 MHz -> 120 > 100.
+  EXPECT_EQ(da.min_level, 2);
+  // beta=0.8 at 25 MHz: stretch = 1 + 0.2*3 = 1.6 -> 96 <= 100.
+  EXPECT_EQ(db.min_level, 0);
+  EXPECT_LE(db.min_level, da.min_level);
+}
+
+TEST(AdmissionService, CacheHitReplaysDecisionBitwise) {
+  // add A, add B, remove B, re-add B: the final state repeats an
+  // earlier fingerprint, so the second "add B" must hit and reproduce
+  // the exact first decision.
+  ServiceConfig with_cache = small_table_config();
+  ServiceConfig no_cache = small_table_config();
+  no_cache.use_cache = false;
+
+  AdmissionService cached(sched::TaskSet{}, with_cache);
+  AdmissionService plain(sched::TaskSet{}, no_cache);
+  const sched::Task a = task("a", 100, 30.0, 0);
+  const sched::Task b = task("b", 400, 100.0, 1);
+
+  Decision dc{}, dp{};
+  for (const Request& r :
+       {add(a), add(b), remove(1), add(b)}) {
+    dc = cached.handle(r);
+    dp = plain.handle(r);
+    EXPECT_EQ(dc.admitted, dp.admitted);
+    EXPECT_EQ(dc.min_level, dp.min_level);
+    EXPECT_EQ(dc.min_safe_mhz, dp.min_safe_mhz);  // Bitwise.
+    EXPECT_EQ(dc.fingerprint, dp.fingerprint);
+  }
+  EXPECT_TRUE(dc.cache_hit);   // The re-add replayed from the cache.
+  EXPECT_FALSE(dp.cache_hit);  // The uncached arm analyzed again.
+  EXPECT_GE(cached.cache_counters().hits, 1u);
+  EXPECT_EQ(plain.cache_counters().hits, 0u);
+  // Adopted state is indistinguishable from the recomputed one.
+  ASSERT_EQ(cached.response_times().size(), plain.response_times().size());
+  for (std::size_t i = 0; i < cached.response_times().size(); ++i) {
+    EXPECT_EQ(cached.response_times()[i], plain.response_times()[i]);
+  }
+}
+
+TEST(AdmissionService, RequiresDiscreteTableAndSchedulableInitial) {
+  ServiceConfig continuous;
+  continuous.table = power::FrequencyTable::continuous(8, 100);
+  EXPECT_THROW(AdmissionService(sched::TaskSet{}, continuous),
+               std::logic_error);
+
+  sched::TaskSet overload;
+  overload.add(task("x", 100, 90.0, 0));
+  overload.add(task("y", 100, 90.0, 1));
+  EXPECT_THROW(AdmissionService(std::move(overload), small_table_config()),
+               std::logic_error);
+}
+
+TEST(AdmissionService, CanonicalKeyIgnoresNameBcetPhase) {
+  sched::TaskSet s1, s2;
+  sched::Task t1 = task("alpha", 100, 10.0, 0);
+  sched::Task t2 = task("beta", 100, 10.0, 0);
+  t2.bcet = 5.0;
+  t2.phase = 7;
+  s1.add(t1);
+  s2.add(t2);
+  EXPECT_EQ(AdmissionService::canonical_key(s1),
+            AdmissionService::canonical_key(s2));
+  sched::TaskSet s3;
+  s3.add(task("alpha", 100, 10.5, 0));  // WCET differs -> key differs.
+  EXPECT_NE(AdmissionService::canonical_key(s1),
+            AdmissionService::canonical_key(s3));
+}
+
+}  // namespace
+}  // namespace lpfps::admission

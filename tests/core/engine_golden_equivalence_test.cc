@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/fingerprint.h"
 #include "core/static_slowdown.h"
 #include "exec/exec_model.h"
 #include "io/trace_io.h"
@@ -40,24 +41,10 @@
 namespace lpfps {
 namespace {
 
-std::uint64_t fnv1a(const std::string& text) {
-  std::uint64_t hash = 1469598103934665603ull;
-  for (const unsigned char c : text) {
-    hash ^= c;
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
-
-std::string hex64(std::uint64_t value) {
-  static const char* digits = "0123456789abcdef";
-  std::string out(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    out[static_cast<std::size_t>(i)] = digits[value & 0xf];
-    value >>= 4;
-  }
-  return out;
-}
+// The hashing itself lives in core/fingerprint.h — the same FNV-1a the
+// admission cache and cycle detector use; goldens pin its output too.
+using core::fnv1a;
+using core::hex64;
 
 struct GoldenRow {
   std::int64_t segment_count = 0;

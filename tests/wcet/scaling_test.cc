@@ -1,0 +1,119 @@
+// wcet/scaling.h — the non-ideal WCET-vs-frequency model.
+#include "wcet/scaling.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/priority.h"
+#include "sched/task_set.h"
+
+namespace lpfps::wcet {
+namespace {
+
+TEST(ScalingModel, IdealRecoversOneOverF) {
+  const FrequencyScalingModel ideal = FrequencyScalingModel::ideal();
+  EXPECT_DOUBLE_EQ(ideal.stretch(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(ideal.stretch(0.25), 4.0);
+  EXPECT_DOUBLE_EQ(ideal.scaled_wcet(10.0, 0.5), 20.0);
+}
+
+TEST(ScalingModel, StretchIsExactlyOneAtFullSpeed) {
+  // Bitwise 1.0 at ratio 1 for every beta — the admission service's
+  // "top level == base set" identity rests on this.
+  for (const double beta : {0.0, 0.15, 0.5, 0.99, 1.0}) {
+    const FrequencyScalingModel model{beta};
+    EXPECT_EQ(model.stretch(1.0), 1.0) << "beta=" << beta;
+    EXPECT_EQ(model.scaled_wcet(12.75, 1.0), 12.75) << "beta=" << beta;
+  }
+}
+
+TEST(ScalingModel, MemoryBoundFractionDoesNotScale) {
+  // beta = 0.4: at half speed the compute 60% doubles, the memory 40%
+  // stays put: stretch = 0.6*2 + 0.4 = 1.6.
+  const FrequencyScalingModel model{0.4};
+  EXPECT_DOUBLE_EQ(model.stretch(0.5), 1.6);
+  // Fully memory-bound: the clock is irrelevant.
+  const FrequencyScalingModel bound{1.0};
+  EXPECT_DOUBLE_EQ(bound.stretch(0.1), 1.0);
+}
+
+TEST(ScalingModel, NonIdealStretchesLessThanIdeal) {
+  const FrequencyScalingModel ideal = FrequencyScalingModel::ideal();
+  const FrequencyScalingModel real{0.3};
+  for (const double r : {0.1, 0.3, 0.5, 0.9}) {
+    EXPECT_LT(real.stretch(r), ideal.stretch(r)) << "ratio=" << r;
+    EXPECT_GT(real.stretch(r), 1.0) << "ratio=" << r;
+  }
+}
+
+TEST(ScalingModel, MinRatioForBudgetInvertsScaledWcet) {
+  const FrequencyScalingModel model{0.25};
+  const auto ratio = model.min_ratio_for_budget(10.0, 16.0);
+  ASSERT_TRUE(ratio.has_value());
+  EXPECT_NEAR(model.scaled_wcet(10.0, *ratio), 16.0, 1e-9);
+  // Budget below the non-scaling floor (beta * C) is unreachable...
+  EXPECT_FALSE(model.min_ratio_for_budget(10.0, 2.0).has_value());
+  // ...and a budget below C needs r > 1: also unreachable.
+  EXPECT_FALSE(model.min_ratio_for_budget(10.0, 9.0).has_value());
+  // Budget == C is met exactly at full speed.
+  const auto exact = model.min_ratio_for_budget(10.0, 10.0);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_DOUBLE_EQ(*exact, 1.0);
+}
+
+TEST(ScalingModel, ValidateRejectsOutOfRangeBeta) {
+  EXPECT_THROW(FrequencyScalingModel{-0.1}.validate(), std::logic_error);
+  EXPECT_THROW(FrequencyScalingModel{1.1}.validate(), std::logic_error);
+  FrequencyScalingModel{0.0}.validate();
+  FrequencyScalingModel{1.0}.validate();
+}
+
+sched::TaskSet two_tasks() {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("a", 100, 20.0));
+  tasks.add(sched::make_task("b", 200, 60.0));
+  sched::assign_rate_monotonic(tasks);
+  return tasks;
+}
+
+TEST(ScaledTaskSet, StretchesWcetAndBcetOnly) {
+  const sched::TaskSet base = two_tasks();
+  const FrequencyScalingModel model{0.5};
+  const auto scaled = scaled_task_set(base, model, 0.5);
+  ASSERT_TRUE(scaled.has_value());
+  ASSERT_EQ(scaled->size(), 2u);
+  // stretch(0.5) at beta 0.5 = 1 + 0.5*(2-1) = 1.5.
+  EXPECT_DOUBLE_EQ((*scaled)[0].wcet, 30.0);
+  EXPECT_DOUBLE_EQ((*scaled)[1].wcet, 90.0);
+  EXPECT_EQ((*scaled)[0].period, 100);
+  EXPECT_EQ((*scaled)[0].deadline, 100);
+  EXPECT_EQ((*scaled)[0].priority, base[0].priority);
+  EXPECT_LE((*scaled)[0].bcet, (*scaled)[0].wcet);
+}
+
+TEST(ScaledTaskSet, FullSpeedIsBitIdentical) {
+  const sched::TaskSet base = two_tasks();
+  const auto scaled =
+      scaled_task_set(base, FrequencyScalingModel{0.3}, 1.0);
+  ASSERT_TRUE(scaled.has_value());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ((*scaled)[static_cast<TaskIndex>(i)].wcet,
+              base[static_cast<TaskIndex>(i)].wcet);
+    EXPECT_EQ((*scaled)[static_cast<TaskIndex>(i)].bcet,
+              base[static_cast<TaskIndex>(i)].bcet);
+  }
+}
+
+TEST(ScaledTaskSet, OverrunningDeadlineYieldsNullopt) {
+  sched::TaskSet tasks;
+  tasks.add(sched::make_task("tight", 100, 60.0));  // D = T = 100.
+  sched::assign_rate_monotonic(tasks);
+  // Ideal stretch at 0.5 doubles the WCET to 120 > 100.
+  EXPECT_FALSE(
+      scaled_task_set(tasks, FrequencyScalingModel::ideal(), 0.5).has_value());
+  // A mostly memory-bound task still fits: stretch = 1 + 0.2*1 = 1.2.
+  EXPECT_TRUE(
+      scaled_task_set(tasks, FrequencyScalingModel{0.8}, 0.5).has_value());
+}
+
+}  // namespace
+}  // namespace lpfps::wcet
