@@ -6,10 +6,13 @@
 // preemption and reports both the energy impact and the point where
 // unbudgeted overhead breaks the schedule.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "audit/harness.h"
 #include "core/engine.h"
 #include "exec/exec_model.h"
+#include "fleet/fleet.h"
 #include "metrics/table.h"
 #include "workloads/registry.h"
 
@@ -21,23 +24,39 @@ int main() {
   std::puts("== Ablation A8: context-switch overhead (FPS, BCET/WCET=0.5) ==");
   metrics::Table table({"workload", "cost (us)", "avg power",
                         "preemptions", "verdict"});
+  // Gather the whole grid as specs, dispatch through the routed
+  // harness (serial audit::simulate, or the sharded fleet under
+  // LPFPS_FLEET — byte-identical either way), consume in grid order.
+  struct Row {
+    std::string workload;
+    double cost;
+  };
+  std::vector<Row> rows;
+  std::vector<fleet::SimSpec> specs;
   for (const workloads::Workload& w : workloads::paper_workloads()) {
     for (const double cost : {0.0, 1.0, 10.0, 100.0, 1000.0}) {
-      core::EngineOptions options;
-      options.horizon = std::min(w.horizon, 2e6);
-      options.context_switch_cost = cost;
-      options.throw_on_miss = false;
-      const auto result = audit::simulate(
-          w.tasks.with_bcet_ratio(0.5), cpu, core::SchedulerPolicy::fps(),
-          exec, options);
-      table.add_row(
-          {w.name, metrics::Table::num(cost, 0),
-           metrics::Table::num(result.average_power, 4),
-           std::to_string(result.context_switches),
-           result.deadline_misses == 0
-               ? "ok"
-               : std::to_string(result.deadline_misses) + " misses"});
+      fleet::SimSpec spec;
+      spec.tasks = w.tasks.with_bcet_ratio(0.5);
+      spec.processor = cpu;
+      spec.policy = core::SchedulerPolicy::fps();
+      spec.exec_model = exec;
+      spec.options.horizon = std::min(w.horizon, 2e6);
+      spec.options.context_switch_cost = cost;
+      spec.options.throw_on_miss = false;
+      specs.push_back(std::move(spec));
+      rows.push_back({w.name, cost});
     }
+  }
+  const auto results = audit::simulate_routed(std::move(specs));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    table.add_row(
+        {rows[i].workload, metrics::Table::num(rows[i].cost, 0),
+         metrics::Table::num(result.average_power, 4),
+         std::to_string(result.context_switches),
+         result.deadline_misses == 0
+             ? "ok"
+             : std::to_string(result.deadline_misses) + " misses"});
   }
   std::fputs(table.to_aligned().c_str(), stdout);
   std::puts(

@@ -3,6 +3,10 @@
 // The paper assumes 1 MHz steps between 8 and 100 MHz (L18 quantizes the
 // computed ratio up to the next level).  Coarser grids waste slack; this
 // bench quantifies how much.
+//
+// Fleet routing: every cell runs through metrics::run_bcet_sweep, which
+// dispatches its job grid onto the sharded audited fleet under
+// LPFPS_FLEET (byte-identical output; see docs/EXPERIMENTS.md).
 #include <cstdio>
 
 #include "metrics/experiment.h"

@@ -12,6 +12,7 @@
 #include "audit/harness.h"
 #include "core/engine.h"
 #include "exec/exec_model.h"
+#include "fleet/fleet.h"
 #include "metrics/table.h"
 #include "sched/analysis.h"
 #include "workloads/registry.h"
@@ -26,8 +27,18 @@ int main() {
   metrics::Table table(
       {"jitter (fraction of period)", "INS", "CNC", "Flight control"});
 
+  // Two passes: gather every schedulable cell's (fps, lpfps) spec pair
+  // in grid order, dispatch once through the routed harness (serial or
+  // sharded fleet under LPFPS_FLEET — byte-identical), then rebuild
+  // the table consuming results pairwise.
+  constexpr int kSeeds = 3;
+  struct Cell {
+    double fraction;
+    bool schedulable;
+  };
+  std::vector<Cell> cells;
+  std::vector<fleet::SimSpec> specs;
   for (const double fraction : {0.0, 0.01, 0.05, 0.1, 0.2}) {
-    std::vector<std::string> row = {metrics::Table::num(fraction, 2)};
     for (const char* name : {"INS", "CNC", "Flight control"}) {
       const workloads::Workload w = workloads::workload_by_name(name);
       const sched::TaskSet tasks = w.tasks.with_bcet_ratio(0.5);
@@ -42,26 +53,43 @@ int main() {
         extras.jitter[i] = j;
       }
       if (!sched::is_schedulable_extended(tasks, extras)) {
+        cells.push_back({fraction, false});
+        continue;
+      }
+      cells.push_back({fraction, true});
+
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        for (const auto& policy :
+             {core::SchedulerPolicy::fps(), core::SchedulerPolicy::lpfps()}) {
+          fleet::SimSpec spec;
+          spec.tasks = tasks;
+          spec.processor = cpu;
+          spec.policy = policy;
+          spec.exec_model = exec;
+          spec.options.horizon = std::min(w.horizon, 2e6);
+          spec.options.seed = static_cast<std::uint64_t>(seed);
+          spec.options.release_jitter = jitter;
+          specs.push_back(std::move(spec));
+        }
+      }
+    }
+  }
+  const auto results = audit::simulate_routed(std::move(specs));
+
+  std::size_t cell = 0;
+  std::size_t next = 0;
+  for (const double fraction : {0.0, 0.01, 0.05, 0.1, 0.2}) {
+    std::vector<std::string> row = {metrics::Table::num(fraction, 2)};
+    for (int column = 0; column < 3; ++column) {
+      if (!cells[cell++].schedulable) {
         row.push_back("-");
         continue;
       }
-
       double fps_total = 0.0;
       double lpfps_total = 0.0;
-      const int seeds = 3;
-      for (int seed = 1; seed <= seeds; ++seed) {
-        core::EngineOptions options;
-        options.horizon = std::min(w.horizon, 2e6);
-        options.seed = static_cast<std::uint64_t>(seed);
-        options.release_jitter = jitter;
-        fps_total += audit::simulate(tasks, cpu,
-                                    core::SchedulerPolicy::fps(), exec,
-                                    options)
-                         .average_power;
-        lpfps_total += audit::simulate(tasks, cpu,
-                                      core::SchedulerPolicy::lpfps(),
-                                      exec, options)
-                           .average_power;
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        fps_total += results[next++].average_power;
+        lpfps_total += results[next++].average_power;
       }
       row.push_back(metrics::Table::num(
           100.0 * (1.0 - lpfps_total / fps_total), 1));

@@ -4,10 +4,12 @@
 //   LPFPS-dvs : DVS only (idle is still busy-waited)
 //   LPFPS     : both (the paper's full scheme)
 #include <cstdio>
+#include <vector>
 
 #include "audit/harness.h"
 #include "core/engine.h"
 #include "exec/exec_model.h"
+#include "fleet/fleet.h"
 #include "metrics/table.h"
 #include "workloads/registry.h"
 
@@ -20,28 +22,46 @@ int main() {
   std::puts("== Ablation A2: mechanism contributions (BCET/WCET = 0.5) ==");
   metrics::Table table({"workload", "FPS", "PD-only", "DVS-only",
                         "LPFPS (both)", "reduction %"});
-  for (const workloads::Workload& w : workloads::paper_workloads()) {
+  // Gather the (workload x policy x seed) grid as specs, dispatch once
+  // through the routed harness (serial audit::simulate, or the sharded
+  // fleet under LPFPS_FLEET — byte-identical), consume in grid order.
+  constexpr int kSeeds = 5;
+  const core::SchedulerPolicy policies[] = {
+      core::SchedulerPolicy::fps(), core::SchedulerPolicy::lpfps_powerdown_only(),
+      core::SchedulerPolicy::lpfps_dvs_only(), core::SchedulerPolicy::lpfps()};
+  const auto workloads_list = workloads::paper_workloads();
+  std::vector<fleet::SimSpec> specs;
+  for (const workloads::Workload& w : workloads_list) {
     const sched::TaskSet tasks = w.tasks.with_bcet_ratio(bcet_ratio);
-    core::EngineOptions options;
-    options.horizon = std::min(w.horizon, 5e6);
-
-    auto power_of = [&](const core::SchedulerPolicy& policy) {
-      double total = 0.0;
-      const int seeds = 5;
-      for (int seed = 1; seed <= seeds; ++seed) {
-        options.seed = static_cast<std::uint64_t>(seed);
-        total +=
-            audit::simulate(tasks, cpu, policy, exec, options).average_power;
+    for (const auto& policy : policies) {
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        fleet::SimSpec spec;
+        spec.tasks = tasks;
+        spec.processor = cpu;
+        spec.policy = policy;
+        spec.exec_model = exec;
+        spec.options.horizon = std::min(w.horizon, 5e6);
+        spec.options.seed = static_cast<std::uint64_t>(seed);
+        specs.push_back(std::move(spec));
       }
-      return total / seeds;
-    };
+    }
+  }
+  const auto results = audit::simulate_routed(std::move(specs));
 
-    const double fps = power_of(core::SchedulerPolicy::fps());
-    const double pd = power_of(core::SchedulerPolicy::lpfps_powerdown_only());
-    const double dvs = power_of(core::SchedulerPolicy::lpfps_dvs_only());
-    const double both = power_of(core::SchedulerPolicy::lpfps());
+  std::size_t next = 0;
+  for (const workloads::Workload& w : workloads_list) {
+    double mean[4] = {};
+    for (double& policy_mean : mean) {
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        policy_mean += results[next++].average_power;
+      }
+      policy_mean /= kSeeds;
+    }
+    const double fps = mean[0];
+    const double both = mean[3];
     table.add_row({w.name, metrics::Table::num(fps, 4),
-                   metrics::Table::num(pd, 4), metrics::Table::num(dvs, 4),
+                   metrics::Table::num(mean[1], 4),
+                   metrics::Table::num(mean[2], 4),
                    metrics::Table::num(both, 4),
                    metrics::Table::num(100.0 * (1.0 - both / fps), 1)});
   }

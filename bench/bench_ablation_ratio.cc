@@ -5,6 +5,10 @@
 // runs it.  CNC (WCETs 35..720 us vs a ~10 us transition) is exactly the
 // regime where the two diverge; a synthetic even-shorter-window set
 // stresses it further.
+//
+// Fleet routing: every cell runs through metrics::run_bcet_sweep, which
+// dispatches its job grid onto the sharded audited fleet under
+// LPFPS_FLEET (byte-identical output; see docs/EXPERIMENTS.md).
 #include <cstdio>
 
 #include "metrics/experiment.h"

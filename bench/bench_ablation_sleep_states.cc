@@ -7,10 +7,12 @@
 // full-power wake-up amortizes.  This bench compares the classic single
 // state against the ladder across the workloads.
 #include <cstdio>
+#include <vector>
 
 #include "audit/harness.h"
 #include "core/engine.h"
 #include "exec/exec_model.h"
+#include "fleet/fleet.h"
 #include "metrics/table.h"
 #include "workloads/registry.h"
 
@@ -21,23 +23,43 @@ int main() {
   std::puts("== Ablation A10: sleep-state hierarchy (LPFPS, BCET/WCET=0.5) ==");
   metrics::Table table({"workload", "single 5%/10cyc", "PPC-style ladder",
                         "extra saving %"});
-  for (const workloads::Workload& w : workloads::paper_workloads()) {
+  // Gather the (workload x processor x seed) grid as specs, dispatch
+  // once through the routed harness (serial audit::simulate, or the
+  // sharded fleet under LPFPS_FLEET — byte-identical), consume in
+  // grid order.
+  const power::ProcessorConfig processors[] = {
+      power::ProcessorConfig::arm8_default(),
+      power::ProcessorConfig::with_sleep_hierarchy()};
+  const auto workloads_list = workloads::paper_workloads();
+  std::vector<fleet::SimSpec> specs;
+  for (const workloads::Workload& w : workloads_list) {
     const sched::TaskSet tasks = w.tasks.with_bcet_ratio(0.5);
-    auto run = [&](const power::ProcessorConfig& cpu) {
-      double total = 0.0;
+    for (const auto& cpu : processors) {
       for (int seed = 1; seed <= 3; ++seed) {
-        core::EngineOptions options;
-        options.horizon = std::min(w.horizon, 5e6);
-        options.seed = static_cast<std::uint64_t>(seed);
-        total += audit::simulate(tasks, cpu, core::SchedulerPolicy::lpfps(),
-                                exec, options)
-                     .average_power;
+        fleet::SimSpec spec;
+        spec.tasks = tasks;
+        spec.processor = cpu;
+        spec.policy = core::SchedulerPolicy::lpfps();
+        spec.exec_model = exec;
+        spec.options.horizon = std::min(w.horizon, 5e6);
+        spec.options.seed = static_cast<std::uint64_t>(seed);
+        specs.push_back(std::move(spec));
       }
-      return total / 3.0;
-    };
-    const double classic = run(power::ProcessorConfig::arm8_default());
-    const double ladder =
-        run(power::ProcessorConfig::with_sleep_hierarchy());
+    }
+  }
+  const auto results = audit::simulate_routed(std::move(specs));
+
+  std::size_t next = 0;
+  for (const workloads::Workload& w : workloads_list) {
+    double mean[2] = {};
+    for (double& cpu_mean : mean) {
+      for (int seed = 1; seed <= 3; ++seed) {
+        cpu_mean += results[next++].average_power;
+      }
+      cpu_mean /= 3.0;
+    }
+    const double classic = mean[0];
+    const double ladder = mean[1];
     table.add_row({w.name, metrics::Table::num(classic, 4),
                    metrics::Table::num(ladder, 4),
                    metrics::Table::num(

@@ -5,6 +5,10 @@
 // of the same order.  This bench sweeps rho from 10x slower to
 // effectively instant and reports the LPFPS saving on the two extreme
 // workloads: CNC (short windows) and INS (long windows).
+//
+// Fleet routing: every cell runs through metrics::run_bcet_sweep, which
+// dispatches its job grid onto the sharded audited fleet under
+// LPFPS_FLEET (byte-identical output; see docs/EXPERIMENTS.md).
 #include <cstdio>
 
 #include "metrics/experiment.h"

@@ -13,7 +13,10 @@
 // section measures the batched fleet engine (docs/FLEET.md): aggregate
 // events/sec across a pool of small UUniFast sims at batch widths
 // 1/64/256/1024, where width 1 is the serial core::simulate-per-spec
-// status quo — the scaling claim the fleet is gated on.
+// status quo — the scaling claim the fleet is gated on.  A sixth
+// section isolates lane-block scheduling: wide widths flat
+// (lane_block=0) versus blocked (lane_block=64), gated on
+// width-1024-blocked staying within 15% of the section peak.
 //
 // Emits BENCH_kernel_throughput.json; CI's perf-smoke job diffs the
 // events/sec columns against bench/baseline_kernel_throughput.json and
@@ -245,6 +248,12 @@ int main() {
   const auto exec = std::make_shared<exec::ClampedGaussianModel>();
   const std::uint64_t kSeed = 7;
   const Time kHorizonCap = 1e6;
+  // One LPFPS_CYCLE read for the whole bench, baked into every
+  // EngineOptions below — the engine otherwise re-reads the
+  // environment at each measured run's begin(), once per width point
+  // in the fleet sections, and runs started at different times could
+  // in principle disagree about the gate mid-bench.
+  const bool cycle_env = core::cycle_detection_env_enabled();
   json.meta()
       .set("seed", kSeed)
       .set("horizon_cap_us", kHorizonCap)
@@ -261,6 +270,7 @@ int main() {
     core::EngineOptions options;
     options.horizon = std::min(w.horizon, kHorizonCap);
     options.seed = kSeed;
+    options.cycle_detection = cycle_env;
     for (const core::SchedulerPolicy& policy : bench_policies()) {
       if (audit::enabled()) {
         (void)audit::simulate(tasks, cpu, policy, exec, options, &agg);
@@ -291,6 +301,7 @@ int main() {
     core::EngineOptions options;
     options.horizon = kHorizonCap;
     options.seed = kSeed;
+    options.cycle_detection = cycle_env;
     const std::string name = "uunifast-" + std::to_string(task_count);
     for (const core::SchedulerPolicy& policy :
          {core::SchedulerPolicy::fps(), core::SchedulerPolicy::lpfps()}) {
@@ -341,6 +352,7 @@ int main() {
     core::EngineOptions on;
     on.horizon = 12.0 * hyper;
     on.seed = kSeed;
+    on.cycle_detection = cycle_env;
     core::EngineOptions off = on;
     off.cycle_detection = false;
     const core::SchedulerPolicy policy = core::SchedulerPolicy::lpfps();
@@ -400,6 +412,7 @@ int main() {
       core::EngineOptions options;
       options.horizon = 10'000;
       options.seed = runner::derive_seed(kSeed, specs.size());
+      options.cycle_detection = cycle_env;
       const core::SchedulerPolicy policy = specs.size() % 2 == 0
                                                ? core::SchedulerPolicy::fps()
                                                : core::SchedulerPolicy::lpfps();
@@ -436,6 +449,44 @@ int main() {
                     ? width256_events_per_sec / width1_events_per_sec
                     : 0.0,
                 kFleetSims);
+
+    // ---- Section 6: lane-block scheduling (docs/FLEET.md). -------------
+    // The same spec pool at wide batch widths, flat (lane_block = 0,
+    // the whole batch one block — the pre-blocking behavior) versus
+    // blocked (lane_block = 64, the default): blocking keeps the live
+    // working set cache-resident, so wide widths should recover to near
+    // the width-64 sweet spot instead of streaming lanes from memory.
+    // The width-64 row is the in-section reference; CI gates
+    // "width-1024-blocked >= 0.85 x the section max" via
+    // check_perf_regression.py --min-ratio.
+    struct BlockPoint {
+      const char* name;
+      std::size_t width;
+      std::size_t lane_block;
+    };
+    const BlockPoint block_points[] = {
+        {"width-64", 64, 64},
+        {"width-256-flat", 256, 0},
+        {"width-256-blocked", 256, 64},
+        {"width-1024-flat", 1024, 0},
+        {"width-1024-blocked", 1024, 64},
+    };
+    for (const BlockPoint& point : block_points) {
+      fleet::FleetOptions fleet_options;
+      fleet_options.batch_width = point.width;
+      fleet_options.lane_block = point.lane_block;
+      fleet::FleetEngine engine(fleet_options);
+      for (const fleet::SimSpec& spec : specs) engine.add(spec);
+      const Throughput t = measure([&engine] {
+        std::int64_t events = 0;
+        for (const core::SimulationResult& result : engine.run_all()) {
+          events += result.scheduler_invocations;
+        }
+        return events;
+      });
+      print_row("fleet_block", point.name, "fps+lpfps", t, {});
+      add_point(json, "fleet_block", point.name, "fps+lpfps", t, {});
+    }
   }
 
   if (audit::enabled()) {

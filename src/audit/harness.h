@@ -126,6 +126,29 @@ std::vector<core::SimulationResult> simulate_fleet(
     std::vector<fleet::SimSpec> specs, const fleet::FleetOptions& fleet_options,
     AuditAggregator* aggregator = nullptr);
 
+/// Sharded twin of simulate_fleet: runs the specs through
+/// fleet::run_fleet_sharded (one FleetEngine per ThreadPool worker,
+/// contiguous positional shards) and audits the results on the calling
+/// thread, in spec order.  Output is byte-identical to simulate_fleet
+/// for any worker count — sharding only changes which thread runs a
+/// lane.  `threads == 0` means runner::default_job_count()
+/// (LPFPS_JOBS).  With the audit disabled this is exactly
+/// fleet::run_fleet_sharded.
+std::vector<core::SimulationResult> simulate_fleet_sharded(
+    std::vector<fleet::SimSpec> specs, const fleet::FleetOptions& fleet_options,
+    AuditAggregator* aggregator = nullptr, std::size_t threads = 0);
+
+/// The bench routing switch: runs `specs` through the sharded audited
+/// fleet when fleet routing is on (fleet::enabled(), i.e. LPFPS_FLEET),
+/// and through per-spec audit::simulate calls — today's serial sweep
+/// loop — when it is off.  Both paths return results in spec order and
+/// are byte-identical by the fleet's bit-identity contract, so a sweep
+/// can build its spec list once and dispatch here instead of carrying
+/// two loop bodies.
+std::vector<core::SimulationResult> simulate_routed(
+    std::vector<fleet::SimSpec> specs, AuditAggregator* aggregator = nullptr,
+    const fleet::FleetOptions& fleet_options = {}, std::size_t threads = 0);
+
 /// core::normalized_power with both runs audited.
 double normalized_power(const sched::TaskSet& tasks,
                         const power::ProcessorConfig& processor,

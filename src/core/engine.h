@@ -131,6 +131,13 @@ class Engine {
   exec::ExecModelPtr exec_model_;
 };
 
+/// The LPFPS_CYCLE runtime gate: false iff the environment variable is
+/// set to 0/off/false.  The engine re-reads it at every begin(); this
+/// accessor lets a caller hoist one read for a whole section of work
+/// (bake the verdict into EngineOptions::cycle_detection) so runs
+/// started at different times cannot disagree about the gate mid-bench.
+bool cycle_detection_env_enabled();
+
 /// One-call convenience wrapper.
 SimulationResult simulate(const sched::TaskSet& tasks,
                           const power::ProcessorConfig& processor,

@@ -25,15 +25,19 @@ using namespace detail;
 
 namespace {
 
+}  // namespace
+
 /// LPFPS_CYCLE=0/off/false force-disables steady-state fast-forward
 /// regardless of EngineOptions::cycle_detection (the same convention the
 /// audit layer uses for LPFPS_AUDIT).
-bool cycle_detection_enabled_by_env() {
+bool cycle_detection_env_enabled() {
   const char* value = std::getenv("LPFPS_CYCLE");
   if (value == nullptr) return true;
   return std::strcmp(value, "0") != 0 && std::strcmp(value, "off") != 0 &&
          std::strcmp(value, "false") != 0;
 }
+
+namespace {
 
 
 /// The begin() validation bundle, shared with SimState::prepare so the
@@ -672,7 +676,7 @@ void SimState::setup_cycle_detection(const SpecPrep* prep) {
           ? (prep->cycle_eligible ? prep->hyperperiod : 0)
           : eligible_cycle_hyperperiod(*tasks_, exec_model_, *options_);
   if (hyper == 0) return;
-  if (!cycle_detection_enabled_by_env()) return;
+  if (!cycle_detection_env_enabled()) return;
   const Time length = static_cast<Time>(hyper);
   cycle_length_ = length;
   next_boundary_ = length;

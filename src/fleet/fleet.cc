@@ -79,9 +79,34 @@ void FleetEngine::run_batch_serial(std::size_t first, std::size_t last) {
 }
 
 void FleetEngine::run_batch_lockstep(std::size_t first, std::size_t last) {
+  // Lane-block scheduling: carve the batch into blocks of lane_block
+  // lanes and run each block's lockstep loop to completion before the
+  // next block binds.  Lanes are independent, so block size and block
+  // order cannot change any per-sim value (the differential suite pins
+  // both); what they change is cache residency — the live working set
+  // is one block's lanes + specs + mirror slices, not the batch's.
   const std::size_t width = last - first;
+  const std::size_t block =
+      options_.lane_block == 0 ? width : std::min(options_.lane_block, width);
+  if (!options_.reverse_block_order) {
+    for (std::size_t begin = first; begin < last; begin += block) {
+      run_block_lockstep(begin, std::min(last, begin + block));
+    }
+  } else {
+    // Highest-index block first — the verification knob (see header).
+    const std::size_t count = (width + block - 1) / block;
+    for (std::size_t i = count; i-- > 0;) {
+      const std::size_t begin = first + i * block;
+      run_block_lockstep(begin, std::min(last, begin + block));
+    }
+  }
+}
 
-  // Bind the batch onto the lane pool: construct lanes on first use,
+void FleetEngine::run_block_lockstep(std::size_t first, std::size_t last) {
+  const std::size_t width = last - first;
+  ++stats_.blocks;
+
+  // Bind the block onto the lane pool: construct lanes on first use,
   // rebind (buffer-reusing reset) thereafter, and refresh the SoA
   // mirrors from each lane's post-begin state.
   if (lanes_.size() < width) lanes_.resize(width);
@@ -233,6 +258,97 @@ std::vector<runner::JobOutcome<core::SimulationResult>> run_fleet_isolated(
   FleetEngine engine(options);
   for (SimSpec& spec : specs) engine.add(std::move(spec));
   return engine.run_outcomes();
+}
+
+namespace {
+
+/// Contiguous positional shards: shard k owns specs
+/// [k * chunk, (k + 1) * chunk).  A pure function of (spec count,
+/// thread count), so the partition — and with it every per-shard
+/// result — is independent of scheduling order.
+struct Sharding {
+  std::size_t shards = 1;
+  std::size_t chunk = 0;
+
+  Sharding(std::size_t specs, std::size_t threads) {
+    if (threads == 0) threads = runner::default_job_count();
+    shards = std::max<std::size_t>(std::min(threads, specs), 1);
+    chunk = (specs + shards - 1) / shards;
+  }
+};
+
+/// Runs one shard's specs through a worker-local FleetEngine and
+/// returns the per-spec outcomes (never throws — run_batch requires
+/// non-throwing jobs; the caller decides what a captured error means).
+/// Moving from the shared spec vector is safe: shards own disjoint
+/// index ranges.
+template <typename RunShard>
+auto shard_out(std::vector<SimSpec>& specs, const FleetOptions& options,
+               const Sharding& sharding, RunShard run_shard) {
+  return runner::run_batch(
+      sharding.shards,
+      [&](std::size_t shard) {
+        FleetEngine engine(options);
+        const std::size_t begin = shard * sharding.chunk;
+        const std::size_t end =
+            std::min(specs.size(), begin + sharding.chunk);
+        for (std::size_t i = begin; i < end; ++i) {
+          engine.add(std::move(specs[i]));
+        }
+        return run_shard(engine);
+      },
+      sharding.shards);
+}
+
+}  // namespace
+
+std::vector<core::SimulationResult> run_fleet_sharded(
+    std::vector<SimSpec> specs, const FleetOptions& options,
+    std::size_t threads) {
+  const Sharding sharding(specs.size(), threads);
+  if (sharding.shards <= 1) return run_fleet(std::move(specs), options);
+  // Workers capture failures as outcomes (run_batch jobs must not
+  // throw); the first bad outcome in spec order rethrows afterwards,
+  // reproducing run_fleet's lowest-index-failure semantics.
+  auto per_shard = shard_out(specs, options, sharding,
+                             [](FleetEngine& engine) {
+                               auto outcomes = engine.run_outcomes();
+                               // Preserve original exception types for
+                               // the rethrow below.
+                               return std::make_pair(std::move(outcomes),
+                                                     engine.take_errors());
+                             });
+  std::vector<core::SimulationResult> results;
+  results.reserve(specs.size());
+  for (auto& [outcomes, errors] : per_shard) {
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+    for (auto& outcome : outcomes) {
+      LPFPS_CHECK(outcome.ok());
+      results.push_back(std::move(*outcome.result));
+    }
+  }
+  return results;
+}
+
+std::vector<runner::JobOutcome<core::SimulationResult>>
+run_fleet_sharded_isolated(std::vector<SimSpec> specs,
+                           const FleetOptions& options, std::size_t threads) {
+  const Sharding sharding(specs.size(), threads);
+  if (sharding.shards <= 1) {
+    return run_fleet_isolated(std::move(specs), options);
+  }
+  std::vector<std::vector<runner::JobOutcome<core::SimulationResult>>>
+      per_shard =
+          shard_out(specs, options, sharding,
+                    [](FleetEngine& engine) { return engine.run_outcomes(); });
+  std::vector<runner::JobOutcome<core::SimulationResult>> outcomes;
+  outcomes.reserve(specs.size());
+  for (auto& shard : per_shard) {
+    for (auto& outcome : shard) outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
 }
 
 }  // namespace lpfps::fleet

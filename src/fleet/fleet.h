@@ -19,7 +19,13 @@
 //     structure-of-arrays view — and each lockstep round performs a
 //     next-event-time reduction over the clock array (the *frontier*),
 //     then advances exactly the lanes inside the window
-//     [frontier, frontier + stride] by whole engine steps.
+//     [frontier, frontier + stride] by whole engine steps;
+//   * within a batch, lanes are scheduled in cache-sized *blocks* of
+//     `lane_block` lanes (default 64 — the measured sweet spot, see
+//     docs/FLEET.md): each block's lockstep loop runs to completion
+//     before the next block binds, so the live working set — lanes,
+//     specs, SoA mirror slices — stays cache-resident at any batch
+//     width instead of streaming from memory past ~64 live lanes.
 //
 // **Bit-identity contract.**  A lane executes the exact same
 // begin()/step().../finish() sequence `core::Engine::run` executes —
@@ -27,9 +33,13 @@
 // interleaving order across lanes cannot influence any per-sim value.
 // Every result (CSV row, coalesced trace, audit report) is therefore
 // bit-identical to a serial `core::simulate` of the same spec.  The
-// differential suite in tests/fleet/ pins this across batch widths,
-// strides, workloads, policies, faulted sims and cycle-eligible sims;
-// docs/FLEET.md documents the argument and the measured scaling.
+// stride-invariance argument extends to *block-order* invariance: a
+// block is just a subset of independent lanes, so any block size and
+// any block execution order yield identical results.  The differential
+// suite in tests/fleet/ pins this across batch widths, strides, block
+// sizes and block orders, workloads, policies, faulted sims and
+// cycle-eligible sims; docs/FLEET.md documents the argument and the
+// measured scaling.
 //
 // **Batch width 1** is defined as the *unbatched serial reference*: the
 // fleet runs each sim through `core::simulate` exactly like today's
@@ -51,6 +61,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <random>
 #include <vector>
@@ -86,10 +97,22 @@ struct FleetOptions {
   /// Lockstep window length in simulated microseconds: each round, the
   /// lanes within `stride` of the frontier (the minimum lane clock)
   /// advance past the window before the next reduction.  <= 0 picks
-  /// 1/16 of the shortest horizon in the batch.  Any positive value
+  /// 1/16 of the shortest horizon in the block.  Any positive value
   /// yields identical results (the differential suite asserts stride
   /// invariance); it only tunes how often the reduction runs.
   Time stride = 0.0;
+  /// Lane-block size: a batch is scheduled as consecutive blocks of
+  /// this many lanes, each block's lockstep loop run to completion
+  /// before the next block binds, keeping the live working set
+  /// cache-resident at any batch width.  0 disables blocking (the
+  /// whole batch is one block — the pre-blocking behavior).  Any value
+  /// yields identical results (block-size/block-order invariance, see
+  /// file comment); it only tunes cache residency.
+  std::size_t lane_block = 64;
+  /// Runs a batch's blocks highest-index-first instead of in add
+  /// order.  A verification knob: the differential suite flips it to
+  /// pin block-order invariance; there is no performance reason to.
+  bool reverse_block_order = false;
 };
 
 /// Execution counters for one run_* call — the observability hooks the
@@ -97,6 +120,7 @@ struct FleetOptions {
 struct FleetStats {
   std::size_t sims = 0;
   std::size_t batches = 0;
+  std::size_t blocks = 0;              ///< Lane blocks run to completion.
   std::size_t lane_constructions = 0;  ///< Fresh SimState allocations.
   std::size_t lane_rebinds = 0;        ///< Buffer-reusing resets.
   std::size_t rounds = 0;              ///< Lockstep reduction rounds.
@@ -136,10 +160,19 @@ class FleetEngine {
   /// Counters of the most recent run_* call.
   const FleetStats& stats() const { return stats_; }
 
+  /// Moves out the per-spec exception_ptrs of the most recent
+  /// run_outcomes() call (null for specs that succeeded).  The sharded
+  /// runner uses this to rethrow the lowest-spec-index failure with
+  /// its original type after a fan-out, matching run_all semantics.
+  std::vector<std::exception_ptr> take_errors() { return std::move(errors_); }
+
  private:
-  /// Runs specs [first, last) on the lane pool; outcomes land in
-  /// outcomes_[first..last).
+  /// Runs specs [first, last) as consecutive lane blocks of
+  /// options_.lane_block; outcomes land in outcomes_[first..last).
   void run_batch_lockstep(std::size_t first, std::size_t last);
+  /// Runs one lane block [first, last) — bind onto the lane pool, then
+  /// the lockstep frontier loop to completion.
+  void run_block_lockstep(std::size_t first, std::size_t last);
   /// The width<=1 reference path: core::simulate per spec.
   void run_batch_serial(std::size_t first, std::size_t last);
 
@@ -160,12 +193,14 @@ class FleetEngine {
   /// + first-block generation — the single largest per-sim fixed cost.
   std::vector<std::mt19937_64> prep_rng_;
 
-  // Lane pool: lane i hosts sim (batch_first + i) of the current batch;
-  // unique_ptr keeps SimState incomplete in this header.
+  // Lane pool: lane i hosts sim (block_first + i) of the current lane
+  // block, so the pool (and the mirrors below) never grow past
+  // lane_block lanes regardless of batch width; unique_ptr keeps
+  // SimState incomplete in this header.
   std::vector<std::unique_ptr<core::SimState>> lanes_;
 
   // Structure-of-arrays mirrors of the hot lane scalars, refreshed
-  // after every advance.  Indexed by lane, sized to the current batch.
+  // after every advance.  Indexed by lane, sized to the current block.
   std::vector<Time> lane_clock_;
   std::vector<std::uint8_t> lane_done_;  ///< finished or errored.
   std::vector<std::uint8_t> lane_mode_;  ///< sim::ProcessorMode.
@@ -194,5 +229,28 @@ std::vector<core::SimulationResult> run_fleet(std::vector<SimSpec> specs,
 /// run_fleet with per-sim fault isolation (JobOutcome per spec).
 std::vector<runner::JobOutcome<core::SimulationResult>> run_fleet_isolated(
     std::vector<SimSpec> specs, const FleetOptions& options = {});
+
+/// Sharded fleet: partitions `specs` positionally into contiguous
+/// shards, one per `runner::ThreadPool` worker, and runs one
+/// FleetEngine per worker.  Because every spec carries its own seed
+/// (the PR 1 positional-seed contract) and shard boundaries are a pure
+/// function of (spec count, worker count), N-worker output is
+/// byte-identical to a serial fleet run of the same specs — results
+/// come back in spec order, and a failure surfaces as the
+/// lowest-spec-index exception exactly like run_fleet (contiguous
+/// ascending shards make the lowest failing shard's lowest failure the
+/// global one).  `threads == 0` means runner::default_job_count()
+/// (LPFPS_JOBS); `threads <= 1` degrades to run_fleet on the calling
+/// thread.
+std::vector<core::SimulationResult> run_fleet_sharded(
+    std::vector<SimSpec> specs, const FleetOptions& options = {},
+    std::size_t threads = 0);
+
+/// run_fleet_sharded with per-sim fault isolation (JobOutcome per
+/// spec, runner::run_batch_isolated semantics).
+std::vector<runner::JobOutcome<core::SimulationResult>>
+run_fleet_sharded_isolated(std::vector<SimSpec> specs,
+                           const FleetOptions& options = {},
+                           std::size_t threads = 0);
 
 }  // namespace lpfps::fleet

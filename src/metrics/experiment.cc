@@ -3,6 +3,7 @@
 #include "audit/harness.h"
 #include "common/check.h"
 #include "exec/exec_model.h"
+#include "fleet/fleet.h"
 #include "metrics/stats.h"
 #include "runner/runner.h"
 
@@ -55,19 +56,41 @@ std::vector<SweepPoint> run_bcet_sweep(const sched::TaskSet& tasks,
     }
   }
 
-  const std::vector<double> powers = runner::run_batch(
-      jobs.size(), [&](std::size_t index) {
-        const SimJob& job = jobs[index];
-        core::EngineOptions options;
-        options.horizon = config.horizon;
-        options.seed = job.seed;
-        // Audited by default (LPFPS_AUDIT=0 opts out): every sweep cell
-        // is trace-verified before its power number enters a figure.
-        return audit::simulate(*job.tasks, cpu, *job.policy,
-                               job.use_exec_model ? exec_model : nullptr,
-                               options)
-            .average_power;
-      });
+  std::vector<double> powers(jobs.size());
+  if (fleet::enabled()) {
+    // Fleet routing (LPFPS_FLEET): the same jobs, in the same order,
+    // as one sharded audited fleet batch.  Seeds are baked into each
+    // spec, so the output is byte-identical to the runner path below.
+    std::vector<fleet::SimSpec> specs;
+    specs.reserve(jobs.size());
+    for (const SimJob& job : jobs) {
+      fleet::SimSpec spec;
+      spec.tasks = *job.tasks;
+      spec.processor = cpu;
+      spec.policy = *job.policy;
+      spec.exec_model = job.use_exec_model ? exec_model : nullptr;
+      spec.options.horizon = config.horizon;
+      spec.options.seed = job.seed;
+      specs.push_back(std::move(spec));
+    }
+    const std::vector<core::SimulationResult> results =
+        audit::simulate_fleet_sharded(std::move(specs), {});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      powers[i] = results[i].average_power;
+    }
+  } else {
+    powers = runner::run_batch(jobs.size(), [&](std::size_t index) {
+      const SimJob& job = jobs[index];
+      core::EngineOptions options;
+      options.horizon = config.horizon;
+      options.seed = job.seed;
+      // Audited by default (LPFPS_AUDIT=0 opts out): every sweep cell
+      // is trace-verified before its power number enters a figure.
+      return audit::simulate(*job.tasks, cpu, *job.policy,
+                             job.use_exec_model ? exec_model : nullptr, options)
+          .average_power;
+    });
+  }
 
   // Reduce in grid order — independent of how many threads ran the
   // batch, so the sweep is bit-identical at any LPFPS_JOBS.

@@ -1,6 +1,7 @@
 #include "multicore/simulate.h"
 
 #include "common/check.h"
+#include "fleet/fleet.h"
 #include "runner/runner.h"
 
 namespace lpfps::multicore {
@@ -17,6 +18,23 @@ MulticoreResult simulate_partitioned(const sched::TaskSet& tasks,
                   "per-core jitter vectors are not remapped; configure "
                   "jitter per core-level run instead");
 
+  // An empty core never runs: account it as parked (power-down
+  // fraction for the whole horizon) — what a real integration would do
+  // with an unused core.
+  const auto parked_core = [&]() {
+    core::SimulationResult idle;
+    idle.policy_name = policy.name + " (parked core)";
+    idle.simulated_time = options.horizon;
+    const auto ladder = cpu.sleep_ladder();
+    double deepest = 1.0;
+    for (const auto& state : ladder) {
+      deepest = std::min(deepest, state.power_fraction);
+    }
+    idle.total_energy = options.horizon * deepest;
+    idle.average_power = deepest;
+    return idle;
+  };
+
   // Cores are independent once partitioned, so they simulate in
   // parallel.  Each core's seed derives from (options.seed, core
   // index), and the reduction below walks cores in index order — the
@@ -24,35 +42,54 @@ MulticoreResult simulate_partitioned(const sched::TaskSet& tasks,
   // shared across concurrent cores: the stock models are stateless,
   // but a TraceDrivenModel (mutable replay cursors) must not be used
   // here.
-  std::vector<core::SimulationResult> per_core = runner::run_batch(
-      partition.cores.size(),
-      [&](std::size_t index) -> core::SimulationResult {
-        const auto& members = partition.cores[index];
-        if (members.empty()) {
-          // An empty core never runs: account it as parked (power-down
-          // fraction for the whole horizon) — what a real integration
-          // would do with an unused core.
-          core::SimulationResult idle;
-          idle.policy_name = policy.name + " (parked core)";
-          idle.simulated_time = options.horizon;
-          const auto ladder = cpu.sleep_ladder();
-          double deepest = 1.0;
-          for (const auto& state : ladder) {
-            deepest = std::min(deepest, state.power_fraction);
-          }
-          idle.total_energy = options.horizon * deepest;
-          idle.average_power = deepest;
-          return idle;
-        }
-        core::EngineOptions core_options = options;
-        core_options.seed = runner::derive_seed(options.seed, index);
-        const sched::TaskSet subset = core_task_set(tasks, members);
-        // Default-on trace audit: a violation on any core throws the
-        // whole batch (partitioned results are only as trustworthy as
-        // their weakest core).
-        return audit::simulate(subset, cpu, policy, exec_model,
-                               core_options);
-      });
+  std::vector<core::SimulationResult> per_core;
+  if (fleet::enabled()) {
+    // Fleet routing (LPFPS_FLEET): non-empty cores become one sharded
+    // audited fleet batch (seeds baked per spec, results in core
+    // order), parked cores are spliced back in around them.  The
+    // per-core seed derivation and audit are unchanged, so the result
+    // is byte-identical to the runner path below.
+    std::vector<fleet::SimSpec> specs;
+    std::vector<std::size_t> spec_core;
+    for (std::size_t index = 0; index < partition.cores.size(); ++index) {
+      if (partition.cores[index].empty()) continue;
+      fleet::SimSpec spec;
+      spec.tasks = core_task_set(tasks, partition.cores[index]);
+      spec.processor = cpu;
+      spec.policy = policy;
+      spec.exec_model = exec_model;
+      spec.options = options;
+      spec.options.seed = runner::derive_seed(options.seed, index);
+      specs.push_back(std::move(spec));
+      spec_core.push_back(index);
+    }
+    std::vector<core::SimulationResult> active =
+        audit::simulate_fleet_sharded(std::move(specs), {});
+    per_core.reserve(partition.cores.size());
+    std::size_t next_active = 0;
+    for (std::size_t index = 0; index < partition.cores.size(); ++index) {
+      if (next_active < spec_core.size() && spec_core[next_active] == index) {
+        per_core.push_back(std::move(active[next_active++]));
+      } else {
+        per_core.push_back(parked_core());
+      }
+    }
+  } else {
+    per_core = runner::run_batch(
+        partition.cores.size(),
+        [&](std::size_t index) -> core::SimulationResult {
+          const auto& members = partition.cores[index];
+          if (members.empty()) return parked_core();
+          core::EngineOptions core_options = options;
+          core_options.seed = runner::derive_seed(options.seed, index);
+          const sched::TaskSet subset = core_task_set(tasks, members);
+          // Default-on trace audit: a violation on any core throws the
+          // whole batch (partitioned results are only as trustworthy as
+          // their weakest core).
+          return audit::simulate(subset, cpu, policy, exec_model,
+                                 core_options);
+        });
+  }
 
   MulticoreResult result;
   for (core::SimulationResult& run : per_core) {

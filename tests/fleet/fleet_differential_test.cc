@@ -1,7 +1,8 @@
 // Differential suite pinning the fleet engine's bit-identity contract:
 // every simulation run through fleet::FleetEngine — at any batch width,
-// any stride, mixed with any neighbours — must produce results
-// bit-identical to a serial core::simulate of the same spec.  Identity
+// any stride, any lane-block size or block order, mixed with any
+// neighbours — must produce results bit-identical to a serial
+// core::simulate of the same spec.  Identity
 // is asserted on the serialized forms the repo treats as ground truth
 // (io::result_csv_row, trace segment/job CSVs), the same currency the
 // runner-determinism and cycle-detection suites use.
@@ -121,6 +122,57 @@ TEST(FleetDifferential, StrideInvariance) {
     for (std::size_t i = 0; i < specs.size(); ++i) {
       EXPECT_EQ(identity(specs[i].tasks, results[i]), serial[i])
           << "sim " << i << " diverged at stride " << stride;
+    }
+  }
+}
+
+/// Lane-block invariance: a batch is scheduled as cache-sized blocks
+/// of lane_block lanes, and any block size — including 0 (the whole
+/// batch as one block, the pre-blocking behavior) and sizes that leave
+/// uneven tails — must be bit-identical to serial.
+TEST(FleetDifferential, BlockSizeInvariance) {
+  const std::vector<fleet::SimSpec> specs = make_specs(6, true);  // 12 sims.
+  const std::vector<std::string> serial = serial_identities(specs);
+
+  for (const std::size_t lane_block :
+       {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{5},
+        std::size_t{12}, std::size_t{64}}) {
+    fleet::FleetOptions options;
+    options.batch_width = specs.size();  // One batch, blocks inside it.
+    options.lane_block = lane_block;
+    fleet::FleetEngine engine(options);
+    for (const fleet::SimSpec& spec : specs) engine.add(spec);
+    const std::vector<core::SimulationResult> results = engine.run_all();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      EXPECT_EQ(identity(specs[i].tasks, results[i]), serial[i])
+          << "sim " << i << " diverged at lane_block " << lane_block;
+    }
+    const std::size_t effective =
+        lane_block == 0 ? specs.size() : lane_block;
+    EXPECT_EQ(engine.stats().blocks,
+              (specs.size() + effective - 1) / effective)
+        << "lane_block " << lane_block;
+  }
+}
+
+/// Block-order invariance: blocks are independent lane subsets, so
+/// running them highest-index-first (the reverse_block_order
+/// verification knob) must change nothing.
+TEST(FleetDifferential, BlockOrderInvariance) {
+  const std::vector<fleet::SimSpec> specs = make_specs(5, true);  // 10 sims.
+  const std::vector<std::string> serial = serial_identities(specs);
+
+  for (const bool reverse : {false, true}) {
+    fleet::FleetOptions options;
+    options.batch_width = specs.size();
+    options.lane_block = 3;  // Four blocks, uneven tail.
+    options.reverse_block_order = reverse;
+    const std::vector<core::SimulationResult> results =
+        fleet::run_fleet(specs, options);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      EXPECT_EQ(identity(specs[i].tasks, results[i]), serial[i])
+          << "sim " << i << " diverged with reverse_block_order="
+          << reverse;
     }
   }
 }

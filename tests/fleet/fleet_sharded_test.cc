@@ -1,0 +1,214 @@
+// Suite pinning the sharded fleet's determinism contract: partitioning
+// a spec list positionally across ThreadPool workers — one FleetEngine
+// per worker — must produce output byte-identical to a serial fleet
+// (and therefore to serial core::simulate) for any worker count,
+// including failure surfacing (lowest-spec-index exception, original
+// type) and per-lane isolation.  Identity is asserted on the same
+// serialized currency the differential suite uses.
+#include "fleet/fleet.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "audit/harness.h"
+#include "core/engine.h"
+#include "exec/exec_model.h"
+#include "gtest/gtest.h"
+#include "io/trace_io.h"
+#include "runner/runner.h"
+#include "sched/analysis.h"
+#include "sched/priority.h"
+#include "workloads/example.h"
+#include "workloads/generator.h"
+
+namespace lpfps {
+namespace {
+
+std::vector<std::string> task_names(const sched::TaskSet& tasks) {
+  std::vector<std::string> names;
+  names.reserve(tasks.size());
+  for (TaskIndex i = 0; i < static_cast<TaskIndex>(tasks.size()); ++i) {
+    names.push_back(tasks[i].name);
+  }
+  return names;
+}
+
+std::string identity(const sched::TaskSet& tasks,
+                     const core::SimulationResult& result) {
+  std::string id = io::result_csv_row(result);
+  if (result.trace.has_value()) {
+    const std::vector<std::string> names = task_names(tasks);
+    id += io::trace_segments_csv(*result.trace, names);
+    id += io::trace_jobs_csv(*result.trace, names);
+  }
+  return id;
+}
+
+/// A 200-spec mixed batch: the sweep regime (RM-schedulable UUniFast
+/// sets, both policies, stochastic execution, positional seeds) with a
+/// faulted-and-contained sim and a cycle-eligible sim spliced into the
+/// middle, so shard boundaries cut through feature-bearing lanes too.
+std::vector<fleet::SimSpec> make_mixed_specs() {
+  const auto cpu = power::ProcessorConfig::arm8_default();
+  const auto exec = std::make_shared<exec::ClampedGaussianModel>();
+  std::vector<fleet::SimSpec> specs;
+  Rng rng(123);
+  while (specs.size() < 198) {
+    workloads::GeneratorConfig config;
+    config.task_count = 4;
+    config.total_utilization = 0.3 + 0.1 * (specs.size() % 5);
+    config.bcet_ratio = 0.5;
+    config.period_min = 10'000;
+    config.period_max = 80'000;
+    config.period_granularity = 10'000;
+    sched::TaskSet tasks = workloads::generate_task_set(config, rng);
+    if (!sched::is_schedulable_rta(tasks)) continue;
+    for (const auto& policy :
+         {core::SchedulerPolicy::fps(), core::SchedulerPolicy::lpfps()}) {
+      core::EngineOptions options;
+      options.horizon = 100'000;
+      options.seed = runner::derive_seed(77, specs.size());
+      specs.push_back({tasks, cpu, policy, exec, options});
+    }
+  }
+  // Faulted + contained, mid-list: overruns killed at budget with the
+  // safe-mode fallback, misses recorded instead of thrown.
+  {
+    core::EngineOptions options;
+    options.horizon = 400'000;
+    options.seed = 7;
+    options.throw_on_miss = false;
+    options.faults.overruns = {{1.0, 0.4}};
+    options.containment.on_overrun = faults::OverrunAction::kKill;
+    options.containment.safe_mode_fallback = true;
+    specs.insert(specs.begin() + 101,
+                 {workloads::example_table1(), cpu,
+                  core::SchedulerPolicy::lpfps(), exec, options});
+  }
+  // Cycle-eligible, mid-list: deterministic WCET execution over many
+  // hyperperiods fast-forwards after two boundaries.
+  {
+    core::EngineOptions options;
+    options.horizon = 4'000'000;
+    options.seed = 11;
+    specs.insert(specs.begin() + 50,
+                 {workloads::example_table1(), cpu,
+                  core::SchedulerPolicy::lpfps(), nullptr, options});
+  }
+  return specs;
+}
+
+TEST(FleetSharded, WorkerCountCannotChangeOutput) {
+  const std::vector<fleet::SimSpec> specs = make_mixed_specs();
+  ASSERT_EQ(specs.size(), 200u);
+
+  const std::vector<core::SimulationResult> serial =
+      fleet::run_fleet_sharded(specs, {}, 1);
+  ASSERT_EQ(serial.size(), specs.size());
+  {
+    // Prove the batch exercises both feature paths.
+    bool killed = false;
+    bool cycled = false;
+    for (const auto& result : serial) {
+      killed = killed || result.jobs_killed > 0;
+      cycled = cycled || result.cycles_detected > 0;
+    }
+    EXPECT_TRUE(killed);
+    EXPECT_TRUE(cycled);
+  }
+
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
+    const std::vector<core::SimulationResult> sharded =
+        fleet::run_fleet_sharded(specs, {}, workers);
+    ASSERT_EQ(sharded.size(), specs.size()) << workers << " workers";
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      EXPECT_EQ(identity(specs[i].tasks, sharded[i]),
+                identity(specs[i].tasks, serial[i]))
+          << "sim " << i << " diverged at " << workers << " workers";
+    }
+  }
+}
+
+TEST(FleetSharded, IsolationUnderShardingCapturesFailuresPerLane) {
+  std::vector<fleet::SimSpec> specs = make_mixed_specs();
+  // An unschedulable set under strict miss semantics, mid-shard: its
+  // lane throws; every other lane — in the same shard and in others —
+  // must be untouched.
+  const std::size_t failing = 120;
+  {
+    sched::TaskSet tasks;
+    tasks.add(sched::make_task("hog", 100, 80.0));
+    tasks.add(sched::make_task("late", 100, 40.0));
+    sched::assign_rate_monotonic(tasks);
+    core::EngineOptions options;
+    options.horizon = 1'000;
+    options.seed = 3;
+    specs[failing] = {std::move(tasks), power::ProcessorConfig::arm8_default(),
+                      core::SchedulerPolicy::fps(), nullptr, options};
+  }
+
+  const auto serial = fleet::run_fleet_sharded_isolated(specs, {}, 1);
+  const auto sharded = fleet::run_fleet_sharded_isolated(specs, {}, 4);
+  ASSERT_EQ(sharded.size(), specs.size());
+  EXPECT_FALSE(sharded[failing].ok());
+  EXPECT_NE(sharded[failing].error.find("deadline miss"), std::string::npos);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (i == failing) continue;
+    ASSERT_TRUE(sharded[i].ok()) << "sim " << i << ": " << sharded[i].error;
+    EXPECT_EQ(identity(specs[i].tasks, *sharded[i].result),
+              identity(specs[i].tasks, *serial[i].result))
+        << "healthy sim " << i << " perturbed under sharding";
+  }
+
+  // The non-isolated runner surfaces that same failure as the original
+  // exception type, regardless of which shard hosts it.
+  EXPECT_THROW(fleet::run_fleet_sharded(specs, {}, 4), std::runtime_error);
+}
+
+TEST(FleetSharded, MoreWorkersThanSpecsLeavesNoEmptyShardArtifacts) {
+  // 3 specs across 8 requested workers: shard count clamps to the spec
+  // count — no empty shard may emit, reorder, or drop results.
+  std::vector<fleet::SimSpec> specs = make_mixed_specs();
+  specs.resize(3);
+  const std::vector<core::SimulationResult> serial =
+      fleet::run_fleet_sharded(specs, {}, 1);
+  const std::vector<core::SimulationResult> sharded =
+      fleet::run_fleet_sharded(specs, {}, 8);
+  ASSERT_EQ(sharded.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(identity(specs[i].tasks, sharded[i]),
+              identity(specs[i].tasks, serial[i]))
+        << "sim " << i;
+  }
+
+  // Degenerate inputs: no specs at all.
+  EXPECT_TRUE(fleet::run_fleet_sharded({}, {}, 4).empty());
+  EXPECT_TRUE(fleet::run_fleet_sharded_isolated({}, {}, 4).empty());
+}
+
+/// The audited sharded entry point: zero violations across workers,
+/// results identical to the audited serial fleet, traces dropped per
+/// spec after auditing.
+TEST(FleetSharded, AuditedShardedMatchesAuditedSerial) {
+  std::vector<fleet::SimSpec> specs = make_mixed_specs();
+  specs.resize(40);
+  audit::AuditAggregator serial_agg("fleet_sharded_serial");
+  const auto serial = audit::simulate_fleet(specs, {}, &serial_agg);
+  audit::AuditAggregator sharded_agg("fleet_sharded");
+  const auto sharded =
+      audit::simulate_fleet_sharded(specs, {}, &sharded_agg, 4);
+  ASSERT_EQ(sharded.size(), serial.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(identity(specs[i].tasks, sharded[i]),
+              identity(specs[i].tasks, serial[i]))
+        << "sim " << i;
+    EXPECT_FALSE(sharded[i].trace.has_value());
+  }
+  EXPECT_EQ(sharded_agg.runs(), static_cast<std::int64_t>(specs.size()));
+  EXPECT_EQ(sharded_agg.violation_count(), 0);
+  EXPECT_NO_THROW(sharded_agg.check());
+}
+
+}  // namespace
+}  // namespace lpfps
