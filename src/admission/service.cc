@@ -32,6 +32,15 @@ void append_task_key(std::string& key, const sched::Task& t) {
 
 constexpr std::size_t kTaskKeyBytes = 8 + 8 + 8 + 4;
 
+// Sensitivity probe schedule: gallop the scale upward by doubling
+// (cap 2^20 — "effectively unbounded headroom"), then exactly this
+// many bisections.  Fixed so the returned double is a function of the
+// feasibility booleans alone; with powers-of-two endpoints every
+// midpoint is exact in binary, so the same booleans give the same
+// bits on every arm.
+constexpr double kHeadroomCap = 1048576.0;  // 2^20.
+constexpr int kHeadroomIters = 12;
+
 }  // namespace
 
 void ServiceConfig::validate() const {
@@ -44,16 +53,45 @@ void ServiceConfig::validate() const {
                   "admission: top level must be f_max");
 }
 
+ServiceConfig AdmissionService::apply_env_overrides(ServiceConfig config) {
+  if (const std::optional<std::size_t> capacity = cache_capacity_from_env()) {
+    if (*capacity == 0) {
+      // 0 = caching off entirely: the private cache stores nothing and
+      // the shared cache is detached, so no lookup or insert happens.
+      config.use_cache = false;
+      config.shared_cache.reset();
+    } else {
+      config.cache_capacity = *capacity;
+    }
+  }
+  return config;
+}
+
 AdmissionService::AdmissionService(sched::TaskSet initial,
                                    ServiceConfig config)
-    : config_(std::move(config)),
+    : config_(apply_env_overrides(std::move(config))),
       rta_(std::move(initial),
            config_.incremental ? sched::IncrementalRta::Mode::kIncremental
                                : sched::IncrementalRta::Mode::kFromScratch),
-      cache_(config_.use_cache ? config_.cache_capacity : 0) {
+      cache_(config_.use_cache && config_.shared_cache == nullptr
+                 ? config_.cache_capacity
+                 : 0) {
   config_.validate();
   LPFPS_CHECK_MSG(rta_.schedulable(),
                   "admission: initial set must be schedulable at f_max");
+  if (config_.shared_cache != nullptr) {
+    // Config token: everything besides the candidate task set that a
+    // cached decision depends on.  Folded as a key prefix (not into the
+    // digest alone) so token equality is byte-verified like the rest of
+    // the canonical key.
+    core::FnvHasher hasher;
+    for (const MegaHertz level : config_.table.levels()) hasher.mix(level);
+    hasher.mix(config_.scaling.memory_bound_fraction);
+    hasher.mix(static_cast<std::uint64_t>(config_.sensitivity ? 1 : 0));
+    const std::uint64_t token = hasher.digest();
+    shared_key_prefix_.assign(reinterpret_cast<const char*>(&token),
+                              sizeof(token));
+  }
 }
 
 std::string AdmissionService::canonical_key(const sched::TaskSet& tasks) {
@@ -195,7 +233,11 @@ int AdmissionService::min_feasible_level(SearchBound bound) {
   const int top = static_cast<int>(config_.table.levels().size()) - 1;
   const std::vector<std::optional<Time>>* seeds =
       config_.incremental ? &rta_.response_times() : nullptr;
-  probe_level_ = -1;  // Probe-seed reuse is per search: the set changed.
+  last_search_stationary_ = false;
+  // probe_level_ / probe_r_ are NOT reset here: handle() already
+  // invalidated them unless the request direction keeps them valid
+  // (kNotBelowHint — every fixed point grew), in which case the first
+  // probe below resumes from the previous search's converged state.
   const int hint = last_min_level_ < 0 ? -1 : std::min(last_min_level_, top);
   // Sound bracket for the minimum.  The top level is feasible without a
   // probe (stretch(1) == 1.0 exactly, so it is the f_max set the caller
@@ -211,8 +253,26 @@ int AdmissionService::min_feasible_level(SearchBound bound) {
       bhi = hint;
     }
   }
+  // Memo for the (at most two) stationary-fast-path probes, consulted
+  // before feasible_at_level so a fast-path miss never re-probes a
+  // level the fall-through schedule visits again.  Memoized results
+  // are the same booleans a re-probe would produce (exact fixed
+  // points), so this can only change probe *counts*, never answers.
+  int memo_level[2] = {-2, -2};
+  bool memo_result[2] = {false, false};
+  int memo_count = 0;
   const auto feasible = [&](int level) {
-    return level >= bhi || feasible_at_level(level, seeds);
+    if (level >= bhi) return true;
+    for (int k = 0; k < memo_count; ++k) {
+      if (memo_level[k] == level) return memo_result[k];
+    }
+    const bool result = feasible_at_level(level, seeds);
+    if (memo_count < 2) {
+      memo_level[memo_count] = level;
+      memo_result[memo_count] = result;
+      ++memo_count;
+    }
+    return result;
   };
   // Binary search for the lowest feasible level in [lo, hi], where
   // feasible(hi) is already established.
@@ -233,6 +293,34 @@ int AdmissionService::min_feasible_level(SearchBound bound) {
     return binary_min(blo, bhi);
   }
   if (blo == bhi) return blo;
+  // Stationary-boundary fast path: most churn leaves the boundary at
+  // the previous answer, and verifying that takes at most two probes —
+  // feasible(hint) pins it from above, infeasible(hint - 1) from below
+  // (each side free when the bracket already supplies it).  Probes are
+  // seeded from the retained previous-search responses when handle()
+  // kept them valid, so the common verification converges in a handful
+  // of iterations per task.  On a miss, the memoized results flow into
+  // the prediction/gallop schedule below.
+  switch (bound) {
+    case SearchBound::kNotBelowHint:  // blo == hint: minimality is free.
+      if (feasible(hint)) {
+        last_search_stationary_ = true;
+        return hint;
+      }
+      break;
+    case SearchBound::kNotAboveHint:  // bhi == hint: feasibility is free.
+      if (!feasible(hint - 1)) {
+        last_search_stationary_ = true;
+        return hint;
+      }
+      break;
+    case SearchBound::kUnbounded:
+      if (feasible(hint) && (hint == blo || !feasible(hint - 1))) {
+        last_search_stationary_ = true;
+        return hint;
+      }
+      break;
+  }
   // Incremental arm: probe the predicted boundary, settle the common
   // "prediction exact" case with a second probe, and otherwise gallop
   // toward the boundary (O(log e) probes for a prediction off by e
@@ -278,6 +366,99 @@ int AdmissionService::min_feasible_level(SearchBound bound) {
   return binary_min(lo, hi);
 }
 
+bool AdmissionService::headroom_feasible(
+    int level, double scale, const std::vector<std::optional<Time>>* seeds) {
+  saturating_increment(stats_.headroom_probes);
+  const MegaHertz f =
+      config_.table.levels()[static_cast<std::size_t>(level)];
+  const double stretch = config_.scaling.stretch(config_.table.ratio_of(f));
+  const std::vector<sched::Task>& tasks = rta_.tasks().tasks();
+  const std::size_t n = tasks.size();
+  // scaled_wcet_ is free to reuse: compute_headroom runs strictly after
+  // the level search, and the next feasible_at_level rewrites it.
+  scaled_wcet_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled_wcet_[i] = tasks[i].wcet * stretch * scale;
+    if (scaled_wcet_[i] > static_cast<double>(tasks[i].deadline)) {
+      return false;
+    }
+  }
+  // Seed validity mirrors feasible_at_level: this probe's interference
+  // dominates (a) the f_max unscaled set, (b) the level search's last
+  // feasible probe when it ran at or above `level` (the granted level
+  // itself, normally), and (c) the last feasible headroom probe, whose
+  // scale is <= this one on every schedule compute_headroom runs — so
+  // each of those converged responses lies at or below this probe's
+  // least fixed point and resuming from their max cannot overshoot.
+  const bool reuse_level_probe =
+      seeds != nullptr && probe_level_ >= level && probe_r_.size() == n;
+  const bool reuse_chain =
+      seeds != nullptr && hr_scale_ > 0.0 && hr_scale_ <= scale &&
+      hr_r_.size() == n;
+  const bool record = seeds != nullptr;
+  if (record) hr_scratch_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const sched::Task& task = tasks[i];
+    double r = scaled_wcet_[i];
+    if (seeds != nullptr && (*seeds)[i].has_value()) {
+      r = std::max(*(*seeds)[i], r);
+    }
+    if (reuse_level_probe) r = std::max(probe_r_[i], r);
+    if (reuse_chain) r = std::max(hr_r_[i], r);
+    bool converged = false;
+    for (int iter = 0; iter < 100000; ++iter) {
+      double next = scaled_wcet_[i];
+      for (std::size_t j = 0; j < n; ++j) {
+        if (tasks[j].priority >= task.priority) continue;
+        const double jobs = std::ceil(
+            (r - kTimeEpsilon) / static_cast<double>(tasks[j].period));
+        next += std::max(1.0, jobs) * scaled_wcet_[j];
+      }
+      if (next == r) {
+        converged = true;
+        break;
+      }
+      if (next > static_cast<double>(task.deadline) + kTimeEpsilon) break;
+      r = next;
+    }
+    if (!converged) return false;
+    if (definitely_greater(r, static_cast<double>(task.deadline))) {
+      return false;
+    }
+    if (record) hr_scratch_[i] = r;
+  }
+  if (record) {
+    hr_r_.swap(hr_scratch_);
+    hr_scale_ = scale;
+  }
+  return true;
+}
+
+double AdmissionService::compute_headroom(int level) {
+  const std::vector<std::optional<Time>>* seeds =
+      config_.incremental ? &rta_.response_times() : nullptr;
+  hr_scale_ = 0.0;  // The chain is per call: the set or level changed.
+  if (rta_.tasks().empty()) return kHeadroomCap;  // Nothing to scale.
+  // scale = 1 is feasible by construction (`level` is the granted
+  // minimum), so the gallop starts at 2 with lo = 1 already proven.
+  double lo = 1.0;
+  double hi = 2.0;
+  while (headroom_feasible(level, hi, seeds)) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > kHeadroomCap) return kHeadroomCap;
+  }
+  for (int i = 0; i < kHeadroomIters; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (headroom_feasible(level, mid, seeds)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 Decision AdmissionService::handle(const Request& request) {
   saturating_increment(stats_.requests);
   Decision d;
@@ -307,13 +488,93 @@ Decision AdmissionService::handle(const Request& request) {
 
   bool schedulable = false;
   int min_level = -1;
+  double headroom = 0.0;
   if (!clash) {
-    const CacheEntry* hit =
-        config_.use_cache ? cache_.find(digest, key) : nullptr;
+    // Request direction, hoisted ahead of the cache lookup: it both
+    // brackets the level search and decides whether the retained
+    // cross-request probe responses stay valid.  Same priority with
+    // WCET up / period down / deadline down can only tighten every
+    // task's constraint (interference grows, own slack shrinks); the
+    // mirror image can only relax them.  Anything else gives no
+    // direction.
+    sched::Task previous;
+    SearchBound bound = SearchBound::kUnbounded;
+    switch (request.kind) {
+      case RequestKind::kAdd:
+        bound = SearchBound::kNotBelowHint;
+        break;
+      case RequestKind::kRemove:
+        bound = SearchBound::kNotAboveHint;
+        break;
+      case RequestKind::kMutate:
+        previous = rta_.tasks()[request.index];
+        if (request.task.priority == previous.priority) {
+          if (request.task.wcet >= previous.wcet &&
+              request.task.period <= previous.period &&
+              request.task.deadline <= previous.deadline) {
+            bound = SearchBound::kNotBelowHint;
+          } else if (request.task.wcet <= previous.wcet &&
+                     request.task.period >= previous.period &&
+                     request.task.deadline >= previous.deadline) {
+            bound = SearchBound::kNotAboveHint;
+          }
+        }
+        break;
+    }
+    // Retained probe responses survive exactly the requests that can
+    // only *grow* every fixed point (kNotBelowHint): grown least fixed
+    // points keep the old responses at or below them, so they remain
+    // sound seeds.  A remove/relax shrinks fixed points and would turn
+    // them into overshooting seeds — invalidate.  An add appends one
+    // task; seed it with 0 (contributes nothing beyond the scaled C_i
+    // floor) and pop it again if the add is rejected, which restores
+    // the pre-request vector exactly because a rejected request never
+    // runs a level search.
+    const bool retain = config_.incremental &&
+                        bound == SearchBound::kNotBelowHint &&
+                        probe_level_ >= 0;
+    bool probe_pushed = false;
+    if (!retain) {
+      probe_level_ = -1;
+    } else if (request.kind == RequestKind::kAdd) {
+      probe_r_.push_back(0.0);
+      probe_pushed = true;
+    }
+
+    // Shared-cache traffic keys on the config token + canonical bytes
+    // and hashes the prefixed key; d.fingerprint stays the unprefixed
+    // candidate digest either way.
+    const bool shared = config_.use_cache && config_.shared_cache != nullptr;
+    std::string shared_key;
+    std::uint64_t shared_digest = 0;
+    if (shared) {
+      shared_key.reserve(shared_key_prefix_.size() + key.size());
+      shared_key = shared_key_prefix_;
+      shared_key += key;
+      shared_digest = core::fnv1a(shared_key);
+    }
+    std::optional<CacheEntry> shared_hit;
+    const CacheEntry* hit = nullptr;
+    if (shared) {
+      bool collision = false;
+      shared_hit =
+          config_.shared_cache->find(shared_digest, shared_key, &collision);
+      if (collision) saturating_increment(shared_view_.collisions);
+      if (shared_hit.has_value()) {
+        saturating_increment(shared_view_.hits);
+        hit = &*shared_hit;
+      } else {
+        saturating_increment(shared_view_.misses);
+      }
+    } else if (config_.use_cache) {
+      hit = cache_.find(digest, key);
+    }
+
     if (hit != nullptr) {
       d.cache_hit = true;
       schedulable = hit->schedulable;
       min_level = hit->min_level;
+      headroom = hit->wcet_headroom;
       if (schedulable) {
         // Adopt the memoized state: the stored response vector is what
         // analyzing the candidate produces (bit-identity contract), so
@@ -339,38 +600,17 @@ Decision AdmissionService::handle(const Request& request) {
       // removals are never rejected — so no full TaskSet copy is needed
       // anywhere on this path.
       std::vector<std::optional<Time>> before_r = rta_.response_times();
-      sched::Task previous;
-      SearchBound bound = SearchBound::kUnbounded;
       const sched::IncrementalRta::Stats rta_before = rta_.stats();
       switch (request.kind) {
         case RequestKind::kAdd:
-          bound = SearchBound::kNotBelowHint;
           rta_.add_task(request.task);
           break;
         case RequestKind::kRemove:
-          bound = SearchBound::kNotAboveHint;
           rta_.remove_task(request.index);
           break;
-        case RequestKind::kMutate: {
-          previous = rta_.tasks()[request.index];
-          // Same priority with WCET up / period down / deadline down
-          // can only tighten every task's constraint (interference
-          // grows, own slack shrinks); the mirror image can only relax
-          // them.  Anything else gives no direction.
-          if (request.task.priority == previous.priority) {
-            if (request.task.wcet >= previous.wcet &&
-                request.task.period <= previous.period &&
-                request.task.deadline <= previous.deadline) {
-              bound = SearchBound::kNotBelowHint;
-            } else if (request.task.wcet <= previous.wcet &&
-                       request.task.period >= previous.period &&
-                       request.task.deadline >= previous.deadline) {
-              bound = SearchBound::kNotAboveHint;
-            }
-          }
+        case RequestKind::kMutate:
           rta_.mutate_task(request.index, request.task);
           break;
-        }
       }
       schedulable = rta_.schedulable();
       d.tasks_reanalyzed =
@@ -381,11 +621,25 @@ Decision AdmissionService::handle(const Request& request) {
         min_level = min_feasible_level(bound);
         d.levels_probed = static_cast<std::int64_t>(stats_.levels_probed -
                                                     probes_before);
+        d.stationary = last_search_stationary_;
+        if (d.stationary) saturating_increment(stats_.stationary_hits);
+        if (config_.sensitivity) {
+          const std::uint64_t hr_before = stats_.headroom_probes;
+          headroom = compute_headroom(min_level);
+          d.headroom_probes = static_cast<std::int64_t>(
+              stats_.headroom_probes - hr_before);
+        }
       }
       if (config_.use_cache) {
-        cache_.insert(digest, std::move(key),
-                      CacheEntry{schedulable, min_level,
-                                 rta_.response_times()});
+        CacheEntry entry{schedulable, min_level, headroom,
+                         rta_.response_times()};
+        if (shared) {
+          config_.shared_cache->insert(shared_digest, std::move(shared_key),
+                                       std::move(entry));
+          saturating_increment(shared_view_.insertions);
+        } else {
+          cache_.insert(digest, std::move(key), std::move(entry));
+        }
       }
       if (!schedulable) {
         // Shrinking interference cannot create a deadline miss, so a
@@ -399,11 +653,13 @@ Decision AdmissionService::handle(const Request& request) {
         }
       }
     }
+    if (probe_pushed && !schedulable) probe_r_.pop_back();
   }
 
   d.admitted = schedulable;
   if (schedulable) {
     d.min_level = min_level;
+    d.wcet_headroom = headroom;
     d.min_safe_mhz =
         config_.table.levels()[static_cast<std::size_t>(min_level)];
     d.min_safe_ratio = config_.table.ratio_of(d.min_safe_mhz);

@@ -9,7 +9,8 @@
 // frequency at which every deadline still holds under the (possibly
 // non-ideal) WCET scaling model.
 //
-// Three layers make the query loop fast without changing any answer:
+// Four reuse layers make the query loop fast without changing any
+// answer:
 //
 //   1. incremental RTA (sched/incremental_rta.h) — response-time
 //      fixed points are reused across mutations and resumed as seeds,
@@ -18,7 +19,8 @@
 //   2. a fingerprint-keyed memoization cache (admission/cache.h) —
 //      revisited candidate sets replay their stored decision and
 //      response-time vector, verified byte-exact against the canonical
-//      key before being served;
+//      key before being served; optionally one SharedAdmissionCache
+//      serves many services across threads (ServiceConfig::shared_cache);
 //   3. a direction-aware minimum-frequency search — feasibility is
 //      monotone in the frequency level AND in the request (adding or
 //      tightening a task can only raise the minimum level, removing or
@@ -26,18 +28,32 @@
 //      probes the previous answer first and gallops outward, with every
 //      probe's fixed-point iteration seeded from the f_max response
 //      times; the reference service binary-searches all levels from
-//      C_i seeds.  Both land on the same minimal feasible level.
+//      C_i seeds.  Both land on the same minimal feasible level;
+//   4. a cross-request stationary-boundary fast path — most churn
+//      (small WCET revisions, near-boundary oscillation) leaves the
+//      minimum-frequency boundary where it was, so the incremental
+//      service retains the previous search's converged per-boundary
+//      responses and, when the request direction permits
+//      (interference only grew), verifies the cached boundary with at
+//      most two seeded probes and answers without galloping or binary
+//      search.  Verification, not trust: the fast path returns only
+//      when feasible(B) && !feasible(B - 1) is established, the exact
+//      condition every other schedule proves, so the answer is
+//      bit-identical by construction.
 //
 // The invariant after every request: the current set is schedulable at
 // f_max.  Admitting a request means the post-change set keeps that
 // invariant; rejecting rolls the service back to the pre-request state
 // (removals are always admitted — shrinking interference cannot create
-// a deadline miss).  Decision fields are bit-identical across
-// {incremental, from-scratch} x {cache on, off} — the differential
-// test's contract — while accounting fields tell the arms apart.
+// a deadline miss).  Decision fields — including the sensitivity
+// answer Decision::wcet_headroom — are bit-identical across
+// {incremental, from-scratch} x {cache on, off, shared} — the
+// differential test's contract — while accounting fields tell the arms
+// apart.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -61,6 +77,20 @@ struct ServiceConfig {
   bool incremental = true;
   bool use_cache = true;
   std::size_t cache_capacity = 4096;
+  /// Compute Decision::wcet_headroom for every admitted request (the
+  /// largest uniform WCET-scaling factor feasible at the granted
+  /// level).  A decision knob, not an arm knob: it changes what is
+  /// answered, so it folds into the shared-cache config token.
+  bool sensitivity = true;
+  /// When set (and use_cache is true), decisions are memoized in this
+  /// cache instead of a private one — shared across services and
+  /// threads.  Keys are prefixed with a token over {table, scaling,
+  /// sensitivity} so differently configured services sharing one cache
+  /// can never serve each other's answers; the `incremental` flag is
+  /// deliberately excluded (arms answer bit-identically, so cross-arm
+  /// sharing is sound).  The LPFPS_ADMISSION_CACHE=0 override disables
+  /// this path too.
+  std::shared_ptr<SharedAdmissionCache> shared_cache;
 
   /// Throws unless the table is discrete and the scaling model valid.
   void validate() const;
@@ -72,6 +102,10 @@ struct ServiceStats {
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;
   std::uint64_t levels_probed = 0;  ///< feasible_at_level evaluations.
+  /// Searches answered by the stationary-boundary fast path (<= 2
+  /// probes, no gallop or binary search).
+  std::uint64_t stationary_hits = 0;
+  std::uint64_t headroom_probes = 0;  ///< Sensitivity feasibility probes.
 };
 
 class AdmissionService {
@@ -92,7 +126,15 @@ class AdmissionService {
   std::uint64_t fingerprint() const;
 
   const ServiceStats& stats() const { return stats_; }
-  const CacheCounters& cache_counters() const { return cache_.counters(); }
+  /// This service's view of its cache traffic.  Private cache: the
+  /// cache's own counters.  Shared cache: the lookups/insertions *this*
+  /// service performed (evictions happen inside the shared cache and
+  /// stay 0 here) — the shared cache's aggregate counters are on the
+  /// SharedAdmissionCache itself.
+  const CacheCounters& cache_counters() const {
+    return config_.shared_cache != nullptr ? shared_view_
+                                           : cache_.counters();
+  }
   const sched::IncrementalRta::Stats& rta_stats() const {
     return rta_.stats();
   }
@@ -133,11 +175,33 @@ class AdmissionService {
 
   /// Lowest feasible level for the current set (known feasible at the
   /// top level).  Full binary search with C_i probe seeds (reference
-  /// arm, and the first-ever answer); otherwise: predict the boundary
-  /// from the utilization change, probe the prediction, and gallop out
-  /// from it within the `bound`-implied bracket, with seeded probes.
-  /// Identical result by monotonicity of feasibility in the level.
+  /// arm, and the first-ever answer); otherwise: first try the
+  /// stationary fast path (verify the previous boundary in <= 2
+  /// probes), then predict the boundary from the utilization change,
+  /// probe the prediction, and gallop out from it within the
+  /// `bound`-implied bracket, with seeded probes.  Identical result by
+  /// monotonicity of feasibility in the level.  Sets
+  /// last_search_stationary_.
   int min_feasible_level(SearchBound bound);
+
+  /// Sensitivity: the largest uniform WCET-scaling factor s >= 1 at
+  /// which the current set stays feasible at `level`, via a *fixed*
+  /// probe schedule (gallop s = 2, 4, ... capped at 2^20, then exactly
+  /// 12 bisections) so the returned double depends only on the
+  /// feasibility booleans — which are exact fixed-point answers — and
+  /// is therefore bit-identical across arms and seeding strategies.
+  double compute_headroom(int level);
+
+  /// True iff every current task, stretched to `level` and further
+  /// scaled by `scale`, meets its deadline.  The sensitivity analogue
+  /// of feasible_at_level: the incremental arm seeds each iteration
+  /// from the f_max responses, the level search's retained probe
+  /// responses, and the previous feasible headroom probe's responses
+  /// (all lie at or below the current least fixed point — interference
+  /// here is scaled up from each of those states); the reference arm
+  /// starts from the scaled C_i.  Counts one headroom probe.
+  bool headroom_feasible(int level, double scale,
+                         const std::vector<std::optional<Time>>* seeds);
 
   /// First-order boundary prediction: stretch(r_min) * U is roughly
   /// invariant across small churn, so calibrate it on the previous
@@ -146,19 +210,41 @@ class AdmissionService {
   /// correctness input.
   int predicted_level(int hint) const;
 
+  /// Applies the LPFPS_ADMISSION_CACHE override (read once per
+  /// service, the hoisted-env-read convention): 0 disables caching
+  /// entirely (private and shared), any other value replaces the
+  /// private cache capacity.
+  static ServiceConfig apply_env_overrides(ServiceConfig config);
+
   ServiceConfig config_;
   sched::IncrementalRta rta_;
   AdmissionCache cache_;
   ServiceStats stats_;
+  /// FNV token over {frequency table, scaling model, sensitivity},
+  /// prefixed onto shared-cache keys (see ServiceConfig::shared_cache).
+  std::string shared_key_prefix_;
+  CacheCounters shared_view_;  ///< This service's shared-cache traffic.
   int last_min_level_ = -1;   ///< Search hint; -1 = no previous answer.
   double last_util_ = 0.0;    ///< Utilization at the previous answer.
+  bool last_search_stationary_ = false;
   std::vector<double> scaled_wcet_;  ///< Probe scratch buffer.
-  /// Within-search probe-seed reuse: the converged per-task responses
-  /// of the lowest feasible probe so far (valid seeds for any probe at
-  /// or below probe_level_; reset by min_feasible_level per search).
+  /// Probe-seed reuse: the converged per-task responses of the lowest
+  /// feasible probe so far (valid seeds for any probe at or below
+  /// probe_level_).  Retained *across* requests whenever the request
+  /// can only have grown interference (SearchBound::kNotBelowHint:
+  /// every fixed point rose, so the retained responses still lie at or
+  /// below it); invalidated by handle() otherwise.  This is what makes
+  /// the stationary fast path one cheap resumed probe instead of a
+  /// from-C_i reanalysis at the boundary level.
   std::vector<double> probe_r_;
   std::vector<double> probe_scratch_;
   int probe_level_ = -1;
+  /// Headroom probe chain: responses of the last feasible headroom
+  /// probe (at hr_scale_), seeds for any later probe at a larger
+  /// scale.  Reset per compute_headroom call.
+  std::vector<double> hr_r_;
+  std::vector<double> hr_scratch_;
+  double hr_scale_ = 0.0;  ///< 0 = no feasible headroom probe yet.
 };
 
 }  // namespace lpfps::admission

@@ -49,6 +49,17 @@ struct Decision {
   int min_level = -1;
   MegaHertz min_safe_mhz = 0.0;
   Ratio min_safe_ratio = 0.0;
+  /// Sensitivity: the largest uniform factor by which every WCET can be
+  /// scaled while the set stays schedulable *at the granted level* —
+  /// how much measured-WCET pessimism the admitted set tolerates before
+  /// the answer above stops holding.  Always >= 1 for an admitted set
+  /// (the unscaled set is feasible at min_level by construction);
+  /// capped at 2^20 for sets with unbounded headroom (e.g. empty); 0
+  /// when rejected or when ServiceConfig::sensitivity is off.  A
+  /// decision field: bit-identical across arms (the probe schedule is
+  /// fixed; only the fixed-point seeding differs, which cannot move an
+  /// exact fixed point), serialized in the CSV row.
+  double wcet_headroom = 0.0;
   /// Fingerprint of the *candidate* set the decision evaluated (the
   /// post-change set; equals the current set's fingerprint iff
   /// admitted).
@@ -59,9 +70,13 @@ struct Decision {
 
   // --- accounting (excluded from io::admission_csv_row) ---
   bool cache_hit = false;
+  /// The stationary-boundary fast path answered the minimum-frequency
+  /// search (the cached boundary verified unchanged in <= 2 probes).
+  bool stationary = false;
   std::int64_t tasks_reanalyzed = 0;
   std::int64_t tasks_seeded = 0;
   std::int64_t levels_probed = 0;
+  std::int64_t headroom_probes = 0;  ///< Sensitivity feasibility probes.
 };
 
 }  // namespace lpfps::admission

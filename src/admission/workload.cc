@@ -67,6 +67,14 @@ ChurnOp draw_op(const ChurnConfig& config, Rng& rng) {
   }
   op.change_priority =
       rng.uniform(0.0, 1.0) < config.mutate_priority_fraction;
+  // Both draws happen unconditionally (and after every field above) so
+  // op streams stay aligned across configs that differ only in the
+  // relative-mutate mix — the same per-op Rng values land in the same
+  // fields regardless of the roll.
+  const bool relative = rng.uniform(0.0, 1.0) < config.relative_mutates;
+  const double scale =
+      rng.uniform(config.mutate_scale_min, config.mutate_scale_max);
+  op.scale = relative ? scale : 0.0;
   return op;
 }
 
@@ -143,6 +151,18 @@ std::optional<Request> resolve(const ChurnOp& op,
     case RequestKind::kMutate: {
       if (current.empty()) return std::nullopt;
       request.index = static_cast<TaskIndex>(op.pick % current.size());
+      if (op.scale > 0.0) {
+        // Relative WCET revision: the target's own parameters, WCET
+        // multiplied by the drawn factor (clamped so the task still
+        // validates: WCET <= deadline, BCET <= WCET).
+        sched::Task task = current[request.index];
+        task.wcet = std::min(task.wcet * op.scale,
+                             static_cast<double>(task.deadline));
+        task.wcet = std::max(task.wcet, 1e-9);
+        task.bcet = std::min(task.bcet, task.wcet);
+        request.task = std::move(task);
+        return request;
+      }
       const sched::Priority priority =
           op.change_priority
               ? probe_priority(current, op.priority_hint, request.index)

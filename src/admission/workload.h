@@ -58,6 +58,18 @@ struct ChurnConfig {
   /// of utilization, collapsing the set).  The transform consumes no
   /// extra Rng draws, so streams of either setting stay aligned.
   bool deadline_monotonic_hints = false;
+  /// Fraction of mutates that are *relative*: instead of redrawing the
+  /// task outright, the target keeps its period/deadline/priority and
+  /// its WCET is multiplied by a factor drawn from
+  /// [mutate_scale_min, mutate_scale_max] (clamped to the deadline).
+  /// This models measured-WCET revision — the churn that dominates a
+  /// deployed service and that mostly leaves the minimum-frequency
+  /// boundary stationary (the fast path's target regime).  Factors on
+  /// one side of 1.0 keep the request direction-known (>= 1 tightens,
+  /// <= 1 relaxes), which is what lets the service retain probe state.
+  double relative_mutates = 0.0;
+  double mutate_scale_min = 0.97;
+  double mutate_scale_max = 1.03;
 };
 
 /// One abstract operation; see resolve().
@@ -70,6 +82,10 @@ struct ChurnOp {
   double bcet_ratio = 1.0;
   sched::Priority priority_hint = 0;
   bool change_priority = false;  ///< Mutate: re-probe priority from hint.
+  /// Mutate: when > 0, a relative WCET revision by this factor against
+  /// the target's *current* parameters (period/deadline/priority kept);
+  /// 0 = absolute mutate using the drawn fields above.
+  double scale = 0.0;
 };
 
 struct ChurnStream {

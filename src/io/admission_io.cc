@@ -29,8 +29,8 @@ const char* kind_name(admission::RequestKind kind) {
 }  // namespace
 
 std::string admission_csv_header() {
-  return "kind,admitted,min_level,min_safe_mhz,min_safe_ratio,fingerprint,"
-         "task_count,utilization\n";
+  return "kind,admitted,min_level,min_safe_mhz,min_safe_ratio,"
+         "wcet_headroom,fingerprint,task_count,utilization\n";
 }
 
 std::string admission_csv_row(const admission::Decision& d) {
@@ -45,6 +45,8 @@ std::string admission_csv_row(const admission::Decision& d) {
   append_g17(out, d.min_safe_mhz);
   out += ',';
   append_g17(out, d.min_safe_ratio);
+  out += ',';
+  append_g17(out, d.wcet_headroom);
   out += ',';
   out += core::hex64(d.fingerprint);
   out += ',';

@@ -1,6 +1,8 @@
 // CSV rendering of admission decisions.
 //
-// The row carries only *decision* fields — what was decided, not how.
+// The row carries only *decision* fields — what was decided, not how
+// (admitted, minimum safe frequency, WCET-scaling headroom, candidate
+// fingerprint, set size/utilization).
 // Accounting (cache hits, tasks reanalyzed, levels probed) is excluded
 // by the same convention that keeps cycle-detection counters out of
 // io::result_csv_row: the differential suite hashes these rows to

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "sched/analysis.h"
+#include "sched/incremental_rta.h"
 #include "sched/priority.h"
 
 namespace lpfps::multicore {
@@ -17,6 +18,16 @@ const char* to_string(PackingHeuristic heuristic) {
       return "best-fit";
     case PackingHeuristic::kWorstFitDecreasing:
       return "worst-fit";
+  }
+  return "?";
+}
+
+const char* to_string(PartitionMode mode) {
+  switch (mode) {
+    case PartitionMode::kIncremental:
+      return "incremental";
+    case PartitionMode::kFromScratch:
+      return "scratch";
   }
   return "?";
 }
@@ -61,14 +72,8 @@ bool admits(const sched::TaskSet& tasks, std::vector<TaskIndex> core,
   return sched::is_schedulable_rta(core_task_set(tasks, core));
 }
 
-}  // namespace
-
-std::optional<Partition> partition_tasks(const sched::TaskSet& tasks,
-                                         int core_count,
-                                         PackingHeuristic heuristic) {
-  LPFPS_CHECK(core_count > 0);
-  tasks.validate();
-
+/// Decreasing-utilization packing order, stable on the original index.
+std::vector<TaskIndex> packing_order(const sched::TaskSet& tasks) {
   std::vector<TaskIndex> order(tasks.size());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(),
@@ -76,16 +81,90 @@ std::optional<Partition> partition_tasks(const sched::TaskSet& tasks,
                      return tasks[a].utilization() >
                             tasks[b].utilization();
                    });
+  return order;
+}
+
+/// Global rate-monotonic-equivalent priorities: the rank of each task
+/// under a stable sort of the packing order by period.  Restricted to
+/// the members of any one core (which join in packing order), the rank
+/// order is exactly what assign_rate_monotonic computes inside
+/// core_task_set — same period order, same tie-break — so per-core RTA
+/// under these global priorities is bit-identical to the materialized
+/// per-core rerank.
+std::vector<sched::Priority> global_rm_ranks(
+    const sched::TaskSet& tasks, const std::vector<TaskIndex>& order) {
+  std::vector<TaskIndex> by_period = order;
+  std::stable_sort(by_period.begin(), by_period.end(),
+                   [&](TaskIndex a, TaskIndex b) {
+                     return tasks[a].period < tasks[b].period;
+                   });
+  std::vector<sched::Priority> rank(tasks.size(), 0);
+  for (std::size_t r = 0; r < by_period.size(); ++r) {
+    rank[static_cast<std::size_t>(by_period[r])] =
+        static_cast<sched::Priority>(r);
+  }
+  return rank;
+}
+
+}  // namespace
+
+std::optional<Partition> partition_tasks(const sched::TaskSet& tasks,
+                                         int core_count,
+                                         PackingHeuristic heuristic,
+                                         PartitionMode mode) {
+  LPFPS_CHECK(core_count > 0);
+  tasks.validate();
+
+  const std::vector<TaskIndex> order = packing_order(tasks);
 
   Partition partition;
   partition.cores.assign(static_cast<std::size_t>(core_count), {});
 
+  // kIncremental state: one long-lived analysis per core whose fixed
+  // points persist across probes; tasks join with their global
+  // RM-equivalent rank so no per-core reranking is ever needed.
+  std::vector<sched::IncrementalRta> engines;
+  std::vector<sched::Priority> rank;
+  if (mode == PartitionMode::kIncremental) {
+    engines.resize(static_cast<std::size_t>(core_count));
+    rank = global_rm_ranks(tasks, order);
+  }
+  // A probe that must not stick (best/worst-fit scans every core):
+  // incremental add/check/undo against the core's engine.
+  const auto probe = [&](int core, const sched::Task& t) {
+    sched::IncrementalRta& engine = engines[static_cast<std::size_t>(core)];
+    std::vector<std::optional<Time>> before = engine.response_times();
+    engine.add_task(t);
+    const bool ok = engine.schedulable();
+    engine.undo_add(std::move(before));
+    return ok;
+  };
+
   for (const TaskIndex task : order) {
+    sched::Task ranked;
+    if (mode == PartitionMode::kIncremental) {
+      ranked = tasks[task];
+      ranked.priority = rank[static_cast<std::size_t>(task)];
+    }
     int chosen = -1;
     double chosen_utilization = 0.0;
     for (int core = 0; core < core_count; ++core) {
       const auto& members = partition.cores[static_cast<std::size_t>(core)];
-      if (!admits(tasks, members, task)) continue;
+      if (mode == PartitionMode::kIncremental) {
+        if (heuristic == PackingHeuristic::kFirstFitDecreasing) {
+          // First-fit keeps the first admissible add outright — the
+          // rejected cores each paid one resumed probe, the accepted
+          // one's fixed points are already final.
+          if (engines[static_cast<std::size_t>(core)].try_add_task(ranked)) {
+            chosen = core;
+            break;
+          }
+          continue;
+        }
+        if (!probe(core, ranked)) continue;
+      } else if (!admits(tasks, members, task)) {
+        continue;
+      }
       const double u = core_utilization(tasks, members);
       const bool better = [&] {
         switch (heuristic) {
@@ -106,16 +185,21 @@ std::optional<Partition> partition_tasks(const sched::TaskSet& tasks,
     }
     if (chosen < 0) return std::nullopt;
     partition.cores[static_cast<std::size_t>(chosen)].push_back(task);
+    if (mode == PartitionMode::kIncremental &&
+        heuristic != PackingHeuristic::kFirstFitDecreasing) {
+      engines[static_cast<std::size_t>(chosen)].add_task(ranked);
+    }
   }
   partition.validate(tasks.size());
   return partition;
 }
 
 std::optional<int> min_cores(const sched::TaskSet& tasks, int max_cores,
-                             PackingHeuristic heuristic) {
+                             PackingHeuristic heuristic,
+                             PartitionMode mode) {
   LPFPS_CHECK(max_cores >= 1);
   for (int cores = 1; cores <= max_cores; ++cores) {
-    if (partition_tasks(tasks, cores, heuristic).has_value()) {
+    if (partition_tasks(tasks, cores, heuristic, mode).has_value()) {
       return cores;
     }
   }

@@ -30,6 +30,26 @@ enum class PackingHeuristic : std::uint8_t {
 
 const char* to_string(PackingHeuristic heuristic);
 
+/// How packing probes ("does this task fit on that core?") are
+/// analyzed.  Both modes answer every probe with the exact RTA and
+/// produce identical partitions; they differ only in cost.
+enum class PartitionMode : std::uint8_t {
+  /// Each core owns a sched::IncrementalRta; a probe is an incremental
+  /// add/check/undo that resumes the core's converged fixed points
+  /// (default).  Priorities are assigned once, globally, as the rank
+  /// under a stable sort of the packing order by period — restricted to
+  /// any core this reproduces exactly the rate-monotonic rerank
+  /// core_task_set performs (stable sort of a subsequence preserves
+  /// relative order), so every probe's RTA is bit-identical to the
+  /// from-scratch arm's.
+  kIncremental,
+  /// Reference: every probe materializes the grown core as a fresh
+  /// TaskSet and runs the full RTA from C_i seeds.
+  kFromScratch,
+};
+
+const char* to_string(PartitionMode mode);
+
 /// A task-to-core assignment.  Task indices refer to the original set.
 struct Partition {
   std::vector<std::vector<TaskIndex>> cores;
@@ -46,15 +66,17 @@ sched::TaskSet core_task_set(const sched::TaskSet& tasks,
 
 /// Packs `tasks` onto `core_count` cores with the given heuristic,
 /// admitting a task onto a core only if the grown core passes the exact
-/// RTA.  Returns nullopt if some task fits nowhere.
-std::optional<Partition> partition_tasks(const sched::TaskSet& tasks,
-                                         int core_count,
-                                         PackingHeuristic heuristic);
+/// RTA.  Returns nullopt if some task fits nowhere.  The mode picks the
+/// probe engine (identical partitions either way; see PartitionMode).
+std::optional<Partition> partition_tasks(
+    const sched::TaskSet& tasks, int core_count, PackingHeuristic heuristic,
+    PartitionMode mode = PartitionMode::kIncremental);
 
 /// Smallest core count (up to `max_cores`) for which partition_tasks
 /// succeeds, or nullopt.
 std::optional<int> min_cores(const sched::TaskSet& tasks, int max_cores,
-                             PackingHeuristic heuristic);
+                             PackingHeuristic heuristic,
+                             PartitionMode mode = PartitionMode::kIncremental);
 
 /// Max per-core utilization minus min per-core utilization — 0 is a
 /// perfectly balanced packing.

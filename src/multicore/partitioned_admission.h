@@ -1,0 +1,68 @@
+// Online partitioned admission: the admission-service idea scaled out
+// to a multicore, one long-lived exact analysis per core.
+//
+// Where multicore/partition.h packs a *fixed* set once, this class
+// admits a churning stream: each arriving task is first-fit probed
+// across the cores, each departure frees its core's capacity, and
+// every probe is the exact RTA against that core's current members.
+// The per-core state is a sched::IncrementalRta, so under churn a
+// probe resumes the core's converged fixed points instead of
+// reanalyzing the core from scratch — the same reuse (and the same
+// bit-identity contract) the single-core AdmissionService gets from
+// its incremental arm.  Mode::kFromScratch runs the per-core engines
+// in their from-scratch mode: identical admit/reject booleans and
+// identical final placement, reference-arm cost — which is what lets
+// the differential suite replay one stream through both arms and
+// demand equal decision digests.
+//
+// Tasks arrive with globally unique priorities (the churn stream's
+// probe_priority discipline); a core whose members already use the
+// candidate's priority is skipped outright, like the single-core
+// service's priority-clash rejection, so the engines' unique-priority
+// precondition is met by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/incremental_rta.h"
+#include "sched/task.h"
+
+namespace lpfps::multicore {
+
+class PartitionedAdmission {
+ public:
+  /// `core_count` empty cores; `scratch` selects the reference arm.
+  explicit PartitionedAdmission(int core_count, bool scratch = false);
+
+  /// First-fit admission: the task lands on the lowest-index core that
+  /// (a) has no member with the same priority and (b) stays
+  /// RTA-schedulable with it.  Returns that core's index, or -1 when
+  /// every core rejects (the stream keeps the task out).
+  int try_add(const sched::Task& task);
+
+  /// Removes the task at `index` within `core` (departures are always
+  /// granted; shrinking a schedulable core cannot break it).  Indices
+  /// above it on that core shift down, mirroring TaskSet::remove.
+  void remove(int core, TaskIndex index);
+
+  int core_count() const { return static_cast<int>(cores_.size()); }
+  const sched::IncrementalRta& core(int index) const {
+    return cores_[static_cast<std::size_t>(index)];
+  }
+  /// Total tasks currently admitted across all cores.
+  std::size_t task_count() const;
+
+  /// FNV digest over every core's canonical (RTA-relevant) bytes in
+  /// core order — the multicore analogue of AdmissionService's
+  /// fingerprint(), equal across arms iff the placements match exactly.
+  std::uint64_t fingerprint() const;
+
+  /// Analysis effort summed over the per-core engines.
+  sched::IncrementalRta::Stats rta_stats() const;
+
+ private:
+  std::vector<sched::IncrementalRta> cores_;
+};
+
+}  // namespace lpfps::multicore

@@ -81,6 +81,14 @@ TaskIndex IncrementalRta::add_task(Task task) {
   return index;
 }
 
+bool IncrementalRta::try_add_task(Task task) {
+  std::vector<std::optional<Time>> before = response_;
+  add_task(std::move(task));
+  if (schedulable()) return true;
+  undo_add(std::move(before));
+  return false;
+}
+
 void IncrementalRta::remove_task(TaskIndex index) {
   LPFPS_CHECK(index >= 0 &&
               static_cast<std::size_t>(index) < tasks_.size());

@@ -77,6 +77,13 @@ class IncrementalRta {
   /// for every lower-priority task that previously converged.
   TaskIndex add_task(Task task);
 
+  /// Tentatively appends `task`: keeps it and returns true iff the
+  /// grown set is schedulable, otherwise rolls the add back (undo_add)
+  /// and returns false.  The probe primitive of first-fit partitioning
+  /// — each rejected core pays one incremental add/check/undo instead
+  /// of a from-scratch reanalysis of its whole set.
+  bool try_add_task(Task task);
+
   /// Removes the task at `index` (indices above shift down).  Only
   /// lower-priority tasks lost interference; they are reanalyzed from
   /// scratch (a shrunken recurrence's fixed point lies *below* the old

@@ -8,10 +8,12 @@
 // expected — to differ; it is excluded from the row by design.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "admission/cache.h"
 #include "admission/pipeline.h"
 #include "admission/service.h"
 #include "admission/workload.h"
@@ -32,6 +34,10 @@ ChurnConfig churn_for(int sequence) {
   churn.initial_tasks = 3 + sequence % 5;
   churn.initial_utilization = 0.3 + 0.1 * (sequence % 5);
   churn.task_utilization_max = 0.1 + 0.05 * (sequence % 4);
+  // A third of the landscape has no relative mutates, a third some, a
+  // third mostly — so the stationary fast path and direction-known
+  // retention get exercised alongside the classic redraw churn.
+  churn.relative_mutates = 0.45 * (sequence % 3);
   return churn;
 }
 
@@ -46,6 +52,13 @@ TEST(AdmissionDifferential, IncrementalEqualsFromScratchBitwise) {
   std::int64_t total_admitted = 0;
   std::int64_t total_rejected = 0;
   std::uint64_t total_cache_hits = 0;
+  std::uint64_t total_stationary = 0;
+  std::uint64_t total_shared_hits = 0;
+
+  // One shared cache across all 200 sequences: sequences with equal
+  // configs cross-serve each other (the config token isolates the
+  // rest), and every served decision still has to be bit-identical.
+  const auto shared_cache = std::make_shared<SharedAdmissionCache>(1 << 14);
 
   for (int sequence = 0; sequence < kSequences; ++sequence) {
     const ChurnConfig churn = churn_for(sequence);
@@ -61,10 +74,13 @@ TEST(AdmissionDifferential, IncrementalEqualsFromScratchBitwise) {
     ServiceConfig reference = fast;  // From scratch, uncached.
     reference.incremental = false;
     reference.use_cache = false;
+    ServiceConfig shared = fast;  // Incremental, cache shared cross-seq.
+    shared.shared_cache = shared_cache;
 
     AdmissionService arm_fast(stream.initial, fast);
     AdmissionService arm_plain(stream.initial, plain);
     AdmissionService arm_reference(stream.initial, reference);
+    AdmissionService arm_shared(stream.initial, shared);
 
     int request_index = 0;
     for (const ChurnOp& op : stream.ops) {
@@ -76,11 +92,14 @@ TEST(AdmissionDifferential, IncrementalEqualsFromScratchBitwise) {
       const Decision d_fast = arm_fast.handle(*request);
       const Decision d_plain = arm_plain.handle(*request);
       const Decision d_reference = arm_reference.handle(*request);
+      const Decision d_shared = arm_shared.handle(*request);
 
       const std::string row = io::admission_csv_row(d_fast);
       ASSERT_EQ(row, io::admission_csv_row(d_plain))
           << "seq " << sequence << " request " << request_index;
       ASSERT_EQ(row, io::admission_csv_row(d_reference))
+          << "seq " << sequence << " request " << request_index;
+      ASSERT_EQ(row, io::admission_csv_row(d_shared))
           << "seq " << sequence << " request " << request_index;
 
       // Bitwise decision fields (the CSV compare already covers these
@@ -88,10 +107,17 @@ TEST(AdmissionDifferential, IncrementalEqualsFromScratchBitwise) {
       ASSERT_EQ(d_fast.min_safe_mhz, d_reference.min_safe_mhz);
       ASSERT_EQ(d_fast.min_safe_ratio, d_reference.min_safe_ratio);
       ASSERT_EQ(d_fast.utilization, d_reference.utilization);
+      // The sensitivity answer is a decision field: bitwise across all
+      // four arms, whether searched, fast-pathed, or cache-served.
+      ASSERT_EQ(d_fast.wcet_headroom, d_reference.wcet_headroom)
+          << "seq " << sequence << " request " << request_index;
+      ASSERT_EQ(d_fast.wcet_headroom, d_plain.wcet_headroom);
+      ASSERT_EQ(d_fast.wcet_headroom, d_shared.wcet_headroom);
 
       // Full state equality: fingerprints and response-time vectors.
       ASSERT_EQ(arm_fast.fingerprint(), arm_reference.fingerprint());
       ASSERT_EQ(arm_fast.fingerprint(), arm_plain.fingerprint());
+      ASSERT_EQ(arm_fast.fingerprint(), arm_shared.fingerprint());
       const auto& r_fast = arm_fast.response_times();
       const auto& r_reference = arm_reference.response_times();
       ASSERT_EQ(r_fast.size(), r_reference.size());
@@ -112,6 +138,8 @@ TEST(AdmissionDifferential, IncrementalEqualsFromScratchBitwise) {
       total_rejected += d_fast.admitted ? 0 : 1;
     }
     total_cache_hits += arm_fast.cache_counters().hits;
+    total_stationary += arm_fast.stats().stationary_hits;
+    total_shared_hits += arm_shared.cache_counters().hits;
 
     // The fast arm must genuinely have done less analysis work.
     EXPECT_LE(arm_fast.rta_stats().tasks_reanalyzed,
@@ -120,11 +148,13 @@ TEST(AdmissionDifferential, IncrementalEqualsFromScratchBitwise) {
   }
 
   // The property is vacuous unless the workload actually exercised
-  // both outcomes and the cache.
+  // both outcomes, the caches, and the stationary fast path.
   EXPECT_GT(total_requests, kSequences * kRequestsPerSequence / 2);
   EXPECT_GT(total_admitted, 0);
   EXPECT_GT(total_rejected, 0);
   EXPECT_GT(total_cache_hits, 0u);
+  EXPECT_GT(total_stationary, 0u);
+  EXPECT_GT(total_shared_hits, 0u);
 }
 
 TEST(AdmissionDifferential, SessionDigestsAgreeAcrossArms) {
@@ -149,6 +179,54 @@ TEST(AdmissionDifferential, SessionDigestsAgreeAcrossArms) {
     ASSERT_EQ(a.rejected, b.rejected);
     ASSERT_EQ(a.skipped, b.skipped);
   }
+}
+
+TEST(AdmissionDifferential, MulticoreSessionsAgreeAcrossArmsAndWorkers) {
+  // The multicore restatement, at full differential scale: the per-core
+  // incremental engines and the from-scratch reference must admit the
+  // same tasks to the same cores (equal decision digests and placement
+  // fingerprints) across 200 random sequences — and a 4-worker batch
+  // must be bit-identical to the serial one.
+  std::vector<MulticoreSessionSpec> fast(kSequences);
+  for (int sequence = 0; sequence < kSequences; ++sequence) {
+    fast[static_cast<std::size_t>(sequence)].churn = churn_for(sequence);
+    fast[static_cast<std::size_t>(sequence)].cores = 2 + sequence % 3;
+    fast[static_cast<std::size_t>(sequence)].seed =
+        11000 + static_cast<std::uint64_t>(sequence);
+  }
+  std::vector<MulticoreSessionSpec> scratch = fast;
+  for (MulticoreSessionSpec& spec : scratch) spec.scratch = true;
+
+  const std::vector<MulticoreSessionResult> serial =
+      run_multicore_sessions(fast, 1);
+  const std::vector<MulticoreSessionResult> workers4 =
+      run_multicore_sessions(fast, 4);
+  const std::vector<MulticoreSessionResult> reference =
+      run_multicore_sessions(scratch, 1);
+
+  std::uint64_t total_admitted = 0;
+  std::uint64_t total_rejected = 0;
+  ASSERT_EQ(serial.size(), fast.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].decision_digest, workers4[i].decision_digest) << i;
+    ASSERT_EQ(serial[i].final_fingerprint, workers4[i].final_fingerprint)
+        << i;
+    ASSERT_EQ(serial[i].decision_digest, reference[i].decision_digest) << i;
+    ASSERT_EQ(serial[i].final_fingerprint, reference[i].final_fingerprint)
+        << i;
+    ASSERT_EQ(serial[i].requests, reference[i].requests);
+    ASSERT_EQ(serial[i].admitted, reference[i].admitted);
+    ASSERT_EQ(serial[i].rejected, reference[i].rejected);
+    ASSERT_EQ(serial[i].skipped, reference[i].skipped);
+    // The incremental arm never analyzes more than the reference.
+    EXPECT_LE(serial[i].rta.tasks_reanalyzed,
+              reference[i].rta.tasks_reanalyzed)
+        << i;
+    total_admitted += serial[i].admitted;
+    total_rejected += serial[i].rejected;
+  }
+  EXPECT_GT(total_admitted, 0u);
+  EXPECT_GT(total_rejected, 0u);
 }
 
 }  // namespace

@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "admission/workload.h"
 #include "common/float_compare.h"
@@ -73,6 +77,32 @@ int brute_force_min_level(const sched::TaskSet& tasks,
     if (feasible) return level;
   }
   return static_cast<int>(levels.size()) - 1;
+}
+
+/// Reference for the sensitivity answer: every WCET stretched to
+/// `level` and further scaled by `scale`, then the exact RTA — the
+/// materialized mirror of AdmissionService::headroom_feasible.
+bool reference_headroom_feasible(const sched::TaskSet& tasks,
+                                 const ServiceConfig& config, int level,
+                                 double scale) {
+  const MegaHertz f = config.table.levels()[static_cast<std::size_t>(level)];
+  const double stretch = config.scaling.stretch(config.table.ratio_of(f));
+  sched::TaskSet scaled;
+  for (const sched::Task& t : tasks.tasks()) {
+    sched::Task s = t;
+    s.wcet = t.wcet * stretch * scale;
+    if (s.wcet > static_cast<double>(s.deadline)) return false;
+    s.bcet = std::min(s.bcet, s.wcet);
+    scaled.add(s);
+  }
+  for (TaskIndex i = 0; i < static_cast<TaskIndex>(scaled.size()); ++i) {
+    const auto r = sched::response_time_from_seed(scaled, i, scaled[i].wcet);
+    if (!r.has_value() ||
+        definitely_greater(*r, static_cast<double>(scaled[i].deadline))) {
+      return false;
+    }
+  }
+  return true;
 }
 
 TEST(AdmissionService, AdmitsFeasibleAddAndReportsMinFrequency) {
@@ -218,6 +248,159 @@ TEST(AdmissionService, CacheHitReplaysDecisionBitwise) {
   for (std::size_t i = 0; i < cached.response_times().size(); ++i) {
     EXPECT_EQ(cached.response_times()[i], plain.response_times()[i]);
   }
+}
+
+TEST(AdmissionService, StationaryChurnAnswersWithoutSearching) {
+  // Measured-WCET-revision churn (every mutate a small relative scale)
+  // leaves the minimum-frequency boundary where it was almost every
+  // request: the incremental arm must take the stationary fast path and
+  // probe far fewer levels than the binary-searching reference — with
+  // byte-identical decisions.
+  ChurnConfig churn;
+  churn.requests = 120;
+  churn.initial_tasks = 8;
+  churn.initial_utilization = 0.55;
+  churn.add_fraction = 0.02;
+  churn.remove_fraction = 0.02;
+  churn.relative_mutates = 1.0;
+  churn.deadline_monotonic_hints = true;
+  const ChurnStream stream = make_churn_stream(churn, 99);
+
+  ServiceConfig fast_config;
+  fast_config.scaling = wcet::FrequencyScalingModel{0.3};
+  ServiceConfig reference_config = fast_config;
+  reference_config.incremental = false;
+
+  AdmissionService fast(stream.initial, fast_config);
+  AdmissionService reference(stream.initial, reference_config);
+  for (const ChurnOp& op : stream.ops) {
+    const auto request = resolve(op, fast.tasks());
+    if (!request.has_value()) continue;
+    const Decision df = fast.handle(*request);
+    const Decision dr = reference.handle(*request);
+    ASSERT_EQ(df.admitted, dr.admitted);
+    ASSERT_EQ(df.min_level, dr.min_level);
+    ASSERT_EQ(df.min_safe_mhz, dr.min_safe_mhz);        // Bitwise.
+    ASSERT_EQ(df.wcet_headroom, dr.wcet_headroom);      // Bitwise.
+    ASSERT_EQ(df.fingerprint, dr.fingerprint);
+  }
+  EXPECT_GT(fast.stats().stationary_hits, 0u);
+  EXPECT_LT(fast.stats().levels_probed, reference.stats().levels_probed);
+}
+
+TEST(AdmissionService, HeadroomBracketsTheFeasibilityBoundary) {
+  // For every admitted request, the reported headroom must be feasible
+  // and a hair above it infeasible (the probe schedule's final bracket
+  // is narrower than 0.1%), against the materialized reference.
+  ServiceConfig config;
+  config.scaling = wcet::FrequencyScalingModel{0.3};
+  ChurnConfig churn;
+  churn.requests = 80;
+  const ChurnStream stream = make_churn_stream(churn, 515);
+  AdmissionService service(stream.initial, config);
+  int checked = 0;
+  for (const ChurnOp& op : stream.ops) {
+    const auto request = resolve(op, service.tasks());
+    if (!request.has_value()) continue;
+    const Decision d = service.handle(*request);
+    if (!d.admitted) continue;
+    ASSERT_GE(d.wcet_headroom, 1.0);
+    if (d.wcet_headroom >= 1048576.0) continue;  // Capped: no boundary.
+    EXPECT_TRUE(reference_headroom_feasible(service.tasks(), config,
+                                            d.min_level, d.wcet_headroom));
+    EXPECT_FALSE(reference_headroom_feasible(
+        service.tasks(), config, d.min_level, d.wcet_headroom * 1.001));
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(AdmissionService, SensitivityOffReportsZeroHeadroom) {
+  ServiceConfig config = small_table_config();
+  config.sensitivity = false;
+  AdmissionService service(sched::TaskSet{}, config);
+  const Decision d = service.handle(add(task("a", 100, 10.0, 0)));
+  ASSERT_TRUE(d.admitted);
+  EXPECT_EQ(d.wcet_headroom, 0.0);
+  EXPECT_EQ(service.stats().headroom_probes, 0u);
+}
+
+TEST(AdmissionService, EnvOverridesCacheCapacity) {
+  const sched::Task a = task("a", 100, 30.0, 0);
+  const sched::Task b = task("b", 400, 100.0, 1);
+
+  ::setenv("LPFPS_ADMISSION_CACHE", "0", 1);
+  {
+    AdmissionService service(sched::TaskSet{}, small_table_config());
+    for (const Request& r : {add(a), add(b), remove(1), add(b)}) {
+      service.handle(r);
+    }
+    EXPECT_EQ(service.cache_counters().hits, 0u);
+    EXPECT_EQ(service.cache_counters().insertions, 0u);
+  }
+  {
+    // 0 must silence a shared cache too.
+    ServiceConfig config = small_table_config();
+    config.shared_cache = std::make_shared<SharedAdmissionCache>(64, 2);
+    AdmissionService service(sched::TaskSet{}, config);
+    service.handle(add(a));
+    EXPECT_EQ(config.shared_cache->size(), 0u);
+  }
+
+  ::setenv("LPFPS_ADMISSION_CACHE", "1", 1);
+  {
+    AdmissionService service(sched::TaskSet{}, small_table_config());
+    for (const Request& r : {add(a), add(b), remove(1), add(b)}) {
+      service.handle(r);
+    }
+    // Capacity 1 cannot hold the distinct candidate sets.
+    EXPECT_GT(service.cache_counters().evictions, 0u);
+  }
+  ::unsetenv("LPFPS_ADMISSION_CACHE");
+}
+
+TEST(AdmissionService, SharedCacheServesAcrossServicesNotAcrossConfigs) {
+  const auto shared = std::make_shared<SharedAdmissionCache>(1024, 4);
+  ServiceConfig config = small_table_config();
+  config.shared_cache = shared;
+  const sched::Task a = task("a", 100, 30.0, 0);
+  const sched::Task b = task("b", 400, 100.0, 1);
+
+  // A private-cache reference supplies the expected decisions.
+  AdmissionService reference(sched::TaskSet{}, small_table_config());
+  AdmissionService first(sched::TaskSet{}, config);
+  std::vector<Decision> expected;
+  for (const Request& r : {add(a), add(b)}) {
+    expected.push_back(reference.handle(r));
+    first.handle(r);
+  }
+  EXPECT_EQ(first.cache_counters().hits, 0u);
+  EXPECT_GE(first.cache_counters().insertions, 2u);
+
+  // A second service on the same shared cache replays first's analyses
+  // — bit-identically to the private-cache reference.
+  AdmissionService second(sched::TaskSet{}, config);
+  std::size_t i = 0;
+  for (const Request& r : {add(a), add(b)}) {
+    const Decision d = second.handle(r);
+    ASSERT_LT(i, expected.size());
+    EXPECT_EQ(d.admitted, expected[i].admitted);
+    EXPECT_EQ(d.min_level, expected[i].min_level);
+    EXPECT_EQ(d.min_safe_mhz, expected[i].min_safe_mhz);    // Bitwise.
+    EXPECT_EQ(d.wcet_headroom, expected[i].wcet_headroom);  // Bitwise.
+    EXPECT_EQ(d.fingerprint, expected[i].fingerprint);
+    EXPECT_TRUE(d.cache_hit);
+    ++i;
+  }
+  EXPECT_EQ(second.cache_counters().hits, 2u);
+
+  // A differently configured service sharing the cache must never be
+  // served first's entries: the config token isolates the key spaces.
+  ServiceConfig other = config;
+  other.scaling = wcet::FrequencyScalingModel{0.5};
+  AdmissionService third(sched::TaskSet{}, other);
+  third.handle(add(a));
+  EXPECT_EQ(third.cache_counters().hits, 0u);
 }
 
 TEST(AdmissionService, RequiresDiscreteTableAndSchedulableInitial) {

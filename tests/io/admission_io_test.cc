@@ -17,6 +17,7 @@ admission::Decision sample_decision() {
   d.min_level = 17;
   d.min_safe_mhz = 25.0;
   d.min_safe_ratio = 0.25;
+  d.wcet_headroom = 1.5;
   d.fingerprint = 0xdeadbeefcafef00dull;
   d.task_count = 5;
   d.utilization = 0.62;
@@ -36,7 +37,7 @@ TEST(AdmissionIo, HeaderMatchesRowFieldCount) {
 
 TEST(AdmissionIo, RowRendersDecisionFields) {
   EXPECT_EQ(admission_csv_row(sample_decision()),
-            "add,1,17,25,0.25,deadbeefcafef00d,5,0.62\n");
+            "add,1,17,25,0.25,1.5,deadbeefcafef00d,5,0.62\n");
 
   admission::Decision rejected;
   rejected.kind = admission::RequestKind::kMutate;
@@ -45,7 +46,7 @@ TEST(AdmissionIo, RowRendersDecisionFields) {
   rejected.task_count = 3;
   rejected.utilization = 0.5;
   EXPECT_EQ(admission_csv_row(rejected),
-            "mutate,0,-1,0,0,0000000000000001,3,0.5\n");
+            "mutate,0,-1,0,0,0,0000000000000001,3,0.5\n");
 }
 
 TEST(AdmissionIo, AccountingIsExcludedFromTheRow) {
@@ -54,9 +55,11 @@ TEST(AdmissionIo, AccountingIsExcludedFromTheRow) {
   admission::Decision a = sample_decision();
   admission::Decision b = sample_decision();
   b.cache_hit = true;
+  b.stationary = true;
   b.tasks_reanalyzed = 99;
   b.tasks_seeded = 42;
   b.levels_probed = 7;
+  b.headroom_probes = 23;
   EXPECT_EQ(admission_csv_row(a), admission_csv_row(b));
 }
 

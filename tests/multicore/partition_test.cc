@@ -109,6 +109,48 @@ TEST(Partition, CoreTaskSetReassignsPrioritiesRm) {
   EXPECT_LT(subset[1].priority, subset[0].priority);
 }
 
+TEST(Partition, IncrementalAndScratchModesAgreeExactly) {
+  // The incremental arm (per-core IncrementalRta under global
+  // RM-equivalent ranks) must place every task on the same core as the
+  // materialize-and-reanalyze reference, for every heuristic, across
+  // random sets spanning fit and no-fit outcomes.
+  Rng rng(4242);
+  workloads::GeneratorConfig config;
+  config.task_count = 12;
+  for (int i = 0; i < 20; ++i) {
+    config.total_utilization = 0.5 + 0.05 * (i % 10);
+    const sched::TaskSet tasks = workloads::generate_task_set(config, rng);
+    for (const auto heuristic :
+         {PackingHeuristic::kFirstFitDecreasing,
+          PackingHeuristic::kBestFitDecreasing,
+          PackingHeuristic::kWorstFitDecreasing}) {
+      for (const int cores : {1, 2, 3}) {
+        const auto fast = partition_tasks(tasks, cores, heuristic,
+                                          PartitionMode::kIncremental);
+        const auto reference = partition_tasks(tasks, cores, heuristic,
+                                               PartitionMode::kFromScratch);
+        ASSERT_EQ(fast.has_value(), reference.has_value())
+            << to_string(heuristic) << " cores=" << cores << " set " << i;
+        if (fast.has_value()) {
+          EXPECT_EQ(fast->cores, reference->cores)
+              << to_string(heuristic) << " cores=" << cores << " set " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Partition, MinCoresAgreesAcrossModes) {
+  const sched::TaskSet tasks = heavy_set();
+  for (const auto heuristic :
+       {PackingHeuristic::kFirstFitDecreasing,
+        PackingHeuristic::kWorstFitDecreasing}) {
+    EXPECT_EQ(min_cores(tasks, 8, heuristic, PartitionMode::kIncremental),
+              min_cores(tasks, 8, heuristic, PartitionMode::kFromScratch))
+        << to_string(heuristic);
+  }
+}
+
 TEST(Partition, RandomSetsAlwaysPartitionValidly) {
   Rng rng(77);
   workloads::GeneratorConfig config;
