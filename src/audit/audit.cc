@@ -92,6 +92,7 @@ class Auditor {
         options_.safe_mode_fallback) {
       check_faults();
     }
+    if (options_.weakly_hard) check_weakly_hard();
     if (cpu_ != nullptr && result_ != nullptr) {
       check_energy();
       check_counters();
@@ -119,6 +120,7 @@ class Auditor {
   void build_index() {
     windows_.assign(task_count(), {});
     task_segments_.assign(task_count(), {});
+    skipped_releases_.assign(task_count(), {});
 
     for (std::size_t i = 0; i < segments().size(); ++i) {
       const Segment& s = segments()[i];
@@ -137,12 +139,22 @@ class Auditor {
       Window w;
       w.instance = job.instance;
       w.release = job.release;
-      // A killed job frees the processor at the kill instant; only a
-      // genuinely in-flight job may occupy the trace tail.
-      w.end = job.finished || job.killed ? job.completion : trace_end();
+      // A killed job frees the processor at the kill instant, and a
+      // governor-skipped job never occupies it at all (its window is
+      // the zero-length decision instant); only a genuinely in-flight
+      // job may occupy the trace tail.
+      w.end = job.finished || job.killed || job.skipped ? job.completion
+                                                        : trace_end();
       w.deadline = job.absolute_deadline;
       w.finished = job.finished;
       windows_[static_cast<std::size_t>(job.task)].push_back(w);
+      if (job.skipped) {
+        skipped_releases_[static_cast<std::size_t>(job.task)].push_back(
+            job.release);
+      }
+    }
+    for (auto& releases : skipped_releases_) {
+      std::sort(releases.begin(), releases.end());
     }
     // One in-flight window per task whose next release precedes the
     // trace end: the engine starts that job but records it only at
@@ -214,10 +226,22 @@ class Auditor {
     return r;
   }
 
+  /// True when `task` has a governor-skip record at release instant `r`.
+  bool is_skipped_release(std::size_t task, Time r) const {
+    const auto& releases = skipped_releases_[task];
+    auto it = std::lower_bound(releases.begin(), releases.end(),
+                               r - options_.epsilon);
+    return it != releases.end() && *it <= r + options_.epsilon;
+  }
+
   /// Next nominal release strictly after `t` across all tasks except
   /// `exclude` (the delay queue's view at a plan instant: the active
   /// task is not queued).  With no other task, the active task's own
-  /// next period bounds the window, mirroring the engine.
+  /// next period bounds the window, mirroring the engine.  Under a
+  /// weakly-hard governor, releases whose jobs were skipped never
+  /// demand the CPU, so skip-aware plans may legally span them; the
+  /// walk advances past skip records (a superset of the engine's
+  /// one-skip lookahead, i.e. a permissive bound).
   Time next_release_after(Time t, std::size_t exclude) const {
     Time next = std::numeric_limits<Time>::infinity();
     for (std::size_t u = 0; u < task_count(); ++u) {
@@ -231,6 +255,9 @@ class Auditor {
             phase + period * (std::floor((t - phase) / period) + 1.0);
       }
       while (release <= t + options_.epsilon) release += period;
+      if (options_.weakly_hard) {
+        while (is_skipped_release(u, release)) release += period;
+      }
       next = std::min(next, release);
     }
     return next;
@@ -451,7 +478,10 @@ class Auditor {
                 " disagrees with missed_deadline=" +
                 (job.missed_deadline ? "true" : "false"));
       }
-      if (options_.expect_no_misses && job.missed_deadline) {
+      // A weakly-hard task's QoS contract is its (m,k) window (W1), not
+      // the blanket zero-miss promise — only hard tasks keep J4.miss.
+      if (options_.expect_no_misses && job.missed_deadline &&
+          !(options_.weakly_hard && task.weakly_hard())) {
         add("J4.miss", job.completion,
             task.name + " instance " + std::to_string(job.instance) +
                 " missed its deadline: completed " + fmt(job.completion) +
@@ -551,6 +581,10 @@ class Auditor {
             r >= trace_end() - options_.epsilon) {
           continue;
         }
+        // A governor-skipped release never dispatches a job: the
+        // decision is legal mid-plan (skip-aware DVS) or on the way out
+        // of power-down, so the full-speed promise does not apply.
+        if (options_.weakly_hard && is_skipped_release(t, r)) continue;
         // Never asleep across a release: the exact power-down timer
         // must have fired (wake-up *ends* at or before the release).
         auto it = std::upper_bound(segs.begin(), segs.end(), r,
@@ -869,6 +903,164 @@ class Auditor {
     }
   }
 
+  // ---- W: weakly-hard (m,k) invariants -----------------------------------
+
+  /// Settled outcome of one instance, reconstructed from the records.
+  enum class Outcome : std::uint8_t { kMet, kFailed, kSkipped };
+
+  /// W1-W4 (docs/WEAKLY_HARD.md): replay every weakly-hard task's
+  /// settled-instance sequence purely from the job records — finished
+  /// in time = met; miss / kill = failed; instance gaps = forfeited
+  /// enforcement windows, also failed; skip records = skipped (not
+  /// met) — and re-derive the per-window (m,k) invariants and skip
+  /// permissions the governor claims to have maintained.
+  void check_weakly_hard() {
+    std::int64_t skip_records = 0;
+    int recomputed_violations = 0;
+
+    // W3: skip-record shape.
+    for (const sim::JobRecord& job : trace_.jobs()) {
+      if (!job.skipped) continue;
+      ++skip_records;
+      if (job.task < 0 || static_cast<std::size_t>(job.task) >= task_count()) {
+        continue;  // check_jobs reports the bad index.
+      }
+      const sched::Task& task = tasks_[job.task];
+      if (!task.weakly_hard()) {
+        add("W3.hard-skip", job.completion,
+            task.name + " instance " + std::to_string(job.instance) +
+                " was skipped but the task declares no weakly-hard " +
+                "constraint");
+      }
+      if (job.finished || job.killed) {
+        add("W3.flags", job.completion,
+            task.name + " instance " + std::to_string(job.instance) +
+                " is marked skipped together with finished/killed");
+      }
+      if (std::abs(job.executed) > options_.work_epsilon) {
+        add("W3.demand", job.completion,
+            task.name + " instance " + std::to_string(job.instance) +
+                " was skipped yet records demand " + fmt(job.executed));
+      }
+      if (std::abs(job.completion - job.release) > options_.epsilon) {
+        add("W3.instant", job.completion,
+            task.name + " instance " + std::to_string(job.instance) +
+                " skip decided at " + fmt(job.completion) +
+                " != its release " + fmt(job.release));
+      }
+    }
+
+    // Group records per task once (instance replay is per task).
+    std::vector<std::vector<const sim::JobRecord*>> by_task(task_count());
+    for (const sim::JobRecord& job : trace_.jobs()) {
+      if (job.task >= 0 && static_cast<std::size_t>(job.task) < task_count()) {
+        by_task[static_cast<std::size_t>(job.task)].push_back(&job);
+      }
+    }
+
+    for (std::size_t t = 0; t < task_count(); ++t) {
+      const sched::Task& task = tasks_[static_cast<TaskIndex>(t)];
+      if (!task.weakly_hard()) continue;
+      const int m = task.effective_m();
+      const int k = task.effective_k();
+
+      // The settled prefix ends at the last record: a job still in
+      // flight at the horizon is not settled, exactly as in the engine.
+      std::int64_t last = -1;
+      for (const sim::JobRecord* job : by_task[t]) {
+        last = std::max(last, job->instance);
+      }
+      if (last < 0) continue;
+      std::vector<Outcome> outcomes(static_cast<std::size_t>(last) + 1,
+                                    Outcome::kFailed);
+      for (const sim::JobRecord* job : by_task[t]) {
+        if (job->instance < 0) continue;
+        auto& slot = outcomes[static_cast<std::size_t>(job->instance)];
+        if (job->skipped) {
+          slot = Outcome::kSkipped;
+        } else if (job->finished && !job->missed_deadline) {
+          slot = Outcome::kMet;
+        } else {
+          slot = Outcome::kFailed;
+        }
+      }
+      // Prehistory (instances before t=0) counts as met — the
+      // governor's masks start all-ones.
+      const auto met_at = [&](std::int64_t i) {
+        return i < 0 ||
+               outcomes[static_cast<std::size_t>(i)] == Outcome::kMet;
+      };
+      const Time period = static_cast<Time>(task.period);
+      const Time phase = static_cast<Time>(task.phase);
+
+      for (std::int64_t i = 0; i <= last; ++i) {
+        // W1: the k-window ending at each settled instance keeps >= m
+        // met jobs (identical to the governor's per-settle check).
+        int met = 0;
+        for (std::int64_t j = i - k + 1; j <= i; ++j) {
+          if (met_at(j)) ++met;
+        }
+        if (met < m) {
+          ++recomputed_violations;
+          add("W1.window",
+              phase + static_cast<Time>(i) * period,
+              task.name + " (m,k)=(" + std::to_string(m) + "," +
+                  std::to_string(k) + "): window ending at instance " +
+                  std::to_string(i) + " has only " + std::to_string(met) +
+                  " met job(s)");
+        }
+        if (outcomes[static_cast<std::size_t>(i)] != Outcome::kSkipped) {
+          continue;
+        }
+        // W2: replay the skip permission from the preceding history.
+        bool permitted = true;
+        if (task.skip_s > 0) {
+          for (std::int64_t j = i - task.skip_s + 1; j < i; ++j) {
+            if (j >= 0 &&
+                outcomes[static_cast<std::size_t>(j)] == Outcome::kSkipped) {
+              permitted = false;
+            }
+          }
+        } else {
+          int prior_met = 0;
+          for (std::int64_t j = i - k + 1; j < i; ++j) {
+            if (met_at(j)) ++prior_met;
+          }
+          permitted = prior_met >= m;
+        }
+        if (!permitted) {
+          add("W2.impermissible",
+              phase + static_cast<Time>(i) * period,
+              task.name + " instance " + std::to_string(i) +
+                  " was skipped without window permission " +
+                  (task.skip_s > 0
+                       ? "(a prior skip sits inside the last s-1 jobs)"
+                       : "(fewer than m met jobs in the last k-1)"));
+        }
+      }
+    }
+
+    // W4: counter agreement.  Skip records are exact (every governor
+    // skip writes one); recomputed violations are a lower bound — the
+    // engine also settles trailing forfeited windows that leave no
+    // record when kill containment fires near the horizon.
+    if (result_ != nullptr) {
+      if (result_->jobs_skipped_weakly != skip_records) {
+        add("W4.skips", 0.0,
+            "jobs_skipped_weakly=" +
+                std::to_string(result_->jobs_skipped_weakly) +
+                " but the trace records " + std::to_string(skip_records) +
+                " skipped jobs");
+      }
+      if (recomputed_violations > result_->mk_violations) {
+        add("W4.violations", 0.0,
+            "trace replay finds " + std::to_string(recomputed_violations) +
+                " (m,k)-window violations but the engine reported only " +
+                std::to_string(result_->mk_violations));
+      }
+    }
+  }
+
   // ---- E: energy and time re-integration --------------------------------
 
   void check_energy() {
@@ -1034,6 +1226,7 @@ class Auditor {
   AuditReport report_;
   std::vector<std::vector<Window>> windows_;
   std::vector<std::vector<std::size_t>> task_segments_;
+  std::vector<std::vector<Time>> skipped_releases_;  ///< Sorted, per task.
 };
 
 }  // namespace

@@ -40,6 +40,17 @@
 //                   detections imply safe_mode_entries > 0
 //   F3  kills       killed records are unfinished with executed ~= WCET,
 //                   and their count matches jobs_killed
+//   W1  windows     every settled k-window of a weakly-hard task keeps
+//                   >= m met jobs (re-derived from the records alone;
+//                   docs/WEAKLY_HARD.md)
+//   W2  skips       every recorded skip was permitted by the task's own
+//                   window history at the decision instant
+//   W3  skip shape  skip records name a weakly-hard task, are unfinished
+//                   and unkilled, carry zero demand, and are decided at
+//                   the release instant
+//   W4  counters    jobs_skipped_weakly equals the skip-record count and
+//                   the recomputed (m,k) violations reconcile with the
+//                   reported mk_violations
 #pragma once
 
 #include <string>
@@ -108,6 +119,13 @@ struct AuditOptions {
   /// next non-running segment, and detections must be accompanied by
   /// safe-mode entries.
   bool safe_mode_fallback = false;
+  /// Weakly-hard auditing (docs/WEAKLY_HARD.md).  Set when the run's
+  /// skip governor was armed: arms the W checks — per-task (m,k)-window
+  /// invariants replacing the blanket zero-miss expectation for
+  /// weakly-hard tasks, skip-permission replay, skip-record shape, and
+  /// counter agreement — exempts governor-skipped releases from S2, and
+  /// lets D1 plan windows extend past skipped arrivals (skip-aware DVS).
+  bool weakly_hard = false;
   /// Effective ramp-rate multiplier of an injected DVS ramp fault
   /// (faults::RampFault::rho_factor).  T6 slope and E1 ramp-energy
   /// re-integration use rho * ramp_rate_factor; planning checks (D1/D2)

@@ -62,6 +62,13 @@ AuditOptions derive_options(const core::SchedulerPolicy& policy,
   // D1/D2: plans are built against the spec rho, which a ramp fault
   // makes physically unattainable.
   audit.check_dvs_plans = jitter_free && policy.uses_dvs() && !ramp_fault;
+  // Weakly-hard governor (docs/WEAKLY_HARD.md): arm the W checks and
+  // the skip-aware S2/D1 relaxations.  With no weakly-hard tasks the
+  // run has no skip records and every W check is a no-op, so keying on
+  // the configured policy alone — the task set is not in hand here —
+  // is safe.
+  audit.weakly_hard =
+      options.weakly_hard.policy != weakly_hard::SkipPolicy::kNever;
   return audit;
 }
 
@@ -89,6 +96,8 @@ void CounterTotals::add(const core::SimulationResult& result) {
   jobs_throttled += result.jobs_throttled;
   jobs_skipped += result.jobs_skipped;
   safe_mode_entries += result.safe_mode_entries;
+  jobs_skipped_weakly += result.jobs_skipped_weakly;
+  mk_violations += result.mk_violations;
 }
 
 std::string counters_csv_header() {
@@ -97,7 +106,8 @@ std::string counters_csv_header() {
          "run_queue_high_water,delay_queue_high_water,cycles_detected,"
          "fast_forwarded_time,simulated_time,total_energy,"
          "overruns_detected,ramp_faults_detected,late_wakeups_detected,"
-         "jobs_killed,jobs_throttled,jobs_skipped,safe_mode_entries\n";
+         "jobs_killed,jobs_throttled,jobs_skipped,safe_mode_entries,"
+         "jobs_skipped_weakly,mk_violations\n";
 }
 
 std::string counters_csv_row(const CounterTotals& totals) {
@@ -113,7 +123,8 @@ std::string counters_csv_row(const CounterTotals& totals) {
      << totals.overruns_detected << "," << totals.ramp_faults_detected << ","
      << totals.late_wakeups_detected << "," << totals.jobs_killed << ","
      << totals.jobs_throttled << "," << totals.jobs_skipped << ","
-     << totals.safe_mode_entries << "\n";
+     << totals.safe_mode_entries << "," << totals.jobs_skipped_weakly << ","
+     << totals.mk_violations << "\n";
   return os.str();
 }
 
@@ -187,7 +198,9 @@ std::string AuditAggregator::write_report() const {
       .set("jobs_killed", counters_.jobs_killed)
       .set("jobs_throttled", counters_.jobs_throttled)
       .set("jobs_skipped", counters_.jobs_skipped)
-      .set("safe_mode_entries", counters_.safe_mode_entries);
+      .set("safe_mode_entries", counters_.safe_mode_entries)
+      .set("jobs_skipped_weakly", counters_.jobs_skipped_weakly)
+      .set("mk_violations", counters_.mk_violations);
   for (const Violation& v : samples_) {
     json.add_point()
         .set("invariant", v.invariant)

@@ -58,6 +58,10 @@ struct CounterTotals {
   std::int64_t jobs_throttled = 0;
   std::int64_t jobs_skipped = 0;
   std::int64_t safe_mode_entries = 0;
+  /// Weakly-hard governor totals (docs/WEAKLY_HARD.md); zero unless the
+  /// batch armed the skip governor.
+  std::int64_t jobs_skipped_weakly = 0;
+  std::int64_t mk_violations = 0;
 
   void add(const core::SimulationResult& result);
 };

@@ -42,8 +42,29 @@
 #include "power/processor.h"
 #include "sched/queues.h"
 #include "sched/task_set.h"
+#include "weakly_hard/governor.h"
 
 namespace lpfps::core {
+
+/// Weakly-hard scheduling configuration (docs/WEAKLY_HARD.md).  Inert
+/// unless the task set declares weakly-hard constraints *and* the
+/// policy is not kNever — the engine stays bit-identical to the hard
+/// engine otherwise (pinned differentially).
+struct WeaklyHardOptions {
+  /// When the governor spends permitted skips.  The default kOverload
+  /// degrades only while the overload latch is raised: from t = 0 on
+  /// sets whose hard RTA fails (structural overload), and from the
+  /// first predicted miss / detected overrun / actual miss until the
+  /// next idle instant otherwise.
+  weakly_hard::SkipPolicy policy = weakly_hard::SkipPolicy::kOverload;
+  /// Skip-aware DVS (skip-to-slack conversion): slowdown windows extend
+  /// past arrivals whose jobs the governor will certainly skip, and
+  /// such releases are consumed without ramping back to base speed —
+  /// a granted skip's reclaimed demand becomes a deeper slowdown.
+  /// Without it, skips shed the same load but every arrival still
+  /// interrupts the plan (plain LPFPS energy behavior).
+  bool skip_dvs = false;
+};
 
 struct EngineOptions {
   Time horizon = 0.0;  ///< Required: simulate [0, horizon).
@@ -113,6 +134,13 @@ struct EngineOptions {
   /// pins bit-for-bit.  kThrottle and kKill displace overrun windows,
   /// so pair them with throw_on_miss=false when probing overload.
   faults::ContainmentPolicy containment;
+  /// Weakly-hard skip governor (docs/WEAKLY_HARD.md).  Armed only when
+  /// the task set declares (m,k)/skip constraints and the policy is not
+  /// kNever; disarmed runs are bit-identical to the hard engine.
+  /// Governor-armed runs are ineligible for steady-state cycle
+  /// detection (the skip history is not part of the state fingerprint).
+  /// Pair with throw_on_miss=false when probing overload.
+  WeaklyHardOptions weakly_hard;
 };
 
 class Engine {

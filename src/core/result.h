@@ -48,8 +48,23 @@ struct SimulationResult {
   int late_wakeups_detected = 0;  ///< Wake timers that fired late.
   int jobs_killed = 0;            ///< Jobs aborted at their budget.
   int jobs_throttled = 0;         ///< Jobs suspended to their next window.
-  int jobs_skipped = 0;           ///< Releases displaced by kill/throttle.
+  /// Releases *displaced* by kill/throttle containment: enforcement
+  /// windows an overrunning job consumed, forfeited when the task is
+  /// requeued.  Not a scheduling decision — for deliberate weakly-hard
+  /// policy skips see jobs_skipped_weakly.
+  int jobs_skipped = 0;
   int safe_mode_entries = 0;      ///< Safe-mode episodes entered.
+
+  /// Weakly-hard governor counters (EngineOptions::weakly_hard,
+  /// docs/WEAKLY_HARD.md); all zero when the governor is disarmed.
+  /// Excluded from io::result_csv_row like the fault counters above;
+  /// exported via io::result_fault_csv_row / bench JSON / AUDIT meta.
+  int jobs_skipped_weakly = 0;  ///< Jobs skipped at release by policy.
+  int mk_violations = 0;  ///< Settled k-windows that fell below m met.
+  /// Per-task minimum over settled windows of (met jobs in window - m),
+  /// indexed like the TaskSet; negative entries are (m,k) violations.
+  /// INT_MAX marks hard tasks.  Empty when the governor is disarmed.
+  std::vector<int> weakly_hard_worst_slack;
 
   /// Steady-state fast-forward statistics (EngineOptions::cycle_detection).
   /// These describe how the result was *obtained*, not what it contains,

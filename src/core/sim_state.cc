@@ -18,6 +18,7 @@
 #include "common/float_compare.h"
 #include "core/speed_ratio.h"
 #include "power/speed_profile.h"
+#include "sched/analysis.h"
 
 namespace lpfps::core {
 
@@ -58,6 +59,30 @@ void validate_spec(const sched::TaskSet& tasks,
   tasks.validate();
   processor.validate();
   policy.validate();
+  if (tasks.has_weakly_hard() &&
+      options.weakly_hard.policy != weakly_hard::SkipPolicy::kNever) {
+    // Throttling resumes a job across enforcement windows, settling its
+    // forfeited windows out of instance order — the governor's history
+    // masks (and the auditor's replay) require in-order settlement.
+    // Throttling *is* already a weakly-hard degradation mechanism; use
+    // kill containment alongside the governor instead.
+    LPFPS_CHECK_MSG(
+        options.containment.on_overrun != faults::OverrunAction::kThrottle,
+        "throttle containment cannot combine with the weakly-hard governor");
+  }
+}
+
+/// Hard RTA verdict for the structural overload latch: a set that cannot
+/// meet every deadline even at full speed is in permanent overload, so
+/// the governor degrades from t = 0.  Sets outside the RTA's D <= T
+/// domain fall back to the utilization test alone (the dynamic latch
+/// still covers them at run time).
+bool hard_rta_schedulable(const sched::TaskSet& tasks) {
+  if (tasks.utilization() > 1.0) return false;
+  for (const sched::Task& t : tasks.tasks()) {
+    if (t.deadline > t.period) return true;
+  }
+  return sched::is_schedulable_rta(tasks);
 }
 
 /// The spec-fixed cycle-eligibility gates of setup_cycle_detection (the
@@ -69,6 +94,12 @@ std::int64_t eligible_cycle_hyperperiod(const sched::TaskSet& tasks,
                                         const EngineOptions& options) {
   if (!options.cycle_detection) return 0;
   if (options.faults.any() || options.containment.enabled()) return 0;
+  // The governor's skip history (window masks, overload latch) is not
+  // part of the boundary fingerprint, so armed runs must not fast-forward.
+  if (tasks.has_weakly_hard() &&
+      options.weakly_hard.policy != weakly_hard::SkipPolicy::kNever) {
+    return 0;
+  }
   for (const Time j : options.release_jitter) {
     if (j > 0.0) return 0;
   }
@@ -190,6 +221,20 @@ void SimState::reset(const sched::TaskSet& tasks,
   jobs_skipped_ = 0;
   safe_mode_entries_ = 0;
 
+  // Weakly-hard governor wiring, resolved once: disarmed runs (no
+  // weakly-hard tasks, or policy kNever) never touch any of it, keeping
+  // them bit-identical to the hard engine.  The structural overload
+  // latch needs a validated spec, so begin() computes it.
+  weakly_hard_enabled_ =
+      tasks.has_weakly_hard() &&
+      options.weakly_hard.policy != weakly_hard::SkipPolicy::kNever;
+  skip_policy_ = weakly_hard_enabled_ ? options.weakly_hard.policy
+                                      : weakly_hard::SkipPolicy::kNever;
+  skip_dvs_ = weakly_hard_enabled_ && options.weakly_hard.skip_dvs;
+  overload_structural_ = false;
+  overload_dynamic_ = false;
+  if (weakly_hard_enabled_) governor_.reset(tasks);
+
   jobs_completed_ = 0;
   deadline_misses_ = 0;
   context_switches_ = 0;
@@ -295,6 +340,96 @@ Time SimState::next_arrival_for_active() const {
   return state.window_release + static_cast<Time>(task(active_).period);
 }
 
+bool SimState::weakly_hard_should_skip(TaskIndex index) const {
+  return governor_.should_skip(index, skip_policy_,
+                               overload_structural_ || overload_dynamic_);
+}
+
+void SimState::note_release_pressure(TaskIndex index) {
+  if (overload_structural_ || overload_dynamic_) return;
+  if (skip_policy_ != weakly_hard::SkipPolicy::kOverload) return;
+  const sched::Task& t = task(index);
+  const JobState& released = job(index);
+  // Release-time overload probe: the declared demand that must clear
+  // before this job's deadline at base speed — its own WCET plus the
+  // remaining declared budgets of every strictly-higher-priority job in
+  // flight.  Conservative and cheap; the structural latch covers
+  // admission-time infeasibility, this catches runtime pile-ups
+  // (overrun and containment backlogs) before they turn into misses.
+  Work demand = t.wcet;
+  const auto add_if_higher = [&](TaskIndex other) {
+    const sched::Task& o = task(other);
+    if (o.priority >= t.priority) return;
+    const JobState& s = jobs_[static_cast<std::size_t>(other)];
+    demand += snap_nonnegative(o.wcet + s.overhead - s.executed);
+  };
+  if (active_ != kNoTask) add_if_higher(active_);
+  for (const sched::RunEntry& entry : run_queue_.entries()) {
+    add_if_higher(entry.task);
+  }
+  const Time deadline = released.release + static_cast<Time>(t.deadline);
+  if (tp_definitely_greater(after(now_, demand / base_ratio_),
+                            at(deadline))) {
+    overload_dynamic_ = true;
+  }
+}
+
+void SimState::skip_released_job(TaskIndex index) {
+  const sched::Task& t = task(index);
+  JobState& state = job(index);
+  if (options_->record_trace) {
+    sim::JobRecord record;
+    record.task = index;
+    record.instance = state.instance;
+    record.release = state.release;
+    record.absolute_deadline =
+        state.release + static_cast<Time>(t.deadline);
+    record.completion = now_.absolute();
+    record.executed = 0.0;
+    record.finished = false;
+    record.skipped = true;
+    // A skip is a scheduling decision, not a late completion: the miss
+    // flag (and counter) stay untouched; the governor's (m,k) ledger
+    // carries the QoS accounting instead.
+    trace_.add_job(record);
+    if (cycle_recording_) cycle_jobs_.push_back({record, now_});
+  }
+  settle_weakly_hard(index, /*met=*/false, /*skipped=*/true);
+  delay_queue_.insert(
+      {index, state.window_release + static_cast<Time>(t.period)});
+}
+
+void SimState::settle_weakly_hard(TaskIndex index, bool met, bool skipped) {
+  if (!weakly_hard_enabled_) return;
+  governor_.settle(index, met, skipped);
+}
+
+Time SimState::next_arrival_for_active_skip_aware() const {
+  // Earliest pending release whose job will actually demand the CPU: a
+  // release the governor certainly skips — permission already earned
+  // (the task's window history is frozen while it waits in the delay
+  // queue) and the overload latch unable to clear before the CPU next
+  // idles — defers that task's demand by one period.  Lookahead is a
+  // single skip: the skip itself changes the task's window, so nothing
+  // further is certain.
+  bool any = false;
+  Time best = 0.0;
+  for (const sched::DelayEntry& entry : delay_queue_.entries()) {
+    Time candidate = entry.release_time;
+    if (weakly_hard_should_skip(entry.task)) {
+      candidate += static_cast<Time>(task(entry.task).period);
+    }
+    if (!any || candidate < best) {
+      best = candidate;
+      any = true;
+    }
+  }
+  if (any) return best;
+  // Single-task system, as in next_arrival_for_active.
+  const JobState& state = jobs_[static_cast<std::size_t>(active_)];
+  return state.window_release + static_cast<Time>(task(active_).period);
+}
+
 void SimState::try_slowdown() {
   LPFPS_CHECK(active_ != kNoTask);
   LPFPS_CHECK(approx_equal(ratio_, base_ratio_, 1e-12));
@@ -317,7 +452,8 @@ void SimState::try_slowdown() {
     return;
   }
 
-  const Time arrival = next_arrival_for_active();
+  const Time arrival = skip_dvs_ ? next_arrival_for_active_skip_aware()
+                                 : next_arrival_for_active();
   // Safety cap (see engine.h): never stretch past the active task's own
   // absolute deadline.
   const Time window_end =
@@ -415,8 +551,58 @@ void SimState::invoke_scheduler() {
   }
 }
 
+bool SimState::consume_releases_under_plan() {
+  // Skip-to-slack conversion (docs/WEAKLY_HARD.md): consume due releases
+  // the governor skips so they do not tear down the slowdown plan that
+  // was sized against the skip-aware arrival.  The first non-skipped due
+  // release is handed over exactly as L5-L7 would and ends the plan via
+  // the ordinary L1-L4 ramp-up.  Throttle containment is banned while
+  // the governor is armed (validate_spec), so every popped entry is a
+  // fresh release here.
+  while (!delay_queue_.empty() &&
+         tp_approx_le(at(delay_queue_.head().release_time), now_)) {
+    const sched::DelayEntry due = delay_queue_.pop_head();
+    start_job(due.task);
+    note_release_pressure(due.task);
+    if (weakly_hard_should_skip(due.task)) {
+      skip_released_job(due.task);
+      continue;
+    }
+    TimePoint ready = at(job(due.task).release);
+    if (!options_->release_jitter.empty()) {
+      ready.offset += rng_.uniform(
+          0.0,
+          options_->release_jitter[static_cast<std::size_t>(due.task)]);
+    }
+    if (tp_approx_le(ready, now_)) {
+      run_queue_.insert({due.task, task(due.task).priority});
+    } else {
+      staged_.push_back({due.task, ready});
+    }
+    break;
+  }
+  bool staged_due = false;
+  for (const auto& entry : staged_) {
+    if (tp_approx_le(entry.ready, now_)) staged_due = true;
+  }
+  // Fully handled only if nothing else demands the scheduler right now:
+  // the plan continues uninterrupted through the skipped arrivals.
+  return run_queue_.empty() && !staged_due && active_ != kNoTask &&
+         (delay_queue_.empty() ||
+          !tp_approx_le(at(delay_queue_.head().release_time), now_));
+}
+
 void SimState::invoke_scheduler_impl() {
   ++scheduler_invocations_;
+
+  // Skip-aware DVS: under an active slowdown plan, arrivals the governor
+  // skips are consumed without ramping back to base — the plan keeps
+  // running through them.
+  if (skip_dvs_ && plan_active_ && active_ != kNoTask &&
+      consume_releases_under_plan()) {
+    sample_queue_depths();
+    return;
+  }
 
   // L1-L4: restore full (base) speed before any decision.
   if (ratio_ < base_ratio_ - 1e-12 || ramp_target_ < base_ratio_ - 1e-12) {
@@ -434,6 +620,15 @@ void SimState::invoke_scheduler_impl() {
          tp_approx_le(at(delay_queue_.head().release_time), now_)) {
     const sched::DelayEntry due = delay_queue_.pop_head();
     start_job(due.task);
+    // Throttle containment is banned while the governor is armed
+    // (validate_spec), so every popped entry is a fresh release.
+    if (weakly_hard_enabled_) {
+      note_release_pressure(due.task);
+      if (weakly_hard_should_skip(due.task)) {
+        skip_released_job(due.task);
+        continue;
+      }
+    }
     TimePoint ready = at(job(due.task).release);
     if (!options_->release_jitter.empty()) {
       ready.offset += rng_.uniform(
@@ -487,6 +682,10 @@ void SimState::invoke_scheduler_impl() {
   // has drained, so DVS and power-down become trustworthy again —
   // including at this very instant (the switch below may sleep).
   safe_mode_ = false;
+  // It likewise ends a dynamic overload episode — the backlog that
+  // predicted or produced misses is gone.  (The structural latch, a
+  // property of the task set, never clears.)
+  overload_dynamic_ = false;
   if (delay_queue_.empty()) return;  // No future work at all.
   switch (policy_->idle) {
     case IdleMethod::kBusyWait:
@@ -533,6 +732,13 @@ void SimState::finish_active_job() {
   }
   ++jobs_completed_;
 
+  if (weakly_hard_enabled_) {
+    // An actual miss is the strongest overload evidence there is.
+    if (record.missed_deadline) overload_dynamic_ = true;
+    settle_weakly_hard(active_, /*met=*/!record.missed_deadline,
+                       /*skipped=*/false);
+  }
+
   delay_queue_.insert(
       {active_, state.window_release + static_cast<Time>(t.period)});
   active_ = kNoTask;
@@ -549,6 +755,9 @@ void SimState::on_budget_exhausted() {
   JobState& state = job(active_);
   state.over_budget = true;
   ++overruns_detected_;
+  // A detected overrun raises the dynamic overload latch: undeclared
+  // demand is in the system, so permitted skips may now be spent.
+  if (weakly_hard_enabled_) overload_dynamic_ = true;
   enter_safe_mode();
   switch (options_->containment.on_overrun) {
     case faults::OverrunAction::kNone:
@@ -583,6 +792,9 @@ void SimState::kill_active_job() {
     // miss flag (and counter) stay untouched.
     trace_.add_job(record);
   }
+  // The killed instance settles as a failure in its task's (m,k) window
+  // — the work was discarded, not delivered.
+  settle_weakly_hard(active_, /*met=*/false, /*skipped=*/false);
   requeue_contained_task(active_);
   active_ = kNoTask;
   state_ = CpuState::kIdle;
@@ -617,6 +829,10 @@ void SimState::requeue_contained_task(TaskIndex index) {
   while (tp_definitely_greater(now_, at(next_release))) {
     ++instance;
     ++jobs_skipped_;
+    // Each forfeited window is a failed delivery in the task's (m,k)
+    // ledger, settled here in instance order (kill settles the aborted
+    // instance first; throttle never combines with the governor).
+    settle_weakly_hard(index, /*met=*/false, /*skipped=*/false);
     next_release = static_cast<Time>(t.phase) +
                    static_cast<Time>(instance * t.period);
   }
@@ -1028,6 +1244,13 @@ void SimState::begin(const SpecPrep* prep) {
     validate_spec(*tasks_, *processor_, *policy_, *options_);
   }
 
+  // kOverload's structural trigger: hard-infeasible sets are in
+  // overload from the first release, before any miss can be observed.
+  if (weakly_hard_enabled_ &&
+      skip_policy_ == weakly_hard::SkipPolicy::kOverload) {
+    overload_structural_ = !hard_rta_schedulable(*tasks_);
+  }
+
   base_ratio_ = policy_->static_ratio;
   ratio_ = base_ratio_;
   ramp_target_ = base_ratio_;
@@ -1336,6 +1559,11 @@ SimulationResult SimState::finish() {
   result.jobs_throttled = jobs_throttled_;
   result.jobs_skipped = jobs_skipped_;
   result.safe_mode_entries = safe_mode_entries_;
+  if (weakly_hard_enabled_) {
+    result.jobs_skipped_weakly = governor_.jobs_skipped_weakly();
+    result.mk_violations = governor_.mk_violations();
+    result.weakly_hard_worst_slack = governor_.worst_window_slack();
+  }
   result.cycles_detected = cycles_detected_;
   result.fast_forwarded_time = fast_forwarded_time_;
   result.fingerprint_checks = fingerprint_checks_;

@@ -346,6 +346,26 @@ class SimState {
   void enter_power_down();
   void finish_active_job();
 
+  // --- weakly-hard skip governor (docs/WEAKLY_HARD.md) ------------------
+  /// Release-time decision for the just-started job of `index`: governor
+  /// armed, constraint window permits, and the policy/overload state
+  /// calls for spending the skip.
+  bool weakly_hard_should_skip(TaskIndex index) const;
+  /// Raises the dynamic overload latch when the just-released job of
+  /// `index` cannot complete by its deadline at base speed given the
+  /// declared remaining demand of higher-priority ready jobs.
+  void note_release_pressure(TaskIndex index);
+  /// Books a governor-granted skip of the just-started job: skip record,
+  /// settle, re-queue at the next period.  The job never becomes ready.
+  void skip_released_job(TaskIndex index);
+  /// Feeds a settled job outcome to the governor (no-op when disarmed).
+  void settle_weakly_hard(TaskIndex index, bool met, bool skipped);
+  /// Skip-aware DVS fast path: while a slowdown plan is active, consume
+  /// due releases before the L1-L4 ramp-up check; skipped ones never
+  /// wake the plan.  Returns true when the invocation is fully handled
+  /// (only skipped releases were due) and the plan should keep running.
+  bool consume_releases_under_plan();
+
   // --- fault detection and containment ---------------------------------
   /// The active job just exhausted its WCET budget: count the overrun,
   /// enter safe mode, apply the configured containment action.
@@ -397,6 +417,12 @@ class SimState {
   /// Next release the active task must be ready for: head of the delay
   /// queue, or (single-task systems) its own next period.
   Time next_arrival_for_active() const;
+
+  /// Skip-aware twin: the next release whose job the governor will
+  /// *not* certainly skip (each certainly-skipped head defers its task
+  /// by one period).  Equals next_arrival_for_active when skip-aware
+  /// DVS is off.
+  Time next_arrival_for_active_skip_aware() const;
 
   // --- borrowed inputs (rebound by reset) ------------------------------
   const sched::TaskSet* tasks_ = nullptr;
@@ -474,6 +500,21 @@ class SimState {
   int jobs_throttled_ = 0;
   int jobs_skipped_ = 0;
   int safe_mode_entries_ = 0;
+
+  // Weakly-hard skip governor (resolved once per reset; everything
+  // below is inert — and bit-identity preserving — unless the task set
+  // declares weakly-hard constraints and the policy is not kNever).
+  bool weakly_hard_enabled_ = false;
+  bool skip_dvs_ = false;
+  weakly_hard::SkipPolicy skip_policy_ = weakly_hard::SkipPolicy::kNever;
+  weakly_hard::SkipGovernor governor_;
+  /// Hard RTA failed at reset: the set cannot meet every deadline even
+  /// at base speed, so degradation is on from t = 0 and never clears.
+  bool overload_structural_ = false;
+  /// Runtime trigger — predicted miss at a release, detected overrun,
+  /// or an actual miss; cleared at the next idle instant (the backlog
+  /// has drained).
+  bool overload_dynamic_ = false;
 
   // Statistics.
   int jobs_completed_ = 0;

@@ -1,6 +1,9 @@
 #include "io/trace_io.h"
 
+#include <algorithm>
 #include <cstdio>
+
+#include "weakly_hard/governor.h"
 
 namespace lpfps::io {
 
@@ -125,8 +128,24 @@ std::string result_csv_row(const core::SimulationResult& result) {
 std::string result_fault_csv_header() {
   return "policy,overruns_detected,ramp_faults_detected,"
          "late_wakeups_detected,jobs_killed,jobs_throttled,jobs_skipped,"
-         "safe_mode_entries\n";
+         "safe_mode_entries,jobs_skipped_weakly,mk_violations,"
+         "worst_window_slack\n";
 }
+
+namespace {
+
+// Tightest (m,k)-window slack observed across the set's weakly-hard
+// tasks; 0 when there are none (or the governor was disarmed) so the
+// column stays numeric.  Negative values are (m,k) violations.
+int min_weakly_hard_slack(const core::SimulationResult& result) {
+  int worst = weakly_hard::SkipGovernor::kHardTaskSlack;
+  for (const int slack : result.weakly_hard_worst_slack) {
+    worst = std::min(worst, slack);
+  }
+  return worst == weakly_hard::SkipGovernor::kHardTaskSlack ? 0 : worst;
+}
+
+}  // namespace
 
 std::string result_fault_csv_row(const core::SimulationResult& result) {
   std::string out;
@@ -146,6 +165,12 @@ std::string result_fault_csv_row(const core::SimulationResult& result) {
   out += std::to_string(result.jobs_skipped);
   out += ',';
   out += std::to_string(result.safe_mode_entries);
+  out += ',';
+  out += std::to_string(result.jobs_skipped_weakly);
+  out += ',';
+  out += std::to_string(result.mk_violations);
+  out += ',';
+  out += std::to_string(min_weakly_hard_slack(result));
   out += '\n';
   return out;
 }

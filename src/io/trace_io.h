@@ -26,7 +26,10 @@ std::string result_csv_row(const core::SimulationResult& result);
 /// Kept separate from result_csv_row — that format predates the fault
 /// layer and is golden-hashed — so fault sweeps concatenate the two:
 /// result_csv_row(r) with the trailing newline swapped for a comma, or
-/// simply a second file keyed by the same run.
+/// simply a second file keyed by the same run.  Also carries the
+/// weakly-hard governor counters (jobs_skipped_weakly, mk_violations,
+/// and the tightest observed (m,k)-window slack across weakly-hard
+/// tasks; all zero when the governor is disarmed).
 std::string result_fault_csv_header();
 std::string result_fault_csv_row(const core::SimulationResult& result);
 

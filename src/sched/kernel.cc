@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/float_compare.h"
+#include "sched/analysis.h"
 
 namespace lpfps::sched {
 
@@ -49,9 +50,40 @@ void FixedPriorityKernel::set_overrun_containment(
   overrun_action_ = action;
 }
 
+void FixedPriorityKernel::set_skip_policy(weakly_hard::SkipPolicy policy) {
+  skip_policy_ = policy;
+}
+
 KernelResult FixedPriorityKernel::run(Time horizon) {
   LPFPS_CHECK(horizon > 0.0);
   KernelResult result;
+
+  // Weakly-hard governor wiring, mirroring core::SimState exactly so
+  // the engine cross-check stays bit-identical (docs/WEAKLY_HARD.md).
+  const bool weakly_hard_enabled =
+      tasks_.has_weakly_hard() &&
+      skip_policy_ != weakly_hard::SkipPolicy::kNever;
+  LPFPS_CHECK_MSG(!weakly_hard_enabled ||
+                      overrun_action_ != faults::OverrunAction::kThrottle,
+                  "throttle containment cannot combine with the "
+                  "weakly-hard governor");
+  weakly_hard::SkipGovernor governor;
+  bool overload_structural = false;
+  bool overload_dynamic = false;
+  if (weakly_hard_enabled) {
+    governor.reset(tasks_);
+    // Structural latch: the kernel runs at full speed, so the plain
+    // hard RTA verdict decides (utilization guard first — RTA assumes
+    // a feasible fixed point exists).
+    overload_structural = tasks_.utilization() > 1.0;
+    if (!overload_structural) {
+      bool rta_domain = true;
+      for (const Task& t : tasks_.tasks()) {
+        if (t.deadline > t.period) rta_domain = false;
+      }
+      if (rta_domain) overload_structural = !is_schedulable_rta(tasks_);
+    }
+  }
 
   const auto n = static_cast<TaskIndex>(tasks_.size());
   RunQueue run_queue;
@@ -112,6 +144,11 @@ KernelResult FixedPriorityKernel::run(Time horizon) {
     job.over_budget = false;
   };
 
+  auto settle_weakly_hard = [&](TaskIndex task, bool met, bool skipped) {
+    if (!weakly_hard_enabled) return;
+    governor.settle(task, met, skipped);
+  };
+
   // Re-inserts a contained task at its next enforcement-window boundary,
   // forfeiting windows the overrun already consumed.
   auto requeue_contained = [&](TaskIndex task) {
@@ -122,10 +159,57 @@ KernelResult FixedPriorityKernel::run(Time horizon) {
     while (definitely_greater(now, next_release)) {
       ++instance;
       ++result.jobs_skipped;
+      // Forfeited windows are failed deliveries, settled in instance
+      // order (the aborted instance settles before this loop runs).
+      settle_weakly_hard(task, /*met=*/false, /*skipped=*/false);
       next_release = static_cast<Time>(tasks_[task].phase) +
                      static_cast<Time>(instance * tasks_[task].period);
     }
     delay_queue.insert({task, next_release});
+  };
+
+  // Release-time overload probe, the engine's note_release_pressure at
+  // base ratio 1: declared demand that must clear before the released
+  // job's deadline — its own WCET plus remaining declared budgets of
+  // strictly-higher-priority jobs in flight.
+  auto note_release_pressure = [&](TaskIndex task) {
+    if (overload_structural || overload_dynamic) return;
+    if (skip_policy_ != weakly_hard::SkipPolicy::kOverload) return;
+    const Task& t = tasks_[task];
+    const JobState& released = jobs[static_cast<std::size_t>(task)];
+    Work demand = t.wcet;
+    const auto add_if_higher = [&](TaskIndex other) {
+      const Task& o = tasks_[other];
+      if (o.priority >= t.priority) return;
+      const JobState& s = jobs[static_cast<std::size_t>(other)];
+      demand += snap_nonnegative(o.wcet - s.executed);
+    };
+    if (active != kNoTask) add_if_higher(active);
+    for (const RunEntry& entry : run_queue.entries()) {
+      add_if_higher(entry.task);
+    }
+    const Time deadline = released.release + static_cast<Time>(t.deadline);
+    if (definitely_greater(now + demand, deadline)) {
+      overload_dynamic = true;
+    }
+  };
+
+  auto skip_released_job = [&](TaskIndex task) {
+    const Task& t = tasks_[task];
+    JobState& job = jobs[static_cast<std::size_t>(task)];
+    sim::JobRecord record;
+    record.task = task;
+    record.instance = job.instance;
+    record.release = job.release;
+    record.absolute_deadline = job.release + static_cast<Time>(t.deadline);
+    record.completion = now;
+    record.executed = 0.0;
+    record.finished = false;
+    record.skipped = true;
+    result.trace.add_job(record);
+    settle_weakly_hard(task, /*met=*/false, /*skipped=*/true);
+    delay_queue.insert(
+        {task, job.window_release + static_cast<Time>(t.period)});
   };
 
   // The scheduler invocation of Figure 4 lines L5-L11 (no power logic).
@@ -135,6 +219,17 @@ KernelResult FixedPriorityKernel::run(Time horizon) {
            approx_le(delay_queue.head().release_time, now)) {
       const DelayEntry due = delay_queue.pop_head();
       start_job(due.task);
+      // Governor decision at release, after the demand draw — exactly
+      // the engine's hook order.  (Throttle cannot combine with the
+      // governor, so every popped entry is a fresh release here.)
+      if (weakly_hard_enabled) {
+        note_release_pressure(due.task);
+        if (governor.should_skip(due.task, skip_policy_,
+                                 overload_structural || overload_dynamic)) {
+          skip_released_job(due.task);
+          continue;
+        }
+      }
       run_queue.insert({due.task, tasks_[due.task].priority});
     }
     if (!run_queue.empty()) {
@@ -151,6 +246,9 @@ KernelResult FixedPriorityKernel::run(Time horizon) {
                       (active != kNoTask ? 1 : 0);
     result.run_queue_high_water =
         std::max(result.run_queue_high_water, ready);
+    // An idle instant ends a dynamic overload episode (the engine's
+    // idle-branch clear); the structural latch never clears.
+    if (active == kNoTask && run_queue.empty()) overload_dynamic = false;
     if (hook_) {
       QueueSnapshot snapshot;
       snapshot.time = now;
@@ -220,6 +318,7 @@ KernelResult FixedPriorityKernel::run(Time horizon) {
       JobState& job = jobs[static_cast<std::size_t>(active)];
       job.over_budget = true;
       ++result.overruns_detected;
+      if (weakly_hard_enabled) overload_dynamic = true;
       switch (overrun_action_) {
         case faults::OverrunAction::kNone:
           // Monitor only: the job keeps the CPU past its budget.
@@ -244,6 +343,9 @@ KernelResult FixedPriorityKernel::run(Time horizon) {
           record.killed = true;
           result.trace.add_job(record);
           ++result.jobs_killed;
+          // The aborted instance settles as a failed delivery before
+          // requeue_contained settles the forfeited windows.
+          settle_weakly_hard(active, /*met=*/false, /*skipped=*/false);
           requeue_contained(active);
           active = kNoTask;
           break;
@@ -267,6 +369,11 @@ KernelResult FixedPriorityKernel::run(Time horizon) {
           definitely_greater(now, record.absolute_deadline);
       if (record.missed_deadline) ++result.deadline_misses;
       result.trace.add_job(record);
+      if (weakly_hard_enabled) {
+        if (record.missed_deadline) overload_dynamic = true;
+        settle_weakly_hard(active, /*met=*/!record.missed_deadline,
+                           /*skipped=*/false);
+      }
       delay_queue.insert(
           {active, job.window_release + static_cast<Time>(task.period)});
       active = kNoTask;
@@ -275,6 +382,10 @@ KernelResult FixedPriorityKernel::run(Time horizon) {
     invoke_scheduler();
   }
 
+  if (weakly_hard_enabled) {
+    result.jobs_skipped_weakly = governor.jobs_skipped_weakly();
+    result.mk_violations = governor.mk_violations();
+  }
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include "sched/queues.h"
 #include "sched/task_set.h"
 #include "sim/trace.h"
+#include "weakly_hard/governor.h"
 
 namespace lpfps::sched {
 
@@ -37,6 +38,10 @@ struct KernelResult {
   int jobs_killed = 0;
   int jobs_throttled = 0;
   int jobs_skipped = 0;       ///< Releases displaced by kill/throttle.
+  // Weakly-hard governor counters; non-zero only after set_skip_policy
+  // on a task set declaring (m,k)/skip constraints (docs/WEAKLY_HARD.md).
+  int jobs_skipped_weakly = 0;  ///< Jobs skipped at release by policy.
+  int mk_violations = 0;  ///< Settled k-windows that fell below m met.
 };
 
 class FixedPriorityKernel {
@@ -59,6 +64,17 @@ class FixedPriorityKernel {
   /// simulators stay cross-checkable under faults.
   void set_overrun_containment(faults::OverrunAction action);
 
+  /// Arms the weakly-hard skip governor with the same decision rule as
+  /// core::Engine (docs/WEAKLY_HARD.md): at each release of a task
+  /// declaring an (m,k) or skip constraint, a permitted skip is spent —
+  /// always under kAlways, only while the overload latch (hard RTA
+  /// failure at rest, or a detected overrun / actual miss until the next
+  /// idle instant, or a release-time predicted miss) is raised under
+  /// kOverload.  Inert with kNever or on a purely hard task set, keeping
+  /// the engine cross-check exact.  Cannot combine with kThrottle
+  /// containment (out-of-order window settlement).
+  void set_skip_policy(weakly_hard::SkipPolicy policy);
+
   /// Simulates [0, horizon) and returns the schedule.  Jobs still running
   /// at the horizon are recorded unfinished (not counted as misses unless
   /// their deadline already passed).
@@ -70,6 +86,7 @@ class FixedPriorityKernel {
   InvocationHook hook_;
   bool containment_armed_ = false;
   faults::OverrunAction overrun_action_ = faults::OverrunAction::kNone;
+  weakly_hard::SkipPolicy skip_policy_ = weakly_hard::SkipPolicy::kNever;
 };
 
 }  // namespace lpfps::sched

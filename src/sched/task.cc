@@ -17,6 +17,17 @@ void Task::validate() const {
   LPFPS_CHECK_MSG(bcet > 0.0 && bcet <= wcet, name);
   LPFPS_CHECK_MSG(wcet <= static_cast<double>(deadline), name);
   LPFPS_CHECK_MSG(phase >= 0, name);
+  LPFPS_CHECK_MSG(mk_m >= 0 && mk_k >= 0 && skip_s >= 0, name);
+  LPFPS_CHECK_MSG(mk_k == 0 || (mk_m >= 1 && mk_m <= mk_k && mk_k <= 64),
+                  name);
+  LPFPS_CHECK_MSG(mk_k > 0 || mk_m == 0, name);
+  LPFPS_CHECK_MSG(skip_s == 0 || (skip_s >= 2 && skip_s <= 64), name);
+  // One constraint form per task: combining them would make the
+  // degraded-mode interference pattern (weakly_hard::max_met_jobs)
+  // ill-defined.
+  LPFPS_CHECK_MSG(mk_k == 0 || skip_s == 0, name);
+  // D <= T keeps per-task job outcomes settled at the next release.
+  LPFPS_CHECK_MSG(!weakly_hard() || deadline <= period, name);
 }
 
 Task make_task(std::string name, std::int64_t period, Work wcet) {
@@ -32,6 +43,19 @@ Task make_task(std::string name, std::int64_t period, std::int64_t deadline,
   task.wcet = wcet;
   task.bcet = bcet;
   task.phase = phase;
+  task.validate();
+  return task;
+}
+
+Task with_mk_constraint(Task task, int m, int k) {
+  task.mk_m = m;
+  task.mk_k = k;
+  task.validate();
+  return task;
+}
+
+Task with_skip_parameter(Task task, int s) {
+  task.skip_s = s;
   task.validate();
   return task;
 }

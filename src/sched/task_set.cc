@@ -87,6 +87,11 @@ bool TaskSet::priorities_are_unique() const {
   return true;
 }
 
+bool TaskSet::has_weakly_hard() const {
+  return std::any_of(tasks_.begin(), tasks_.end(),
+                     [](const Task& t) { return t.weakly_hard(); });
+}
+
 void TaskSet::validate() const {
   for (const Task& t : tasks_) t.validate();
   LPFPS_CHECK_MSG(priorities_are_unique(), "duplicate priorities");

@@ -56,6 +56,10 @@ class TaskSet {
   /// ordered).  Engine and analyses require this.
   bool priorities_are_unique() const;
 
+  /// True if any task carries an (m,k)-firm or skip-over constraint
+  /// (docs/WEAKLY_HARD.md).
+  bool has_weakly_hard() const;
+
   /// Throws unless every task validates and priorities are unique.
   void validate() const;
 

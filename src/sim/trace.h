@@ -54,6 +54,12 @@ struct JobRecord {
   /// and the remaining work was discarded.  Never set outside fault
   /// runs, so io::trace_jobs_csv (golden-hashed) need not change.
   bool killed = false;
+  /// Skipped at release by the weakly-hard governor (docs/
+  /// WEAKLY_HARD.md): `completion` is the release-time decision instant,
+  /// `finished` stays false, and `executed` is 0 — the job never touched
+  /// the CPU.  Never set unless the governor is armed, so
+  /// io::trace_jobs_csv (golden-hashed) need not change.
+  bool skipped = false;
 
   Time response_time() const { return completion - release; }
 };

@@ -1,0 +1,102 @@
+// The skip governor: release-time skip decisions for weakly-hard tasks.
+//
+// Determinism contract (docs/WEAKLY_HARD.md): a decision is a pure
+// function of (a) the task's own settled-job history — the WindowHistory
+// masks — and (b) the caller-supplied overload flag.  No clocks, no
+// randomness, no cross-task state.  Because the engine's sequential
+// release model settles a task's previous job before its next release
+// is even queued, the history a decision reads is always complete, so
+// fleet, sharded and serial runs make bit-identical decisions and the
+// auditor can replay every decision from the trace alone (W2).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/units.h"
+#include "sched/task_set.h"
+#include "weakly_hard/window.h"
+
+namespace lpfps::weakly_hard {
+
+/// When the governor spends permitted skips.
+enum class SkipPolicy : std::uint8_t {
+  kNever,     ///< Governor disarmed: weakly-hard tasks run as hard
+              ///< (the differential-identity reference).
+  kOverload,  ///< Skip only while the overload latch is raised —
+              ///< structurally infeasible sets from t = 0, otherwise
+              ///< from the first predicted miss / overrun / miss until
+              ///< the next idle instant.
+  kAlways,    ///< Skip whenever the window permits (full degradation).
+};
+
+const char* to_string(SkipPolicy policy);
+
+/// Per-task skip accounting for one run.  reset() rebinds to a task
+/// set reusing buffers (fleet-lane friendly).
+class SkipGovernor {
+ public:
+  /// Rebinds to `tasks`: sizes per-task histories, caches each task's
+  /// effective (m,k)/skip parameters, zeroes all counters.
+  void reset(const sched::TaskSet& tasks);
+
+  /// True if the task carries any weakly-hard constraint.
+  bool skippable(TaskIndex task) const {
+    return params_[static_cast<std::size_t>(task)].k > 0;
+  }
+
+  /// True iff skipping the task's next job keeps its constraint
+  /// satisfied (pure history check; ignores policy and overload).
+  bool skip_permitted(TaskIndex task) const;
+
+  /// The release-time decision: skippable, permitted, and the policy /
+  /// overload state calls for it.
+  bool should_skip(TaskIndex task, SkipPolicy policy, bool overloaded) const {
+    if (policy == SkipPolicy::kNever) return false;
+    if (policy == SkipPolicy::kOverload && !overloaded) return false;
+    return skip_permitted(task);
+  }
+
+  /// Records the settled outcome of the task's next job in release
+  /// order: met (completed in time), missed/killed/forfeited
+  /// (met == false, skipped == false), or policy-skipped.  Updates the
+  /// (m,k) violation count and the task's worst-window slack.  No-op
+  /// for hard tasks.
+  void settle(TaskIndex task, bool met, bool skipped);
+
+  /// Policy skips recorded via settle().
+  int jobs_skipped_weakly() const { return jobs_skipped_weakly_; }
+
+  /// Settled k-windows that violated their (m,k) constraint (counted
+  /// once per window, i.e. once per settle that left < m met jobs in
+  /// the trailing window).
+  int mk_violations() const { return mk_violations_; }
+
+  /// Per-task minimum over settled windows of met_in_window - m,
+  /// indexed like the TaskSet; k - m (the all-met value) when nothing
+  /// settled yet, and kHardTaskSlack for hard tasks.
+  static constexpr int kHardTaskSlack = std::numeric_limits<int>::max();
+  const std::vector<int>& worst_window_slack() const {
+    return worst_slack_;
+  }
+
+  const WindowHistory& history(TaskIndex task) const {
+    return histories_[static_cast<std::size_t>(task)];
+  }
+
+ private:
+  struct Params {
+    int m = 0;
+    int k = 0;       ///< 0 = hard task.
+    int skip_s = 0;  ///< Nonzero selects the skip-over permission rule.
+  };
+
+  std::vector<Params> params_;
+  std::vector<WindowHistory> histories_;
+  std::vector<int> worst_slack_;
+  int jobs_skipped_weakly_ = 0;
+  int mk_violations_ = 0;
+};
+
+}  // namespace lpfps::weakly_hard

@@ -1,0 +1,35 @@
+#include "weakly_hard/window.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace lpfps::weakly_hard {
+
+namespace {
+
+constexpr std::uint64_t low_bits(int n) {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+}  // namespace
+
+int WindowHistory::met_in_last(int k) const {
+  LPFPS_CHECK(k >= 1 && k <= 64);
+  return std::popcount(met_mask & low_bits(k));
+}
+
+bool WindowHistory::skip_in_last(int n) const {
+  LPFPS_CHECK(n >= 0 && n <= 64);
+  return n > 0 && (skip_mask & low_bits(n)) != 0;
+}
+
+bool WindowHistory::may_skip(int m, int k, int skip_s) const {
+  if (k <= 0) return false;
+  if (skip_s > 0) return !skip_in_last(skip_s - 1);
+  // (m,k)-firm: with this job skipped, the k-window ending here holds
+  // the k-1 most recent settled outcomes plus one miss.
+  return std::popcount(met_mask & low_bits(k - 1)) >= m;
+}
+
+}  // namespace lpfps::weakly_hard

@@ -1,0 +1,60 @@
+// Per-task weakly-hard window bookkeeping.
+//
+// A WindowHistory is the deterministic k-window state the skip governor
+// keeps per weakly-hard task: two 64-bit masks over the most recent
+// settled jobs (bit 0 = most recent), one recording met deadlines and
+// one recording policy skips.  Jobs that predate the run are treated as
+// met and unskipped — the standard (m,k) startup convention: a window
+// reaching before instance 0 counts the nonexistent jobs as successes,
+// so early decisions are exactly as permissive as steady state.
+//
+// Everything here is pure integer bit manipulation with no hidden
+// state, which is what makes the governor's decisions replayable from
+// the trace (audit W-codes) and bit-identical across fleet/sharded
+// runs.
+#pragma once
+
+#include <cstdint>
+
+namespace lpfps::weakly_hard {
+
+struct WindowHistory {
+  /// Bit i set = the (i+1)-th most recent settled job met its deadline.
+  /// Starts all-ones (pre-history counts as met).
+  std::uint64_t met_mask = ~std::uint64_t{0};
+  /// Bit i set = that job was a policy skip.  Starts all-zeros.
+  std::uint64_t skip_mask = 0;
+  /// Settled jobs recorded so far (completions, kills, forfeits, skips).
+  std::int64_t settled = 0;
+
+  /// Records the outcome of the next job in release order.  A policy
+  /// skip is never "met"; a kill or containment forfeit is a non-skip
+  /// failure.
+  void record(bool met, bool skipped) {
+    met_mask = (met_mask << 1) | (met ? 1u : 0u);
+    skip_mask = (skip_mask << 1) | (skipped ? 1u : 0u);
+    ++settled;
+  }
+
+  /// Met deadlines among the `k` most recent jobs (1 <= k <= 64).
+  int met_in_last(int k) const;
+
+  /// True if any of the `n` most recent jobs was a policy skip
+  /// (0 <= n <= 64; n == 0 is vacuously false).
+  bool skip_in_last(int n) const;
+
+  /// True iff skipping the *next* job keeps the task's constraint
+  /// satisfiable: for an (m,k)-firm task the window ending at the next
+  /// job — its k-1 predecessors plus the skipped job — still holds
+  /// >= m met deadlines; for a skip-over task (s) none of the s-1
+  /// predecessors was itself a skip.  Pass the task's effective (m, k):
+  /// (mk_m, mk_k) or (s-1, s).  Hard tasks (k == 0) are never
+  /// skippable.
+  bool may_skip(int m, int k, int skip_s) const;
+
+  /// Slack of the window formed by the `k` most recent jobs:
+  /// met_in_last(k) - m.  Negative = the window violates (m,k).
+  int window_slack(int m, int k) const { return met_in_last(k) - m; }
+};
+
+}  // namespace lpfps::weakly_hard

@@ -7,8 +7,34 @@
 
 #include "common/check.h"
 #include "sched/priority.h"
+#include "weakly_hard/analysis.h"
 
 namespace lpfps::workloads {
+
+namespace {
+
+// Draws one candidate set for `utils` (periods log-uniform, WCET =
+// u_i * T_i); returns false when a rounded WCET would be degenerate
+// (< 1 us) and the caller should redraw.
+bool draw_candidate(const GeneratorConfig& config,
+                    const std::vector<double>& utils, Rng& rng,
+                    sched::TaskSet& tasks) {
+  for (std::size_t i = 0; i < utils.size(); ++i) {
+    const double log_min = std::log(static_cast<double>(config.period_min));
+    const double log_max = std::log(static_cast<double>(config.period_max));
+    const double raw = std::exp(rng.uniform(log_min, log_max));
+    std::int64_t period = static_cast<std::int64_t>(std::llround(raw)) /
+                          config.period_granularity * config.period_granularity;
+    period = std::max(period, config.period_min);
+    const double wcet = utils[i] * static_cast<double>(period);
+    if (wcet < 1.0) return false;
+    tasks.add(sched::make_task("rand" + std::to_string(i), period, period,
+                               wcet, wcet * config.bcet_ratio));
+  }
+  return true;
+}
+
+}  // namespace
 
 std::vector<double> uunifast(int task_count, double total, Rng& rng) {
   LPFPS_CHECK(task_count > 0 && total > 0.0);
@@ -38,30 +64,76 @@ sched::TaskSet generate_task_set(const GeneratorConfig& config, Rng& rng) {
         uunifast(config.task_count, config.total_utilization, rng);
 
     sched::TaskSet tasks;
-    bool degenerate = false;
-    for (int i = 0; i < config.task_count; ++i) {
-      const double log_min = std::log(static_cast<double>(config.period_min));
-      const double log_max = std::log(static_cast<double>(config.period_max));
-      const double raw = std::exp(rng.uniform(log_min, log_max));
-      std::int64_t period =
-          static_cast<std::int64_t>(std::llround(raw)) /
-          config.period_granularity * config.period_granularity;
-      period = std::max(period, config.period_min);
-      const double wcet = utils[static_cast<std::size_t>(i)] *
-                          static_cast<double>(period);
-      if (wcet < 1.0) {
-        degenerate = true;
-        break;
-      }
-      tasks.add(sched::make_task("rand" + std::to_string(i), period, period,
-                                 wcet, wcet * config.bcet_ratio));
-    }
-    if (degenerate) continue;
+    if (!draw_candidate(config, utils, rng, tasks)) continue;
     sched::assign_rate_monotonic(tasks);
     return tasks;
   }
   throw std::runtime_error(
       "generate_task_set: could not draw a non-degenerate set");
+}
+
+sched::TaskSet generate_weakly_hard_task_set(
+    const WeaklyHardGeneratorConfig& config, Rng& rng) {
+  LPFPS_CHECK(config.base.task_count > 0);
+  LPFPS_CHECK(config.total_utilization > 0.0);
+  LPFPS_CHECK(config.base.period_min > 0 &&
+              config.base.period_max >= config.base.period_min);
+  LPFPS_CHECK(config.base.period_granularity > 0);
+  LPFPS_CHECK(config.base.bcet_ratio > 0.0 && config.base.bcet_ratio <= 1.0);
+  LPFPS_CHECK_MSG(config.weakly_hard_fraction > 0.0 &&
+                      config.weakly_hard_fraction <= 1.0,
+                  "an overloaded set needs at least one skippable task");
+  LPFPS_CHECK_MSG(config.mk_k > 0 || config.skip_s > 0,
+                  "need at least one constraint form");
+  if (config.mk_k > 0) {
+    LPFPS_CHECK(config.mk_m >= 1 && config.mk_m <= config.mk_k &&
+                config.mk_k <= 64);
+  }
+  if (config.skip_s > 0) {
+    LPFPS_CHECK(config.skip_s >= 2 && config.skip_s <= 64);
+  }
+
+  const int n = config.base.task_count;
+  const int constrained = std::max(
+      1, std::min(n, static_cast<int>(std::ceil(
+             config.weakly_hard_fraction * static_cast<double>(n)))));
+
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const std::vector<double> utils =
+        uunifast(n, config.total_utilization, rng);
+
+    sched::TaskSet tasks;
+    if (!draw_candidate(config.base, utils, rng, tasks)) continue;
+    sched::assign_rate_monotonic(tasks);
+
+    // Constrain the heaviest tasks first — skipping them sheds the most
+    // load per spent skip.
+    std::vector<std::size_t> order(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double ua = tasks[static_cast<TaskIndex>(a)].utilization();
+      const double ub = tasks[static_cast<TaskIndex>(b)].utilization();
+      if (ua != ub) return ua > ub;
+      return a < b;
+    });
+    for (int c = 0; c < constrained; ++c) {
+      const auto index = static_cast<TaskIndex>(order[static_cast<std::size_t>(c)]);
+      const bool use_mk =
+          config.skip_s == 0 || (config.mk_k > 0 && c % 2 == 0);
+      sched::Task task = tasks[index];
+      tasks.replace(index, use_mk ? sched::with_mk_constraint(
+                                        std::move(task), config.mk_m,
+                                        config.mk_k)
+                                  : sched::with_skip_parameter(
+                                        std::move(task), config.skip_s));
+    }
+
+    if (!weakly_hard::is_schedulable_weakly_hard_rta(tasks)) continue;
+    return tasks;
+  }
+  throw std::runtime_error(
+      "generate_weakly_hard_task_set: no degraded-feasible draw in 1000 "
+      "attempts; lower total_utilization or loosen the constraints");
 }
 
 }  // namespace lpfps::workloads

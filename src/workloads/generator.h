@@ -25,6 +25,31 @@ struct GeneratorConfig {
   double bcet_ratio = 1.0;
 };
 
+/// Overloaded weakly-hard variant of GeneratorConfig: the utilization
+/// target may exceed 1.0 (the overload factor), and a fraction of the
+/// tasks — the highest-utilization ones, which shed the most load when
+/// skipped — carry (m,k)-firm / skip-over constraints
+/// (docs/WEAKLY_HARD.md).  The drawn set is hard-infeasible by
+/// construction when total_utilization > 1 but always passes the
+/// degraded-mode admission test weakly_hard::is_schedulable_weakly_hard_rta.
+struct WeaklyHardGeneratorConfig {
+  /// Period / granularity / BCET knobs; base.total_utilization is
+  /// ignored in favour of the overload-capable target below.
+  GeneratorConfig base;
+  /// May exceed 1.0; 1.2 means a nominal 20% overload.
+  double total_utilization = 1.2;
+  /// Fraction of tasks (rounded up, at least one) given weakly-hard
+  /// constraints, picked by descending utilization.
+  double weakly_hard_fraction = 0.5;
+  /// Constraint forms alternate across the constrained tasks: (m,k)-firm
+  /// with these parameters, then skip-over with skip_s.  Set skip_s = 0
+  /// to make every constrained task (m,k)-firm, or mk_k = 0 for all
+  /// skip-over.
+  int mk_m = 2;
+  int mk_k = 4;
+  int skip_s = 2;
+};
+
 /// Per-task utilizations summing to `total` (UUniFast; unbiased over the
 /// simplex).  Exposed for direct testing.
 std::vector<double> uunifast(int task_count, double total, Rng& rng);
@@ -34,5 +59,15 @@ std::vector<double> uunifast(int task_count, double total, Rng& rng);
 /// (WCET < 1 us) are re-drawn.  The set is NOT guaranteed RM-schedulable;
 /// callers filter with sched::is_schedulable_rta.
 sched::TaskSet generate_task_set(const GeneratorConfig& config, Rng& rng);
+
+/// Draws an overloaded weakly-hard task set: UUniFast at the (possibly
+/// > 1) utilization target, rate-monotonic priorities, constraints
+/// attached per `config`, re-drawn until the degraded set passes
+/// weakly_hard::is_schedulable_weakly_hard_rta — so the governor in full
+/// degradation provably meets every deadline it does not skip.  Throws
+/// after 1000 failed attempts (target too aggressive for the constraint
+/// budget).
+sched::TaskSet generate_weakly_hard_task_set(
+    const WeaklyHardGeneratorConfig& config, Rng& rng);
 
 }  // namespace lpfps::workloads

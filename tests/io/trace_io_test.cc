@@ -87,5 +87,39 @@ TEST(ResultCsv, CarriesTheObservabilityCounters) {
   EXPECT_NE(result_csv_row(result).find(",17,4,9,"), std::string::npos);
 }
 
+TEST(FaultCsv, HeaderAndRowAgreeOnColumnCount) {
+  core::SimulationResult result;
+  result.policy_name = "LPFPS";
+  const std::string header = result_fault_csv_header();
+  const std::string row = result_fault_csv_row(result);
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(header), commas(row));
+}
+
+TEST(FaultCsv, CarriesTheWeaklyHardCounters) {
+  const std::string header = result_fault_csv_header();
+  EXPECT_NE(header.find("jobs_skipped_weakly"), std::string::npos);
+  EXPECT_NE(header.find("mk_violations"), std::string::npos);
+  EXPECT_NE(header.find("worst_window_slack"), std::string::npos);
+
+  core::SimulationResult result;
+  result.policy_name = "X";
+  result.safe_mode_entries = 3;
+  result.jobs_skipped_weakly = 21;
+  result.mk_violations = 2;
+  // Slack column: min across weakly-hard tasks; INT_MAX entries (hard
+  // tasks) are ignored and an all-hard vector collapses to 0.
+  result.weakly_hard_worst_slack = {
+      weakly_hard::SkipGovernor::kHardTaskSlack, -1, 4};
+  EXPECT_NE(result_fault_csv_row(result).find(",3,21,2,-1\n"),
+            std::string::npos);
+
+  result.weakly_hard_worst_slack.clear();
+  EXPECT_NE(result_fault_csv_row(result).find(",3,21,2,0\n"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace lpfps::io

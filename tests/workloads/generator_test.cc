@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sched/analysis.h"
+#include "weakly_hard/analysis.h"
 
 namespace lpfps::workloads {
 namespace {
@@ -102,6 +105,95 @@ TEST(Generator, RejectsBadConfig) {
   config.total_utilization = 0.5;
   config.task_count = 0;
   EXPECT_THROW(generate_task_set(config, rng), std::logic_error);
+}
+
+TEST(WeaklyHardGenerator, DrawsOverloadedDegradedFeasibleSets) {
+  Rng rng(9);
+  WeaklyHardGeneratorConfig config;
+  config.base.task_count = 6;
+  config.total_utilization = 1.15;
+  for (int i = 0; i < 10; ++i) {
+    const sched::TaskSet tasks = generate_weakly_hard_task_set(config, rng);
+    ASSERT_EQ(tasks.size(), 6u);
+    EXPECT_NO_THROW(tasks.validate());
+    // Hard-infeasible by construction, degraded-feasible by admission.
+    EXPECT_NEAR(tasks.utilization(), 1.15, 1e-9);
+    EXPECT_FALSE(sched::is_schedulable_rta(tasks));
+    EXPECT_TRUE(weakly_hard::is_schedulable_weakly_hard_rta(tasks));
+    EXPECT_TRUE(tasks.has_weakly_hard());
+  }
+}
+
+TEST(WeaklyHardGenerator, ConstrainsTheHeaviestTasksAlternatingForms) {
+  Rng rng(10);
+  WeaklyHardGeneratorConfig config;
+  config.base.task_count = 6;
+  config.total_utilization = 1.1;
+  config.weakly_hard_fraction = 0.5;  // ceil(0.5 * 6) = 3 tasks.
+  const sched::TaskSet tasks = generate_weakly_hard_task_set(config, rng);
+  int constrained = 0;
+  int mk_form = 0;
+  int skip_form = 0;
+  double min_constrained_util = 2.0;
+  double max_hard_util = 0.0;
+  for (const sched::Task& t : tasks.tasks()) {
+    if (t.weakly_hard()) {
+      ++constrained;
+      if (t.mk_k > 0) ++mk_form;
+      if (t.skip_s > 0) ++skip_form;
+      min_constrained_util = std::min(min_constrained_util, t.utilization());
+    } else {
+      max_hard_util = std::max(max_hard_util, t.utilization());
+    }
+  }
+  EXPECT_EQ(constrained, 3);
+  EXPECT_GT(mk_form, 0);    // Both constraint forms present when both
+  EXPECT_GT(skip_form, 0);  // are configured (default (2,4) and s=2).
+  // The heaviest tasks carry the constraints.
+  EXPECT_GE(min_constrained_util, max_hard_util);
+}
+
+TEST(WeaklyHardGenerator, SingleFormWhenTheOtherIsDisabled) {
+  Rng rng(11);
+  WeaklyHardGeneratorConfig config;
+  config.base.task_count = 4;
+  config.total_utilization = 1.05;
+  config.skip_s = 0;  // All constrained tasks (m,k)-firm.
+  const sched::TaskSet tasks = generate_weakly_hard_task_set(config, rng);
+  for (const sched::Task& t : tasks.tasks()) {
+    EXPECT_EQ(t.skip_s, 0) << t.name;
+  }
+  EXPECT_TRUE(tasks.has_weakly_hard());
+}
+
+TEST(WeaklyHardGenerator, DeterministicForASeed) {
+  WeaklyHardGeneratorConfig config;
+  config.base.task_count = 5;
+  config.total_utilization = 1.2;
+  Rng rng_a(12);
+  Rng rng_b(12);
+  const sched::TaskSet a = generate_weakly_hard_task_set(config, rng_a);
+  const sched::TaskSet b = generate_weakly_hard_task_set(config, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (TaskIndex i = 0; i < static_cast<TaskIndex>(a.size()); ++i) {
+    EXPECT_EQ(a[i].period, b[i].period);
+    EXPECT_DOUBLE_EQ(a[i].wcet, b[i].wcet);
+    EXPECT_EQ(a[i].mk_m, b[i].mk_m);
+    EXPECT_EQ(a[i].mk_k, b[i].mk_k);
+    EXPECT_EQ(a[i].skip_s, b[i].skip_s);
+    EXPECT_EQ(a[i].priority, b[i].priority);
+  }
+}
+
+TEST(WeaklyHardGenerator, RejectsBadConfig) {
+  Rng rng(13);
+  WeaklyHardGeneratorConfig config;
+  config.weakly_hard_fraction = 0.0;  // Overload with nothing skippable.
+  EXPECT_THROW(generate_weakly_hard_task_set(config, rng), std::logic_error);
+  config.weakly_hard_fraction = 0.5;
+  config.mk_k = 0;
+  config.skip_s = 0;  // No constraint form at all.
+  EXPECT_THROW(generate_weakly_hard_task_set(config, rng), std::logic_error);
 }
 
 }  // namespace
